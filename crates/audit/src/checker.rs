@@ -1,0 +1,275 @@
+//! The submission checker: static validation of a scored run.
+
+use mlperf_loadgen::requirements::{min_query_count, MIN_DURATION_SECS, OFFLINE_MIN_SAMPLES};
+use mlperf_loadgen::results::TestResult;
+use mlperf_loadgen::scenario::Scenario;
+use mlperf_loadgen::time::Nanos;
+use mlperf_models::{QualityTarget, TaskId};
+
+/// Everything the checker needs about one submitted result.
+#[derive(Debug, Clone)]
+pub struct SubmissionCheckInput<'a> {
+    /// The task the result claims.
+    pub task: TaskId,
+    /// The scored run.
+    pub result: &'a TestResult,
+    /// Quality measured by the accuracy script on this system.
+    pub measured_quality: f64,
+    /// FP32 reference quality measured on the proxy reference model.
+    pub reference_quality: f64,
+}
+
+/// One problem the checker found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckFinding {
+    /// The LoadGen already flagged the run invalid.
+    InvalidRun {
+        /// Number of validity issues.
+        issues: usize,
+    },
+    /// Fewer queries than Table V requires for this task and scenario.
+    QueryCountBelowTableV {
+        /// Required queries.
+        required: u64,
+        /// Observed queries.
+        observed: u64,
+    },
+    /// The offline query carried fewer samples than the rules require.
+    OfflineSamplesBelowMinimum {
+        /// Required samples.
+        required: u64,
+        /// Observed samples.
+        observed: u64,
+    },
+    /// The run was shorter than the 60-second minimum.
+    DurationBelowMinimum {
+        /// Observed duration.
+        observed: Nanos,
+    },
+    /// Quality fell below the Table I window.
+    QualityBelowTarget {
+        /// Minimum admissible quality.
+        threshold: f64,
+        /// Measured quality.
+        observed: f64,
+    },
+    /// The result's scenario does not match the claimed metric shape.
+    MetricScenarioMismatch,
+}
+
+impl std::fmt::Display for CheckFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckFinding::InvalidRun { issues } => {
+                write!(f, "run flagged invalid by the LoadGen ({issues} issues)")
+            }
+            CheckFinding::QueryCountBelowTableV { required, observed } => {
+                write!(f, "query count {observed} below the Table V minimum {required}")
+            }
+            CheckFinding::OfflineSamplesBelowMinimum { required, observed } => {
+                write!(f, "offline samples {observed} below the minimum {required}")
+            }
+            CheckFinding::DurationBelowMinimum { observed } => {
+                write!(f, "run duration {observed} below the {MIN_DURATION_SECS}-second minimum")
+            }
+            CheckFinding::QualityBelowTarget { threshold, observed } => {
+                write!(f, "quality {observed:.4} below the target threshold {threshold:.4}")
+            }
+            CheckFinding::MetricScenarioMismatch => {
+                write!(f, "metric shape does not match the claimed scenario")
+            }
+        }
+    }
+}
+
+/// Checks one submission result against the rulebook. Empty output means
+/// the result is releasable.
+pub fn check_submission(input: &SubmissionCheckInput<'_>) -> Vec<CheckFinding> {
+    let mut findings = Vec::new();
+    let result = input.result;
+    if !result.is_valid() {
+        findings.push(CheckFinding::InvalidRun {
+            issues: result.validity.len(),
+        });
+    }
+    if !metric_matches_scenario(result) {
+        findings.push(CheckFinding::MetricScenarioMismatch);
+    }
+    let qos = input.task.spec().qos;
+    let required = min_query_count(result.scenario, qos);
+    if result.query_count < required {
+        findings.push(CheckFinding::QueryCountBelowTableV {
+            required,
+            observed: result.query_count,
+        });
+    }
+    if result.scenario == Scenario::Offline && result.sample_count < OFFLINE_MIN_SAMPLES {
+        findings.push(CheckFinding::OfflineSamplesBelowMinimum {
+            required: OFFLINE_MIN_SAMPLES,
+            observed: result.sample_count,
+        });
+    }
+    if result.duration < Nanos::from_secs(MIN_DURATION_SECS) {
+        findings.push(CheckFinding::DurationBelowMinimum {
+            observed: result.duration,
+        });
+    }
+    if input.reference_quality > 0.0 {
+        let target = QualityTarget::for_task_with_reference(input.task, input.reference_quality);
+        if !target.is_met(input.measured_quality) {
+            findings.push(CheckFinding::QualityBelowTarget {
+                threshold: target.threshold(),
+                observed: input.measured_quality,
+            });
+        }
+    } else {
+        // A submission without an established reference quality cannot be
+        // compared against the window at all.
+        findings.push(CheckFinding::QualityBelowTarget {
+            threshold: f64::NAN,
+            observed: input.measured_quality,
+        });
+    }
+    findings
+}
+
+fn metric_matches_scenario(result: &TestResult) -> bool {
+    use mlperf_loadgen::results::ScenarioMetric;
+    matches!(
+        (result.scenario, &result.metric),
+        (Scenario::SingleStream, ScenarioMetric::SingleStream { .. })
+            | (Scenario::MultiStream, ScenarioMetric::MultiStream { .. })
+            | (Scenario::Server, ScenarioMetric::Server { .. })
+            | (Scenario::Offline, ScenarioMetric::Offline { .. })
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_loadgen::results::{ScenarioMetric, TestResult};
+    use mlperf_loadgen::validate::ValidityIssue;
+
+    fn good_result() -> TestResult {
+        TestResult {
+            sut_name: "sut".into(),
+            qsl_name: "qsl".into(),
+            scenario: Scenario::SingleStream,
+            performance_mode: true,
+            metric: ScenarioMetric::SingleStream {
+                p90_latency: Nanos::from_millis(5),
+            },
+            latency_stats: None,
+            query_count: 1_024,
+            sample_count: 1_024,
+            duration: Nanos::from_secs(61),
+            validity: vec![],
+        }
+    }
+
+    fn input(result: &TestResult) -> SubmissionCheckInput<'_> {
+        SubmissionCheckInput {
+            task: TaskId::ImageClassificationHeavy,
+            result,
+            measured_quality: 0.76,
+            reference_quality: 0.765,
+        }
+    }
+
+    #[test]
+    fn clean_submission_passes() {
+        let result = good_result();
+        assert!(check_submission(&input(&result)).is_empty());
+    }
+
+    #[test]
+    fn invalid_run_flagged() {
+        let mut result = good_result();
+        result.validity.push(ValidityIssue::RunTooShort {
+            required: Nanos::from_secs(60),
+            observed: Nanos::from_secs(1),
+        });
+        let findings = check_submission(&input(&result));
+        assert!(findings.iter().any(|f| matches!(f, CheckFinding::InvalidRun { .. })));
+    }
+
+    #[test]
+    fn table_v_count_enforced_per_task() {
+        let mut result = good_result();
+        result.scenario = Scenario::Server;
+        result.metric = ScenarioMetric::Server {
+            qps: 100.0,
+            overlatency_fraction: 0.0,
+        };
+        result.query_count = 100_000; // below 270,336 for vision
+        let findings = check_submission(&input(&result));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, CheckFinding::QueryCountBelowTableV { required: 270_336, .. })));
+        // But enough for translation's 90,112.
+        let sci = SubmissionCheckInput {
+            task: TaskId::MachineTranslation,
+            result: &result,
+            measured_quality: 23.8,
+            reference_quality: 23.9,
+        };
+        assert!(!check_submission(&sci)
+            .iter()
+            .any(|f| matches!(f, CheckFinding::QueryCountBelowTableV { .. })));
+    }
+
+    #[test]
+    fn offline_sample_minimum_enforced() {
+        let mut result = good_result();
+        result.scenario = Scenario::Offline;
+        result.metric = ScenarioMetric::Offline {
+            samples_per_second: 10.0,
+        };
+        result.query_count = 1;
+        result.sample_count = 10_000;
+        let findings = check_submission(&input(&result));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, CheckFinding::OfflineSamplesBelowMinimum { .. })));
+    }
+
+    #[test]
+    fn short_duration_flagged() {
+        let mut result = good_result();
+        result.duration = Nanos::from_secs(30);
+        let findings = check_submission(&input(&result));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, CheckFinding::DurationBelowMinimum { .. })));
+    }
+
+    #[test]
+    fn quality_window_enforced() {
+        let result = good_result();
+        let mut sci = input(&result);
+        sci.measured_quality = 0.70; // far below 99% of 0.765
+        let findings = check_submission(&sci);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, CheckFinding::QualityBelowTarget { .. })));
+    }
+
+    #[test]
+    fn metric_shape_checked() {
+        let mut result = good_result();
+        result.metric = ScenarioMetric::Offline {
+            samples_per_second: 1.0,
+        };
+        let findings = check_submission(&input(&result));
+        assert!(findings.contains(&CheckFinding::MetricScenarioMismatch));
+    }
+
+    #[test]
+    fn findings_display() {
+        let f = CheckFinding::QualityBelowTarget {
+            threshold: 0.75,
+            observed: 0.70,
+        };
+        assert!(f.to_string().contains("below"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Behavioural audits run against a live SUT.
+
+use mlperf_loadgen::config::{TestMode, TestSettings};
+use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::qsl::QuerySampleLibrary;
+use mlperf_loadgen::query::{Query, QuerySample, ResponsePayload, SampleIndex};
+use mlperf_loadgen::sut::SimSut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_loadgen::LoadGenError;
+use std::collections::HashMap;
+
+/// Pass/fail outcome of one audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The SUT behaved within the rules.
+    Pass,
+    /// The SUT violated a rule; the string explains how.
+    Fail(String),
+}
+
+impl AuditOutcome {
+    /// Whether the audit passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, AuditOutcome::Pass)
+    }
+}
+
+/// The result of running one audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Audit name ("TEST01"-style plus a descriptive slug).
+    pub test: &'static str,
+    /// Outcome.
+    pub outcome: AuditOutcome,
+    /// Measured evidence (ratios, counts).
+    pub details: String,
+}
+
+impl AuditReport {
+    /// Whether the audit passed.
+    pub fn passed(&self) -> bool {
+        self.outcome.passed()
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} ({})",
+            self.test,
+            match &self.outcome {
+                AuditOutcome::Pass => "PASS",
+                AuditOutcome::Fail(_) => "FAIL",
+            },
+            self.details
+        )
+    }
+}
+
+/// Drives a SUT through a fixed sequence of single-sample queries,
+/// sequentially (next issued at the previous completion), returning the
+/// total simulated time. Handles SUT wakeups so batching engines work too.
+fn drive_sequence<S: SimSut + ?Sized>(
+    sut: &mut S,
+    indices: &[SampleIndex],
+) -> Result<Nanos, LoadGenError> {
+    sut.reset();
+    let mut now = Nanos::ZERO;
+    for (i, index) in indices.iter().enumerate() {
+        let query = Query {
+            id: i as u64,
+            samples: vec![QuerySample {
+                id: i as u64,
+                index: *index,
+            }],
+            scheduled_at: now,
+        tenant: 0,
+        };
+        let mut reaction = sut.on_query(now, &query);
+        // Follow wakeups until this query completes.
+        let mut guard = 0;
+        while reaction.completions.is_empty() {
+            let at = reaction.wakeup_at.ok_or_else(|| {
+                LoadGenError::SutProtocol("SUT stalled: no completion, no wakeup".into())
+            })?;
+            reaction = sut.on_wakeup(at.max(now));
+            guard += 1;
+            if guard > 1_000 {
+                return Err(LoadGenError::SutProtocol(
+                    "SUT wakeup loop did not converge".into(),
+                ));
+            }
+        }
+        let completion = reaction
+            .completions
+            .iter()
+            .find(|c| c.query_id == query.id)
+            .ok_or_else(|| {
+                LoadGenError::SutProtocol(format!("completion for query {} missing", query.id))
+            })?;
+        now = now.max(completion.finished_at);
+    }
+    Ok(now)
+}
+
+/// On-the-fly caching detection.
+///
+/// Runs one pass over `query_count` *unique* indices and one over the same
+/// count of *duplicated* indices (a small working set repeated). Inference
+/// must not be faster merely because a sample was seen before; a speedup
+/// beyond `max_speedup` fails the audit. (Rules: "the rules prohibit
+/// caching of queries and intermediate data".)
+///
+/// # Errors
+///
+/// Propagates [`LoadGenError`] if the SUT violates the protocol.
+pub fn caching_detection<S: SimSut + ?Sized>(
+    sut: &mut S,
+    population: usize,
+    query_count: usize,
+    max_speedup: f64,
+) -> Result<AuditReport, LoadGenError> {
+    let unique: Vec<SampleIndex> = (0..query_count).map(|i| i % population).collect();
+    // Prime pass so caches warm, then the measured duplicate pass.
+    let working_set = 4.min(population);
+    let dup: Vec<SampleIndex> = (0..query_count).map(|i| i % working_set).collect();
+    let t_unique = drive_sequence(sut, &unique)?;
+    let _warm = drive_sequence(sut, &dup)?;
+    let t_dup = drive_sequence(sut, &dup)?;
+    let speedup = t_unique.as_secs_f64() / t_dup.as_secs_f64().max(1e-12);
+    let outcome = if speedup > max_speedup {
+        AuditOutcome::Fail(format!(
+            "duplicate-sample traffic ran {speedup:.2}x faster than unique traffic"
+        ))
+    } else {
+        AuditOutcome::Pass
+    };
+    Ok(AuditReport {
+        test: "TEST04-caching-detection",
+        outcome,
+        details: format!(
+            "unique={t_unique} duplicates={t_dup} speedup={speedup:.3} (max {max_speedup})"
+        ),
+    })
+}
+
+/// Alternate-random-seed testing.
+///
+/// Reruns the benchmark with each of `rounds` alternate seed triples and
+/// compares the single-stream p90 latency against the official-seed run.
+/// Performance better than `max_ratio`× under the official seed fails the
+/// audit (optimizing for the published seed is prohibited).
+///
+/// # Errors
+///
+/// Propagates run errors from the LoadGen.
+pub fn alternate_seed_test<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    rounds: u32,
+    max_ratio: f64,
+) -> Result<AuditReport, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    let official = run_simulated(settings, qsl, sut)?;
+    let official_p90 = official
+        .result
+        .latency_stats
+        .map(|s| s.p90.as_secs_f64())
+        .unwrap_or(f64::INFINITY);
+    let mut worst_ratio = 1.0f64;
+    for round in 0..rounds {
+        let alt = settings
+            .clone()
+            .with_seeds(settings.seeds.alternate(round));
+        let outcome = run_simulated(&alt, qsl, sut)?;
+        let p90 = outcome
+            .result
+            .latency_stats
+            .map(|s| s.p90.as_secs_f64())
+            .unwrap_or(f64::INFINITY);
+        worst_ratio = worst_ratio.max(p90 / official_p90.max(1e-12));
+    }
+    let outcome = if worst_ratio > max_ratio {
+        AuditOutcome::Fail(format!(
+            "alternate seeds ran {worst_ratio:.2}x slower than the official seed"
+        ))
+    } else {
+        AuditOutcome::Pass
+    };
+    Ok(AuditReport {
+        test: "TEST05-alternate-seeds",
+        outcome,
+        details: format!("worst alt/official p90 ratio {worst_ratio:.3} (max {max_ratio})"),
+    })
+}
+
+/// Accuracy verification.
+///
+/// Runs the SUT in accuracy mode to establish reference responses, then in
+/// performance mode with randomly sampled response logging, and checks the
+/// logged performance-mode payloads against the reference. Any mismatch
+/// fails: results returned in performance mode must be real inferences.
+///
+/// # Errors
+///
+/// Propagates run errors from the LoadGen.
+pub fn accuracy_verification<Q, S>(
+    perf_settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    log_probability: f64,
+) -> Result<AuditReport, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    let accuracy_settings = perf_settings.clone().with_mode(TestMode::AccuracyOnly);
+    let reference_run = run_simulated(&accuracy_settings, qsl, sut)?;
+    let reference: HashMap<SampleIndex, ResponsePayload> = reference_run
+        .accuracy_log
+        .into_iter()
+        .map(|l| (l.sample_index, l.payload))
+        .collect();
+    let perf = perf_settings
+        .clone()
+        .with_mode(TestMode::PerformanceOnly)
+        .with_accuracy_log_probability(log_probability);
+    let perf_run = run_simulated(&perf, qsl, sut)?;
+    let checked = perf_run.accuracy_log.len();
+    let mismatches = perf_run
+        .accuracy_log
+        .iter()
+        .filter(|l| reference.get(&l.sample_index) != Some(&l.payload))
+        .count();
+    let outcome = if checked == 0 {
+        AuditOutcome::Fail("no responses were sampled for verification".into())
+    } else if mismatches > 0 {
+        AuditOutcome::Fail(format!(
+            "{mismatches}/{checked} sampled performance-mode responses disagree with accuracy mode"
+        ))
+    } else {
+        AuditOutcome::Pass
+    };
+    Ok(AuditReport {
+        test: "TEST01-accuracy-verification",
+        outcome,
+        details: format!("checked {checked} sampled responses, {mismatches} mismatches"),
+    })
+}
+
+/// Custom-data-set testing.
+///
+/// "In addition to the LoadGen's validation features, we use custom data
+/// sets to detect result caching" (Section V-B). The SUT first processes
+/// the standard sample range twice (letting any cross-run cache warm up),
+/// then a *custom* range it has never seen. A system that is markedly
+/// faster on the warmed standard set than on the fresh custom set is
+/// serving cached results.
+///
+/// # Errors
+///
+/// Propagates [`LoadGenError`] if the SUT violates the protocol.
+pub fn custom_dataset_test<S: SimSut + ?Sized>(
+    sut: &mut S,
+    standard_population: usize,
+    query_count: usize,
+    max_speedup: f64,
+) -> Result<AuditReport, LoadGenError> {
+    let standard: Vec<SampleIndex> = (0..query_count).map(|i| i % standard_population).collect();
+    // Custom set: indices the SUT has never seen.
+    let custom: Vec<SampleIndex> = (0..query_count)
+        .map(|i| standard_population + (i % standard_population))
+        .collect();
+    let _warm = drive_sequence(sut, &standard)?;
+    let t_standard = drive_sequence(sut, &standard)?;
+    let t_custom = drive_sequence(sut, &custom)?;
+    let speedup = t_custom.as_secs_f64() / t_standard.as_secs_f64().max(1e-12);
+    let outcome = if speedup > max_speedup {
+        AuditOutcome::Fail(format!(
+            "the familiar data set ran {speedup:.2}x faster than a custom one"
+        ))
+    } else {
+        AuditOutcome::Pass
+    };
+    Ok(AuditReport {
+        test: "custom-dataset",
+        outcome,
+        details: format!(
+            "standard={t_standard} custom={t_custom} speedup={speedup:.3} (max {max_speedup})"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use mlperf_loadgen::qsl::MemoryQsl;
+    use mlperf_loadgen::sut::FixedLatencySut;
+
+    #[test]
+    fn drive_sequence_accumulates_time() {
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
+        let t = drive_sequence(&mut sut, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(t, Nanos::from_micros(40));
+    }
+
+    #[test]
+    fn honest_sut_passes_caching_detection() {
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
+        let report = caching_detection(&mut sut, 16, 64, 1.5).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn honest_sut_passes_alternate_seeds() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(64)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
+        let report = alternate_seed_test(&settings, &mut qsl, &mut sut, 2, 1.2).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn honest_sut_passes_accuracy_verification() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(200)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10)).with_class_payloads(5);
+        let report = accuracy_verification(&settings, &mut qsl, &mut sut, 0.2).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn honest_sut_passes_custom_dataset() {
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
+        let report = custom_dataset_test(&mut sut, 32, 64, 1.5).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn report_display() {
+        let r = AuditReport {
+            test: "TEST04-caching-detection",
+            outcome: AuditOutcome::Fail("too fast".into()),
+            details: "x".into(),
+        };
+        assert!(r.to_string().contains("FAIL"));
+        assert!(!r.passed());
+    }
+}

@@ -1,0 +1,108 @@
+//! The audits must catch each cheating SUT and clear the honest one.
+
+use mlperf_audit::tests::{accuracy_verification, alternate_seed_test, caching_detection};
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::time::Nanos;
+use mlperf_stats::rng::SeedTriple;
+use mlperf_sut::cheats::{CachingSut, SeedSniffingSut, SloppyAccuracySut};
+use mlperf_sut::device::{Architecture, DeviceSpec};
+use mlperf_sut::engine::{BatchPolicy, DeviceSut};
+use mlperf_models::{TaskId, Workload};
+
+fn engine() -> DeviceSut {
+    DeviceSut::new(
+        DeviceSpec::new(
+            "audit-dev",
+            Architecture::Cpu,
+            100.0,
+            0.5,
+            8,
+            1,
+            Nanos::from_micros(100),
+        ),
+        Workload::new(TaskId::ImageClassificationLight),
+        BatchPolicy::Immediate,
+    )
+}
+
+#[test]
+fn caching_detection_catches_result_cache() {
+    let mut cheater = CachingSut::new(engine(), 10);
+    let report = caching_detection(&mut cheater, 64, 128, 1.5).unwrap();
+    assert!(!report.passed(), "cache went undetected: {report}");
+}
+
+#[test]
+fn caching_detection_clears_honest_engine() {
+    let mut honest = engine();
+    let report = caching_detection(&mut honest, 64, 128, 1.5).unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn alternate_seed_test_catches_seed_sniffer() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(128)
+        .with_min_duration(Nanos::from_micros(1))
+        .with_seeds(SeedTriple::OFFICIAL);
+    let mut qsl = MemoryQsl::new("q", 64, 64);
+    let mut cheater = SeedSniffingSut::new(engine(), SeedTriple::OFFICIAL.qsl_seed, 64, 100_000);
+    let report = alternate_seed_test(&settings, &mut qsl, &mut cheater, 2, 1.3).unwrap();
+    assert!(!report.passed(), "seed sniffing went undetected: {report}");
+}
+
+#[test]
+fn alternate_seed_test_clears_honest_engine() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(128)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("q", 64, 64);
+    let mut honest = engine();
+    let report = alternate_seed_test(&settings, &mut qsl, &mut honest, 2, 1.3).unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn accuracy_verification_catches_sloppy_sut() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(256)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("q", 128, 128);
+    let honest_payloads = engine()
+        .with_payloads(std::sync::Arc::new(|i| {
+            mlperf_loadgen::query::ResponsePayload::Class(i * 7 % 13)
+        }));
+    let mut cheater = SloppyAccuracySut::new(honest_payloads, 3);
+    let report = accuracy_verification(&settings, &mut qsl, &mut cheater, 0.25).unwrap();
+    assert!(!report.passed(), "sloppy accuracy went undetected: {report}");
+}
+
+#[test]
+fn accuracy_verification_clears_honest_sut() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(256)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("q", 128, 128);
+    let mut honest = engine().with_payloads(std::sync::Arc::new(|i| {
+        mlperf_loadgen::query::ResponsePayload::Class(i * 7 % 13)
+    }));
+    let report = accuracy_verification(&settings, &mut qsl, &mut honest, 0.25).unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn custom_dataset_test_catches_result_cache() {
+    use mlperf_audit::tests::custom_dataset_test;
+    let mut cheater = CachingSut::new(engine(), 10);
+    let report = custom_dataset_test(&mut cheater, 64, 128, 1.5).unwrap();
+    assert!(!report.passed(), "cross-dataset cache went undetected: {report}");
+}
+
+#[test]
+fn custom_dataset_test_clears_honest_engine() {
+    use mlperf_audit::tests::custom_dataset_test;
+    let mut honest = engine();
+    let report = custom_dataset_test(&mut honest, 64, 128, 1.5).unwrap();
+    assert!(report.passed(), "{report}");
+}

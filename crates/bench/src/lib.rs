@@ -1,0 +1,25 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! The benches serve two purposes: component microbenchmarks (tensor
+//! kernels, LoadGen event-loop overhead, metric scoring) and
+//! table/figure regeneration benches — one per artifact of the paper's
+//! evaluation, exercising the same code paths as the `mlperf-harness`
+//! binaries at smoke scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mlperf_submission::record::ResultRecord;
+use mlperf_submission::review::review_round;
+use mlperf_submission::round::{generate_round, RoundConfig};
+
+/// Generates and reviews one smoke-profile submission round, for benches
+/// that aggregate records (Tables VI–VII, Figures 5 and 7).
+pub fn reviewed_smoke_records(seed: u64) -> Vec<ResultRecord> {
+    let mut config = RoundConfig::smoke(seed);
+    config.open_division_count = 8;
+    config.violation_count = 3;
+    let mut round = generate_round(&config);
+    review_round(&mut round);
+    round.records
+}

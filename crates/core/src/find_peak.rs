@@ -1,0 +1,292 @@
+//! FindPeakPerformance searches.
+//!
+//! The server metric is "the Poisson parameter that indicates the
+//! queries-per-second achievable while meeting the QoS requirement" and the
+//! multistream metric is "the integer number of streams that the system
+//! supports while meeting the QoS requirement" (Section III-C). Submitters
+//! find those maxima by rerunning the LoadGen at different target loads;
+//! this module automates the search against simulated SUTs.
+
+use crate::config::TestSettings;
+use crate::des::{run_simulated, RunOutcome};
+use crate::qsl::QuerySampleLibrary;
+use crate::scenario::Scenario;
+use crate::sut::SimSut;
+use crate::LoadGenError;
+
+/// Search controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakSearchOptions {
+    /// Relative QPS tolerance at which the server bisection stops.
+    pub relative_tolerance: f64,
+    /// Safety cap on benchmark reruns.
+    pub max_runs: u32,
+}
+
+impl Default for PeakSearchOptions {
+    fn default() -> Self {
+        Self {
+            relative_tolerance: 0.01,
+            max_runs: 64,
+        }
+    }
+}
+
+/// Outcome of a peak search.
+#[derive(Debug, Clone)]
+pub struct PeakResult {
+    /// The highest load that produced a VALID run.
+    pub peak: f64,
+    /// The outcome of that valid run.
+    pub outcome: RunOutcome,
+    /// How many LoadGen runs the search consumed.
+    pub runs: u32,
+}
+
+/// Finds the peak valid server QPS by exponential growth + bisection.
+///
+/// `settings` must be a server-scenario configuration; its
+/// `server_target_qps` seeds the search.
+///
+/// # Errors
+///
+/// Returns [`LoadGenError::BadSettings`] if the scenario is not server or no
+/// valid operating point exists within the run budget, and propagates any
+/// run error.
+pub fn find_peak_server_qps<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    options: PeakSearchOptions,
+) -> Result<PeakResult, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    if settings.scenario != Scenario::Server {
+        return Err(LoadGenError::BadSettings(
+            "find_peak_server_qps requires the server scenario".into(),
+        ));
+    }
+    let mut runs = 0u32;
+    let try_qps = |qps: f64, qsl: &mut Q, sut: &mut S, runs: &mut u32| {
+        *runs += 1;
+        let s = settings.clone().with_server_target_qps(qps);
+        run_simulated(&s, qsl, sut)
+    };
+    // Shrink until valid.
+    let mut lo = settings.server_target_qps.max(1e-6);
+    let mut best: Option<(f64, RunOutcome)>;
+    loop {
+        if runs >= options.max_runs {
+            return Err(LoadGenError::BadSettings(format!(
+                "no valid server operating point found within {} runs",
+                options.max_runs
+            )));
+        }
+        let out = try_qps(lo, qsl, sut, &mut runs)?;
+        if out.result.is_valid() {
+            best = Some((lo, out));
+            break;
+        }
+        lo /= 2.0;
+        if lo < 1e-6 {
+            return Err(LoadGenError::BadSettings(
+                "SUT cannot sustain any server load".into(),
+            ));
+        }
+    }
+    // Grow until invalid.
+    let mut hi = lo * 2.0;
+    loop {
+        if runs >= options.max_runs {
+            break;
+        }
+        let out = try_qps(hi, qsl, sut, &mut runs)?;
+        if out.result.is_valid() {
+            best = Some((hi, out));
+            lo = hi;
+            hi *= 2.0;
+        } else {
+            break;
+        }
+    }
+    // Bisect.
+    while runs < options.max_runs && (hi - lo) / lo > options.relative_tolerance {
+        let mid = (lo + hi) / 2.0;
+        let out = try_qps(mid, qsl, sut, &mut runs)?;
+        if out.result.is_valid() {
+            best = Some((mid, out));
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (peak, outcome) = best.expect("loop established a valid point");
+    Ok(PeakResult {
+        peak,
+        outcome,
+        runs,
+    })
+}
+
+/// Finds the maximum valid multistream stream count (samples per query).
+///
+/// Returns `None` if even one stream is unsustainable.
+///
+/// # Errors
+///
+/// Returns [`LoadGenError::BadSettings`] if the scenario is not multistream,
+/// and propagates run errors.
+pub fn find_peak_multistream<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    options: PeakSearchOptions,
+) -> Result<Option<PeakResult>, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    if settings.scenario != Scenario::MultiStream {
+        return Err(LoadGenError::BadSettings(
+            "find_peak_multistream requires the multistream scenario".into(),
+        ));
+    }
+    let mut runs = 0u32;
+    let try_n = |n: usize, qsl: &mut Q, sut: &mut S, runs: &mut u32| {
+        *runs += 1;
+        let s = settings.clone().with_samples_per_query(n);
+        run_simulated(&s, qsl, sut)
+    };
+    let first = try_n(1, qsl, sut, &mut runs)?;
+    if !first.result.is_valid() {
+        return Ok(None);
+    }
+    let mut best = (1usize, first);
+    // Exponential growth.
+    let mut hi = 2usize;
+    let mut lo = 1usize;
+    while runs < options.max_runs {
+        let out = try_n(hi, qsl, sut, &mut runs)?;
+        if out.result.is_valid() {
+            lo = hi;
+            best = (hi, out);
+            hi *= 2;
+        } else {
+            break;
+        }
+    }
+    // Integer bisection.
+    while runs < options.max_runs && hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let out = try_n(mid, qsl, sut, &mut runs)?;
+        if out.result.is_valid() {
+            lo = mid;
+            best = (mid, out);
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(PeakResult {
+        peak: best.0 as f64,
+        outcome: best.1,
+        runs,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qsl::MemoryQsl;
+    use crate::sut::FixedLatencySut;
+    use crate::time::Nanos;
+
+    fn server_settings() -> TestSettings {
+        TestSettings::server(100.0, Nanos::from_millis(10))
+            .with_min_query_count(2_000)
+            .with_min_duration(Nanos::from_millis(1))
+    }
+
+    #[test]
+    fn server_peak_close_to_service_rate() {
+        // A 1 ms serial server saturates at 1000 qps; queueing at the p99
+        // bound caps the valid Poisson rate somewhat below that.
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_millis(1));
+        let peak = find_peak_server_qps(
+            &server_settings(),
+            &mut qsl,
+            &mut sut,
+            PeakSearchOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (500.0..1_000.0).contains(&peak.peak),
+            "peak={} runs={}",
+            peak.peak,
+            peak.runs
+        );
+        assert!(peak.outcome.result.is_valid());
+    }
+
+    #[test]
+    fn faster_sut_higher_peak() {
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let mut fast = FixedLatencySut::new("f", Nanos::from_micros(100));
+        let mut slow = FixedLatencySut::new("sl", Nanos::from_millis(2));
+        let pf = find_peak_server_qps(&server_settings(), &mut qsl, &mut fast, PeakSearchOptions::default())
+            .unwrap();
+        let ps = find_peak_server_qps(&server_settings(), &mut qsl, &mut slow, PeakSearchOptions::default())
+            .unwrap();
+        assert!(pf.peak > 3.0 * ps.peak, "fast={} slow={}", pf.peak, ps.peak);
+    }
+
+    #[test]
+    fn multistream_peak_matches_interval_budget() {
+        // 50 ms interval, 2 ms per sample: 25 samples fit exactly; the peak
+        // must be 25 (completion at exactly the boundary is legal).
+        let settings = TestSettings::multi_stream(1, Nanos::from_millis(50))
+            .with_min_query_count(200)
+            .with_min_duration(Nanos::from_millis(1));
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_millis(2));
+        let peak = find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(peak.peak as usize, 25, "runs={}", peak.runs);
+    }
+
+    #[test]
+    fn multistream_hopeless_sut_returns_none() {
+        let settings = TestSettings::multi_stream(1, Nanos::from_millis(10))
+            .with_min_query_count(50)
+            .with_min_duration(Nanos::from_millis(1));
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_millis(25));
+        let peak =
+            find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
+                .unwrap();
+        assert!(peak.is_none());
+    }
+
+    #[test]
+    fn wrong_scenario_rejected() {
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_millis(1));
+        assert!(find_peak_server_qps(
+            &TestSettings::offline(),
+            &mut qsl,
+            &mut sut,
+            PeakSearchOptions::default()
+        )
+        .is_err());
+        assert!(find_peak_multistream(
+            &TestSettings::offline(),
+            &mut qsl,
+            &mut sut,
+            PeakSearchOptions::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! The multitenancy extension.
+//!
+//! Section IV-B notes the LoadGen "is extensible to support more scenarios,
+//! such as a multitenancy mode where the SUT must continuously serve
+//! multiple models while maintaining QoS constraints." This module
+//! implements that mode for the server scenario: every tenant gets its own
+//! Poisson arrival stream, seeds, latency bound, and Table V minimums, all
+//! hitting *one* shared SUT; each tenant's run is scored and validated
+//! independently.
+//!
+//! Queries carry [`Query::tenant`](crate::query::Query::tenant), and query
+//! ids encode the tenant in the top byte so completions route back without
+//! any side channel.
+
+use crate::config::{TestMode, TestSettings};
+use crate::des::{finish_run, RunOutcome};
+use crate::qsl::QuerySampleLibrary;
+use crate::query::{Query, QueryCompletion, QuerySample};
+use crate::record::Recorder;
+use crate::scenario::Scenario;
+use crate::sut::{SimSut, SutReaction};
+use crate::time::Nanos;
+use crate::LoadGenError;
+use mlperf_stats::dist::PoissonProcess;
+use mlperf_stats::Rng64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bits reserved for the per-tenant sequence number inside a query id.
+const TENANT_SHIFT: u32 = 56;
+
+/// Extracts the tenant index from a multitenant query id.
+pub fn tenant_of(query_id: u64) -> u32 {
+    (query_id >> TENANT_SHIFT) as u32
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(usize),
+    Wakeup,
+    Completion(QueryCompletion),
+}
+
+#[derive(Debug)]
+struct Event {
+    at: Nanos,
+    order: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Event {
+    fn key(&self) -> (Nanos, u8, u64) {
+        (self.at, self.order, self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct Tenant {
+    settings: TestSettings,
+    arrivals: Box<dyn Iterator<Item = Nanos>>,
+    qsl_rng: Rng64,
+    population: usize,
+    issued: u64,
+    recorder: Recorder,
+    acc_rng: Rng64,
+}
+
+/// Runs several server-scenario streams concurrently against one SUT.
+///
+/// Each element of `tenants` pairs that tenant's settings with its QSL;
+/// settings must use [`Scenario::Server`] and performance mode. Returns one
+/// [`RunOutcome`] per tenant, in input order — a tenant is only as good as
+/// its own validity, so a shared SUT that starves one model FAILS that
+/// model's run even if the other sails through.
+///
+/// # Errors
+///
+/// Returns [`LoadGenError::BadSettings`] for non-server settings, more than
+/// 255 tenants, or an unusable QSL, and [`LoadGenError::SutProtocol`] if
+/// the SUT misroutes completions.
+pub fn run_multitenant_server<Q, S>(
+    tenants: &mut [(&TestSettings, &mut Q)],
+    sut: &mut S,
+) -> Result<Vec<RunOutcome>, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    if tenants.is_empty() {
+        return Err(LoadGenError::BadSettings(
+            "multitenant run needs at least one tenant".into(),
+        ));
+    }
+    if tenants.len() > 255 {
+        return Err(LoadGenError::BadSettings(
+            "query ids encode the tenant in one byte; at most 255 tenants".into(),
+        ));
+    }
+    sut.reset();
+    let mut states = Vec::with_capacity(tenants.len());
+    for (settings, qsl) in tenants.iter_mut() {
+        settings.validate()?;
+        if settings.scenario != Scenario::Server || settings.mode != TestMode::PerformanceOnly {
+            return Err(LoadGenError::BadSettings(
+                "multitenant mode currently supports performance-mode server streams".into(),
+            ));
+        }
+        if qsl.performance_sample_count() == 0 {
+            return Err(LoadGenError::BadQsl(format!(
+                "QSL {} has no samples",
+                qsl.name()
+            )));
+        }
+        let loaded: Vec<usize> = (0..qsl.performance_sample_count()).collect();
+        qsl.load_samples(&loaded);
+        let arrivals = PoissonProcess::new(
+            settings.server_target_qps,
+            Rng64::new(settings.seeds.schedule_seed),
+        )
+        .map_err(|e| LoadGenError::BadSettings(e.to_string()))?
+        .map(Nanos::from_secs_f64);
+        states.push(Tenant {
+            settings: (*settings).clone(),
+            arrivals: Box::new(arrivals),
+            qsl_rng: Rng64::new(settings.seeds.qsl_seed),
+            population: loaded.len(),
+            issued: 0,
+            recorder: Recorder::new(),
+            acc_rng: Rng64::new(settings.seeds.accuracy_seed),
+        });
+    }
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut sample_id = 0u64;
+    // Prime each tenant's first arrival.
+    let mut pending_arrivals: Vec<Option<Nanos>> = Vec::with_capacity(states.len());
+    for (t, state) in states.iter_mut().enumerate() {
+        let at = state.arrivals.next().expect("poisson process is infinite");
+        pending_arrivals.push(Some(at));
+        seq += 1;
+        heap.push(Reverse(Event {
+            at,
+            order: 0,
+            seq,
+            kind: EventKind::Arrival(t),
+        }));
+    }
+
+    let mut events = 0u64;
+    while let Some(Reverse(event)) = heap.pop() {
+        events += 1;
+        if events > 200_000_000 {
+            return Err(LoadGenError::SutProtocol(
+                "multitenant event budget exhausted; SUT appears to loop".into(),
+            ));
+        }
+        match event.kind {
+            EventKind::Arrival(t) => {
+                let state = &mut states[t];
+                let at = pending_arrivals[t]
+                    .take()
+                    .expect("arrival event without pending arrival");
+                let indices = state
+                    .qsl_rng
+                    .sample_with_replacement(state.population, state.settings.samples_per_query);
+                let id = ((t as u64) << TENANT_SHIFT) | state.issued;
+                let samples = indices
+                    .into_iter()
+                    .map(|index| {
+                        let sid = sample_id;
+                        sample_id += 1;
+                        QuerySample { id: sid, index }
+                    })
+                    .collect();
+                let query = Query {
+                    id,
+                    samples,
+                    scheduled_at: at,
+                    tenant: t as u32,
+                };
+                state.issued += 1;
+                state.recorder.record_issue(&query, at)?;
+                let reaction = sut.on_query(at, &query);
+                apply(&mut heap, &mut seq, at, reaction)?;
+                let next = state.arrivals.next().expect("poisson process is infinite");
+                if state.issued < state.settings.min_query_count
+                    || next < state.settings.min_duration
+                {
+                    pending_arrivals[t] = Some(next);
+                    seq += 1;
+                    heap.push(Reverse(Event {
+                        at: next,
+                        order: 0,
+                        seq,
+                        kind: EventKind::Arrival(t),
+                    }));
+                }
+            }
+            EventKind::Wakeup => {
+                let reaction = sut.on_wakeup(event.at);
+                apply(&mut heap, &mut seq, event.at, reaction)?;
+            }
+            EventKind::Completion(completion) => {
+                let t = tenant_of(completion.query_id) as usize;
+                let state = states.get_mut(t).ok_or_else(|| {
+                    LoadGenError::SutProtocol(format!(
+                        "completion routed to unknown tenant {t}"
+                    ))
+                })?;
+                let p = state.settings.accuracy_log_probability;
+                let rng = &mut state.acc_rng;
+                state
+                    .recorder
+                    .record_completion(&completion, |_| p > 0.0 && rng.next_bool(p))?;
+            }
+        }
+    }
+
+    let mut outcomes = Vec::with_capacity(states.len());
+    for (state, (_, qsl)) in states.into_iter().zip(tenants.iter_mut()) {
+        // Mirror run_simulated: unload what was loaded at start.
+        let loaded: Vec<usize> = (0..state.population).collect();
+        qsl.unload_samples(&loaded);
+        outcomes.push(finish_run(
+            &state.settings,
+            sut.name(),
+            qsl.name(),
+            state.recorder,
+        ));
+    }
+    Ok(outcomes)
+}
+
+fn apply(
+    heap: &mut BinaryHeap<Reverse<Event>>,
+    seq: &mut u64,
+    now: Nanos,
+    reaction: SutReaction,
+) -> Result<(), LoadGenError> {
+    for completion in reaction.completions {
+        if completion.finished_at < now {
+            return Err(LoadGenError::SutProtocol(format!(
+                "query {} completion stamped {} in the past of {}",
+                completion.query_id, completion.finished_at, now
+            )));
+        }
+        *seq += 1;
+        heap.push(Reverse(Event {
+            at: completion.finished_at,
+            order: 2,
+            seq: *seq,
+            kind: EventKind::Completion(completion),
+        }));
+    }
+    if let Some(at) = reaction.wakeup_at {
+        if at < now {
+            return Err(LoadGenError::SutProtocol(format!(
+                "wakeup requested at {at}, before now {now}"
+            )));
+        }
+        *seq += 1;
+        heap.push(Reverse(Event {
+            at,
+            order: 1,
+            seq: *seq,
+            kind: EventKind::Wakeup,
+        }));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qsl::MemoryQsl;
+    use crate::sut::FixedLatencySut;
+
+    fn settings(qps: f64, bound_ms: u64, count: u64) -> TestSettings {
+        TestSettings::server(qps, Nanos::from_millis(bound_ms))
+            .with_min_query_count(count)
+            .with_min_duration(Nanos::from_millis(5))
+    }
+
+    #[test]
+    fn two_light_tenants_both_valid() {
+        let a = settings(200.0, 10, 300);
+        let b = settings(100.0, 20, 150);
+        let mut qa = MemoryQsl::new("tenant-a", 64, 64);
+        let mut qb = MemoryQsl::new("tenant-b", 64, 64);
+        let mut sut = FixedLatencySut::new("shared", Nanos::from_micros(100));
+        let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> =
+            vec![(&a, &mut qa), (&b, &mut qb)];
+        let outcomes = run_multitenant_server(&mut tenants, &mut sut).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert!(out.result.is_valid(), "tenant {i}: {:?}", out.result.validity);
+        }
+        assert_eq!(outcomes[0].result.query_count, 300);
+        assert_eq!(outcomes[1].result.query_count, 150);
+        assert_eq!(outcomes[1].result.qsl_name, "tenant-b");
+    }
+
+    #[test]
+    fn contention_hurts_the_tight_tenant() {
+        // Alone, tenant A (1 ms bound, 1.8k qps, 500 us service) would be
+        // marginal; with a heavy co-tenant it must fail its bound.
+        let a = settings(900.0, 1, 400);
+        let heavy = settings(900.0, 1_000, 400);
+        let mut qa = MemoryQsl::new("a", 64, 64);
+        let mut qh = MemoryQsl::new("heavy", 64, 64);
+        let mut sut = FixedLatencySut::new("shared", Nanos::from_micros(500));
+        let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> =
+            vec![(&a, &mut qa), (&heavy, &mut qh)];
+        let outcomes = run_multitenant_server(&mut tenants, &mut sut).unwrap();
+        assert!(
+            !outcomes[0].result.is_valid(),
+            "shared contention must break the 1 ms tenant"
+        );
+        // The loose tenant is fine.
+        assert!(outcomes[1].result.is_valid(), "{:?}", outcomes[1].result.validity);
+    }
+
+    #[test]
+    fn isolation_baseline_beats_contention() {
+        // p90 with a co-tenant must be no better than alone.
+        let a = settings(500.0, 50, 400);
+        let run_with = |co_qps: Option<f64>| {
+            let mut qa = MemoryQsl::new("a", 64, 64);
+            let mut sut = FixedLatencySut::new("shared", Nanos::from_micros(400));
+            match co_qps {
+                None => {
+                    let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> = vec![(&a, &mut qa)];
+                    run_multitenant_server(&mut tenants, &mut sut).unwrap().remove(0)
+                }
+                Some(qps) => {
+                    let b = settings(qps, 1_000, 400);
+                    let mut qb = MemoryQsl::new("b", 64, 64);
+                    let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> =
+                        vec![(&a, &mut qa), (&b, &mut qb)];
+                    run_multitenant_server(&mut tenants, &mut sut).unwrap().remove(0)
+                }
+            }
+        };
+        let alone = run_with(None).result.latency_stats.unwrap().p90;
+        let contended = run_with(Some(800.0)).result.latency_stats.unwrap().p90;
+        assert!(
+            contended > alone,
+            "contended p90 {contended} should exceed isolated p90 {alone}"
+        );
+    }
+
+    #[test]
+    fn tenant_id_roundtrip() {
+        assert_eq!(tenant_of((7u64 << 56) | 123), 7);
+        assert_eq!(tenant_of(99), 0);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(1));
+        let mut empty: Vec<(&TestSettings, &mut MemoryQsl)> = vec![];
+        assert!(run_multitenant_server(&mut empty, &mut sut).is_err());
+        let offline = TestSettings::offline();
+        let mut q = MemoryQsl::new("q", 8, 8);
+        let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> = vec![(&offline, &mut q)];
+        assert!(run_multitenant_server(&mut tenants, &mut sut).is_err());
+    }
+}

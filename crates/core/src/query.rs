@@ -1,0 +1,135 @@
+//! Queries, samples, and responses.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an issued query, unique within one run.
+pub type QueryId = u64;
+
+/// Index of a sample within the data set.
+pub type SampleIndex = usize;
+
+/// One sample reference inside a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuerySample {
+    /// Response-tracking id, unique per sample per run.
+    pub id: u64,
+    /// Which data-set sample to run inference on.
+    pub index: SampleIndex,
+}
+
+/// A query: "a request for inference on one or more samples" (Section IV-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// The query id.
+    pub id: QueryId,
+    /// The samples composing the query. Contiguous in memory by rule for
+    /// multistream/offline; here that is represented by the samples sharing
+    /// one `Vec`.
+    pub samples: Vec<QuerySample>,
+    /// When the LoadGen scheduled the query (the latency reference point).
+    pub scheduled_at: Nanos,
+    /// Which model/stream this query belongs to — 0 for every standard
+    /// scenario; the multitenancy extension (Section IV-B mentions it as a
+    /// planned LoadGen mode) tags each tenant's queries.
+    #[serde(default)]
+    pub tenant: u32,
+}
+
+impl Query {
+    /// Number of samples in the query.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Task-specific inference output carried back for accuracy checking.
+///
+/// The LoadGen does not interpret payloads; it logs them (always in accuracy
+/// mode, randomly sampled in performance mode for the accuracy-verification
+/// audit) and the task's accuracy script scores them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponsePayload {
+    /// No payload (performance mode default).
+    Empty,
+    /// Classification: predicted class index.
+    Class(usize),
+    /// Detection: `(class, score, [x1, y1, x2, y2])` per box.
+    Boxes(Vec<(usize, f32, [f32; 4])>),
+    /// Translation: output token ids.
+    Tokens(Vec<u32>),
+}
+
+impl ResponsePayload {
+    /// Whether the payload carries data.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ResponsePayload::Empty)
+    }
+}
+
+impl Default for ResponsePayload {
+    fn default() -> Self {
+        ResponsePayload::Empty
+    }
+}
+
+/// Completion of one sample of a query, reported by the SUT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleCompletion {
+    /// The sample's response id (must echo [`QuerySample::id`]).
+    pub sample_id: u64,
+    /// Inference output for accuracy checking.
+    pub payload: ResponsePayload,
+}
+
+/// Completion of a whole query at a point in simulated/wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryCompletion {
+    /// The completed query.
+    pub query_id: QueryId,
+    /// When the SUT finished the query.
+    pub finished_at: Nanos,
+    /// Per-sample completions (must cover every sample of the query).
+    pub samples: Vec<SampleCompletion>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_sample_count() {
+        let q = Query {
+            id: 1,
+            samples: vec![
+                QuerySample { id: 10, index: 0 },
+                QuerySample { id: 11, index: 5 },
+            ],
+            scheduled_at: Nanos::ZERO,
+        tenant: 0,
+        };
+        assert_eq!(q.sample_count(), 2);
+    }
+
+    #[test]
+    fn payload_emptiness() {
+        assert!(ResponsePayload::Empty.is_empty());
+        assert!(ResponsePayload::default().is_empty());
+        assert!(!ResponsePayload::Class(3).is_empty());
+        assert!(!ResponsePayload::Tokens(vec![1]).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = QueryCompletion {
+            query_id: 9,
+            finished_at: Nanos::from_micros(77),
+            samples: vec![SampleCompletion {
+                sample_id: 1,
+                payload: ResponsePayload::Boxes(vec![(2, 0.9, [0.0, 0.0, 4.0, 4.0])]),
+            }],
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<QueryCompletion>(&json).unwrap(), c);
+    }
+}

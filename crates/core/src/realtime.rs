@@ -1,0 +1,343 @@
+//! The wall-clock issue loop.
+//!
+//! Drives a [`RealtimeSut`] exactly the way the reference C++ LoadGen drives
+//! a real system: real sleeps between arrivals, a worker pool for the server
+//! scenario's concurrent queries, and `Instant`-based latency measurement.
+//! The rulebook (seeding, scheduling, validation, metrics) is shared with
+//! the simulated loop, so the two runners agree wherever timing permits —
+//! an integration test asserts that.
+//!
+//! Official experiments in this repository use the simulated loop; this one
+//! exists for fidelity to the original system and for exercising real
+//! concurrency in tests and the quickstart example.
+
+use crate::config::{TestMode, TestSettings};
+use crate::des::{finish_run, RunOutcome};
+use crate::qsl::QuerySampleLibrary;
+use crate::query::{Query, QueryCompletion};
+use crate::record::Recorder;
+use crate::schedule::build_query;
+use crate::scenario::Scenario;
+use crate::sut::RealtimeSut;
+use crate::time::Nanos;
+use crate::LoadGenError;
+use mlperf_stats::dist::PoissonProcess;
+use mlperf_stats::Rng64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of worker threads for the server scenario.
+const SERVER_WORKERS: usize = 4;
+
+/// Runs one benchmark against a wall clock.
+///
+/// # Errors
+///
+/// Returns [`LoadGenError`] for inconsistent settings, an unusable QSL, or
+/// SUT protocol violations.
+pub fn run_realtime<Q>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: Arc<dyn RealtimeSut>,
+) -> Result<RunOutcome, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+{
+    settings.validate()?;
+    if qsl.total_sample_count() == 0 || qsl.performance_sample_count() == 0 {
+        return Err(LoadGenError::BadQsl(format!(
+            "QSL {} has no samples",
+            qsl.name()
+        )));
+    }
+    let loaded: Vec<usize> = match settings.mode {
+        TestMode::PerformanceOnly => (0..qsl.performance_sample_count()).collect(),
+        TestMode::AccuracyOnly => (0..qsl.total_sample_count()).collect(),
+    };
+    qsl.load_samples(&loaded);
+    let mut recorder = Recorder::new();
+    match settings.mode {
+        TestMode::AccuracyOnly => {
+            run_batch(settings, &loaded, sut.as_ref(), &mut recorder, 1.0)?
+        }
+        TestMode::PerformanceOnly => match settings.scenario {
+            Scenario::SingleStream => {
+                run_single_stream(settings, loaded.len(), sut.as_ref(), &mut recorder)?
+            }
+            Scenario::MultiStream => {
+                run_multi_stream(settings, loaded.len(), sut.as_ref(), &mut recorder)?
+            }
+            Scenario::Server => run_server(settings, loaded.len(), &sut, &mut recorder)?,
+            Scenario::Offline => {
+                let mut rng = Rng64::new(settings.seeds.qsl_seed);
+                let indices = rng.sample_with_replacement(
+                    loaded.len(),
+                    settings.offline_min_sample_count as usize,
+                );
+                run_batch(
+                    settings,
+                    &indices,
+                    sut.as_ref(),
+                    &mut recorder,
+                    settings.accuracy_log_probability,
+                )?
+            }
+        },
+    }
+    qsl.unload_samples(&loaded);
+    Ok(finish_run(settings, sut.name(), qsl.name(), recorder))
+}
+
+fn log_sampler(settings: &TestSettings, probability: f64) -> impl FnMut(u64) -> bool {
+    let mut rng = Rng64::new(settings.seeds.accuracy_seed);
+    move |_| probability > 0.0 && rng.next_bool(probability)
+}
+
+/// One query over `indices`, issued synchronously (offline + accuracy mode).
+fn run_batch(
+    settings: &TestSettings,
+    indices: &[usize],
+    sut: &dyn RealtimeSut,
+    recorder: &mut Recorder,
+    log_probability: f64,
+) -> Result<(), LoadGenError> {
+    let start = Instant::now();
+    let mut next_sample_id = 0u64;
+    let query = build_query(0, &mut next_sample_id, indices, Nanos::ZERO);
+    recorder.record_issue(&query, Nanos::ZERO)?;
+    let samples = sut.issue(&query);
+    let finished = Nanos::from(start.elapsed());
+    recorder.record_completion(
+        &QueryCompletion {
+            query_id: 0,
+            finished_at: finished,
+            samples,
+        },
+        log_sampler(settings, log_probability),
+    )
+}
+
+fn run_single_stream(
+    settings: &TestSettings,
+    population: usize,
+    sut: &dyn RealtimeSut,
+    recorder: &mut Recorder,
+) -> Result<(), LoadGenError> {
+    let start = Instant::now();
+    let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
+    let mut log = log_sampler(settings, settings.accuracy_log_probability);
+    let mut next_sample_id = 0u64;
+    let mut issued = 0u64;
+    loop {
+        let scheduled = Nanos::from(start.elapsed());
+        let indices = qsl_rng.sample_with_replacement(population, settings.samples_per_query);
+        let query = build_query(issued, &mut next_sample_id, &indices, scheduled);
+        issued += 1;
+        recorder.record_issue(&query, scheduled)?;
+        let samples = sut.issue(&query);
+        let finished = Nanos::from(start.elapsed());
+        recorder.record_completion(
+            &QueryCompletion {
+                query_id: query.id,
+                finished_at: finished,
+                samples,
+            },
+            &mut log,
+        )?;
+        if issued >= settings.min_query_count && finished >= settings.min_duration {
+            return Ok(());
+        }
+    }
+}
+
+fn run_multi_stream(
+    settings: &TestSettings,
+    population: usize,
+    sut: &dyn RealtimeSut,
+    recorder: &mut Recorder,
+) -> Result<(), LoadGenError> {
+    let start = Instant::now();
+    let interval = settings.multistream_arrival_interval;
+    let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
+    let mut log = log_sampler(settings, settings.accuracy_log_probability);
+    let mut next_sample_id = 0u64;
+    let mut issued = 0u64;
+    let mut boundary = Nanos::ZERO;
+    loop {
+        // Sleep until the boundary.
+        let now = Nanos::from(start.elapsed());
+        if boundary > now {
+            std::thread::sleep(boundary.saturating_sub(now).to_duration());
+        }
+        let indices = qsl_rng.sample_with_replacement(population, settings.samples_per_query);
+        let query = build_query(issued, &mut next_sample_id, &indices, boundary);
+        issued += 1;
+        recorder.record_issue(&query, boundary)?;
+        let samples = sut.issue(&query);
+        let finished = Nanos::from(start.elapsed());
+        recorder.record_completion(
+            &QueryCompletion {
+                query_id: query.id,
+                finished_at: finished,
+                samples,
+            },
+            &mut log,
+        )?;
+        let elapsed = finished.saturating_sub(boundary).as_nanos();
+        let consumed = elapsed.div_ceil(interval.as_nanos()).max(1);
+        if consumed > 1 {
+            recorder.record_skips(query.id, (consumed - 1) as u32);
+        }
+        boundary = boundary + interval.mul(consumed);
+        if issued >= settings.min_query_count && boundary >= settings.min_duration {
+            return Ok(());
+        }
+    }
+}
+
+fn run_server(
+    settings: &TestSettings,
+    population: usize,
+    sut: &Arc<dyn RealtimeSut>,
+    recorder: &mut Recorder,
+) -> Result<(), LoadGenError> {
+    let start = Instant::now();
+    let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
+    let arrivals = PoissonProcess::new(
+        settings.server_target_qps,
+        Rng64::new(settings.seeds.schedule_seed),
+    )
+    .map_err(|e| LoadGenError::BadSettings(e.to_string()))?
+    .map(Nanos::from_secs_f64);
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<Query>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<QueryCompletion>();
+    let mut workers = Vec::new();
+    for _ in 0..SERVER_WORKERS {
+        let rx = work_rx.clone();
+        let tx = done_tx.clone();
+        let sut = Arc::clone(sut);
+        workers.push(std::thread::spawn(move || {
+            while let Ok(query) = rx.recv() {
+                let samples = sut.issue(&query);
+                let finished = Nanos::from(start.elapsed());
+                if tx
+                    .send(QueryCompletion {
+                        query_id: query.id,
+                        finished_at: finished,
+                        samples,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(work_rx);
+    drop(done_tx);
+    let mut next_sample_id = 0u64;
+    let mut issued = 0u64;
+    for arrival in arrivals {
+        let now = Nanos::from(start.elapsed());
+        if arrival > now {
+            std::thread::sleep(arrival.saturating_sub(now).to_duration());
+        }
+        let indices = qsl_rng.sample_with_replacement(population, settings.samples_per_query);
+        let query = build_query(issued, &mut next_sample_id, &indices, arrival);
+        issued += 1;
+        recorder.record_issue(&query, arrival)?;
+        work_tx
+            .send(query)
+            .map_err(|_| LoadGenError::SutProtocol("server worker pool died".into()))?;
+        if issued >= settings.min_query_count && arrival >= settings.min_duration {
+            break;
+        }
+    }
+    drop(work_tx);
+    let mut log = log_sampler(settings, settings.accuracy_log_probability);
+    for completion in done_rx.iter() {
+        recorder.record_completion(&completion, &mut log)?;
+    }
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| LoadGenError::SutProtocol("server worker panicked".into()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qsl::MemoryQsl;
+    use crate::results::ScenarioMetric;
+    use crate::sut::SleepSut;
+    use std::time::Duration;
+
+    fn sleepy(us: u64) -> Arc<dyn RealtimeSut> {
+        Arc::new(SleepSut::new("sleepy", Duration::from_micros(us)))
+    }
+
+    #[test]
+    fn single_stream_realtime() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(20)
+            .with_min_duration(Nanos::from_millis(1));
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let out = run_realtime(&settings, &mut qsl, sleepy(200)).unwrap();
+        assert!(out.result.is_valid(), "{:?}", out.result.validity);
+        assert!(out.result.query_count >= 20);
+        match out.result.metric {
+            ScenarioMetric::SingleStream { p90_latency } => {
+                assert!(p90_latency >= Nanos::from_micros(200));
+            }
+            ref m => panic!("wrong metric {m:?}"),
+        }
+    }
+
+    #[test]
+    fn offline_realtime() {
+        let settings = TestSettings::offline()
+            .with_min_duration(Nanos::from_millis(1))
+            .with_offline_min_sample_count(50);
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let out = run_realtime(&settings, &mut qsl, sleepy(50)).unwrap();
+        assert!(out.result.is_valid(), "{:?}", out.result.validity);
+        assert_eq!(out.result.sample_count, 50);
+    }
+
+    #[test]
+    fn server_realtime_underloaded_is_valid() {
+        let settings = TestSettings::server(200.0, Nanos::from_millis(50))
+            .with_min_query_count(50)
+            .with_min_duration(Nanos::from_millis(10));
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let out = run_realtime(&settings, &mut qsl, sleepy(100)).unwrap();
+        assert!(out.result.is_valid(), "{:?}", out.result.validity);
+        assert_eq!(out.result.query_count, out.result.sample_count);
+    }
+
+    #[test]
+    fn multistream_realtime() {
+        // Generous interval vs service time: scheduler jitter in loaded CI
+        // environments must not overrun an interval.
+        let settings = TestSettings::multi_stream(2, Nanos::from_millis(25))
+            .with_min_query_count(8)
+            .with_min_duration(Nanos::from_millis(1));
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let out = run_realtime(&settings, &mut qsl, sleepy(100)).unwrap();
+        assert!(out.result.is_valid(), "{:?}", out.result.validity);
+        match out.result.metric {
+            ScenarioMetric::MultiStream { streams, .. } => assert_eq!(streams, 2),
+            ref m => panic!("wrong metric {m:?}"),
+        }
+    }
+
+    #[test]
+    fn accuracy_mode_realtime_covers_dataset() {
+        let settings = TestSettings::offline().with_mode(TestMode::AccuracyOnly);
+        let mut qsl = MemoryQsl::new("q", 40, 8);
+        let out = run_realtime(&settings, &mut qsl, sleepy(1)).unwrap();
+        assert_eq!(out.accuracy_log.len(), 40);
+    }
+}

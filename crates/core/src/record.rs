@@ -1,0 +1,310 @@
+//! Latency bookkeeping during a run.
+
+use crate::query::{Query, QueryCompletion, QueryId, ResponsePayload, SampleIndex};
+use crate::time::Nanos;
+use crate::LoadGenError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-query record retained for the detail log and metric computation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Query id.
+    pub id: QueryId,
+    /// When the schedule wanted the query issued (latency reference point).
+    pub scheduled_at: Nanos,
+    /// When the LoadGen actually issued it.
+    pub issued_at: Nanos,
+    /// When the SUT finished it (`None` while outstanding).
+    pub completed_at: Option<Nanos>,
+    /// Number of samples in the query.
+    pub sample_count: usize,
+    /// Multistream only: intervals this query overran.
+    pub skipped_intervals: u32,
+}
+
+impl QueryRecord {
+    /// Latency from scheduled time to completion.
+    pub fn latency(&self) -> Option<Nanos> {
+        self.completed_at.map(|c| c.saturating_sub(self.scheduled_at))
+    }
+}
+
+/// A response payload kept for accuracy checking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedResponse {
+    /// The sample's response id.
+    pub sample_id: u64,
+    /// The data-set index the sample referred to.
+    pub sample_index: SampleIndex,
+    /// The SUT's output.
+    pub payload: ResponsePayload,
+}
+
+/// Records issues and completions, enforcing the SUT protocol.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    records: Vec<QueryRecord>,
+    // query id -> (position in records, sample ids and indices in order)
+    outstanding: HashMap<QueryId, (usize, Vec<(u64, SampleIndex)>)>,
+    accuracy_log: Vec<LoggedResponse>,
+    samples_completed: u64,
+    last_completion: Nanos,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an issued query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadGenError::SutProtocol`] on duplicate query ids.
+    pub fn record_issue(&mut self, query: &Query, issued_at: Nanos) -> Result<(), LoadGenError> {
+        if self.outstanding.contains_key(&query.id) {
+            return Err(LoadGenError::SutProtocol(format!(
+                "query {} issued twice",
+                query.id
+            )));
+        }
+        let pos = self.records.len();
+        self.records.push(QueryRecord {
+            id: query.id,
+            scheduled_at: query.scheduled_at,
+            issued_at,
+            completed_at: None,
+            sample_count: query.sample_count(),
+            skipped_intervals: 0,
+        });
+        self.outstanding.insert(
+            query.id,
+            (pos, query.samples.iter().map(|s| (s.id, s.index)).collect()),
+        );
+        Ok(())
+    }
+
+    /// Registers a completion, optionally logging payloads.
+    ///
+    /// `log_payload` decides per sample whether the payload lands in the
+    /// accuracy log (always in accuracy mode, sampled in performance mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadGenError::SutProtocol`] if the query is unknown or
+    /// already complete, finishes before issue, or the per-sample response
+    /// ids do not exactly echo the issued sample ids.
+    pub fn record_completion<F: FnMut(u64) -> bool>(
+        &mut self,
+        completion: &QueryCompletion,
+        mut log_payload: F,
+    ) -> Result<(), LoadGenError> {
+        let (pos, samples) = self.outstanding.remove(&completion.query_id).ok_or_else(|| {
+            LoadGenError::SutProtocol(format!(
+                "completion for unknown or already-completed query {}",
+                completion.query_id
+            ))
+        })?;
+        let record = &mut self.records[pos];
+        if completion.finished_at < record.issued_at {
+            return Err(LoadGenError::SutProtocol(format!(
+                "query {} completed at {} before issue at {}",
+                completion.query_id, completion.finished_at, record.issued_at
+            )));
+        }
+        if completion.samples.len() != samples.len() {
+            return Err(LoadGenError::SutProtocol(format!(
+                "query {} returned {} sample completions, expected {}",
+                completion.query_id,
+                completion.samples.len(),
+                samples.len()
+            )));
+        }
+        for (sc, (sid, sindex)) in completion.samples.iter().zip(&samples) {
+            if sc.sample_id != *sid {
+                return Err(LoadGenError::SutProtocol(format!(
+                    "query {} response sample id {} does not echo issued id {}",
+                    completion.query_id, sc.sample_id, sid
+                )));
+            }
+            if log_payload(*sid) {
+                self.accuracy_log.push(LoggedResponse {
+                    sample_id: *sid,
+                    sample_index: *sindex,
+                    payload: sc.payload.clone(),
+                });
+            }
+        }
+        record.completed_at = Some(completion.finished_at);
+        self.samples_completed += samples.len() as u64;
+        self.last_completion = self.last_completion.max(completion.finished_at);
+        Ok(())
+    }
+
+    /// Attributes skipped intervals to a (completed) multistream query.
+    ///
+    /// Multistream query ids are their issue order, so the lookup is O(1)
+    /// by position (a linear scan here turns a 270K-query overrun run into
+    /// O(n²)); falls back to a scan if ids were assigned differently.
+    pub fn record_skips(&mut self, query_id: QueryId, skips: u32) {
+        let pos = query_id as usize;
+        if let Some(r) = self.records.get_mut(pos).filter(|r| r.id == query_id) {
+            r.skipped_intervals = skips;
+            return;
+        }
+        if let Some(r) = self.records.iter_mut().find(|r| r.id == query_id) {
+            r.skipped_intervals = skips;
+        }
+    }
+
+    /// All query records in issue order.
+    pub fn records(&self) -> &[QueryRecord] {
+        &self.records
+    }
+
+    /// The accuracy log accumulated so far.
+    pub fn accuracy_log(&self) -> &[LoggedResponse] {
+        &self.accuracy_log
+    }
+
+    /// Consumes the recorder, returning records and accuracy log.
+    pub fn into_parts(self) -> (Vec<QueryRecord>, Vec<LoggedResponse>) {
+        (self.records, self.accuracy_log)
+    }
+
+    /// Number of queries issued.
+    pub fn issued(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Number of queries still outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Total samples completed.
+    pub fn samples_completed(&self) -> u64 {
+        self.samples_completed
+    }
+
+    /// Latest completion timestamp seen.
+    pub fn last_completion(&self) -> Nanos {
+        self.last_completion
+    }
+
+    /// Completed-query latencies (scheduled → finished).
+    pub fn latencies(&self) -> Vec<Nanos> {
+        self.records.iter().filter_map(QueryRecord::latency).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QuerySample, SampleCompletion};
+
+    fn query(id: u64) -> Query {
+        Query {
+            id,
+            samples: vec![QuerySample { id: id * 10, index: 3 }],
+            scheduled_at: Nanos::from_micros(5),
+        tenant: 0,
+        }
+    }
+
+    fn completion(id: u64, at: Nanos) -> QueryCompletion {
+        QueryCompletion {
+            query_id: id,
+            finished_at: at,
+            samples: vec![SampleCompletion {
+                sample_id: id * 10,
+                payload: ResponsePayload::Class(1),
+            }],
+        }
+    }
+
+    #[test]
+    fn issue_complete_latency() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::from_micros(5)).unwrap();
+        r.record_completion(&completion(1, Nanos::from_micros(25)), |_| false)
+            .unwrap();
+        assert_eq!(r.latencies(), vec![Nanos::from_micros(20)]);
+        assert_eq!(r.samples_completed(), 1);
+        assert_eq!(r.outstanding(), 0);
+    }
+
+    #[test]
+    fn duplicate_issue_rejected() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::ZERO).unwrap();
+        assert!(r.record_issue(&query(1), Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn unknown_completion_rejected() {
+        let mut r = Recorder::new();
+        assert!(r
+            .record_completion(&completion(9, Nanos::SECOND), |_| false)
+            .is_err());
+    }
+
+    #[test]
+    fn double_completion_rejected() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::ZERO).unwrap();
+        r.record_completion(&completion(1, Nanos::SECOND), |_| false).unwrap();
+        assert!(r
+            .record_completion(&completion(1, Nanos::SECOND), |_| false)
+            .is_err());
+    }
+
+    #[test]
+    fn completion_before_issue_rejected() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::from_micros(100)).unwrap();
+        assert!(r
+            .record_completion(&completion(1, Nanos::from_micros(50)), |_| false)
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_sample_id_rejected() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::ZERO).unwrap();
+        let mut c = completion(1, Nanos::SECOND);
+        c.samples[0].sample_id = 999;
+        assert!(r.record_completion(&c, |_| false).is_err());
+    }
+
+    #[test]
+    fn missing_samples_rejected() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::ZERO).unwrap();
+        let mut c = completion(1, Nanos::SECOND);
+        c.samples.clear();
+        assert!(r.record_completion(&c, |_| false).is_err());
+    }
+
+    #[test]
+    fn accuracy_log_respects_sampler() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::ZERO).unwrap();
+        r.record_issue(&query(2), Nanos::ZERO).unwrap();
+        r.record_completion(&completion(1, Nanos::SECOND), |_| true).unwrap();
+        r.record_completion(&completion(2, Nanos::SECOND), |_| false).unwrap();
+        assert_eq!(r.accuracy_log().len(), 1);
+        assert_eq!(r.accuracy_log()[0].sample_index, 3);
+        assert_eq!(r.accuracy_log()[0].payload, ResponsePayload::Class(1));
+    }
+
+    #[test]
+    fn skips_attributed() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::ZERO).unwrap();
+        r.record_skips(1, 3);
+        assert_eq!(r.records()[0].skipped_intervals, 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Run results: the scenario metric plus supporting statistics.
+
+use crate::config::TestMode;
+use crate::scenario::Scenario;
+use crate::time::Nanos;
+use crate::validate::ValidityIssue;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of per-query latencies over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Fastest query.
+    pub min: Nanos,
+    /// Arithmetic mean.
+    pub mean: Nanos,
+    /// Median.
+    pub p50: Nanos,
+    /// 90th percentile (nearest rank).
+    pub p90: Nanos,
+    /// 97th percentile.
+    pub p97: Nanos,
+    /// 99th percentile.
+    pub p99: Nanos,
+    /// Slowest query.
+    pub max: Nanos,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw latencies; `None` when empty.
+    pub fn from_latencies(latencies: &[Nanos]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let pick = |p: f64| {
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let sum: u128 = sorted.iter().map(|l| u128::from(l.as_nanos())).sum();
+        Some(Self {
+            min: sorted[0],
+            mean: Nanos::from_nanos((sum / sorted.len() as u128) as u64),
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p97: pick(0.97),
+            p99: pick(0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// The scenario's headline metric (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioMetric {
+    /// Single-stream: 90th-percentile query latency.
+    SingleStream {
+        /// p90 latency.
+        p90_latency: Nanos,
+    },
+    /// Multistream: supported streams at the QoS bound.
+    MultiStream {
+        /// Samples per query the run was performed at.
+        streams: usize,
+        /// Fraction of queries that caused skipped intervals.
+        skip_fraction: f64,
+    },
+    /// Server: achieved Poisson parameter.
+    Server {
+        /// Queries per second sustained.
+        qps: f64,
+        /// Fraction of queries over the latency bound.
+        overlatency_fraction: f64,
+    },
+    /// Offline: batch throughput.
+    Offline {
+        /// Samples per second.
+        samples_per_second: f64,
+    },
+}
+
+impl ScenarioMetric {
+    /// A scalar view of the metric for cross-system comparison plots
+    /// (Figure 8 normalizes these per scenario). Latencies invert so that
+    /// larger is always better.
+    pub fn score(&self) -> f64 {
+        match self {
+            ScenarioMetric::SingleStream { p90_latency } => {
+                1.0 / p90_latency.as_secs_f64().max(1e-12)
+            }
+            ScenarioMetric::MultiStream { streams, .. } => *streams as f64,
+            ScenarioMetric::Server { qps, .. } => *qps,
+            ScenarioMetric::Offline { samples_per_second } => *samples_per_second,
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioMetric::SingleStream { p90_latency } => {
+                write!(f, "p90 latency {p90_latency}")
+            }
+            ScenarioMetric::MultiStream { streams, .. } => write!(f, "{streams} streams"),
+            ScenarioMetric::Server { qps, .. } => write!(f, "{qps:.2} QPS"),
+            ScenarioMetric::Offline { samples_per_second } => {
+                write!(f, "{samples_per_second:.2} samples/s")
+            }
+        }
+    }
+}
+
+/// The outcome of one LoadGen run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// SUT name (from the SUT trait).
+    pub sut_name: String,
+    /// QSL name.
+    pub qsl_name: String,
+    /// Scenario run.
+    pub scenario: Scenario,
+    /// Whether this was a performance or accuracy run.
+    pub performance_mode: bool,
+    /// The headline metric.
+    pub metric: ScenarioMetric,
+    /// Latency distribution (absent if nothing completed).
+    pub latency_stats: Option<LatencyStats>,
+    /// Queries issued.
+    pub query_count: u64,
+    /// Samples completed.
+    pub sample_count: u64,
+    /// Time from first issue to last completion.
+    pub duration: Nanos,
+    /// Rule violations; empty means the run is VALID.
+    pub validity: Vec<ValidityIssue>,
+}
+
+impl TestResult {
+    /// Whether the run satisfied every rule.
+    pub fn is_valid(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// One-line human-readable summary, in the spirit of the LoadGen's
+    /// summary log.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} | {} | {} | {} | {} queries, {} samples in {} | {}",
+            self.sut_name,
+            self.qsl_name,
+            self.scenario,
+            if self.performance_mode {
+                "performance"
+            } else {
+                "accuracy"
+            },
+            self.metric,
+            self.sample_count,
+            self.duration,
+            if self.is_valid() { "VALID" } else { "INVALID" },
+        )
+    }
+}
+
+impl From<TestMode> for bool {
+    fn from(m: TestMode) -> bool {
+        matches!(m, TestMode::PerformanceOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(ms: &[u64]) -> Vec<Nanos> {
+        ms.iter().map(|m| Nanos::from_millis(*m)).collect()
+    }
+
+    #[test]
+    fn latency_stats_hand_checked() {
+        let stats = LatencyStats::from_latencies(&lat(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10])).unwrap();
+        assert_eq!(stats.min, Nanos::from_millis(1));
+        assert_eq!(stats.max, Nanos::from_millis(10));
+        assert_eq!(stats.p50, Nanos::from_millis(5));
+        assert_eq!(stats.p90, Nanos::from_millis(9));
+        assert_eq!(stats.p99, Nanos::from_millis(10));
+        assert_eq!(stats.mean, Nanos::from_micros(5_500));
+    }
+
+    #[test]
+    fn latency_stats_empty_is_none() {
+        assert!(LatencyStats::from_latencies(&[]).is_none());
+    }
+
+    #[test]
+    fn scores_larger_is_better() {
+        let fast = ScenarioMetric::SingleStream {
+            p90_latency: Nanos::from_millis(1),
+        };
+        let slow = ScenarioMetric::SingleStream {
+            p90_latency: Nanos::from_millis(10),
+        };
+        assert!(fast.score() > slow.score());
+        assert_eq!(ScenarioMetric::Offline { samples_per_second: 5.0 }.score(), 5.0);
+        assert_eq!(
+            ScenarioMetric::MultiStream { streams: 7, skip_fraction: 0.0 }.score(),
+            7.0
+        );
+    }
+
+    #[test]
+    fn summary_line_reports_validity() {
+        let result = TestResult {
+            sut_name: "sut".into(),
+            qsl_name: "qsl".into(),
+            scenario: Scenario::Server,
+            performance_mode: true,
+            metric: ScenarioMetric::Server {
+                qps: 12.5,
+                overlatency_fraction: 0.0,
+            },
+            latency_stats: None,
+            query_count: 100,
+            sample_count: 100,
+            duration: Nanos::from_secs(61),
+            validity: vec![],
+        };
+        let line = result.summary_line();
+        assert!(line.contains("VALID"));
+        assert!(line.contains("12.50 QPS"));
+        assert!(result.is_valid());
+    }
+
+    #[test]
+    fn metric_display() {
+        assert!(ScenarioMetric::SingleStream { p90_latency: Nanos::from_millis(2) }
+            .to_string()
+            .contains("p90"));
+        assert_eq!(
+            ScenarioMetric::MultiStream { streams: 4, skip_fraction: 0.0 }.to_string(),
+            "4 streams"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Query schedules and sample selection.
+//!
+//! Figure 4 of the paper: the LoadGen materializes *when* queries arrive
+//! (scenario dependent) and *which* samples they contain (uniform with
+//! replacement from the loaded performance set) purely from the seed triple,
+//! before the timed portion of the run begins. Optimizations that exploit
+//! the fixed schedule are prohibited — and detectable, because the audit
+//! reruns with alternate seeds.
+
+use crate::config::TestSettings;
+use crate::query::{Query, QuerySample, SampleIndex};
+use crate::time::Nanos;
+use mlperf_stats::dist::PoissonProcess;
+use mlperf_stats::Rng64;
+
+/// Generates the sample indices for `count` queries of
+/// `samples_per_query` each, drawn uniformly with replacement from
+/// `[0, population)` using the QSL seed.
+///
+/// # Panics
+///
+/// Panics if `population == 0`.
+pub fn sample_indices(
+    settings: &TestSettings,
+    population: usize,
+    count: u64,
+) -> Vec<Vec<SampleIndex>> {
+    assert!(population > 0, "cannot sample from an empty population");
+    let mut rng = Rng64::new(settings.seeds.qsl_seed);
+    (0..count)
+        .map(|_| rng.sample_with_replacement(population, settings.samples_per_query))
+        .collect()
+}
+
+/// Materializes the arrival timestamps for `count` server-scenario queries:
+/// a Poisson process at `server_target_qps`, deterministic in the schedule
+/// seed.
+///
+/// # Panics
+///
+/// Panics if the settings carry a non-positive target QPS (validated
+/// settings cannot).
+pub fn server_arrivals(settings: &TestSettings, count: u64) -> Vec<Nanos> {
+    let process = PoissonProcess::new(
+        settings.server_target_qps,
+        Rng64::new(settings.seeds.schedule_seed),
+    )
+    .expect("validated settings have positive qps");
+    process
+        .take(count as usize)
+        .map(Nanos::from_secs_f64)
+        .collect()
+}
+
+/// Arrival timestamps for `count` multistream intervals: `k * interval`.
+pub fn multistream_boundaries(settings: &TestSettings, count: u64) -> Vec<Nanos> {
+    (0..count)
+        .map(|k| settings.multistream_arrival_interval.mul(k))
+        .collect()
+}
+
+/// Builds a full query from pre-drawn indices.
+pub fn build_query(id: u64, next_sample_id: &mut u64, indices: &[SampleIndex], at: Nanos) -> Query {
+    let samples = indices
+        .iter()
+        .map(|index| {
+            let sid = *next_sample_id;
+            *next_sample_id += 1;
+            QuerySample { id: sid, index: *index }
+        })
+        .collect();
+    Query {
+        id,
+        samples,
+        scheduled_at: at,
+    tenant: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TestSettings;
+
+    #[test]
+    fn sample_indices_deterministic_in_seed() {
+        let s = TestSettings::single_stream();
+        let a = sample_indices(&s, 100, 50);
+        let b = sample_indices(&s, 100, 50);
+        assert_eq!(a, b);
+        let alt = s.clone().with_seeds(s.seeds.alternate(0));
+        assert_ne!(a, sample_indices(&alt, 100, 50));
+    }
+
+    #[test]
+    fn sample_indices_respect_population() {
+        let s = TestSettings::multi_stream(4, Nanos::from_millis(50));
+        for q in sample_indices(&s, 10, 100) {
+            assert_eq!(q.len(), 4);
+            assert!(q.iter().all(|i| *i < 10));
+        }
+    }
+
+    #[test]
+    fn server_arrivals_monotone_and_rate_matched() {
+        let s = TestSettings::server(1000.0, Nanos::from_millis(15));
+        let arrivals = server_arrivals(&s, 10_000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // 10,000 arrivals at 1000 qps should span roughly 10 seconds.
+        let span = arrivals.last().unwrap().as_secs_f64();
+        assert!((9.0..11.0).contains(&span), "span={span}");
+    }
+
+    #[test]
+    fn server_arrivals_deterministic_and_seed_sensitive() {
+        let s = TestSettings::server(100.0, Nanos::from_millis(15));
+        assert_eq!(server_arrivals(&s, 100), server_arrivals(&s, 100));
+        let alt = s.clone().with_seeds(s.seeds.alternate(1));
+        assert_ne!(server_arrivals(&s, 100), server_arrivals(&alt, 100));
+    }
+
+    #[test]
+    fn multistream_boundaries_fixed_interval() {
+        let s = TestSettings::multi_stream(2, Nanos::from_millis(50));
+        let b = multistream_boundaries(&s, 4);
+        assert_eq!(
+            b,
+            vec![
+                Nanos::ZERO,
+                Nanos::from_millis(50),
+                Nanos::from_millis(100),
+                Nanos::from_millis(150)
+            ]
+        );
+    }
+
+    #[test]
+    fn build_query_assigns_unique_sample_ids() {
+        let mut next = 0u64;
+        let q1 = build_query(0, &mut next, &[5, 6], Nanos::ZERO);
+        let q2 = build_query(1, &mut next, &[7], Nanos::SECOND);
+        assert_eq!(q1.samples[0].id, 0);
+        assert_eq!(q1.samples[1].id, 1);
+        assert_eq!(q2.samples[0].id, 2);
+        assert_eq!(q2.scheduled_at, Nanos::SECOND);
+    }
+}

@@ -1,0 +1,333 @@
+//! Run-validity rules.
+//!
+//! A run is VALID only if it satisfies every applicable rule: the Table V
+//! minimum query count, the 60-second minimum duration, the scenario's
+//! latency constraint at its percentile (Table III), the multistream
+//! skipped-interval budget, and the offline minimum sample count. The
+//! result-review process (Section V-B) found ~40 rule violations among ~180
+//! closed-division results, so the checks are load-bearing.
+
+use crate::config::TestSettings;
+use crate::record::QueryRecord;
+use crate::scenario::Scenario;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A specific rule violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValidityIssue {
+    /// Fewer queries than Table V requires.
+    TooFewQueries {
+        /// Required count.
+        required: u64,
+        /// Observed count.
+        observed: u64,
+    },
+    /// The run finished before the 60-second minimum.
+    RunTooShort {
+        /// Required duration.
+        required: Nanos,
+        /// Observed duration.
+        observed: Nanos,
+    },
+    /// The tail-latency percentile exceeded the scenario bound.
+    LatencyBoundExceeded {
+        /// The percentile checked (e.g. 99).
+        percentile: f64,
+        /// The bound (Table III).
+        bound: Nanos,
+        /// The observed percentile latency.
+        observed: Nanos,
+    },
+    /// Multistream: too many queries caused skipped intervals.
+    TooManySkippedIntervals {
+        /// Maximum permitted fraction (0.01).
+        max_fraction: f64,
+        /// Observed fraction.
+        observed: f64,
+    },
+    /// Offline: the single query carried too few samples.
+    TooFewSamples {
+        /// Required samples (24,576).
+        required: u64,
+        /// Observed samples.
+        observed: u64,
+    },
+    /// Some queries never completed.
+    IncompleteQueries {
+        /// Number of unfinished queries.
+        outstanding: u64,
+    },
+}
+
+impl std::fmt::Display for ValidityIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidityIssue::TooFewQueries { required, observed } => {
+                write!(f, "too few queries: {observed} < {required}")
+            }
+            ValidityIssue::RunTooShort { required, observed } => {
+                write!(f, "run too short: {observed} < {required}")
+            }
+            ValidityIssue::LatencyBoundExceeded {
+                percentile,
+                bound,
+                observed,
+            } => write!(f, "p{percentile} latency {observed} exceeds bound {bound}"),
+            ValidityIssue::TooManySkippedIntervals {
+                max_fraction,
+                observed,
+            } => write!(
+                f,
+                "skipped-interval fraction {observed:.4} exceeds {max_fraction:.4}"
+            ),
+            ValidityIssue::TooFewSamples { required, observed } => {
+                write!(f, "too few samples: {observed} < {required}")
+            }
+            ValidityIssue::IncompleteQueries { outstanding } => {
+                write!(f, "{outstanding} queries never completed")
+            }
+        }
+    }
+}
+
+/// Checks a completed run against every applicable rule.
+///
+/// `duration` is first-issue → last-completion; `outstanding` counts queries
+/// that never completed.
+pub fn check_run(
+    settings: &TestSettings,
+    records: &[QueryRecord],
+    duration: Nanos,
+    outstanding: u64,
+) -> Vec<ValidityIssue> {
+    let mut issues = Vec::new();
+    let issued = records.len() as u64;
+    if outstanding > 0 {
+        issues.push(ValidityIssue::IncompleteQueries { outstanding });
+    }
+    if issued < settings.min_query_count {
+        issues.push(ValidityIssue::TooFewQueries {
+            required: settings.min_query_count,
+            observed: issued,
+        });
+    }
+    if duration < settings.min_duration {
+        issues.push(ValidityIssue::RunTooShort {
+            required: settings.min_duration,
+            observed: duration,
+        });
+    }
+    match settings.scenario {
+        Scenario::Server => {
+            if let Some(observed) = percentile_latency(
+                records,
+                settings.target_latency_percentile.fraction(),
+            ) {
+                if observed > settings.target_latency {
+                    issues.push(ValidityIssue::LatencyBoundExceeded {
+                        percentile: settings.target_latency_percentile.value(),
+                        bound: settings.target_latency,
+                        observed,
+                    });
+                }
+            }
+        }
+        Scenario::MultiStream => {
+            let skippers = records.iter().filter(|r| r.skipped_intervals > 0).count();
+            if issued > 0 {
+                let fraction = skippers as f64 / issued as f64;
+                if fraction > settings.multistream_max_skip_fraction {
+                    issues.push(ValidityIssue::TooManySkippedIntervals {
+                        max_fraction: settings.multistream_max_skip_fraction,
+                        observed: fraction,
+                    });
+                }
+            }
+        }
+        Scenario::Offline => {
+            let samples: u64 = records.iter().map(|r| r.sample_count as u64).sum();
+            if samples < settings.offline_min_sample_count {
+                issues.push(ValidityIssue::TooFewSamples {
+                    required: settings.offline_min_sample_count,
+                    observed: samples,
+                });
+            }
+        }
+        Scenario::SingleStream => {}
+    }
+    issues
+}
+
+/// Nearest-rank percentile over completed-query latencies.
+pub fn percentile_latency(records: &[QueryRecord], fraction: f64) -> Option<Nanos> {
+    let mut latencies: Vec<Nanos> = records.iter().filter_map(QueryRecord::latency).collect();
+    if latencies.is_empty() {
+        return None;
+    }
+    latencies.sort_unstable();
+    let rank = (fraction * latencies.len() as f64).ceil() as usize;
+    Some(latencies[rank.clamp(1, latencies.len()) - 1])
+}
+
+/// Fraction of completed queries whose latency exceeds `bound`.
+pub fn overlatency_fraction(records: &[QueryRecord], bound: Nanos) -> f64 {
+    let completed: Vec<Nanos> = records.iter().filter_map(QueryRecord::latency).collect();
+    if completed.is_empty() {
+        return 0.0;
+    }
+    completed.iter().filter(|l| **l > bound).count() as f64 / completed.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TestSettings;
+
+    fn record(id: u64, scheduled_us: u64, completed_us: u64) -> QueryRecord {
+        QueryRecord {
+            id,
+            scheduled_at: Nanos::from_micros(scheduled_us),
+            issued_at: Nanos::from_micros(scheduled_us),
+            completed_at: Some(Nanos::from_micros(completed_us)),
+            sample_count: 1,
+            skipped_intervals: 0,
+        }
+    }
+
+    #[test]
+    fn clean_run_is_valid() {
+        let s = TestSettings::single_stream()
+            .with_min_query_count(2)
+            .with_min_duration(Nanos::from_micros(10));
+        let records = vec![record(0, 0, 10), record(1, 10, 25)];
+        assert!(check_run(&s, &records, Nanos::from_micros(25), 0).is_empty());
+    }
+
+    #[test]
+    fn too_few_queries_detected() {
+        let s = TestSettings::single_stream()
+            .with_min_query_count(5)
+            .with_min_duration(Nanos::ZERO);
+        let issues = check_run(&s, &[record(0, 0, 10)], Nanos::from_micros(10), 0);
+        assert!(matches!(
+            issues[0],
+            ValidityIssue::TooFewQueries { required: 5, observed: 1 }
+        ));
+    }
+
+    #[test]
+    fn short_run_detected() {
+        let s = TestSettings::single_stream()
+            .with_min_query_count(1)
+            .with_min_duration(Nanos::from_secs(60));
+        let issues = check_run(&s, &[record(0, 0, 10)], Nanos::from_micros(10), 0);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidityIssue::RunTooShort { .. })));
+    }
+
+    #[test]
+    fn server_latency_bound_checked_at_percentile() {
+        let s = TestSettings::server(10.0, Nanos::from_micros(20))
+            .with_min_query_count(1)
+            .with_min_duration(Nanos::ZERO);
+        // 100 queries, one (the p100) over the bound: p99 is exactly at the
+        // 99th rank which is still under the bound.
+        let mut records: Vec<QueryRecord> = (0..99).map(|i| record(i, 0, 15)).collect();
+        records.push(record(99, 0, 1_000));
+        let issues = check_run(&s, &records, Nanos::from_secs(61), 0);
+        assert!(issues.is_empty(), "{issues:?}");
+        // Two slow queries push the p99 over.
+        records.push(record(100, 0, 1_000));
+        records.push(record(101, 0, 1_000));
+        let issues = check_run(&s, &records, Nanos::from_secs(61), 0);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidityIssue::LatencyBoundExceeded { .. })));
+    }
+
+    #[test]
+    fn multistream_skip_budget() {
+        let mut s = TestSettings::multi_stream(2, Nanos::from_millis(50))
+            .with_min_query_count(1)
+            .with_min_duration(Nanos::ZERO);
+        s.multistream_max_skip_fraction = 0.01;
+        let mut records: Vec<QueryRecord> = (0..199).map(|i| record(i, 0, 10)).collect();
+        let mut bad = record(199, 0, 10);
+        bad.skipped_intervals = 2;
+        records.push(bad);
+        // 1/200 = 0.5% skippers: fine.
+        assert!(check_run(&s, &records, Nanos::from_secs(61), 0).is_empty());
+        // 5/200 = 2.5%: violation.
+        for r in records.iter_mut().take(4) {
+            r.skipped_intervals = 1;
+        }
+        let issues = check_run(&s, &records, Nanos::from_secs(61), 0);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidityIssue::TooManySkippedIntervals { .. })));
+    }
+
+    #[test]
+    fn offline_sample_minimum() {
+        let s = TestSettings::offline()
+            .with_min_duration(Nanos::ZERO)
+            .with_offline_min_sample_count(100);
+        let mut r = record(0, 0, 10);
+        r.sample_count = 99;
+        let issues = check_run(&s, &[r.clone()], Nanos::from_secs(61), 0);
+        assert!(matches!(
+            issues[0],
+            ValidityIssue::TooFewSamples { required: 100, observed: 99 }
+        ));
+        r.sample_count = 100;
+        assert!(check_run(&s, &[r], Nanos::from_secs(61), 0).is_empty());
+    }
+
+    #[test]
+    fn incomplete_queries_detected() {
+        let s = TestSettings::single_stream()
+            .with_min_query_count(1)
+            .with_min_duration(Nanos::ZERO);
+        let issues = check_run(&s, &[record(0, 0, 10)], Nanos::from_secs(61), 3);
+        assert!(matches!(
+            issues[0],
+            ValidityIssue::IncompleteQueries { outstanding: 3 }
+        ));
+    }
+
+    #[test]
+    fn helpers() {
+        let records = vec![record(0, 0, 10), record(1, 0, 20), record(2, 0, 30)];
+        assert_eq!(
+            percentile_latency(&records, 0.5),
+            Some(Nanos::from_micros(20))
+        );
+        assert!((overlatency_fraction(&records, Nanos::from_micros(15)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(percentile_latency(&[], 0.5), None);
+        assert_eq!(overlatency_fraction(&[], Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn issue_display_nonempty() {
+        let issues = [
+            ValidityIssue::TooFewQueries { required: 1, observed: 0 },
+            ValidityIssue::RunTooShort {
+                required: Nanos::SECOND,
+                observed: Nanos::ZERO,
+            },
+            ValidityIssue::LatencyBoundExceeded {
+                percentile: 99.0,
+                bound: Nanos::SECOND,
+                observed: Nanos::SECOND,
+            },
+            ValidityIssue::TooManySkippedIntervals { max_fraction: 0.01, observed: 0.5 },
+            ValidityIssue::TooFewSamples { required: 2, observed: 1 },
+            ValidityIssue::IncompleteQueries { outstanding: 1 },
+        ];
+        for i in issues {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Failure injection: misbehaving SUTs must be caught, never mis-scored.
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::query::{Query, QueryCompletion, ResponsePayload, SampleCompletion};
+use mlperf_loadgen::sut::{SimSut, SutReaction};
+use mlperf_loadgen::time::Nanos;
+use mlperf_loadgen::validate::ValidityIssue;
+use mlperf_loadgen::LoadGenError;
+
+fn settings() -> TestSettings {
+    TestSettings::single_stream()
+        .with_min_query_count(4)
+        .with_min_duration(Nanos::ZERO)
+}
+
+fn run(sut: &mut impl SimSut) -> Result<mlperf_loadgen::des::RunOutcome, LoadGenError> {
+    let mut qsl = MemoryQsl::new("q", 8, 8);
+    run_simulated(&settings(), &mut qsl, sut)
+}
+
+fn honest_completion(query: &Query, finished_at: Nanos) -> QueryCompletion {
+    QueryCompletion {
+        query_id: query.id,
+        finished_at,
+        samples: query
+            .samples
+            .iter()
+            .map(|s| SampleCompletion {
+                sample_id: s.id,
+                payload: ResponsePayload::Empty,
+            })
+            .collect(),
+    }
+}
+
+/// Responds to the wrong query id.
+struct WrongIdSut;
+impl SimSut for WrongIdSut {
+    fn name(&self) -> &str {
+        "wrong-id"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        let mut c = honest_completion(query, now + Nanos::from_micros(10));
+        c.query_id = query.id + 1_000;
+        SutReaction::complete(c)
+    }
+}
+
+#[test]
+fn wrong_query_id_is_a_protocol_error() {
+    let err = run(&mut WrongIdSut).unwrap_err();
+    assert!(matches!(err, LoadGenError::SutProtocol(_)), "{err}");
+}
+
+/// Completes the same query twice.
+struct DoubleCompleteSut;
+impl SimSut for DoubleCompleteSut {
+    fn name(&self) -> &str {
+        "double"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        let c = honest_completion(query, now + Nanos::from_micros(10));
+        SutReaction {
+            completions: vec![c.clone(), c],
+            wakeup_at: None,
+        }
+    }
+}
+
+#[test]
+fn duplicate_completion_is_a_protocol_error() {
+    let err = run(&mut DoubleCompleteSut).unwrap_err();
+    assert!(matches!(err, LoadGenError::SutProtocol(_)), "{err}");
+}
+
+/// Drops one sample from each response.
+struct MissingSampleSut;
+impl SimSut for MissingSampleSut {
+    fn name(&self) -> &str {
+        "missing-sample"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        let mut c = honest_completion(query, now + Nanos::from_micros(10));
+        c.samples.pop();
+        SutReaction::complete(c)
+    }
+}
+
+#[test]
+fn missing_sample_completion_is_a_protocol_error() {
+    let err = run(&mut MissingSampleSut).unwrap_err();
+    assert!(matches!(err, LoadGenError::SutProtocol(_)), "{err}");
+}
+
+/// Echoes scrambled sample ids.
+struct ScrambledIdsSut;
+impl SimSut for ScrambledIdsSut {
+    fn name(&self) -> &str {
+        "scrambled"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        let mut c = honest_completion(query, now + Nanos::from_micros(10));
+        for s in &mut c.samples {
+            s.sample_id += 7;
+        }
+        SutReaction::complete(c)
+    }
+}
+
+#[test]
+fn scrambled_sample_ids_are_a_protocol_error() {
+    let err = run(&mut ScrambledIdsSut).unwrap_err();
+    assert!(matches!(err, LoadGenError::SutProtocol(_)), "{err}");
+}
+
+/// Swallows every other query (never completes it, never wakes up).
+struct DropsQueriesSut {
+    counter: u64,
+    busy_until: Nanos,
+}
+impl SimSut for DropsQueriesSut {
+    fn name(&self) -> &str {
+        "dropper"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        self.counter += 1;
+        if self.counter % 2 == 0 {
+            return SutReaction::none();
+        }
+        let start = now.max(self.busy_until);
+        let finish = start + Nanos::from_micros(10);
+        self.busy_until = finish;
+        SutReaction::complete(honest_completion(query, finish))
+    }
+}
+
+#[test]
+fn dropped_queries_invalidate_the_run_in_server_mode() {
+    // Server mode keeps issuing on the schedule, so dropped queries show up
+    // as outstanding at the end of the run.
+    let settings = TestSettings::server(1_000.0, Nanos::from_millis(10))
+        .with_min_query_count(50)
+        .with_min_duration(Nanos::ZERO);
+    let mut qsl = MemoryQsl::new("q", 8, 8);
+    let mut sut = DropsQueriesSut {
+        counter: 0,
+        busy_until: Nanos::ZERO,
+    };
+    let out = run_simulated(&settings, &mut qsl, &mut sut).expect("run completes");
+    assert!(!out.result.is_valid());
+    assert!(out
+        .result
+        .validity
+        .iter()
+        .any(|i| matches!(i, ValidityIssue::IncompleteQueries { .. })));
+}
+
+/// Requests a wakeup in the past.
+struct PastWakeupSut;
+impl SimSut for PastWakeupSut {
+    fn name(&self) -> &str {
+        "past-wakeup"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        SutReaction {
+            completions: vec![honest_completion(query, now + Nanos::from_micros(10))],
+            wakeup_at: Some(now.saturating_sub(Nanos::from_micros(1))),
+        }
+    }
+}
+
+#[test]
+fn past_wakeup_is_a_protocol_error() {
+    // The first query arrives at t=0 where saturating_sub keeps the wakeup
+    // legal; drive from a later query instead.
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(3)
+        .with_min_duration(Nanos::ZERO);
+    let mut qsl = MemoryQsl::new("q", 8, 8);
+    let err = run_simulated(&settings, &mut qsl, &mut PastWakeupSut).unwrap_err();
+    assert!(matches!(err, LoadGenError::SutProtocol(_)), "{err}");
+}
+
+/// Returns garbage payload types but correct ids: legal at the protocol
+/// level — the LoadGen does not interpret payloads; the accuracy script
+/// and audits catch it instead.
+struct GarbagePayloadSut;
+impl SimSut for GarbagePayloadSut {
+    fn name(&self) -> &str {
+        "garbage-payload"
+    }
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        let mut c = honest_completion(query, now + Nanos::from_micros(10));
+        for s in &mut c.samples {
+            s.payload = ResponsePayload::Tokens(vec![u32::MAX]);
+        }
+        SutReaction::complete(c)
+    }
+}
+
+#[test]
+fn garbage_payloads_pass_protocol_but_are_logged_verbatim() {
+    use mlperf_loadgen::config::TestMode;
+    let settings = TestSettings::offline().with_mode(TestMode::AccuracyOnly);
+    let mut qsl = MemoryQsl::new("q", 8, 8);
+    let out = run_simulated(&settings, &mut qsl, &mut GarbagePayloadSut).expect("protocol ok");
+    assert_eq!(out.accuracy_log.len(), 8);
+    assert!(out
+        .accuracy_log
+        .iter()
+        .all(|l| l.payload == ResponsePayload::Tokens(vec![u32::MAX])));
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the LoadGen core.
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::results::ScenarioMetric;
+use mlperf_loadgen::schedule::{multistream_boundaries, sample_indices, server_arrivals};
+use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_stats::rng::SeedTriple;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn server_arrivals_monotone_for_any_seed(seed in any::<u64>(), qps in 1.0f64..10_000.0) {
+        let settings = TestSettings::server(qps, Nanos::from_millis(10))
+            .with_seeds(SeedTriple::from_master(seed));
+        let arrivals = server_arrivals(&settings, 500);
+        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(arrivals[0] > Nanos::ZERO);
+    }
+
+    #[test]
+    fn sample_indices_stay_in_population(
+        seed in any::<u64>(),
+        population in 1usize..10_000,
+        spq in 1usize..8,
+    ) {
+        let settings = TestSettings::multi_stream(spq, Nanos::from_millis(50))
+            .with_seeds(SeedTriple::from_master(seed));
+        for query in sample_indices(&settings, population, 64) {
+            prop_assert_eq!(query.len(), spq);
+            prop_assert!(query.iter().all(|i| *i < population));
+        }
+    }
+
+    #[test]
+    fn multistream_boundaries_are_exact_multiples(interval_us in 1u64..100_000) {
+        let settings = TestSettings::multi_stream(1, Nanos::from_micros(interval_us));
+        let b = multistream_boundaries(&settings, 32);
+        for (k, t) in b.iter().enumerate() {
+            prop_assert_eq!(t.as_nanos(), interval_us * 1_000 * k as u64);
+        }
+    }
+
+    #[test]
+    fn single_stream_query_count_and_duration(
+        latency_us in 1u64..500,
+        min_queries in 1u64..200,
+    ) {
+        // With a fixed-latency serial SUT, single-stream runs are exactly
+        // predictable: queries = max(min_queries, ceil(duration/latency)),
+        // duration = queries * latency.
+        let min_duration = Nanos::from_micros(1_000);
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(min_queries)
+            .with_min_duration(min_duration);
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(latency_us));
+        let out = run_simulated(&settings, &mut qsl, &mut sut).expect("runs");
+        let expected = min_queries.max(1_000u64.div_ceil(latency_us));
+        prop_assert_eq!(out.result.query_count, expected);
+        prop_assert_eq!(out.result.duration, Nanos::from_micros(latency_us * expected));
+        prop_assert!(out.result.is_valid());
+        match out.result.metric {
+            ScenarioMetric::SingleStream { p90_latency } => {
+                prop_assert_eq!(p90_latency, Nanos::from_micros(latency_us));
+            }
+            ref m => prop_assert!(false, "wrong metric {:?}", m),
+        }
+    }
+
+    #[test]
+    fn offline_throughput_matches_serial_service(
+        latency_us in 1u64..200,
+        samples in 64u64..2_000,
+    ) {
+        let settings = TestSettings::offline()
+            .with_offline_min_sample_count(samples)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(latency_us));
+        let out = run_simulated(&settings, &mut qsl, &mut sut).expect("runs");
+        prop_assert_eq!(out.result.sample_count, samples);
+        match out.result.metric {
+            ScenarioMetric::Offline { samples_per_second } => {
+                let expected = 1e6 / latency_us as f64;
+                prop_assert!((samples_per_second / expected - 1.0).abs() < 1e-6);
+            }
+            ref m => prop_assert!(false, "wrong metric {:?}", m),
+        }
+    }
+
+    #[test]
+    fn multistream_never_skips_when_service_fits(
+        per_sample_us in 1u64..400,
+        streams in 1usize..8,
+    ) {
+        // Service = streams * per_sample <= 10ms interval guaranteed here.
+        prop_assume!(per_sample_us * streams as u64 <= 9_000);
+        let settings = TestSettings::multi_stream(streams, Nanos::from_millis(10))
+            .with_min_query_count(50)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(per_sample_us));
+        let out = run_simulated(&settings, &mut qsl, &mut sut).expect("runs");
+        prop_assert!(out.result.is_valid(), "{:?}", out.result.validity);
+        prop_assert!(out.records.iter().all(|r| r.skipped_intervals == 0));
+        // Queries sit on exact interval boundaries.
+        for (k, r) in out.records.iter().enumerate() {
+            prop_assert_eq!(r.scheduled_at, Nanos::from_millis(10).mul(k as u64));
+        }
+    }
+
+    #[test]
+    fn multistream_skip_accounting_consistent(
+        per_sample_ms in 1u64..40,
+    ) {
+        // Service = 4 * per_sample; interval 10 ms. Whenever service
+        // exceeds the interval, every query reports the same skip count:
+        // ceil(service/interval) - 1.
+        let settings = TestSettings::multi_stream(4, Nanos::from_millis(10))
+            .with_min_query_count(20)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_millis(per_sample_ms));
+        let out = run_simulated(&settings, &mut qsl, &mut sut).expect("runs");
+        let service = 4 * per_sample_ms;
+        let expected_skips = service.div_ceil(10) - 1;
+        prop_assert!(out
+            .records
+            .iter()
+            .all(|r| u64::from(r.skipped_intervals) == expected_skips));
+        if expected_skips > 0 {
+            prop_assert!(!out.result.is_valid());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_any_master_seed(seed in any::<u64>()) {
+        let settings = TestSettings::server(500.0, Nanos::from_millis(10))
+            .with_min_query_count(200)
+            .with_min_duration(Nanos::from_micros(1))
+            .with_seeds(SeedTriple::from_master(seed));
+        let run = || {
+            let mut qsl = MemoryQsl::new("q", 64, 64);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            run_simulated(&settings, &mut qsl, &mut sut).expect("runs")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.result, b.result);
+        prop_assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn latency_stats_are_ordered(seed in any::<u64>()) {
+        let settings = TestSettings::server(2_000.0, Nanos::from_millis(10))
+            .with_min_query_count(300)
+            .with_min_duration(Nanos::from_micros(1))
+            .with_seeds(SeedTriple::from_master(seed));
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(200));
+        let out = run_simulated(&settings, &mut qsl, &mut sut).expect("runs");
+        let stats = out.result.latency_stats.expect("queries completed");
+        prop_assert!(stats.min <= stats.p50);
+        prop_assert!(stats.p50 <= stats.p90);
+        prop_assert!(stats.p90 <= stats.p97);
+        prop_assert!(stats.p97 <= stats.p99);
+        prop_assert!(stats.p99 <= stats.max);
+        prop_assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+
+    #[test]
+    fn accuracy_mode_covers_any_dataset_once(total in 1usize..300) {
+        use mlperf_loadgen::config::TestMode;
+        let settings = TestSettings::offline().with_mode(TestMode::AccuracyOnly);
+        let mut qsl = MemoryQsl::new("q", total, total.min(16));
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(10)).with_class_payloads(5);
+        let out = run_simulated(&settings, &mut qsl, &mut sut).expect("runs");
+        let mut seen: Vec<usize> = out.accuracy_log.iter().map(|l| l.sample_index).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+}

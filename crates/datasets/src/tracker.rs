@@ -1,0 +1,155 @@
+//! QSL load/unload accounting.
+//!
+//! At startup "the LoadGen requests that the SUT load data-set samples into
+//! memory" as an untimed operation (Section IV-B). The tracker enforces the
+//! contract: queries may only reference loaded samples, and the loaded set
+//! is bounded by the QSL's `performance_sample_count`.
+
+use crate::DatasetError;
+use std::collections::HashSet;
+
+/// Tracks which sample indices are currently resident.
+///
+/// # Examples
+///
+/// ```
+/// use mlperf_datasets::SampleTracker;
+///
+/// let mut t = SampleTracker::new(1000);
+/// t.load(&[3, 5, 7])?;
+/// assert!(t.is_loaded(5));
+/// t.access(5)?;
+/// t.unload(&[5]);
+/// assert!(t.access(5).is_err());
+/// # Ok::<(), mlperf_datasets::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleTracker {
+    total: usize,
+    loaded: HashSet<usize>,
+    peak_resident: usize,
+    load_calls: u64,
+    accesses: u64,
+}
+
+impl SampleTracker {
+    /// Creates a tracker for a dataset of `total` samples.
+    pub fn new(total: usize) -> Self {
+        Self {
+            total,
+            ..Self::default()
+        }
+    }
+
+    /// Marks samples as loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::IndexOutOfRange`] if any index exceeds the
+    /// dataset length; no indices are loaded in that case.
+    pub fn load(&mut self, indices: &[usize]) -> Result<(), DatasetError> {
+        if let Some(bad) = indices.iter().find(|i| **i >= self.total) {
+            return Err(DatasetError::IndexOutOfRange {
+                index: *bad,
+                len: self.total,
+            });
+        }
+        self.load_calls += 1;
+        self.loaded.extend(indices.iter().copied());
+        self.peak_resident = self.peak_resident.max(self.loaded.len());
+        Ok(())
+    }
+
+    /// Marks samples as unloaded (unknown indices are ignored).
+    pub fn unload(&mut self, indices: &[usize]) {
+        for i in indices {
+            self.loaded.remove(i);
+        }
+    }
+
+    /// Whether a sample is currently resident.
+    pub fn is_loaded(&self, index: usize) -> bool {
+        self.loaded.contains(&index)
+    }
+
+    /// Records an access, enforcing residency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::SampleNotLoaded`] for non-resident samples.
+    pub fn access(&mut self, index: usize) -> Result<(), DatasetError> {
+        if !self.loaded.contains(&index) {
+            return Err(DatasetError::SampleNotLoaded(index));
+        }
+        self.accesses += 1;
+        Ok(())
+    }
+
+    /// Number of currently resident samples.
+    pub fn resident(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// Largest resident set seen.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Number of `load` calls.
+    pub fn load_calls(&self) -> u64 {
+        self.load_calls
+    }
+
+    /// Number of successful accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_access_unload_cycle() {
+        let mut t = SampleTracker::new(10);
+        t.load(&[1, 2, 3]).unwrap();
+        assert_eq!(t.resident(), 3);
+        t.access(2).unwrap();
+        t.unload(&[2]);
+        assert_eq!(t.resident(), 2);
+        assert!(matches!(t.access(2), Err(DatasetError::SampleNotLoaded(2))));
+        assert_eq!(t.accesses(), 1);
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_atomically() {
+        let mut t = SampleTracker::new(5);
+        assert!(t.load(&[1, 9]).is_err());
+        assert_eq!(t.resident(), 0, "failed load must not partially apply");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut t = SampleTracker::new(10);
+        t.load(&[0, 1, 2, 3]).unwrap();
+        t.unload(&[0, 1, 2, 3]);
+        t.load(&[4]).unwrap();
+        assert_eq!(t.peak_resident(), 4);
+        assert_eq!(t.load_calls(), 2);
+    }
+
+    #[test]
+    fn duplicate_loads_idempotent() {
+        let mut t = SampleTracker::new(10);
+        t.load(&[1, 1, 1]).unwrap();
+        assert_eq!(t.resident(), 1);
+    }
+
+    #[test]
+    fn unload_unknown_is_noop() {
+        let mut t = SampleTracker::new(3);
+        t.unload(&[7]);
+        assert_eq!(t.resident(), 0);
+    }
+}

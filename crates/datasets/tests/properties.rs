@@ -1,0 +1,79 @@
+//! Property-based tests for the synthetic datasets.
+
+use mlperf_datasets::{SampleTracker, SyntheticImages, SyntheticSentences};
+use mlperf_tensor::Shape;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn images_are_pure_functions(seed in any::<u64>(), len in 1usize..64, index in 0usize..64) {
+        prop_assume!(index < len);
+        let a = SyntheticImages::new(Shape::d3(2, 8, 8), len, seed);
+        let b = SyntheticImages::new(Shape::d3(2, 8, 8), len, seed);
+        prop_assert_eq!(a.input(index).unwrap(), b.input(index).unwrap());
+    }
+
+    #[test]
+    fn image_values_bounded_and_finite(seed in any::<u64>(), index in 0usize..16) {
+        let ds = SyntheticImages::new(Shape::d3(3, 8, 8), 16, seed);
+        let img = ds.input(index).unwrap();
+        prop_assert!(img.data().iter().all(|v| v.is_finite()));
+        prop_assert!(img.abs_max() <= 2.4);
+    }
+
+    #[test]
+    fn different_indices_differ(seed in any::<u64>(), a in 0usize..32, b in 0usize..32) {
+        prop_assume!(a != b);
+        let ds = SyntheticImages::new(Shape::d3(1, 8, 8), 32, seed);
+        prop_assert_ne!(ds.input(a).unwrap(), ds.input(b).unwrap());
+    }
+
+    #[test]
+    fn sentences_deterministic_and_in_vocab(
+        seed in any::<u64>(),
+        vocab in 2u32..500,
+        index in 0usize..64,
+    ) {
+        let c = SyntheticSentences::new(vocab, 64, seed, 2, 20);
+        let s1 = c.sentence(index).unwrap();
+        let s2 = c.sentence(index).unwrap();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert!(s1.iter().all(|t| *t < vocab));
+        prop_assert!((2..=20).contains(&s1.len()));
+        prop_assert_eq!(c.sentence_length(index).unwrap(), s1.len());
+    }
+
+    #[test]
+    fn tracker_load_access_unload_invariants(
+        ops in prop::collection::vec((0usize..64, 0u8..3), 1..100)
+    ) {
+        let mut t = SampleTracker::new(64);
+        let mut model: std::collections::HashSet<usize> = Default::default();
+        for (idx, op) in ops {
+            match op {
+                0 => {
+                    t.load(&[idx]).unwrap();
+                    model.insert(idx);
+                }
+                1 => {
+                    t.unload(&[idx]);
+                    model.remove(&idx);
+                }
+                _ => {
+                    prop_assert_eq!(t.access(idx).is_ok(), model.contains(&idx));
+                }
+            }
+            prop_assert_eq!(t.resident(), model.len());
+            prop_assert!(t.peak_resident() >= t.resident());
+        }
+    }
+
+    #[test]
+    fn tracker_rejects_out_of_range_loads(total in 1usize..100, beyond in 0usize..50) {
+        let mut t = SampleTracker::new(total);
+        prop_assert!(t.load(&[total + beyond]).is_err());
+        prop_assert_eq!(t.resident(), 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Runs the design-choice ablations of DESIGN.md: dynamic batching,
+//! offline length sorting, the latency-budgeted batch cap, and
+//! per-channel weight quantization.
+
+use mlperf_harness::{ablations, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("=== Ablations ===");
+    let results = ablations::run_all(profile);
+    println!("{}", ablations::render(&results));
+}

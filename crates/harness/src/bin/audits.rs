@@ -1,0 +1,93 @@
+//! Runs the compliance audits (Section V-B) against an honest engine and
+//! the three cheating SUTs, then prints the review statistics of the
+//! submission round ("we cleared 595 of 600 submissions as valid; 166 of
+//! ~180 closed-division results were released").
+
+use mlperf_audit::tests::{accuracy_verification, alternate_seed_test, caching_detection, custom_dataset_test};
+use mlperf_harness::{roundio, Profile};
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::query::ResponsePayload;
+use mlperf_loadgen::time::Nanos;
+use mlperf_models::{TaskId, Workload};
+use mlperf_stats::rng::SeedTriple;
+use mlperf_sut::cheats::{CachingSut, SeedSniffingSut, SloppyAccuracySut};
+use mlperf_sut::device::{Architecture, DeviceSpec};
+use mlperf_sut::engine::{BatchPolicy, DeviceSut};
+use std::sync::Arc;
+
+fn engine() -> DeviceSut {
+    DeviceSut::new(
+        DeviceSpec::new(
+            "audit-dev",
+            Architecture::Cpu,
+            100.0,
+            0.5,
+            8,
+            1,
+            Nanos::from_micros(100),
+        ),
+        Workload::new(TaskId::ImageClassificationLight),
+        BatchPolicy::Immediate,
+    )
+}
+
+fn settings() -> TestSettings {
+    TestSettings::single_stream()
+        .with_min_query_count(512)
+        .with_min_duration(Nanos::from_millis(1))
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("=== Compliance audits ===");
+
+    let mut honest = engine().with_payloads(Arc::new(|i| ResponsePayload::Class(i * 7 % 13)));
+    let mut qsl = MemoryQsl::new("audit-qsl", 256, 256);
+
+    println!("-- honest SUT --");
+    let r = caching_detection(&mut honest, 128, 256, 1.5).expect("audit runs");
+    println!("{r}");
+    let r = alternate_seed_test(&settings(), &mut qsl, &mut honest, 2, 1.3).expect("audit runs");
+    println!("{r}");
+    let r = accuracy_verification(&settings(), &mut qsl, &mut honest, 0.2).expect("audit runs");
+    println!("{r}");
+    let r = custom_dataset_test(&mut honest, 128, 256, 1.5).expect("audit runs");
+    println!("{r}");
+
+    println!("-- result-caching SUT --");
+    let mut cacher = CachingSut::new(engine(), 10);
+    let r = caching_detection(&mut cacher, 128, 256, 1.5).expect("audit runs");
+    println!("{r}");
+    let mut cacher = CachingSut::new(engine(), 10);
+    let r = custom_dataset_test(&mut cacher, 128, 256, 1.5).expect("audit runs");
+    println!("{r}");
+
+    println!("-- seed-sniffing SUT --");
+    let mut sniffer = SeedSniffingSut::new(engine(), SeedTriple::OFFICIAL.qsl_seed, 256, 1_000_000);
+    let r = alternate_seed_test(&settings(), &mut qsl, &mut sniffer, 2, 1.3).expect("audit runs");
+    println!("{r}");
+
+    println!("-- sloppy-accuracy SUT --");
+    let mut sloppy = SloppyAccuracySut::new(
+        engine().with_payloads(Arc::new(|i| ResponsePayload::Class(i * 7 % 13))),
+        3,
+    );
+    let r = accuracy_verification(&settings(), &mut qsl, &mut sloppy, 0.2).expect("audit runs");
+    println!("{r}");
+
+    println!();
+    println!("=== Submission-round review (Section VII-E) ===");
+    let (records, stats) = roundio::load_or_generate(profile);
+    println!("{stats}");
+    let closed: Vec<_> = records
+        .iter()
+        .filter(|r| r.division == mlperf_submission::types::Division::Closed)
+        .collect();
+    let released = closed.iter().filter(|r| r.is_released()).count();
+    println!(
+        "closed division: {} submitted, {} released (paper: ~180 submitted, 166 released)",
+        closed.len(),
+        released
+    );
+}

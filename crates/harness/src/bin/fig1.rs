@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 1 (classifier accuracy/complexity
+//! scatter) as a text table; Pareto-frontier models are starred.
+
+fn main() {
+    println!("=== Figure 1 ===");
+    println!("{}", mlperf_harness::tables::render_fig1());
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Figure 5 (closed-division results per model).
+
+use mlperf_harness::{roundio, Profile};
+use mlperf_submission::report::figure5_distribution;
+
+fn main() {
+    let profile = Profile::from_args();
+    let (records, _) = roundio::load_or_generate(profile);
+    println!("=== Figure 5 (closed-division results per model) ===");
+    for (task, count, share) in figure5_distribution(&records) {
+        println!(
+            "{:<20} {:>4} results {:>6.1}%  {}",
+            task.spec().model_name,
+            count,
+            share,
+            "#".repeat(count)
+        );
+    }
+}

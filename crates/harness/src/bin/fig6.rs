@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 6 (server-to-offline throughput
+//! degradation across eleven systems and five models).
+
+use mlperf_harness::{fig6, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let cells = fig6::compute(profile);
+    println!("=== Figure 6 (server/offline throughput ratio) ===");
+    println!("{}", fig6::render(&cells));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 7 (results per processor architecture).
+
+use mlperf_harness::{roundio, Profile};
+use mlperf_submission::report::render_figure7;
+
+fn main() {
+    let profile = Profile::from_args();
+    let (records, _) = roundio::load_or_generate(profile);
+    println!("=== Figure 7 (closed-division results per architecture) ===");
+    println!("{}", render_figure7(&records));
+}

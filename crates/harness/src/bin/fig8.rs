@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 8 (relative performance of all systems
+//! per model x scenario combination).
+
+use mlperf_harness::{fig8, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let columns = fig8::compute(profile);
+    println!("=== Figure 8 (relative performance per model x scenario) ===");
+    println!("{}", fig8::render(&columns));
+}

@@ -1,0 +1,31 @@
+//! Measures FP32 and INT8 quality for every reference task with the
+//! runnable proxy models, and checks the Table I quality windows
+//! (Section III-B): deployment-realistic post-training quantization must
+//! land within 99% (98% for MobileNet) of the FP32 reference.
+
+use mlperf_harness::Profile;
+use mlperf_models::{QualityTarget, TaskId};
+use mlperf_submission::round::measure_task_qualities;
+
+fn main() {
+    let profile = Profile::from_args();
+    let qualities = measure_task_qualities(0x7175_616c, profile.accuracy_samples());
+    println!("=== Quality targets (Table I windows, measured on proxies) ===");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "MODEL", "FP32", "QUANT", "THRESHOLD", "WINDOW", "MET?"
+    );
+    for task in TaskId::ALL {
+        let (fp32, int8) = qualities[&task];
+        let target = QualityTarget::for_task_with_reference(task, fp32);
+        println!(
+            "{:<20} {:>10.4} {:>10.4} {:>10.4} {:>7.0}% {:>8}",
+            task.spec().model_name,
+            fp32,
+            int8,
+            target.threshold(),
+            task.spec().quality_window * 100.0,
+            if target.is_met(int8) { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1.
+
+fn main() {
+    println!("=== Table 1 ===");
+    println!("{}", mlperf_harness::tables::render_table1());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2.
+
+fn main() {
+    println!("=== Table 2 ===");
+    println!("{}", mlperf_harness::tables::render_table2());
+}

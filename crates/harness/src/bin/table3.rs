@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 3.
+
+fn main() {
+    println!("=== Table 3 ===");
+    println!("{}", mlperf_harness::tables::render_table3());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4.
+
+fn main() {
+    println!("=== Table 4 ===");
+    println!("{}", mlperf_harness::tables::render_table4());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5.
+
+fn main() {
+    println!("=== Table 5 ===");
+    println!("{}", mlperf_harness::tables::render_table5());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table VI (result counts per model x scenario)
+//! from the reviewed submission round.
+
+use mlperf_harness::{roundio, Profile};
+use mlperf_submission::report::render_table_vi;
+
+fn main() {
+    let profile = Profile::from_args();
+    let (records, stats) = roundio::load_or_generate(profile);
+    println!("=== Table VI (closed division, released results) ===");
+    println!("{}", render_table_vi(&records));
+    println!("review: {stats}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table VII (framework x hardware architecture)
+//! from the reviewed submission round.
+
+use mlperf_harness::{roundio, Profile};
+use mlperf_submission::report::render_table_vii;
+
+fn main() {
+    let profile = Profile::from_args();
+    let (records, _) = roundio::load_or_generate(profile);
+    println!("=== Table VII (framework versus hardware architecture) ===");
+    println!("{}", render_table_vii(&records));
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the accuracy metrics.
+
+use mlperf_metrics::{
+    corpus_bleu, mean_average_precision, top1_accuracy, topk_accuracy, BoundingBox, Detection,
+    GroundTruth,
+};
+use proptest::prelude::*;
+
+fn boxes() -> impl Strategy<Value = BoundingBox> {
+    (0f32..50.0, 0f32..50.0, 1f32..50.0, 1f32..50.0)
+        .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #[test]
+    fn top1_in_unit_interval(
+        pairs in prop::collection::vec((0usize..10, 0usize..10), 1..100)
+    ) {
+        let (preds, labels): (Vec<usize>, Vec<usize>) = pairs.into_iter().unzip();
+        let acc = top1_accuracy(&preds, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn topk_monotone_in_k(
+        ranked in prop::collection::vec(prop::collection::vec(0usize..10, 5), 1..50),
+        labels_seed in prop::collection::vec(0usize..10, 50),
+    ) {
+        let labels = &labels_seed[..ranked.len()];
+        let mut prev = 0.0;
+        for k in 1..=5 {
+            let acc = topk_accuracy(&ranked, labels, k);
+            prop_assert!(acc >= prev - 1e-12);
+            prev = acc;
+        }
+    }
+
+    #[test]
+    fn iou_symmetric_and_bounded(a in boxes(), b in boxes()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn map_bounded_and_perfect_on_self(
+        gt_boxes in prop::collection::vec((0usize..4, 0usize..3, boxes()), 1..20)
+    ) {
+        let gts: Vec<GroundTruth> = gt_boxes
+            .iter()
+            .map(|(img, class, bbox)| GroundTruth { image_id: *img, class: *class, bbox: *bbox })
+            .collect();
+        // Echoing ground truth back as detections yields mAP close to 1
+        // (ties between identical overlapping boxes can cost a little).
+        let dets: Vec<Detection> = gts
+            .iter()
+            .map(|g| Detection { image_id: g.image_id, class: g.class, score: 0.9, bbox: g.bbox })
+            .collect();
+        let map = mean_average_precision(&dets, &gts, 0.5);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&map));
+        // Every detection matches *some* ground truth (its own twin), so the
+        // score is positive.
+        prop_assert!(map > 0.0);
+    }
+
+    #[test]
+    fn bleu_bounded_and_100_on_identity(
+        corpus in prop::collection::vec(prop::collection::vec(0u32..20, 1..15), 1..10)
+    ) {
+        let self_score = corpus_bleu(&corpus, &corpus);
+        prop_assert!((self_score - 100.0).abs() < 1e-6);
+        // Against a shifted-vocabulary corpus: zero overlap.
+        let shifted: Vec<Vec<u32>> = corpus.iter().map(|s| s.iter().map(|t| t + 100).collect()).collect();
+        let zero = corpus_bleu(&shifted, &corpus);
+        prop_assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn bleu_degrades_with_corruption(
+        sentences in prop::collection::vec(prop::collection::vec(0u32..10, 6..20), 3..8),
+    ) {
+        // Corrupting the tail of each candidate cannot raise BLEU above self-score.
+        let corrupted: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| {
+                let mut c = s.clone();
+                let n = c.len();
+                for t in c[n - 2..].iter_mut() {
+                    *t += 50;
+                }
+                c
+            })
+            .collect();
+        let clean = corpus_bleu(&sentences, &sentences);
+        let noisy = corpus_bleu(&corrupted, &sentences);
+        prop_assert!(noisy <= clean + 1e-9);
+        prop_assert!((0.0..=100.0).contains(&noisy));
+    }
+}

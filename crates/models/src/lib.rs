@@ -1,0 +1,35 @@
+//! The MLPerf Inference v0.5 reference-model suite.
+//!
+//! Two complementary representations of the five Table I workloads live
+//! here:
+//!
+//! * [`registry`](mod@registry) — the paper's exact workload descriptors: parameter
+//!   counts, operations per input, datasets, quality targets (Table I) and
+//!   per-task latency constraints (Table III). The simulated device fleet
+//!   computes service times from these real numbers.
+//! * [`proxy`] — *runnable* miniature stand-ins (MiniResNet, MiniMobileNet,
+//!   MiniSSD, MiniGNMT) built on `mlperf-nn` over the synthetic datasets.
+//!   Their teacher networks define the ground truth, so FP32 reference
+//!   quality and the INT8 quantization gap are *measured*, not asserted —
+//!   which is what the benchmark's quality-window rules (Section III-B)
+//!   need in order to be exercised honestly.
+//! * [`workload`] — per-sample operation counts (constant for vision,
+//!   sequence-length-dependent for GNMT) feeding the latency simulation.
+//! * [`quality`] — the 99%/98%-of-FP32 quality windows and their checks.
+//! * [`qsl`] — `QuerySampleLibrary` adapters for the proxy datasets.
+//! * [`zoo`] — a Figure 1-style catalog of classifier design points
+//!   (accuracy vs complexity Pareto context).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proxy;
+pub mod qsl;
+pub mod quality;
+pub mod registry;
+pub mod workload;
+pub mod zoo;
+
+pub use quality::QualityTarget;
+pub use registry::{registry, ReferenceModel, TaskId};
+pub use workload::Workload;

@@ -1,0 +1,104 @@
+//! A Figure 1-style catalog of image-classifier design points.
+//!
+//! The paper's Figure 1 (after Bianco et al., reference 9) motivates the benchmark:
+//! no single model is optimal — accuracy, operations, and parameters trade
+//! off along a Pareto frontier, with Top-1 spanning roughly 55–83% and a
+//! ~50× spread in GOPS. This module carries a representative set of public
+//! design points so the `fig1` harness can regenerate that scatter and so
+//! tests can check the frontier properties the paper cites.
+
+/// One classifier design point (publicly reported numbers, approximate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZooEntry {
+    /// Model family and variant.
+    pub name: &'static str,
+    /// ImageNet Top-1 accuracy, percent.
+    pub top1: f64,
+    /// Operations per inference, GOPS.
+    pub gops: f64,
+    /// Parameters, millions.
+    pub params_millions: f64,
+}
+
+/// Representative design points spanning the Figure 1 ranges.
+pub static ZOO: [ZooEntry; 16] = [
+    ZooEntry { name: "AlexNet", top1: 56.6, gops: 1.4, params_millions: 61.0 },
+    ZooEntry { name: "SqueezeNet-v1.1", top1: 58.2, gops: 0.7, params_millions: 1.2 },
+    ZooEntry { name: "GoogLeNet", top1: 68.1, gops: 3.0, params_millions: 7.0 },
+    ZooEntry { name: "MobileNet-v1", top1: 71.7, gops: 1.1, params_millions: 4.2 },
+    ZooEntry { name: "MobileNet-v2", top1: 72.0, gops: 0.9, params_millions: 3.5 },
+    ZooEntry { name: "VGG-16", top1: 71.6, gops: 31.0, params_millions: 138.0 },
+    ZooEntry { name: "VGG-19", top1: 72.4, gops: 39.0, params_millions: 144.0 },
+    ZooEntry { name: "ResNet-18", top1: 69.8, gops: 3.6, params_millions: 11.7 },
+    ZooEntry { name: "ResNet-50 v1.5", top1: 76.5, gops: 8.2, params_millions: 25.6 },
+    ZooEntry { name: "ResNet-101", top1: 77.4, gops: 15.7, params_millions: 44.5 },
+    ZooEntry { name: "DenseNet-121", top1: 74.5, gops: 5.7, params_millions: 8.0 },
+    ZooEntry { name: "Inception-v3", top1: 77.5, gops: 11.5, params_millions: 23.8 },
+    ZooEntry { name: "Xception", top1: 79.0, gops: 16.8, params_millions: 22.9 },
+    ZooEntry { name: "SE-ResNeXt-50", top1: 79.0, gops: 8.5, params_millions: 27.6 },
+    ZooEntry { name: "SENet-154", top1: 81.3, gops: 41.0, params_millions: 115.0 },
+    ZooEntry { name: "NASNet-A-Large", top1: 82.5, gops: 47.8, params_millions: 88.9 },
+];
+
+/// Entries on the accuracy/operations Pareto frontier (no other entry is
+/// both more accurate and cheaper).
+pub fn pareto_frontier() -> Vec<&'static ZooEntry> {
+    ZOO.iter()
+        .filter(|e| {
+            !ZOO.iter()
+                .any(|o| o.top1 > e.top1 && o.gops < e.gops)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_ranges_hold() {
+        let min_top1 = ZOO.iter().map(|e| e.top1).fold(f64::INFINITY, f64::min);
+        let max_top1 = ZOO.iter().map(|e| e.top1).fold(0.0, f64::max);
+        assert!((55.0..60.0).contains(&min_top1));
+        assert!((80.0..84.0).contains(&max_top1));
+        let min_gops = ZOO.iter().map(|e| e.gops).fold(f64::INFINITY, f64::min);
+        let max_gops = ZOO.iter().map(|e| e.gops).fold(0.0, f64::max);
+        // "a 50x difference in gigaflops" (Section II-A).
+        assert!(max_gops / min_gops > 45.0, "spread {}", max_gops / min_gops);
+    }
+
+    #[test]
+    fn se_resnext_vs_xception_anecdote() {
+        // "SE-ResNeXt-50 and Xception achieve roughly the same accuracy
+        // (~79%) but exhibit a 2x computational difference."
+        let se = ZOO.iter().find(|e| e.name == "SE-ResNeXt-50").unwrap();
+        let xc = ZOO.iter().find(|e| e.name == "Xception").unwrap();
+        assert_eq!(se.top1, xc.top1);
+        assert!((xc.gops / se.gops - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_sane() {
+        let frontier = pareto_frontier();
+        assert!(frontier.len() >= 4);
+        // MobileNet-v2 and NASNet-A-Large should both be on the frontier.
+        assert!(frontier.iter().any(|e| e.name == "MobileNet-v2"));
+        assert!(frontier.iter().any(|e| e.name == "NASNet-A-Large"));
+        // VGG-16 is strictly dominated.
+        assert!(!frontier.iter().any(|e| e.name == "VGG-16"));
+    }
+
+    #[test]
+    fn no_single_optimal_model() {
+        // The cheapest model is not the most accurate: a real tradeoff.
+        let cheapest = ZOO
+            .iter()
+            .min_by(|a, b| a.gops.partial_cmp(&b.gops).unwrap())
+            .unwrap();
+        let best = ZOO
+            .iter()
+            .max_by(|a, b| a.top1.partial_cmp(&b.top1).unwrap())
+            .unwrap();
+        assert_ne!(cheapest.name, best.name);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the NN inference engine.
+
+use mlperf_nn::gru::GruCell;
+use mlperf_nn::layer::Activation;
+use mlperf_nn::network::NetworkBuilder;
+use mlperf_nn::{Network, QNetwork};
+use mlperf_stats::Rng64;
+use mlperf_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tiny_net(seed: u64, classes: usize) -> Network {
+    let mut rng = Rng64::new(seed);
+    NetworkBuilder::new(Shape::d3(2, 8, 8))
+        .conv2d(4, 3, 1, 1, Activation::Relu, &mut rng)
+        .expect("static architecture")
+        .residual_block(Activation::Relu, &mut rng)
+        .expect("static architecture")
+        .global_avgpool()
+        .expect("static architecture")
+        .dense(classes, Activation::None, &mut rng)
+        .expect("static architecture")
+        .build()
+}
+
+fn input(seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::fill_with(Shape::d3(2, 8, 8), |_| rng.next_f64() as f32 * 2.0 - 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn forward_is_a_pure_function(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+        let net = tiny_net(net_seed, 8);
+        let x = input(in_seed);
+        prop_assert_eq!(net.forward(&x).unwrap(), net.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn network_construction_is_seed_deterministic(seed in any::<u64>()) {
+        prop_assert_eq!(tiny_net(seed, 8), tiny_net(seed, 8));
+    }
+
+    #[test]
+    fn output_shape_always_matches_declaration(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+        let net = tiny_net(net_seed, 5);
+        let out = net.forward(&input(in_seed)).unwrap();
+        prop_assert_eq!(out.shape(), net.output_shape());
+        prop_assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quantized_network_mostly_agrees_with_fp32(net_seed in any::<u64>()) {
+        let net = tiny_net(net_seed, 8);
+        let calib: Vec<Tensor> = (0..8).map(|i| input(net_seed ^ (i + 1))).collect();
+        let qnet = QNetwork::quantize(&net, &calib).unwrap();
+        let agree = (0..32)
+            .filter(|i| {
+                let x = input(net_seed.wrapping_add(1_000 + i));
+                net.forward(&x).unwrap().argmax() == qnet.forward(&x).unwrap().argmax()
+            })
+            .count();
+        prop_assert!(agree >= 26, "only {}/32 argmax agreements", agree);
+    }
+
+    #[test]
+    fn map_parameters_identity_is_identity(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+        let net = tiny_net(net_seed, 6);
+        let same = net.map_parameters(Clone::clone);
+        let x = input(in_seed);
+        prop_assert_eq!(net.forward(&x).unwrap(), same.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn int16_weight_roundtrip_is_near_lossless(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+        use mlperf_tensor::quant::per_channel_i16_roundtrip;
+        let net = tiny_net(net_seed, 6);
+        let q = net.map_parameters(per_channel_i16_roundtrip);
+        let x = input(in_seed);
+        let a = net.forward(&x).unwrap();
+        let b = q.forward(&x).unwrap();
+        let scale = a.abs_max().max(1e-3);
+        for (u, v) in a.data().iter().zip(b.data()) {
+            prop_assert!((u - v).abs() / scale < 1e-3, "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn gru_state_always_bounded(seed in any::<u64>(), steps in 1usize..64) {
+        let mut rng = Rng64::new(seed);
+        let cell = GruCell::new(6, 10, &mut rng);
+        let mut h = cell.zero_state();
+        for s in 0..steps {
+            let x = Tensor::fill_with(Shape::d1(6), |_| {
+                let mut r = Rng64::new(seed ^ s as u64);
+                r.next_f64() as f32 * 4.0 - 2.0
+            });
+            h = cell.step(&x, &h).unwrap();
+            prop_assert!(h.data().iter().all(|v| v.abs() <= 1.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn mac_count_stable_across_equal_architectures(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        // MACs depend on architecture, not weights.
+        prop_assert_eq!(tiny_net(seed_a, 8).mac_count(), tiny_net(seed_b, 8).mac_count());
+        prop_assert_eq!(tiny_net(seed_a, 8).param_count(), tiny_net(seed_b, 8).param_count());
+    }
+}

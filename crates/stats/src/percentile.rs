@@ -1,0 +1,278 @@
+//! Percentile estimation over recorded latencies.
+//!
+//! The LoadGen reports tail latencies with the **nearest-rank** convention:
+//! the p-th percentile of n samples is the value at (1-indexed) rank
+//! `ceil(p/100 * n)`. That is the definition [`Percentile::of`] implements
+//! and the one every scenario metric in this repository uses.
+//!
+//! For memory-bounded progress monitoring a streaming [`P2Estimator`]
+//! (Jain & Chlamtac's P² algorithm) is also provided; it is *not* used for
+//! official results.
+
+/// A percentile in `(0, 100)`, e.g. the 90th for single-stream or the 99th
+/// for server-scenario QoS.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Percentile(f64);
+
+impl Percentile {
+    /// The single-stream reporting percentile (Table II).
+    pub const P90: Percentile = Percentile(90.0);
+    /// The vision-task server/multistream QoS percentile (Table IV).
+    pub const P99: Percentile = Percentile(99.0);
+    /// The translation-task QoS percentile (Section III-D).
+    pub const P97: Percentile = Percentile(97.0);
+
+    /// Creates a percentile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PercentileError::OutOfRange`] unless `0 < value < 100`.
+    pub fn new(value: f64) -> Result<Self, PercentileError> {
+        if !(value.is_finite() && value > 0.0 && value < 100.0) {
+            return Err(PercentileError::OutOfRange(value));
+        }
+        Ok(Self(value))
+    }
+
+    /// The percentile as a number in `(0, 100)`.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// The percentile as a fraction in `(0, 1)`.
+    pub fn fraction(&self) -> f64 {
+        self.0 / 100.0
+    }
+
+    /// Nearest-rank percentile of `sorted` (ascending) samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted` is empty; callers gate on having recorded at least
+    /// one latency.
+    pub fn of_sorted<T: Copy>(&self, sorted: &[T]) -> T {
+        assert!(!sorted.is_empty(), "percentile of empty sample set");
+        let n = sorted.len();
+        let rank = (self.fraction() * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Nearest-rank percentile of unsorted samples (copies and sorts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of<T: Copy + Ord>(&self, samples: &[T]) -> T {
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        self.of_sorted(&v)
+    }
+}
+
+impl std::fmt::Display for Percentile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Errors from percentile construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PercentileError {
+    /// The requested percentile was outside `(0, 100)` or non-finite.
+    OutOfRange(f64),
+}
+
+impl std::fmt::Display for PercentileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PercentileError::OutOfRange(v) => {
+                write!(f, "percentile must lie strictly between 0 and 100, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PercentileError {}
+
+/// Streaming P² quantile estimator (Jain & Chlamtac, 1985).
+///
+/// Tracks one quantile with O(1) memory. Used for live progress display of
+/// long runs; official results always use the exact nearest-rank computation.
+#[derive(Debug, Clone)]
+pub struct P2Estimator {
+    p: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    bootstrap: Vec<f64>,
+}
+
+impl P2Estimator {
+    /// Creates an estimator for `percentile`.
+    pub fn new(percentile: Percentile) -> Self {
+        let p = percentile.fraction();
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            bootstrap: Vec::with_capacity(5),
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.bootstrap.len() < 5 {
+            self.bootstrap.push(x);
+            if self.bootstrap.len() == 5 {
+                self.bootstrap
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                self.heights.copy_from_slice(&self.bootstrap);
+            }
+            return;
+        }
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Index of the cell containing x.
+            (1..5)
+                .position(|i| x < self.heights[i])
+                .map(|i| i)
+                .unwrap_or(3)
+        };
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate, or `None` before any observation.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.bootstrap.len() < 5 {
+            let mut v = self.bootstrap.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let rank = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return Some(v[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+
+    /// Number of observations fed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_values() {
+        let data: Vec<u64> = (1..=10).collect();
+        assert_eq!(Percentile::P90.of(&data), 9);
+        assert_eq!(Percentile::new(50.0).unwrap().of(&data), 5);
+        assert_eq!(Percentile::new(10.0).unwrap().of(&data), 1);
+        assert_eq!(Percentile::P99.of(&data), 10);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        assert_eq!(Percentile::P90.of(&[42u64]), 42);
+        assert_eq!(Percentile::new(1.0).unwrap().of(&[42u64]), 42);
+    }
+
+    #[test]
+    fn table_ii_percentiles_exist() {
+        assert_eq!(Percentile::P90.value(), 90.0);
+        assert_eq!(Percentile::P99.value(), 99.0);
+        assert_eq!(Percentile::P97.value(), 97.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Percentile::new(0.0).is_err());
+        assert!(Percentile::new(100.0).is_err());
+        assert!(Percentile::new(-5.0).is_err());
+        assert!(Percentile::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_samples_panic() {
+        Percentile::P90.of::<u64>(&[]);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantile() {
+        let mut est = P2Estimator::new(Percentile::P90);
+        let mut rng = Rng64::new(1);
+        for _ in 0..100_000 {
+            est.observe(rng.next_f64());
+        }
+        let e = est.estimate().unwrap();
+        assert!((e - 0.9).abs() < 0.01, "estimate={e}");
+    }
+
+    #[test]
+    fn p2_small_sample_exact() {
+        let mut est = P2Estimator::new(Percentile::new(50.0).unwrap());
+        assert_eq!(est.estimate(), None);
+        est.observe(3.0);
+        est.observe(1.0);
+        est.observe(2.0);
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Percentile::P90.to_string(), "p90");
+        assert!(!PercentileError::OutOfRange(0.0).to_string().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the statistical substrate.
+
+use mlperf_stats::confidence::{
+    inverse_normal_cdf, margin_for, standard_normal_cdf, Confidence, QueryCountPlan,
+    QUERY_COUNT_GRANULE,
+};
+use mlperf_stats::percentile::P2Estimator;
+use mlperf_stats::{Percentile, Rng64};
+use proptest::prelude::*;
+
+/// Naive reference implementation of nearest-rank percentile.
+fn naive_percentile(p: f64, data: &[u64]) -> u64 {
+    let mut v = data.to_vec();
+    v.sort_unstable();
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentile_matches_naive(
+        data in prop::collection::vec(0u64..1_000_000, 1..500),
+        p in 1u32..100,
+    ) {
+        let pct = Percentile::new(f64::from(p)).unwrap();
+        prop_assert_eq!(pct.of(&data), naive_percentile(f64::from(p), &data));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(
+        data in prop::collection::vec(0u64..1_000_000, 1..200),
+        lo in 1u32..50,
+        hi in 50u32..100,
+    ) {
+        let plo = Percentile::new(f64::from(lo)).unwrap().of(&data);
+        let phi = Percentile::new(f64::from(hi)).unwrap().of(&data);
+        prop_assert!(plo <= phi);
+    }
+
+    #[test]
+    fn percentile_is_an_element(data in prop::collection::vec(0u64..1000, 1..100), p in 1u32..100) {
+        let v = Percentile::new(f64::from(p)).unwrap().of(&data);
+        prop_assert!(data.contains(&v));
+    }
+
+    #[test]
+    fn query_count_monotone_in_tail(tail_a in 0.5f64..0.98, delta in 0.001f64..0.019) {
+        // Stricter tails (closer to 1) always need more queries under Eq. 1+2.
+        let a = QueryCountPlan::new(tail_a, Confidence::C99, margin_for(tail_a)).unwrap();
+        let tail_b = tail_a + delta;
+        let b = QueryCountPlan::new(tail_b, Confidence::C99, margin_for(tail_b)).unwrap();
+        prop_assert!(a.raw_queries() <= b.raw_queries(),
+            "tail {} -> {} queries, tail {} -> {}", tail_a, a.raw_queries(), tail_b, b.raw_queries());
+    }
+
+    #[test]
+    fn query_count_monotone_in_confidence(tail in 0.5f64..0.995, c_lo in 0.5f64..0.9, bump in 0.01f64..0.09) {
+        let m = margin_for(tail);
+        let lo = QueryCountPlan::new(tail, Confidence::new(c_lo).unwrap(), m).unwrap();
+        let hi = QueryCountPlan::new(tail, Confidence::new(c_lo + bump).unwrap(), m).unwrap();
+        prop_assert!(lo.raw_queries() <= hi.raw_queries());
+    }
+
+    #[test]
+    fn rounding_invariants(tail in 0.5f64..0.995) {
+        let plan = QueryCountPlan::new(tail, Confidence::C99, margin_for(tail)).unwrap();
+        let rounded = plan.rounded_queries();
+        prop_assert_eq!(rounded % QUERY_COUNT_GRANULE, 0);
+        prop_assert!(rounded >= plan.raw_queries());
+        prop_assert!(rounded - plan.raw_queries() < QUERY_COUNT_GRANULE);
+    }
+
+    #[test]
+    fn inverse_cdf_roundtrip(p in 0.0001f64..0.9999) {
+        let x = inverse_normal_cdf(p);
+        prop_assert!((standard_normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_cdf_monotone(p in 0.001f64..0.99, d in 0.0001f64..0.009) {
+        prop_assert!(inverse_normal_cdf(p) < inverse_normal_cdf(p + d));
+    }
+
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>()) {
+        let mut a = Rng64::new(seed);
+        let mut b = Rng64::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn sample_with_replacement_in_range(seed in any::<u64>(), pop in 1usize..5000, count in 0usize..256) {
+        let mut r = Rng64::new(seed);
+        for idx in r.sample_with_replacement(pop, count) {
+            prop_assert!(idx < pop);
+        }
+    }
+
+    #[test]
+    fn p2_stays_within_observed_range(
+        seed in any::<u64>(),
+        n in 10usize..2000,
+        p in 1u32..100,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let mut est = P2Estimator::new(Percentile::new(f64::from(p)).unwrap());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..n {
+            let x = rng.next_f64() * 100.0;
+            lo = lo.min(x);
+            hi = hi.max(x);
+            est.observe(x);
+        }
+        let e = est.estimate().unwrap();
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "estimate {} outside [{}, {}]", e, lo, hi);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the simulated devices and engines.
+
+use mlperf_loadgen::query::{Query, QuerySample};
+use mlperf_loadgen::sut::SimSut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_models::{TaskId, Workload};
+use mlperf_stats::Rng64;
+use mlperf_sut::device::{Architecture, DeviceSpec};
+use mlperf_sut::engine::{BatchPolicy, DeviceSut};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn spec(peak: f64, work_half: f64, units: usize) -> DeviceSpec {
+    DeviceSpec::new(
+        "prop-dev",
+        Architecture::Gpu,
+        peak,
+        work_half,
+        32,
+        units,
+        Nanos::from_micros(100),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn utilization_is_monotone_and_bounded(
+        work_half in 0.0f64..100.0,
+        w1 in 0.01f64..1_000.0,
+        delta in 0.01f64..1_000.0,
+    ) {
+        let d = spec(1_000.0, work_half, 1);
+        let (u1, u2) = (d.utilization(w1), d.utilization(w1 + delta));
+        prop_assert!(u1 > 0.0 && u1 <= 1.0);
+        prop_assert!(u2 >= u1);
+    }
+
+    #[test]
+    fn service_time_monotone_in_work(
+        peak in 10.0f64..50_000.0,
+        work_half in 0.0f64..50.0,
+        w in 0.1f64..500.0,
+        delta in 0.1f64..500.0,
+    ) {
+        let d = spec(peak, work_half, 1);
+        let mut rng = Rng64::new(1);
+        let t1 = d.service_time(w, 1, Nanos::ZERO, &mut rng);
+        let t2 = d.service_time(w + delta, 1, Nanos::ZERO, &mut rng);
+        prop_assert!(t2 >= t1, "{} !>= {}", t2, t1);
+    }
+
+    #[test]
+    fn tuned_for_clamps_and_scales(ops in 0.0001f64..100_000.0) {
+        let d = spec(1_000.0, 10.0, 1);
+        let tuned = d.tuned_for(ops);
+        let factor = tuned.work_half_gops / d.work_half_gops;
+        prop_assert!((0.2..=8.0).contains(&factor), "factor {}", factor);
+    }
+
+    #[test]
+    fn engine_completes_every_sample_exactly_once(
+        seed in any::<u64>(),
+        queries in 1usize..40,
+        samples_per_query in 1usize..6,
+        use_batcher in any::<bool>(),
+    ) {
+        let policy = if use_batcher {
+            BatchPolicy::DynamicBatch {
+                timeout: Nanos::from_millis(1),
+                max_batch: 8,
+            }
+        } else {
+            BatchPolicy::Immediate
+        };
+        let mut sut = DeviceSut::new(
+            spec(1_000.0, 2.0, 2),
+            Workload::new(TaskId::ImageClassificationLight),
+            policy,
+        )
+        .with_seed(seed);
+        let mut rng = Rng64::new(seed ^ 1);
+        let mut expected: HashSet<u64> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        // All emitted wakeups stay live, exactly like the DES heap.
+        let mut wakeups: std::collections::BinaryHeap<std::cmp::Reverse<Nanos>> =
+            Default::default();
+        let mut now = Nanos::ZERO;
+        let mut sid = 0u64;
+        for q in 0..queries {
+            now += Nanos::from_micros(rng.next_below(2_000));
+            let query = Query {
+                id: q as u64,
+                samples: (0..samples_per_query)
+                    .map(|_| {
+                        let s = QuerySample { id: sid, index: rng.next_index(64) };
+                        sid += 1;
+                        s
+                    })
+                    .collect(),
+                scheduled_at: now,
+                tenant: 0,
+            };
+            expected.extend(query.samples.iter().map(|s| s.id));
+            let reaction = sut.on_query(now, &query);
+            for c in &reaction.completions {
+                prop_assert!(c.finished_at >= now);
+                for s in &c.samples {
+                    prop_assert!(seen.insert(s.sample_id), "sample {} completed twice", s.sample_id);
+                }
+            }
+            if let Some(w) = reaction.wakeup_at {
+                wakeups.push(std::cmp::Reverse(w));
+            }
+        }
+        // Drain: keep firing wakeups until the engine settles.
+        let mut guard = 0;
+        while let Some(std::cmp::Reverse(at)) = wakeups.pop() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "wakeup loop did not converge");
+            now = now.max(at);
+            let reaction = sut.on_wakeup(now);
+            for c in &reaction.completions {
+                for s in &c.samples {
+                    prop_assert!(seen.insert(s.sample_id), "sample {} completed twice", s.sample_id);
+                }
+            }
+            if let Some(w) = reaction.wakeup_at {
+                wakeups.push(std::cmp::Reverse(w));
+            }
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn engine_is_deterministic_given_seed(seed in any::<u64>()) {
+        let run = || {
+            let mut sut = DeviceSut::new(
+                spec(500.0, 1.0, 1),
+                Workload::new(TaskId::ImageClassificationHeavy),
+                BatchPolicy::Immediate,
+            )
+            .with_seed(seed);
+            (0..10)
+                .map(|q| {
+                    let query = Query {
+                        id: q,
+                        samples: vec![QuerySample { id: q, index: q as usize }],
+                        scheduled_at: Nanos::from_micros(q * 100),
+                        tenant: 0,
+                    };
+                    sut.on_query(Nanos::from_micros(q * 100), &query).completions[0].finished_at
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn variable_workload_padding_never_cheaper_than_sum(
+        seed in any::<u64>(),
+        n in 2usize..32,
+    ) {
+        // A padded batch of GNMT samples must cost at least the longest
+        // sample times the batch size; completing n samples unsorted takes
+        // at least as long as sorted.
+        let w = Workload::new(TaskId::MachineTranslation);
+        let query = Query {
+            id: 0,
+            samples: (0..n)
+                .map(|i| QuerySample {
+                    id: i as u64,
+                    index: Rng64::new(seed ^ i as u64).next_index(1_000),
+                })
+                .collect(),
+            scheduled_at: Nanos::ZERO,
+            tenant: 0,
+        };
+        let unsorted = DeviceSut::new(spec(1_000.0, 1.0, 1), w.clone(), BatchPolicy::Immediate)
+            .on_query(Nanos::ZERO, &query)
+            .completions[0]
+            .finished_at;
+        let sorted = DeviceSut::new(spec(1_000.0, 1.0, 1), w, BatchPolicy::Immediate)
+            .with_length_sorting()
+            .on_query(Nanos::ZERO, &query)
+            .completions[0]
+            .finished_at;
+        prop_assert!(sorted <= unsorted, "sorted {} > unsorted {}", sorted, unsorted);
+    }
+}

@@ -1,0 +1,36 @@
+//! A minimal, dependency-free tensor library for the MLPerf Inference
+//! reproduction.
+//!
+//! The paper's submitters run reference models through full frameworks
+//! (TensorFlow, PyTorch, TensorRT, ...). This crate is the corresponding
+//! substrate here: just enough real numerical machinery — dense f32 tensors,
+//! the NN kernels the proxy models need, and symmetric INT8 quantization with
+//! i32 accumulation — for accuracy mode to produce *genuine* predictions and
+//! for quantization to cause *genuine* (small) accuracy loss, which is what
+//! the benchmark's quality-target rules are about.
+//!
+//! Layout convention: activations are `[C, H, W]` (single sample) and weights
+//! are `[OutC, InC, KH, KW]`; batching is handled one level up in `mlperf-nn`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlperf_tensor::{Tensor, Shape};
+//!
+//! let t = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! assert_eq!(t.shape().dims(), &[2, 3]);
+//! assert_eq!(t.at(&[1, 2]), 6.0);
+//! # Ok::<(), mlperf_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+
+pub use quant::{QTensor, QuantParams};
+pub use shape::Shape;
+pub use tensor::{Tensor, TensorError};

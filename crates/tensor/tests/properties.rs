@@ -1,0 +1,117 @@
+//! Property-based tests for tensor kernels.
+
+use mlperf_tensor::ops::{conv2d, dense, matmul, relu, softmax, Conv2dParams};
+use mlperf_tensor::{QTensor, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..100).prop_map(|x| x as f32 / 10.0)
+}
+
+proptest! {
+    #[test]
+    fn conv2d_is_linear_in_input(
+        a in prop::collection::vec(small_f32(), 16),
+        b in prop::collection::vec(small_f32(), 16),
+        w in prop::collection::vec(small_f32(), 9),
+    ) {
+        // conv(a + b) == conv(a) + conv(b) with zero bias.
+        let ta = Tensor::from_vec(Shape::d3(1, 4, 4), a).unwrap();
+        let tb = Tensor::from_vec(Shape::d3(1, 4, 4), b).unwrap();
+        let tw = Tensor::from_vec(Shape::d4(1, 1, 3, 3), w).unwrap();
+        let bias = Tensor::zeros(Shape::d1(1));
+        let lhs = conv2d(&ta.add(&tb).unwrap(), &tw, &bias, Conv2dParams::UNIT).unwrap();
+        let ra = conv2d(&ta, &tw, &bias, Conv2dParams::UNIT).unwrap();
+        let rb = conv2d(&tb, &tw, &bias, Conv2dParams::UNIT).unwrap();
+        let rhs = ra.add(&rb).unwrap();
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-3, "{} vs {}", l, r);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_dense_per_row(
+        a in prop::collection::vec(small_f32(), 6),
+        b in prop::collection::vec(small_f32(), 6),
+    ) {
+        // [2x3] * [3x2]: each output row equals dense() of that row against b^T.
+        let ta = Tensor::from_vec(Shape::d2(2, 3), a.clone()).unwrap();
+        let tb = Tensor::from_vec(Shape::d2(3, 2), b.clone()).unwrap();
+        let mm = matmul(&ta, &tb).unwrap();
+        // Build b^T as a dense weight [2, 3].
+        let mut wt = vec![0.0f32; 6];
+        for i in 0..3 {
+            for j in 0..2 {
+                wt[j * 3 + i] = b[i * 2 + j];
+            }
+        }
+        let weight = Tensor::from_vec(Shape::d2(2, 3), wt).unwrap();
+        let bias = Tensor::zeros(Shape::d1(2));
+        for row in 0..2 {
+            let x = Tensor::from_vec(Shape::d1(3), a[row * 3..(row + 1) * 3].to_vec()).unwrap();
+            let d = dense(&x, &weight, &bias).unwrap();
+            for j in 0..2 {
+                prop_assert!((d.data()[j] - mm.at(&[row, j])).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(data in prop::collection::vec(small_f32(), 1..64)) {
+        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+        let once = relu(&t);
+        prop_assert!(once.data().iter().all(|x| *x >= 0.0));
+        let twice = relu(&once);
+        prop_assert_eq!(twice.data(), once.data());
+    }
+
+    #[test]
+    fn softmax_is_distribution(data in prop::collection::vec(small_f32(), 1..32)) {
+        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+        let s = softmax(&t).unwrap();
+        let sum: f32 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(s.data().iter().all(|p| *p >= 0.0 && *p <= 1.0));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(data in prop::collection::vec(-50i32..50, 2..32)) {
+        // Distinct integer logits: argmax survives softmax exactly.
+        let mut seen = std::collections::HashSet::new();
+        prop_assume!(data.iter().all(|x| seen.insert(*x)));
+        let t = Tensor::from_vec(Shape::d1(data.len()), data.iter().map(|x| *x as f32).collect()).unwrap();
+        prop_assert_eq!(softmax(&t).unwrap().argmax(), t.argmax());
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bound(data in prop::collection::vec(small_f32(), 1..128)) {
+        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+        let q = QTensor::quantize(&t);
+        let back = q.dequantize();
+        let bound = q.params().scale() / 2.0 + 1e-6;
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} bound {}", a, b, bound);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent_on_grid(data in prop::collection::vec(small_f32(), 1..64)) {
+        // Quantizing an already-dequantized tensor with the same params is lossless.
+        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+        let q = QTensor::quantize(&t);
+        let back = q.dequantize();
+        let q2 = QTensor::quantize_with(&back, q.params());
+        prop_assert_eq!(q.data(), q2.data());
+    }
+
+    #[test]
+    fn fill_with_matches_at(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(&dims);
+        let t = Tensor::fill_with(shape.clone(), |i| i.iter().sum::<usize>() as f32);
+        // Spot-check the first and last index.
+        let zero = vec![0usize; dims.len()];
+        prop_assert_eq!(t.at(&zero), 0.0);
+        let last: Vec<usize> = dims.iter().map(|d| d - 1).collect();
+        prop_assert_eq!(t.at(&last), last.iter().sum::<usize>() as f32);
+    }
+}

@@ -1,0 +1,85 @@
+//! Accuracy mode + compliance audits end to end: quantize the MobileNet
+//! proxy to INT8, run the LoadGen in accuracy mode, score the logged
+//! responses against the quality window, then run the Section V-B audits —
+//! including catching a result-caching cheater.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example accuracy_and_audit
+//! ```
+
+use mlperf_inference::audit::tests::{accuracy_verification, caching_detection};
+use mlperf_inference::loadgen::config::{TestMode, TestSettings};
+use mlperf_inference::loadgen::des::run_simulated;
+use mlperf_inference::loadgen::query::ResponsePayload;
+use mlperf_inference::loadgen::scenario::Scenario;
+use mlperf_inference::loadgen::time::Nanos;
+use mlperf_inference::models::proxy::{ClassifierProxy, Precision};
+use mlperf_inference::models::qsl::TaskQsl;
+use mlperf_inference::models::{QualityTarget, TaskId};
+use mlperf_inference::sut::cheats::CachingSut;
+use mlperf_inference::sut::fleet::fleet;
+use mlperf_inference::sut::proxy_sut::classifier_sut;
+use std::sync::Arc;
+
+fn main() {
+    let task = TaskId::ImageClassificationLight;
+    let samples = 300;
+    println!("building {} proxy ({} samples)...", task.spec().model_name, samples);
+    let proxy = Arc::new(ClassifierProxy::new(task, samples, 0xacc));
+    let fp32 = proxy.accuracy(Precision::Fp32);
+    println!("FP32 reference accuracy: {fp32:.4}");
+
+    // Accuracy-mode LoadGen run with the INT8 proxy on a mobile device.
+    let system = fleet()
+        .into_iter()
+        .find(|s| s.spec.name == "mobile-npu")
+        .expect("fleet contains the mobile NPU");
+    let mut sut = classifier_sut(
+        system.spec.clone(),
+        Arc::clone(&proxy),
+        Precision::Quantized,
+        mlperf_inference::sut::engine::BatchPolicy::Immediate,
+    );
+    let settings = TestSettings::offline().with_mode(TestMode::AccuracyOnly);
+    let mut qsl = TaskQsl::for_task(task, samples);
+    let outcome = run_simulated(&settings, &mut qsl, &mut sut).expect("well-formed run");
+
+    // The accuracy script: score logged responses against ground truth.
+    let mut predictions = vec![0usize; samples];
+    for entry in &outcome.accuracy_log {
+        if let ResponsePayload::Class(c) = entry.payload {
+            predictions[entry.sample_index] = c;
+        }
+    }
+    let int8 = proxy.score(&predictions);
+    let target = QualityTarget::for_task_with_reference(task, fp32);
+    println!(
+        "INT8 accuracy from the LoadGen log: {int8:.4} (threshold {:.4}, window {:.0}%) -> {}",
+        target.threshold(),
+        task.spec().quality_window * 100.0,
+        if target.is_met(int8) { "PASS" } else { "FAIL" }
+    );
+
+    // Compliance audits.
+    let perf_settings = TestSettings::single_stream()
+        .with_min_query_count(512)
+        .with_min_duration(Nanos::from_millis(1));
+    let mut honest = system.sut_for(task, Scenario::SingleStream);
+    let report = caching_detection(&mut honest, 256, 512, 1.5).expect("audit runs");
+    println!("honest SUT      : {report}");
+    let mut cheater = CachingSut::new(system.sut_for(task, Scenario::SingleStream), 10);
+    let report = caching_detection(&mut cheater, 256, 512, 1.5).expect("audit runs");
+    println!("caching cheater : {report}");
+    let mut qsl = TaskQsl::for_task(task, samples);
+    let mut sut = classifier_sut(
+        system.spec.clone(),
+        proxy,
+        Precision::Quantized,
+        mlperf_inference::sut::engine::BatchPolicy::Immediate,
+    );
+    let report =
+        accuracy_verification(&perf_settings, &mut qsl, &mut sut, 0.2).expect("audit runs");
+    println!("TEST01 on proxy : {report}");
+}

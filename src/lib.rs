@@ -1,0 +1,37 @@
+//! MLPerf Inference v0.5 benchmark system — Rust reproduction.
+//!
+//! Umbrella crate re-exporting the whole workspace. Start with the
+//! [`loadgen`] module (the paper's primary contribution), drive it against
+//! the simulated [`sut`] fleet or your own implementation of
+//! [`loadgen::sut::SimSut`], and score accuracy runs with [`metrics`].
+//!
+//! ```
+//! use mlperf_inference::loadgen::config::TestSettings;
+//! use mlperf_inference::loadgen::des::run_simulated;
+//! use mlperf_inference::loadgen::qsl::MemoryQsl;
+//! use mlperf_inference::loadgen::sut::FixedLatencySut;
+//! use mlperf_inference::loadgen::time::Nanos;
+//!
+//! let settings = TestSettings::single_stream()
+//!     .with_min_query_count(64)
+//!     .with_min_duration(Nanos::from_millis(1));
+//! let mut qsl = MemoryQsl::new("toy", 32, 32);
+//! let mut sut = FixedLatencySut::new("demo", Nanos::from_micros(100));
+//! let outcome = run_simulated(&settings, &mut qsl, &mut sut)?;
+//! assert!(outcome.result.is_valid());
+//! # Ok::<(), mlperf_inference::loadgen::LoadGenError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mlperf_audit as audit;
+pub use mlperf_datasets as datasets;
+pub use mlperf_loadgen as loadgen;
+pub use mlperf_metrics as metrics;
+pub use mlperf_models as models;
+pub use mlperf_nn as nn;
+pub use mlperf_stats as stats;
+pub use mlperf_submission as submission;
+pub use mlperf_sut as sut;
+pub use mlperf_tensor as tensor;

@@ -1,0 +1,170 @@
+//! The rulebook must have teeth: these tests check that each rule catches
+//! the behaviour it exists to prevent.
+
+use mlperf_inference::audit::checker::{check_submission, CheckFinding, SubmissionCheckInput};
+use mlperf_inference::loadgen::config::TestSettings;
+use mlperf_inference::loadgen::des::run_simulated;
+use mlperf_inference::loadgen::scenario::Scenario;
+use mlperf_inference::loadgen::time::Nanos;
+use mlperf_inference::loadgen::validate::ValidityIssue;
+use mlperf_inference::models::qsl::TaskQsl;
+use mlperf_inference::models::TaskId;
+use mlperf_inference::sut::device::{Architecture, DeviceSpec, ThermalModel};
+use mlperf_inference::sut::engine::{BatchPolicy, DeviceSut};
+use mlperf_inference::sut::fleet::fleet;
+use mlperf_inference::models::Workload;
+
+/// A short run lets a big parallel machine absorb an over-capacity burst
+/// entirely within the latency bound; the minimum-duration rule exists so
+/// queue divergence has time to surface. (This reproduction caught exactly
+/// this failure mode during development.)
+#[test]
+fn minimum_duration_defeats_burst_absorption() {
+    let sys = fleet()
+        .into_iter()
+        .find(|s| s.spec.name == "multi-gpu-server")
+        .expect("fleet contains the multi-GPU server");
+    let task = TaskId::MachineTranslation;
+    let spec = task.spec();
+    // Several times beyond physical capacity (~7.5k samples/s).
+    let impossible_qps = 40_000.0;
+    let mut qsl = TaskQsl::for_task(task, 3_903);
+
+    // Short run: the burst fits in the machine, the bound appears to hold.
+    let short = TestSettings::server(impossible_qps, spec.server_latency_bound)
+        .with_min_query_count(64)
+        .with_min_duration(Nanos::from_micros(200))
+        .with_latency_percentile(mlperf_inference::stats::Percentile::P97);
+    let mut sut = sys.sut_for(task, Scenario::Server);
+    let out = run_simulated(&short, &mut qsl, &mut sut).expect("run completes");
+    assert!(
+        out.result.is_valid(),
+        "premise: a too-short run hides the overload"
+    );
+
+    // A duration-respecting run exposes the divergence.
+    let long = short.clone().with_min_duration(Nanos::from_secs(4));
+    let mut sut = sys.sut_for(task, Scenario::Server);
+    let out = run_simulated(&long, &mut qsl, &mut sut).expect("run completes");
+    assert!(
+        !out.result.is_valid(),
+        "long run must expose the overload: {:?}",
+        out.result.metric
+    );
+    assert!(out
+        .result
+        .validity
+        .iter()
+        .any(|i| matches!(i, ValidityIssue::LatencyBoundExceeded { .. })));
+}
+
+/// DVFS/thermal equilibrium: a boosted device looks faster in a short
+/// single-stream run than in a 60-second one — the other reason the
+/// minimum-duration rule exists (Section III-D).
+#[test]
+fn minimum_duration_sees_through_thermal_boost() {
+    let spec = DeviceSpec::new(
+        "boosted-phone",
+        Architecture::Asic,
+        50.0,
+        0.2,
+        8,
+        1,
+        Nanos::from_micros(500),
+    )
+    .with_thermal(ThermalModel {
+        boost: 1.5,
+        decay_secs: 5.0,
+    });
+    let run = |duration: Nanos| {
+        let mut sut = DeviceSut::new(
+            spec.clone(),
+            Workload::new(TaskId::ImageClassificationLight),
+            BatchPolicy::Immediate,
+        );
+        let mut qsl = TaskQsl::for_task(TaskId::ImageClassificationLight, 1_024);
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(16)
+            .with_min_duration(duration);
+        run_simulated(&settings, &mut qsl, &mut sut)
+            .expect("run completes")
+            .result
+            .latency_stats
+            .expect("queries completed")
+            .p90
+    };
+    let burst = run(Nanos::from_millis(10));
+    let sustained = run(Nanos::from_secs(60));
+    assert!(
+        sustained.as_secs_f64() > burst.as_secs_f64() * 1.2,
+        "sustained p90 {sustained} should be well above boosted-burst p90 {burst}"
+    );
+}
+
+/// The submission checker enforces Table V query counts per task class.
+#[test]
+fn checker_distinguishes_vision_and_translation_requirements() {
+    let sys = fleet()
+        .into_iter()
+        .find(|s| s.spec.name == "server-cpu")
+        .expect("fleet contains the server CPU");
+    let task = TaskId::MachineTranslation;
+    let mut qsl = TaskQsl::for_task(task, 3_903);
+    let mut sut = sys.sut_for(task, Scenario::SingleStream);
+    // 100,000 queries: enough for translation (90,112) but not vision.
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(100_000)
+        .with_min_duration(Nanos::from_millis(1));
+    let mut result = run_simulated(&settings, &mut qsl, &mut sut)
+        .expect("run completes")
+        .result;
+    // Re-badge the run as a server result: the Table V minimum depends on
+    // the scenario x task-class pair, which is what this test exercises.
+    result.scenario = Scenario::Server;
+    let translation = SubmissionCheckInput {
+        task,
+        result: &result,
+        measured_quality: 23.9,
+        reference_quality: 23.9,
+    };
+    // Duration is short (simulated run at default min_duration 1 ms), so
+    // filter to the query-count finding specifically.
+    assert!(!check_submission(&translation)
+        .iter()
+        .any(|f| matches!(f, CheckFinding::QueryCountBelowTableV { .. })));
+    let vision = SubmissionCheckInput {
+        task: TaskId::ImageClassificationHeavy,
+        result: &result,
+        measured_quality: 0.76,
+        reference_quality: 0.76,
+    };
+    assert!(check_submission(&vision)
+        .iter()
+        .any(|f| matches!(f, CheckFinding::QueryCountBelowTableV { required: 270_336, .. })));
+}
+
+/// GNMT pays for padding in unsorted server batches but not in sorted
+/// offline ones — the mechanism behind the paper's NMT server penalty.
+#[test]
+fn gnmt_offline_sorting_beats_unsorted_processing() {
+    let sys = fleet()
+        .into_iter()
+        .find(|s| s.spec.name == "server-cpu")
+        .expect("fleet contains the server CPU");
+    let task = TaskId::MachineTranslation;
+    let settings = TestSettings::offline()
+        .with_offline_min_sample_count(4_096)
+        .with_min_duration(Nanos::from_millis(1));
+    let mut qsl = TaskQsl::for_task(task, 3_903);
+    // The fleet's offline engine sorts by length.
+    let sorted = run_simulated(&settings, &mut qsl, &mut sys.sut_for(task, Scenario::Offline))
+        .expect("run completes");
+    // An unsorted engine on the same device.
+    let mut unsorted_sut = DeviceSut::new(sys.spec.clone(), Workload::new(task), BatchPolicy::Immediate);
+    let unsorted = run_simulated(&settings, &mut qsl, &mut unsorted_sut).expect("run completes");
+    let (a, b) = (sorted.result.metric.score(), unsorted.result.metric.score());
+    assert!(
+        a > b * 1.3,
+        "sorted offline {a:.1} should beat unsorted {b:.1} by well over 30%"
+    );
+}
