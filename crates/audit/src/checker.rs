@@ -64,16 +64,28 @@ impl std::fmt::Display for CheckFinding {
                 write!(f, "run flagged invalid by the LoadGen ({issues} issues)")
             }
             CheckFinding::QueryCountBelowTableV { required, observed } => {
-                write!(f, "query count {observed} below the Table V minimum {required}")
+                write!(
+                    f,
+                    "query count {observed} below the Table V minimum {required}"
+                )
             }
             CheckFinding::OfflineSamplesBelowMinimum { required, observed } => {
                 write!(f, "offline samples {observed} below the minimum {required}")
             }
             CheckFinding::DurationBelowMinimum { observed } => {
-                write!(f, "run duration {observed} below the {MIN_DURATION_SECS}-second minimum")
+                write!(
+                    f,
+                    "run duration {observed} below the {MIN_DURATION_SECS}-second minimum"
+                )
             }
-            CheckFinding::QualityBelowTarget { threshold, observed } => {
-                write!(f, "quality {observed:.4} below the target threshold {threshold:.4}")
+            CheckFinding::QualityBelowTarget {
+                threshold,
+                observed,
+            } => {
+                write!(
+                    f,
+                    "quality {observed:.4} below the target threshold {threshold:.4}"
+                )
             }
             CheckFinding::MetricScenarioMismatch => {
                 write!(f, "metric shape does not match the claimed scenario")
@@ -190,7 +202,9 @@ mod tests {
             observed: Nanos::from_secs(1),
         });
         let findings = check_submission(&input(&result));
-        assert!(findings.iter().any(|f| matches!(f, CheckFinding::InvalidRun { .. })));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, CheckFinding::InvalidRun { .. })));
     }
 
     #[test]
@@ -203,9 +217,13 @@ mod tests {
         };
         result.query_count = 100_000; // below 270,336 for vision
         let findings = check_submission(&input(&result));
-        assert!(findings
-            .iter()
-            .any(|f| matches!(f, CheckFinding::QueryCountBelowTableV { required: 270_336, .. })));
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            CheckFinding::QueryCountBelowTableV {
+                required: 270_336,
+                ..
+            }
+        )));
         // But enough for translation's 90,112.
         let sci = SubmissionCheckInput {
             task: TaskId::MachineTranslation,

@@ -1,12 +1,13 @@
 //! Behavioural audits run against a live SUT.
 
 use mlperf_loadgen::config::{TestMode, TestSettings};
-use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::des::{run_simulated, run_simulated_traced};
 use mlperf_loadgen::qsl::QuerySampleLibrary;
 use mlperf_loadgen::query::{Query, QuerySample, ResponsePayload, SampleIndex};
 use mlperf_loadgen::sut::SimSut;
 use mlperf_loadgen::time::Nanos;
 use mlperf_loadgen::LoadGenError;
+use mlperf_trace::{RingBufferSink, TraceEvent};
 use std::collections::HashMap;
 
 /// Pass/fail outcome of one audit.
@@ -75,7 +76,7 @@ fn drive_sequence<S: SimSut + ?Sized>(
                 index: *index,
             }],
             scheduled_at: now,
-        tenant: 0,
+            tenant: 0,
         };
         let mut reaction = sut.on_query(now, &query);
         // Follow wakeups until this query completes.
@@ -174,9 +175,7 @@ where
         .unwrap_or(f64::INFINITY);
     let mut worst_ratio = 1.0f64;
     for round in 0..rounds {
-        let alt = settings
-            .clone()
-            .with_seeds(settings.seeds.alternate(round));
+        let alt = settings.clone().with_seeds(settings.seeds.alternate(round));
         let outcome = run_simulated(&alt, qsl, sut)?;
         let p90 = outcome
             .result
@@ -296,6 +295,61 @@ pub fn custom_dataset_test<S: SimSut + ?Sized>(
     })
 }
 
+/// Performance-mode detail-log compliance.
+///
+/// The rules require accuracy logging to be off during performance runs
+/// (the LoadGen "logs detailed information about the run for analysis and
+/// result validation", but results submitted for performance must not have
+/// paid the cost of recording responses). This audit replays the submitted
+/// settings in performance mode with a ring-buffer sink attached and fails
+/// if the detail log contains any [`TraceEvent::AccuracyLogged`] event, or
+/// if any response payload reached the accuracy log.
+///
+/// # Errors
+///
+/// Propagates run errors from the LoadGen.
+pub fn detail_log_compliance<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+) -> Result<AuditReport, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    let perf = settings
+        .clone()
+        .with_mode(TestMode::PerformanceOnly)
+        .with_accuracy_log_probability(0.0);
+    let sink = RingBufferSink::unbounded();
+    let outcome = run_simulated_traced(&perf, qsl, sut, &sink)?;
+    let records = sink.snapshot();
+    let accuracy_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::AccuracyLogged { .. }))
+        .count();
+    let logged_payloads = outcome.accuracy_log.len();
+    let verdict = if records.is_empty() {
+        AuditOutcome::Fail("the run produced no detail log to audit".into())
+    } else if accuracy_events > 0 || logged_payloads > 0 {
+        AuditOutcome::Fail(format!(
+            "performance-mode detail log carries accuracy data: \
+             {accuracy_events} AccuracyLogged events, {logged_payloads} logged payloads"
+        ))
+    } else {
+        AuditOutcome::Pass
+    };
+    Ok(AuditReport {
+        test: "detail-log-compliance",
+        outcome: verdict,
+        details: format!(
+            "{} detail-log events, {accuracy_events} accuracy events, \
+             {logged_payloads} logged payloads",
+            records.len()
+        ),
+    })
+}
+
 #[cfg(test)]
 mod unit {
     use super::*;
@@ -343,6 +397,40 @@ mod unit {
         let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
         let report = custom_dataset_test(&mut sut, 32, 64, 1.5).unwrap();
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn clean_performance_run_passes_detail_log_compliance() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(64)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10)).with_class_payloads(5);
+        let report = detail_log_compliance(&settings, &mut qsl, &mut sut).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn detail_log_compliance_forces_accuracy_logging_off() {
+        // Even settings submitted with accuracy logging enabled are audited
+        // with it off — and the audited run must then be clean.
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(64)
+            .with_min_duration(Nanos::from_micros(1))
+            .with_accuracy_log_probability(0.5);
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10)).with_class_payloads(5);
+        let report = detail_log_compliance(&settings, &mut qsl, &mut sut).unwrap();
+        assert!(report.passed(), "{report}");
+        // Control: the same settings run as submitted DO emit accuracy
+        // events, so the audit is checking something real.
+        let sink = RingBufferSink::unbounded();
+        let out = run_simulated_traced(&settings, &mut qsl, &mut sut, &sink).unwrap();
+        assert!(!out.accuracy_log.is_empty());
+        assert!(sink
+            .snapshot()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::AccuracyLogged { .. })));
     }
 
     #[test]

@@ -4,11 +4,11 @@ use mlperf_audit::tests::{accuracy_verification, alternate_seed_test, caching_de
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::qsl::MemoryQsl;
 use mlperf_loadgen::time::Nanos;
+use mlperf_models::{TaskId, Workload};
 use mlperf_stats::rng::SeedTriple;
 use mlperf_sut::cheats::{CachingSut, SeedSniffingSut, SloppyAccuracySut};
 use mlperf_sut::device::{Architecture, DeviceSpec};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
-use mlperf_models::{TaskId, Workload};
 
 fn engine() -> DeviceSut {
     DeviceSut::new(
@@ -69,13 +69,15 @@ fn accuracy_verification_catches_sloppy_sut() {
         .with_min_query_count(256)
         .with_min_duration(Nanos::from_micros(1));
     let mut qsl = MemoryQsl::new("q", 128, 128);
-    let honest_payloads = engine()
-        .with_payloads(std::sync::Arc::new(|i| {
-            mlperf_loadgen::query::ResponsePayload::Class(i * 7 % 13)
-        }));
+    let honest_payloads = engine().with_payloads(std::sync::Arc::new(|i| {
+        mlperf_loadgen::query::ResponsePayload::Class(i * 7 % 13)
+    }));
     let mut cheater = SloppyAccuracySut::new(honest_payloads, 3);
     let report = accuracy_verification(&settings, &mut qsl, &mut cheater, 0.25).unwrap();
-    assert!(!report.passed(), "sloppy accuracy went undetected: {report}");
+    assert!(
+        !report.passed(),
+        "sloppy accuracy went undetected: {report}"
+    );
 }
 
 #[test]
@@ -96,7 +98,10 @@ fn custom_dataset_test_catches_result_cache() {
     use mlperf_audit::tests::custom_dataset_test;
     let mut cheater = CachingSut::new(engine(), 10);
     let report = custom_dataset_test(&mut cheater, 64, 128, 1.5).unwrap();
-    assert!(!report.passed(), "cross-dataset cache went undetected: {report}");
+    assert!(
+        !report.passed(),
+        "cross-dataset cache went undetected: {report}"
+    );
 }
 
 #[test]

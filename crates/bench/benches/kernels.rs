@@ -1,6 +1,6 @@
 //! Microbenchmarks for the tensor/NN substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_bench::runner::Bench;
 use mlperf_nn::gru::GruCell;
 use mlperf_nn::layer::Activation;
 use mlperf_nn::network::NetworkBuilder;
@@ -11,28 +11,28 @@ use mlperf_tensor::quant::qconv2d;
 use mlperf_tensor::{QTensor, Shape, Tensor};
 use std::hint::black_box;
 
-fn tensor_kernels(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_env();
+
     let mut rng = Rng64::new(1);
     let input = Tensor::fill_with(Shape::d3(8, 16, 16), |_| rng.next_f64() as f32 - 0.5);
     let weight = Tensor::fill_with(Shape::d4(16, 8, 3, 3), |_| rng.next_f64() as f32 * 0.1);
     let bias = Tensor::zeros(Shape::d1(16));
-    c.bench_function("conv2d_8x16x16_to_16ch", |b| {
-        b.iter(|| black_box(conv2d(&input, &weight, &bias, Conv2dParams::UNIT).expect("shapes fixed")))
+    bench.bench("conv2d_8x16x16_to_16ch", || {
+        black_box(conv2d(&input, &weight, &bias, Conv2dParams::UNIT).expect("shapes fixed"))
     });
     let qin = QTensor::quantize(&input);
     let qw = QTensor::quantize(&weight);
-    c.bench_function("qconv2d_8x16x16_to_16ch_int8", |b| {
-        b.iter(|| black_box(qconv2d(&qin, &qw, &bias, Conv2dParams::UNIT).expect("shapes fixed")))
+    bench.bench("qconv2d_8x16x16_to_16ch_int8", || {
+        black_box(qconv2d(&qin, &qw, &bias, Conv2dParams::UNIT).expect("shapes fixed"))
     });
     let x = Tensor::fill_with(Shape::d1(256), |_| rng.next_f64() as f32);
     let w = Tensor::fill_with(Shape::d2(128, 256), |_| rng.next_f64() as f32 * 0.05);
     let db = Tensor::zeros(Shape::d1(128));
-    c.bench_function("dense_256_to_128", |b| {
-        b.iter(|| black_box(dense(&x, &w, &db).expect("shapes fixed")))
+    bench.bench("dense_256_to_128", || {
+        black_box(dense(&x, &w, &db).expect("shapes fixed"))
     });
-}
 
-fn network_forward(c: &mut Criterion) {
     let mut rng = Rng64::new(2);
     let net = NetworkBuilder::new(Shape::d3(2, 12, 12))
         .conv2d(8, 3, 1, 1, Activation::Relu, &mut rng)
@@ -45,32 +45,20 @@ fn network_forward(c: &mut Criterion) {
         .expect("static architecture")
         .build();
     let input = Tensor::fill_with(Shape::d3(2, 12, 12), |_| rng.next_f64() as f32 - 0.5);
-    c.bench_function("miniresnet_forward_fp32", |b| {
-        b.iter(|| black_box(net.forward(&input).expect("shape fixed")))
+    bench.bench("miniresnet_forward_fp32", || {
+        black_box(net.forward(&input).expect("shape fixed"))
     });
     let calib = vec![input.clone()];
     let qnet = QNetwork::quantize(&net, &calib).expect("calibration non-empty");
-    c.bench_function("miniresnet_forward_int8", |b| {
-        b.iter(|| black_box(qnet.forward(&input).expect("shape fixed")))
+    bench.bench("miniresnet_forward_int8", || {
+        black_box(qnet.forward(&input).expect("shape fixed"))
     });
-}
 
-fn gru_step(c: &mut Criterion) {
     let mut rng = Rng64::new(3);
     let cell = GruCell::new(12, 20, &mut rng);
     let x = Tensor::fill_with(Shape::d1(12), |_| rng.next_f64() as f32 - 0.5);
     let h = cell.zero_state();
-    c.bench_function("gru_step_12_to_20", |b| {
-        b.iter(|| black_box(cell.step(&x, &h).expect("dims fixed")))
+    bench.bench("gru_step_12_to_20", || {
+        black_box(cell.step(&x, &h).expect("dims fixed"))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(30)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(3));
-    targets = tensor_kernels, network_forward, gru_step
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! LoadGen event-loop overhead: how much a simulated query costs, which is
 //! what bounds the scale of the reproducible experiments.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlperf_bench::runner::Bench;
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::des::run_simulated;
 use mlperf_loadgen::qsl::MemoryQsl;
@@ -10,59 +10,33 @@ use mlperf_loadgen::sut::FixedLatencySut;
 use mlperf_loadgen::time::Nanos;
 use std::hint::black_box;
 
-fn issue_loops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("des_issue_loop");
+fn main() {
+    let bench = Bench::from_env();
     for queries in [1_000u64, 10_000] {
-        group.throughput(Throughput::Elements(queries));
-        group.bench_with_input(
-            BenchmarkId::new("single_stream", queries),
-            &queries,
-            |b, &queries| {
-                let settings = TestSettings::single_stream()
-                    .with_min_query_count(queries)
-                    .with_min_duration(Nanos::from_micros(1));
-                b.iter(|| {
-                    let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
-                    let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
-                    black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("server", queries),
-            &queries,
-            |b, &queries| {
-                let settings = TestSettings::server(10_000.0, Nanos::from_millis(10))
-                    .with_min_query_count(queries)
-                    .with_min_duration(Nanos::from_micros(1));
-                b.iter(|| {
-                    let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
-                    let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
-                    black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
-                })
-            },
-        );
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(queries)
+            .with_min_duration(Nanos::from_micros(1));
+        bench.bench(&format!("des_single_stream_{queries}_queries"), || {
+            let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
+            black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
+        });
+        let settings = TestSettings::server(10_000.0, Nanos::from_millis(10))
+            .with_min_query_count(queries)
+            .with_min_duration(Nanos::from_micros(1));
+        bench.bench(&format!("des_server_{queries}_queries"), || {
+            let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
+            black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
+        });
     }
-    group.finish();
-}
 
-fn schedule_generation(c: &mut Criterion) {
     let settings = TestSettings::server(1_000.0, Nanos::from_millis(10));
-    c.bench_function("poisson_schedule_100k_arrivals", |b| {
-        b.iter(|| black_box(server_arrivals(&settings, 100_000)))
+    bench.bench("poisson_schedule_100k_arrivals", || {
+        black_box(server_arrivals(&settings, 100_000))
     });
     let ss = TestSettings::single_stream();
-    c.bench_function("sample_indices_100k_queries", |b| {
-        b.iter(|| black_box(sample_indices(&ss, 1_024, 100_000)))
+    bench.bench("sample_indices_100k_queries", || {
+        black_box(sample_indices(&ss, 1_024, 100_000))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(5));
-    targets = issue_loops, schedule_generation
-}
-criterion_main!(benches);

@@ -1,23 +1,31 @@
 //! Accuracy-script benchmarks: Top-1, mAP, and BLEU at realistic log sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mlperf_metrics::{corpus_bleu, mean_average_precision, top1_accuracy, BoundingBox, Detection, GroundTruth};
+use mlperf_bench::runner::Bench;
+use mlperf_metrics::{
+    corpus_bleu, mean_average_precision, top1_accuracy, BoundingBox, Detection, GroundTruth,
+};
 use mlperf_stats::Rng64;
 use std::hint::black_box;
 
-fn classification(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_env();
+
     let mut rng = Rng64::new(1);
     let labels: Vec<usize> = (0..50_000).map(|_| rng.next_index(1_000)).collect();
     let preds: Vec<usize> = labels
         .iter()
-        .map(|l| if rng.next_bool(0.765) { *l } else { rng.next_index(1_000) })
+        .map(|l| {
+            if rng.next_bool(0.765) {
+                *l
+            } else {
+                rng.next_index(1_000)
+            }
+        })
         .collect();
-    c.bench_function("top1_accuracy_50k_samples", |b| {
-        b.iter(|| black_box(top1_accuracy(&preds, &labels)))
+    bench.bench("top1_accuracy_50k_samples", || {
+        black_box(top1_accuracy(&preds, &labels))
     });
-}
 
-fn detection(c: &mut Criterion) {
     let mut rng = Rng64::new(2);
     let mut gts = Vec::new();
     let mut dets = Vec::new();
@@ -27,7 +35,11 @@ fn detection(c: &mut Criterion) {
             let y = rng.next_f64() as f32 * 50.0;
             let bbox = BoundingBox::new(x, y, x + 8.0, y + 8.0);
             let class = rng.next_index(8);
-            gts.push(GroundTruth { image_id: image, class, bbox });
+            gts.push(GroundTruth {
+                image_id: image,
+                class,
+                bbox,
+            });
             if rng.next_bool(0.9) {
                 dets.push(Detection {
                     image_id: image,
@@ -38,12 +50,10 @@ fn detection(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("map_500_images_2500_boxes", |b| {
-        b.iter(|| black_box(mean_average_precision(&dets, &gts, 0.5)))
+    bench.bench("map_500_images_2500_boxes", || {
+        black_box(mean_average_precision(&dets, &gts, 0.5))
     });
-}
 
-fn translation(c: &mut Criterion) {
     let mut rng = Rng64::new(3);
     let refs: Vec<Vec<u32>> = (0..3_000)
         .map(|_| (0..20).map(|_| rng.next_below(8_000) as u32).collect())
@@ -52,21 +62,17 @@ fn translation(c: &mut Criterion) {
         .iter()
         .map(|r| {
             r.iter()
-                .map(|t| if rng.next_bool(0.9) { *t } else { rng.next_below(8_000) as u32 })
+                .map(|t| {
+                    if rng.next_bool(0.9) {
+                        *t
+                    } else {
+                        rng.next_below(8_000) as u32
+                    }
+                })
                 .collect()
         })
         .collect();
-    c.bench_function("bleu_3k_sentence_corpus", |b| {
-        b.iter(|| black_box(corpus_bleu(&cands, &refs)))
+    bench.bench("bleu_3k_sentence_corpus", || {
+        black_box(corpus_bleu(&cands, &refs))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(3));
-    targets = classification, detection, translation
-}
-criterion_main!(benches);

@@ -2,32 +2,29 @@
 //! (server peak search + offline run) and one Figure 8 column entry per
 //! scenario, at smoke scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_bench::runner::Bench;
 use mlperf_harness::{fig6, fig8, Profile};
 use mlperf_loadgen::scenario::Scenario;
 use mlperf_models::TaskId;
 use mlperf_sut::fleet::fleet;
 use std::hint::black_box;
 
-fn fig6_cell(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_env();
     let systems = fleet();
+
     let dc = systems
         .iter()
         .find(|s| s.spec.name == "datacenter-gpu")
         .expect("fleet contains the datacenter GPU");
-    c.bench_function("fig6_cell_resnet_on_datacenter_gpu", |b| {
-        b.iter(|| {
-            black_box(fig6::measure_cell(
-                dc,
-                TaskId::ImageClassificationHeavy,
-                Profile::Smoke,
-            ))
-        })
+    bench.bench("fig6_cell_resnet_on_datacenter_gpu", || {
+        black_box(fig6::measure_cell(
+            dc,
+            TaskId::ImageClassificationHeavy,
+            Profile::Smoke,
+        ))
     });
-}
 
-fn fig8_scores(c: &mut Criterion) {
-    let systems = fleet();
     let sys = systems
         .iter()
         .find(|s| s.spec.name == "edge-asic")
@@ -38,25 +35,13 @@ fn fig8_scores(c: &mut Criterion) {
         ("fig8_server_score", Scenario::Server),
         ("fig8_offline_score", Scenario::Offline),
     ] {
-        c.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(fig8::score_combo(
-                    sys,
-                    TaskId::ImageClassificationLight,
-                    scenario,
-                    Profile::Smoke,
-                ))
-            })
+        bench.bench(name, || {
+            black_box(fig8::score_combo(
+                sys,
+                TaskId::ImageClassificationLight,
+                scenario,
+                Profile::Smoke,
+            ))
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(8));
-    targets = fig6_cell, fig8_scores
-}
-criterion_main!(benches);

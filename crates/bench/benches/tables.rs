@@ -6,57 +6,46 @@
 //! table/figure from the raw result records, which is what the paper's
 //! reporting pipeline does.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mlperf_bench::reviewed_smoke_records;
+use mlperf_bench::runner::Bench;
 use mlperf_harness::tables;
 use mlperf_submission::report::{
     figure5_distribution, figure7_by_architecture, render_table_vi, render_table_vii,
 };
 use std::hint::black_box;
 
-fn rulebook_tables(c: &mut Criterion) {
-    c.bench_function("table1_model_registry", |b| {
-        b.iter(|| black_box(tables::render_table1()))
-    });
-    c.bench_function("table2_scenarios", |b| {
-        b.iter(|| black_box(tables::render_table2()))
-    });
-    c.bench_function("table3_latency_constraints", |b| {
-        b.iter(|| black_box(tables::render_table3()))
-    });
-    c.bench_function("table4_query_requirements", |b| {
-        b.iter(|| black_box(tables::render_table4()))
-    });
-    c.bench_function("table5_query_sample_counts", |b| {
-        b.iter(|| black_box(tables::render_table5()))
-    });
-    c.bench_function("fig1_model_zoo_scatter", |b| {
-        b.iter(|| black_box(tables::render_fig1()))
-    });
-}
+fn main() {
+    let bench = Bench::from_env();
 
-fn round_aggregations(c: &mut Criterion) {
+    bench.bench("table1_model_registry", || {
+        black_box(tables::render_table1())
+    });
+    bench.bench("table2_scenarios", || black_box(tables::render_table2()));
+    bench.bench("table3_latency_constraints", || {
+        black_box(tables::render_table3())
+    });
+    bench.bench("table4_query_requirements", || {
+        black_box(tables::render_table4())
+    });
+    bench.bench("table5_query_sample_counts", || {
+        black_box(tables::render_table5())
+    });
+    bench.bench(
+        "fig1_model_zoo_scatter",
+        || black_box(tables::render_fig1()),
+    );
+
     let records = reviewed_smoke_records(0xbe9c);
-    c.bench_function("table6_results_per_model_scenario", |b| {
-        b.iter(|| black_box(render_table_vi(&records)))
+    bench.bench("table6_results_per_model_scenario", || {
+        black_box(render_table_vi(&records))
     });
-    c.bench_function("table7_framework_architecture_matrix", |b| {
-        b.iter(|| black_box(render_table_vii(&records)))
+    bench.bench("table7_framework_architecture_matrix", || {
+        black_box(render_table_vii(&records))
     });
-    c.bench_function("fig5_results_per_model", |b| {
-        b.iter(|| black_box(figure5_distribution(&records)))
+    bench.bench("fig5_results_per_model", || {
+        black_box(figure5_distribution(&records))
     });
-    c.bench_function("fig7_results_per_architecture", |b| {
-        b.iter(|| black_box(figure7_by_architecture(&records)))
+    bench.bench("fig7_results_per_architecture", || {
+        black_box(figure7_by_architecture(&records))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(3));
-    targets = rulebook_tables, round_aggregations
-}
-criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Cost of the tracing hooks when tracing is off.
+//!
+//! `run_simulated` delegates to `run_simulated_traced` with a `NoopSink`,
+//! so every hot-path event site pays one `sink.enabled()` virtual call.
+//! This bench compares the plain entry point against an explicit
+//! `NoopSink` and against a real `RingBufferSink`, so a regression in the
+//! disabled-path overhead is visible as a gap between the first two
+//! numbers.
+
+use mlperf_bench::runner::Bench;
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::des::{run_simulated, run_simulated_traced};
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_trace::{NoopSink, RingBufferSink};
+use std::hint::black_box;
+
+fn main() {
+    let bench = Bench::from_env();
+    let settings = TestSettings::server(10_000.0, Nanos::from_millis(10))
+        .with_min_query_count(5_000)
+        .with_min_duration(Nanos::from_micros(1));
+
+    let baseline = bench.bench("run_simulated_no_sink_param", || {
+        let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
+        black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
+    });
+
+    let noop = bench.bench("run_simulated_traced_noop_sink", || {
+        let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
+        black_box(run_simulated_traced(&settings, &mut qsl, &mut sut, &NoopSink).expect("runs"))
+    });
+
+    bench.bench("run_simulated_traced_ring_buffer", || {
+        let sink = RingBufferSink::unbounded();
+        let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
+        black_box(run_simulated_traced(&settings, &mut qsl, &mut sut, &sink).expect("runs"))
+    });
+
+    if let (Some(base), Some(noop)) = (baseline, noop) {
+        let ratio = noop as f64 / base.max(1) as f64;
+        println!(
+            "noop-sink overhead vs baseline: {:+.1}%",
+            (ratio - 1.0) * 100.0
+        );
+    }
+}

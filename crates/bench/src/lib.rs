@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benchmark suite.
+//! Shared fixtures and the mini harness for the benchmark suite.
 //!
 //! The benches serve two purposes: component microbenchmarks (tensor
 //! kernels, LoadGen event-loop overhead, metric scoring) and
@@ -22,4 +22,75 @@ pub fn reviewed_smoke_records(seed: u64) -> Vec<ResultRecord> {
     let mut round = generate_round(&config);
     review_round(&mut round);
     round.records
+}
+
+pub mod runner {
+    //! A minimal wall-clock benchmark harness.
+    //!
+    //! The workspace carries no external benchmarking framework, so the
+    //! `[[bench]]` targets use this: warm up once, calibrate a batch size
+    //! that takes roughly 10 ms, then time batches for a fixed budget and
+    //! report the median ns/iter. Good enough for the relative comparisons
+    //! these benches exist for (e.g. tracing overhead vs. baseline).
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Collects and prints benchmark measurements.
+    pub struct Bench {
+        filter: Option<String>,
+        budget: Duration,
+    }
+
+    impl Bench {
+        /// Builds a runner from the process arguments: any non-flag
+        /// argument (cargo bench passes `--bench` and friends as flags)
+        /// becomes a substring filter on benchmark names.
+        pub fn from_env() -> Self {
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Self {
+                filter,
+                budget: Duration::from_millis(300),
+            }
+        }
+
+        /// Overrides the per-benchmark measurement budget.
+        pub fn with_budget(mut self, budget: Duration) -> Self {
+            self.budget = budget;
+            self
+        }
+
+        /// Measures `f`, printing `name`, the median ns/iter, and the
+        /// sample spread. Returns the median so callers can compare
+        /// benchmarks programmatically (the trace-overhead bench does).
+        pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Option<u64> {
+            if let Some(filter) = &self.filter {
+                if !name.contains(filter.as_str()) {
+                    return None;
+                }
+            }
+            // Warm up and calibrate: aim for ~10 ms batches.
+            let start = Instant::now();
+            black_box(f());
+            let once = start.elapsed().max(Duration::from_nanos(1));
+            let batch = (10_000_000 / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+            let mut samples: Vec<u64> = Vec::new();
+            let deadline = Instant::now() + self.budget;
+            while samples.len() < 3 || (Instant::now() < deadline && samples.len() < 100) {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                samples.push((t.elapsed().as_nanos() as u64) / batch);
+            }
+            samples.sort_unstable();
+            let median = samples[samples.len() / 2];
+            println!(
+                "{name:<44} {median:>12} ns/iter (min {}, {} samples x {batch})",
+                samples[0],
+                samples.len()
+            );
+            Some(median)
+        }
+    }
 }

@@ -274,10 +274,16 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(TestSettings::server(0.0, Nanos::from_millis(10)).validate().is_err());
-        assert!(TestSettings::server(f64::NAN, Nanos::from_millis(10)).validate().is_err());
+        assert!(TestSettings::server(0.0, Nanos::from_millis(10))
+            .validate()
+            .is_err());
+        assert!(TestSettings::server(f64::NAN, Nanos::from_millis(10))
+            .validate()
+            .is_err());
         assert!(TestSettings::server(10.0, Nanos::ZERO).validate().is_err());
-        assert!(TestSettings::multi_stream(1, Nanos::ZERO).validate().is_err());
+        assert!(TestSettings::multi_stream(1, Nanos::ZERO)
+            .validate()
+            .is_err());
         assert!(TestSettings::single_stream()
             .with_min_query_count(0)
             .validate()

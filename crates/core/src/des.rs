@@ -19,6 +19,7 @@ use crate::validate::{check_run, overlatency_fraction, percentile_latency};
 use crate::LoadGenError;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
+use mlperf_trace::{MetricsRegistry, MetricsSnapshot, NoopSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -35,6 +36,9 @@ pub struct RunOutcome {
     /// Logged response payloads (all of them in accuracy mode; a sampled
     /// subset in performance mode when enabled).
     pub accuracy_log: Vec<LoggedResponse>,
+    /// Counters and latency histograms gathered while tracing; `None` when
+    /// the run used the no-op sink.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 #[derive(Debug)]
@@ -86,10 +90,17 @@ struct Sim<'a, S: SimSut + ?Sized> {
     log_probability: f64,
     seq: u64,
     events_processed: u64,
+    sink: &'a dyn TraceSink,
+    metrics: Option<&'a MetricsRegistry>,
 }
 
 impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
-    fn new(settings: &TestSettings, sut: &'a mut S) -> Self {
+    fn new(
+        settings: &TestSettings,
+        sut: &'a mut S,
+        sink: &'a dyn TraceSink,
+        metrics: Option<&'a MetricsRegistry>,
+    ) -> Self {
         let log_probability = match settings.mode {
             TestMode::AccuracyOnly => 1.0,
             TestMode::PerformanceOnly => settings.accuracy_log_probability,
@@ -102,6 +113,8 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
             log_probability,
             seq: 0,
             events_processed: 0,
+            sink,
+            metrics,
         }
     }
 
@@ -132,7 +145,28 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
     fn issue(&mut self, query: Query) -> Result<(), LoadGenError> {
         let now = query.scheduled_at;
         self.recorder.record_issue(&query, now)?;
+        if self.sink.enabled() {
+            self.sink.record(
+                now.as_nanos(),
+                &TraceEvent::QueryIssued {
+                    query_id: query.id,
+                    sample_count: query.sample_count(),
+                    // Simulated issue happens exactly on schedule.
+                    delay_ns: 0,
+                },
+            );
+        }
+        if let Some(m) = self.metrics {
+            m.incr("queries_issued", 1);
+            m.incr("samples_issued", query.sample_count() as u64);
+        }
         let reaction = self.sut.on_query(now, &query);
+        if self.sink.enabled() {
+            self.sink.record(
+                now.as_nanos(),
+                &TraceEvent::QuerySent { query_id: query.id },
+            );
+        }
         self.apply(now, reaction)
     }
 
@@ -165,8 +199,35 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
     fn complete(&mut self, completion: &QueryCompletion) -> Result<(), LoadGenError> {
         let p = self.log_probability;
         let rng = &mut self.acc_rng;
-        self.recorder
-            .record_completion(completion, |_| p > 0.0 && rng.next_bool(p))
+        let logged_before = self.recorder.accuracy_log().len();
+        let latency = self
+            .recorder
+            .record_completion(completion, |_| p > 0.0 && rng.next_bool(p))?;
+        if self.sink.enabled() {
+            self.sink.record(
+                completion.finished_at.as_nanos(),
+                &TraceEvent::QueryCompleted {
+                    query_id: completion.query_id,
+                    latency_ns: latency.as_nanos(),
+                },
+            );
+            let logged = self.recorder.accuracy_log().len() - logged_before;
+            if logged > 0 {
+                self.sink.record(
+                    completion.finished_at.as_nanos(),
+                    &TraceEvent::AccuracyLogged {
+                        query_id: completion.query_id,
+                        samples: logged,
+                    },
+                );
+            }
+        }
+        if let Some(m) = self.metrics {
+            m.incr("queries_completed", 1);
+            m.incr("samples_completed", completion.samples.len() as u64);
+            m.observe("query_latency_ns", latency.as_nanos());
+        }
+        Ok(())
     }
 }
 
@@ -189,6 +250,29 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    run_simulated_traced(settings, qsl, sut, &NoopSink)
+}
+
+/// [`run_simulated`] with a trace sink attached.
+///
+/// Every lifecycle event of the run flows into `sink`; when the sink is
+/// enabled a [`MetricsRegistry`] also rides along and its snapshot lands in
+/// [`RunOutcome::metrics`]. With [`NoopSink`] the overhead is one branch
+/// per event.
+///
+/// # Errors
+///
+/// Same contract as [`run_simulated`].
+pub fn run_simulated_traced<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    sink: &dyn TraceSink,
+) -> Result<RunOutcome, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
     settings.validate()?;
     if qsl.total_sample_count() == 0 || qsl.performance_sample_count() == 0 {
         return Err(LoadGenError::BadQsl(format!(
@@ -204,7 +288,17 @@ where
     };
     qsl.load_samples(&loaded);
 
-    let mut sim = Sim::new(settings, sut);
+    let registry = sink.enabled().then(MetricsRegistry::new);
+    if sink.enabled() {
+        sink.record(
+            0,
+            &TraceEvent::RunPhase {
+                phase: "issue".into(),
+                scenario: settings.scenario.to_string(),
+            },
+        );
+    }
+    let mut sim = Sim::new(settings, sut, sink, registry.as_ref());
     match settings.mode {
         TestMode::AccuracyOnly => run_accuracy(settings, &loaded, &mut sim)?,
         TestMode::PerformanceOnly => match settings.scenario {
@@ -217,7 +311,16 @@ where
 
     qsl.unload_samples(&loaded);
     let recorder = std::mem::take(&mut sim.recorder);
-    Ok(finish_run(settings, sut.name(), qsl.name(), recorder))
+    let outcome = finish_run(
+        settings,
+        sut.name(),
+        qsl.name(),
+        recorder,
+        sink,
+        registry.as_ref(),
+    );
+    sink.flush();
+    Ok(outcome)
 }
 
 /// Scores a finished run: metric, latency stats, and validity checks.
@@ -227,6 +330,8 @@ pub(crate) fn finish_run(
     sut_name: &str,
     qsl_name: &str,
     recorder: Recorder,
+    sink: &dyn TraceSink,
+    metrics: Option<&MetricsRegistry>,
 ) -> RunOutcome {
     let outstanding = recorder.outstanding() as u64;
     let duration = recorder.last_completion();
@@ -235,6 +340,23 @@ pub(crate) fn finish_run(
         TestMode::PerformanceOnly => check_run(settings, &records, duration, outstanding),
         TestMode::AccuracyOnly => Vec::new(),
     };
+    if sink.enabled() {
+        sink.record(
+            duration.as_nanos(),
+            &TraceEvent::RunPhase {
+                phase: "report".into(),
+                scenario: settings.scenario.to_string(),
+            },
+        );
+        for issue in &validity {
+            sink.record(
+                duration.as_nanos(),
+                &TraceEvent::ValidityCheckFailed {
+                    issue: issue.to_string(),
+                },
+            );
+        }
+    }
     let samples_completed: u64 = records
         .iter()
         .filter(|r| r.completed_at.is_some())
@@ -254,10 +376,17 @@ pub(crate) fn finish_run(
         duration,
         validity,
     };
+    let metrics = metrics.map(|m| {
+        m.incr("validity_issues", result.validity.len() as u64);
+        m.set_gauge("metric_score", result.metric.score());
+        m.set_gauge("duration_secs", duration.as_secs_f64());
+        m.snapshot()
+    });
     RunOutcome {
         result,
         records,
         accuracy_log,
+        metrics,
     }
 }
 
@@ -321,17 +450,23 @@ fn run_single_stream<S: SimSut + ?Sized>(
     let mut next_sample_id = 0u64;
     let mut issued = 0u64;
     let issue_at = |sim: &mut Sim<'_, S>,
-                        issued: &mut u64,
-                        next_sample_id: &mut u64,
-                        rng: &mut Rng64,
-                        at: Nanos|
+                    issued: &mut u64,
+                    next_sample_id: &mut u64,
+                    rng: &mut Rng64,
+                    at: Nanos|
      -> Result<(), LoadGenError> {
         let indices = rng.sample_with_replacement(population, settings.samples_per_query);
         let query = build_query(*issued, next_sample_id, &indices, at);
         *issued += 1;
         sim.issue(query)
     };
-    issue_at(sim, &mut issued, &mut next_sample_id, &mut qsl_rng, Nanos::ZERO)?;
+    issue_at(
+        sim,
+        &mut issued,
+        &mut next_sample_id,
+        &mut qsl_rng,
+        Nanos::ZERO,
+    )?;
     while let Some(event) = sim.pop()? {
         match event.kind {
             EventKind::Arrival => unreachable!("single-stream issues on completion"),
@@ -370,7 +505,9 @@ fn run_server<S: SimSut + ?Sized>(
     while let Some(event) = sim.pop()? {
         match event.kind {
             EventKind::Arrival => {
-                let at = pending_arrival.take().expect("arrival event without pending arrival");
+                let at = pending_arrival
+                    .take()
+                    .expect("arrival event without pending arrival");
                 debug_assert_eq!(at, event.at);
                 let indices =
                     qsl_rng.sample_with_replacement(population, settings.samples_per_query);
@@ -402,10 +539,10 @@ fn run_multi_stream<S: SimSut + ?Sized>(
     let mut next_sample_id = 0u64;
     let mut issued = 0u64;
     let issue = |sim: &mut Sim<'_, S>,
-                     issued: &mut u64,
-                     next_sample_id: &mut u64,
-                     rng: &mut Rng64,
-                     at: Nanos|
+                 issued: &mut u64,
+                 next_sample_id: &mut u64,
+                 rng: &mut Rng64,
+                 at: Nanos|
      -> Result<u64, LoadGenError> {
         let indices = rng.sample_with_replacement(population, settings.samples_per_query);
         let id = *issued;
@@ -416,7 +553,13 @@ fn run_multi_stream<S: SimSut + ?Sized>(
     };
     // (query id, issue boundary) of the in-flight query.
     let mut in_flight: Option<(u64, Nanos)> = Some((
-        issue(sim, &mut issued, &mut next_sample_id, &mut qsl_rng, Nanos::ZERO)?,
+        issue(
+            sim,
+            &mut issued,
+            &mut next_sample_id,
+            &mut qsl_rng,
+            Nanos::ZERO,
+        )?,
         Nanos::ZERO,
     ));
     while let Some(event) = sim.pop()? {
@@ -446,6 +589,18 @@ fn run_multi_stream<S: SimSut + ?Sized>(
                     let skips = (consumed - 1) as u32;
                     if skips > 0 {
                         sim.recorder.record_skips(id, skips);
+                        if sim.sink.enabled() {
+                            sim.sink.record(
+                                finished.as_nanos(),
+                                &TraceEvent::OverloadDropped {
+                                    query_id: id,
+                                    intervals: u64::from(skips),
+                                },
+                            );
+                        }
+                        if let Some(m) = sim.metrics {
+                            m.incr("skipped_intervals", u64::from(skips));
+                        }
                     }
                     let next_boundary = boundary + interval.mul(consumed);
                     if issued < settings.min_query_count || next_boundary < settings.min_duration {
@@ -497,6 +652,42 @@ mod tests {
     }
 
     #[test]
+    fn metrics_histogram_agrees_with_results_percentiles() {
+        use mlperf_trace::RingBufferSink;
+        // A queueing server run: Poisson arrivals against a serial SUT at
+        // ~60% utilization spread completion latencies over a wide range, so
+        // the log-bucketed histogram and the exact percentile selection in
+        // results.rs are compared on a non-trivial distribution.
+        let settings = TestSettings::server(2_000.0, Nanos::from_millis(50))
+            .with_min_query_count(2_000)
+            .with_min_duration(Nanos::from_millis(1));
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(300));
+        let sink = RingBufferSink::unbounded();
+        let out = run_simulated_traced(&settings, &mut qsl, &mut sut, &sink).unwrap();
+        let metrics = out.metrics.expect("traced run snapshots metrics");
+        let h = metrics.histogram("query_latency_ns").expect("histogram");
+        assert_eq!(h.count(), out.result.query_count);
+        let stats = out.result.latency_stats.expect("per-query latencies");
+        for (q, exact) in [
+            (0.50, stats.p50),
+            (0.90, stats.p90),
+            (0.97, stats.p97),
+            (0.99, stats.p99),
+        ] {
+            let approx = h.quantile(q);
+            let width = h.quantile_resolution(q);
+            // Both sides use nearest-rank selection, so the exact percentile
+            // falls inside the bucket whose upper bound the histogram
+            // reports: within one bucket width.
+            assert!(
+                approx >= exact.as_nanos() && approx - exact.as_nanos() <= width,
+                "q={q}: histogram {approx} vs exact {exact} (bucket width {width})"
+            );
+        }
+    }
+
+    #[test]
     fn single_stream_counts_and_metric() {
         let settings = small(TestSettings::single_stream());
         let mut qsl = MemoryQsl::new("q", 32, 32);
@@ -528,15 +719,18 @@ mod tests {
 
     #[test]
     fn server_meets_bound_when_fast() {
-        let settings = small(TestSettings::server(1_000.0, Nanos::from_millis(10)))
-            .with_min_query_count(500);
+        let settings =
+            small(TestSettings::server(1_000.0, Nanos::from_millis(10))).with_min_query_count(500);
         let mut qsl = MemoryQsl::new("q", 32, 32);
         // Service 50us at 1000 qps: utilization 5%, no queueing to speak of.
         let mut sut = FixedLatencySut::new("s", Nanos::from_micros(50));
         let out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();
         assert!(out.result.is_valid(), "{:?}", out.result.validity);
         match out.result.metric {
-            ScenarioMetric::Server { qps, overlatency_fraction } => {
+            ScenarioMetric::Server {
+                qps,
+                overlatency_fraction,
+            } => {
                 assert_eq!(qps, 1_000.0);
                 assert!(overlatency_fraction < 0.01);
             }
@@ -547,8 +741,8 @@ mod tests {
     #[test]
     fn server_overloaded_is_invalid() {
         // Service 2ms at 1000 qps: rho = 2, queue diverges, p99 blows up.
-        let settings = small(TestSettings::server(1_000.0, Nanos::from_millis(10)))
-            .with_min_query_count(500);
+        let settings =
+            small(TestSettings::server(1_000.0, Nanos::from_millis(10))).with_min_query_count(500);
         let mut qsl = MemoryQsl::new("q", 32, 32);
         let mut sut = FixedLatencySut::new("s", Nanos::from_millis(2));
         let out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();
@@ -564,7 +758,10 @@ mod tests {
         let out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();
         assert!(out.result.is_valid(), "{:?}", out.result.validity);
         match out.result.metric {
-            ScenarioMetric::MultiStream { streams, skip_fraction } => {
+            ScenarioMetric::MultiStream {
+                streams,
+                skip_fraction,
+            } => {
                 assert_eq!(streams, 4);
                 assert_eq!(skip_fraction, 0.0);
             }
@@ -639,8 +836,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seeds() {
-        let settings = small(TestSettings::server(500.0, Nanos::from_millis(10)))
-            .with_min_query_count(200);
+        let settings =
+            small(TestSettings::server(500.0, Nanos::from_millis(10))).with_min_query_count(200);
         let run = || {
             let mut qsl = MemoryQsl::new("q", 32, 32);
             let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));

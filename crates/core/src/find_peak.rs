@@ -13,6 +13,7 @@ use crate::qsl::QuerySampleLibrary;
 use crate::scenario::Scenario;
 use crate::sut::SimSut;
 use crate::LoadGenError;
+use mlperf_trace::{NoopSink, TraceEvent, TraceSink};
 
 /// Search controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,28 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    find_peak_server_qps_traced(settings, qsl, sut, options, &NoopSink)
+}
+
+/// [`find_peak_server_qps`] with a trace sink: each probed operating point
+/// emits a [`TraceEvent::PeakSearchStep`], stamped with the step ordinal
+/// (the inner runs each restart simulated time at zero, so their clocks
+/// cannot order the steps).
+///
+/// # Errors
+///
+/// Same contract as [`find_peak_server_qps`].
+pub fn find_peak_server_qps_traced<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    options: PeakSearchOptions,
+    sink: &dyn TraceSink,
+) -> Result<PeakResult, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
     if settings.scenario != Scenario::Server {
         return Err(LoadGenError::BadSettings(
             "find_peak_server_qps requires the server scenario".into(),
@@ -72,7 +95,19 @@ where
     let try_qps = |qps: f64, qsl: &mut Q, sut: &mut S, runs: &mut u32| {
         *runs += 1;
         let s = settings.clone().with_server_target_qps(qps);
-        run_simulated(&s, qsl, sut)
+        let out = run_simulated(&s, qsl, sut);
+        if sink.enabled() {
+            if let Ok(out) = &out {
+                sink.record(
+                    u64::from(*runs),
+                    &TraceEvent::PeakSearchStep {
+                        target: qps,
+                        valid: out.result.is_valid(),
+                    },
+                );
+            }
+        }
+        out
     };
     // Shrink until valid.
     let mut lo = settings.server_target_qps.max(1e-6);
@@ -148,6 +183,26 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    find_peak_multistream_traced(settings, qsl, sut, options, &NoopSink)
+}
+
+/// [`find_peak_multistream`] with a trace sink; see
+/// [`find_peak_server_qps_traced`] for the event contract.
+///
+/// # Errors
+///
+/// Same contract as [`find_peak_multistream`].
+pub fn find_peak_multistream_traced<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    options: PeakSearchOptions,
+    sink: &dyn TraceSink,
+) -> Result<Option<PeakResult>, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
     if settings.scenario != Scenario::MultiStream {
         return Err(LoadGenError::BadSettings(
             "find_peak_multistream requires the multistream scenario".into(),
@@ -157,7 +212,19 @@ where
     let try_n = |n: usize, qsl: &mut Q, sut: &mut S, runs: &mut u32| {
         *runs += 1;
         let s = settings.clone().with_samples_per_query(n);
-        run_simulated(&s, qsl, sut)
+        let out = run_simulated(&s, qsl, sut);
+        if sink.enabled() {
+            if let Ok(out) = &out {
+                sink.record(
+                    u64::from(*runs),
+                    &TraceEvent::PeakSearchStep {
+                        target: n as f64,
+                        valid: out.result.is_valid(),
+                    },
+                );
+            }
+        }
+        out
     };
     let first = try_n(1, qsl, sut, &mut runs)?;
     if !first.result.is_valid() {
@@ -235,10 +302,20 @@ mod tests {
         let mut qsl = MemoryQsl::new("q", 16, 16);
         let mut fast = FixedLatencySut::new("f", Nanos::from_micros(100));
         let mut slow = FixedLatencySut::new("sl", Nanos::from_millis(2));
-        let pf = find_peak_server_qps(&server_settings(), &mut qsl, &mut fast, PeakSearchOptions::default())
-            .unwrap();
-        let ps = find_peak_server_qps(&server_settings(), &mut qsl, &mut slow, PeakSearchOptions::default())
-            .unwrap();
+        let pf = find_peak_server_qps(
+            &server_settings(),
+            &mut qsl,
+            &mut fast,
+            PeakSearchOptions::default(),
+        )
+        .unwrap();
+        let ps = find_peak_server_qps(
+            &server_settings(),
+            &mut qsl,
+            &mut slow,
+            PeakSearchOptions::default(),
+        )
+        .unwrap();
         assert!(pf.peak > 3.0 * ps.peak, "fast={} slow={}", pf.peak, ps.peak);
     }
 
@@ -251,9 +328,10 @@ mod tests {
             .with_min_duration(Nanos::from_millis(1));
         let mut qsl = MemoryQsl::new("q", 16, 16);
         let mut sut = FixedLatencySut::new("s", Nanos::from_millis(2));
-        let peak = find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
-            .unwrap()
-            .unwrap();
+        let peak =
+            find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
+                .unwrap()
+                .unwrap();
         assert_eq!(peak.peak as usize, 25, "runs={}", peak.runs);
     }
 
@@ -268,6 +346,35 @@ mod tests {
             find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
                 .unwrap();
         assert!(peak.is_none());
+    }
+
+    #[test]
+    fn traced_search_emits_one_step_per_run() {
+        use mlperf_trace::RingBufferSink;
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_millis(1));
+        let sink = RingBufferSink::unbounded();
+        let peak = find_peak_server_qps_traced(
+            &server_settings(),
+            &mut qsl,
+            &mut sut,
+            PeakSearchOptions::default(),
+            &sink,
+        )
+        .unwrap();
+        let records = sink.snapshot();
+        assert_eq!(records.len() as u32, peak.runs);
+        let mut saw_valid = false;
+        for r in &records {
+            match &r.event {
+                mlperf_trace::TraceEvent::PeakSearchStep { target, valid } => {
+                    assert!(*target > 0.0);
+                    saw_valid |= valid;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(saw_valid, "search found a valid operating point");
     }
 
     #[test]

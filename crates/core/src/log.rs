@@ -4,16 +4,18 @@
 //! of the run ... reports statistics, summarizes the results, and determines
 //! whether the run was valid" (Section IV-B). [`RunLog`] is that artifact:
 //! serializable to JSON for the submission package, with the per-query
-//! detail needed for peer review and the accuracy log the accuracy script
-//! consumes.
+//! detail needed for peer review, the accuracy log the accuracy script
+//! consumes, and (when tracing was on) the run's metrics snapshot so
+//! submission packages carry the latency histograms.
 
 use crate::des::RunOutcome;
 use crate::record::{LoggedResponse, QueryRecord};
 use crate::results::TestResult;
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, MetricsSnapshot, ToJson};
+use std::fmt::Write as _;
 
 /// A complete, serializable record of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunLog {
     /// The scored result (also embedded in submission packages).
     pub result: TestResult,
@@ -21,69 +23,102 @@ pub struct RunLog {
     pub records: Vec<QueryRecord>,
     /// Logged response payloads for accuracy checking.
     pub accuracy_log: Vec<LoggedResponse>,
+    /// Counters, gauges, and latency histograms gathered during the run;
+    /// `None` for runs executed without a metrics registry.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunLog {
     /// Serializes to pretty JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`serde_json::Error`] on serialization failure (practically
-    /// impossible for these types).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_pretty())
     }
 
     /// Parses a previously serialized log.
     ///
     /// # Errors
     ///
-    /// Returns [`serde_json::Error`] for malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns [`JsonError`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        Self::from_json_str(json)
     }
 
     /// The human-readable summary block, in the spirit of
     /// `mlperf_log_summary.txt`.
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        out.push_str("================================================\n");
-        out.push_str("MLPerf Results Summary\n");
-        out.push_str("================================================\n");
-        out.push_str(&format!("SUT      : {}\n", self.result.sut_name));
-        out.push_str(&format!("QSL      : {}\n", self.result.qsl_name));
-        out.push_str(&format!("Scenario : {}\n", self.result.scenario));
-        out.push_str(&format!(
-            "Mode     : {}\n",
+        // String's fmt::Write never fails; discard the Ok(()) results.
+        let _ = writeln!(out, "================================================");
+        let _ = writeln!(out, "MLPerf Results Summary");
+        let _ = writeln!(out, "================================================");
+        let _ = writeln!(out, "SUT      : {}", self.result.sut_name);
+        let _ = writeln!(out, "QSL      : {}", self.result.qsl_name);
+        let _ = writeln!(out, "Scenario : {}", self.result.scenario);
+        let _ = writeln!(
+            out,
+            "Mode     : {}",
             if self.result.performance_mode {
                 "PerformanceOnly"
             } else {
                 "AccuracyOnly"
             }
-        ));
-        out.push_str(&format!("Metric   : {}\n", self.result.metric));
-        out.push_str(&format!(
-            "Validity : {}\n",
-            if self.result.is_valid() { "VALID" } else { "INVALID" }
-        ));
+        );
+        let _ = writeln!(out, "Metric   : {}", self.result.metric);
+        let _ = writeln!(
+            out,
+            "Validity : {}",
+            if self.result.is_valid() {
+                "VALID"
+            } else {
+                "INVALID"
+            }
+        );
         for issue in &self.result.validity {
-            out.push_str(&format!("  * {issue}\n"));
+            let _ = writeln!(out, "  * {issue}");
         }
         if let Some(stats) = self.result.latency_stats {
-            out.push_str("Latency  :\n");
-            out.push_str(&format!("  min  {}\n", stats.min));
-            out.push_str(&format!("  mean {}\n", stats.mean));
-            out.push_str(&format!("  p50  {}\n", stats.p50));
-            out.push_str(&format!("  p90  {}\n", stats.p90));
-            out.push_str(&format!("  p97  {}\n", stats.p97));
-            out.push_str(&format!("  p99  {}\n", stats.p99));
-            out.push_str(&format!("  max  {}\n", stats.max));
+            let _ = writeln!(out, "Latency  :");
+            let _ = writeln!(out, "  min   {}", stats.min);
+            let _ = writeln!(out, "  mean  {}", stats.mean);
+            let _ = writeln!(out, "  p50   {}", stats.p50);
+            let _ = writeln!(out, "  p90   {}", stats.p90);
+            let _ = writeln!(out, "  p97   {}", stats.p97);
+            let _ = writeln!(out, "  p99   {}", stats.p99);
+            let _ = writeln!(out, "  p99.9 {}", stats.p999);
+            let _ = writeln!(out, "  max   {}", stats.max);
         }
-        out.push_str(&format!(
-            "Queries  : {} ({} samples) over {}\n",
+        let _ = writeln!(
+            out,
+            "Queries  : {} ({} samples) over {}",
             self.result.query_count, self.result.sample_count, self.result.duration
-        ));
+        );
         out
+    }
+}
+
+impl ToJson for RunLog {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("result", self.result.to_json_value()),
+            ("records", self.records.to_json_value()),
+            ("accuracy_log", self.accuracy_log.to_json_value()),
+            ("metrics", self.metrics.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for RunLog {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(RunLog {
+            result: TestResult::from_json_value(value.field("result")?)?,
+            records: Vec::from_json_value(value.field("records")?)?,
+            accuracy_log: Vec::from_json_value(value.field("accuracy_log")?)?,
+            // Absent in logs predating the metrics registry.
+            metrics: match value.get("metrics") {
+                Some(v) => Option::from_json_value(v)?,
+                None => None,
+            },
+        })
     }
 }
 
@@ -93,6 +128,7 @@ impl From<RunOutcome> for RunLog {
             result: outcome.result,
             records: outcome.records,
             accuracy_log: outcome.accuracy_log,
+            metrics: outcome.metrics,
         }
     }
 }
@@ -124,6 +160,23 @@ mod tests {
     }
 
     #[test]
+    fn log_without_metrics_field_parses() {
+        let mut log = RunLog::from(outcome());
+        log.metrics = None;
+        let json = log.to_json().unwrap();
+        // Simulate a pre-metrics log by dropping the field entirely.
+        let doc = JsonValue::parse(&json).unwrap();
+        let trimmed = match doc {
+            JsonValue::Object(fields) => {
+                JsonValue::Object(fields.into_iter().filter(|(k, _)| k != "metrics").collect())
+            }
+            other => other,
+        };
+        let back = RunLog::from_json(&trimmed.to_compact()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
     fn summary_mentions_key_fields() {
         let log = RunLog::from(outcome());
         let s = log.summary();
@@ -132,6 +185,7 @@ mod tests {
         assert!(s.contains("toy"));
         assert!(s.contains("VALID"));
         assert!(s.contains("p90"));
+        assert!(s.contains("p99.9"));
     }
 
     #[test]
@@ -146,10 +200,12 @@ mod tests {
         // tighten the requirement post hoc via a manual check instead.
         let settings = settings.with_min_query_count(4);
         let mut out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();
-        out.result.validity.push(crate::validate::ValidityIssue::TooFewQueries {
-            required: 1_000_000,
-            observed: 4,
-        });
+        out.result
+            .validity
+            .push(crate::validate::ValidityIssue::TooFewQueries {
+                required: 1_000_000,
+                observed: 4,
+            });
         let log = RunLog::from(out);
         assert!(log.summary().contains("INVALID"));
         assert!(log.summary().contains("too few queries"));

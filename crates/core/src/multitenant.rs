@@ -23,6 +23,7 @@ use crate::time::Nanos;
 use crate::LoadGenError;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
+use mlperf_trace::{NoopSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -98,6 +99,27 @@ struct Tenant {
 pub fn run_multitenant_server<Q, S>(
     tenants: &mut [(&TestSettings, &mut Q)],
     sut: &mut S,
+) -> Result<Vec<RunOutcome>, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    run_multitenant_server_traced(tenants, sut, &NoopSink)
+}
+
+/// [`run_multitenant_server`] with a trace sink attached.
+///
+/// All tenants' events interleave into one stream in simulated-time order,
+/// which is exactly what a cross-tenant timeline needs; the tenant is
+/// recoverable from the query id via [`tenant_of`].
+///
+/// # Errors
+///
+/// Same contract as [`run_multitenant_server`].
+pub fn run_multitenant_server_traced<Q, S>(
+    tenants: &mut [(&TestSettings, &mut Q)],
+    sut: &mut S,
+    sink: &dyn TraceSink,
 ) -> Result<Vec<RunOutcome>, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
@@ -198,7 +220,20 @@ where
                 };
                 state.issued += 1;
                 state.recorder.record_issue(&query, at)?;
+                if sink.enabled() {
+                    sink.record(
+                        at.as_nanos(),
+                        &TraceEvent::QueryIssued {
+                            query_id: id,
+                            sample_count: query.sample_count(),
+                            delay_ns: 0,
+                        },
+                    );
+                }
                 let reaction = sut.on_query(at, &query);
+                if sink.enabled() {
+                    sink.record(at.as_nanos(), &TraceEvent::QuerySent { query_id: id });
+                }
                 apply(&mut heap, &mut seq, at, reaction)?;
                 let next = state.arrivals.next().expect("poisson process is infinite");
                 if state.issued < state.settings.min_query_count
@@ -221,15 +256,22 @@ where
             EventKind::Completion(completion) => {
                 let t = tenant_of(completion.query_id) as usize;
                 let state = states.get_mut(t).ok_or_else(|| {
-                    LoadGenError::SutProtocol(format!(
-                        "completion routed to unknown tenant {t}"
-                    ))
+                    LoadGenError::SutProtocol(format!("completion routed to unknown tenant {t}"))
                 })?;
                 let p = state.settings.accuracy_log_probability;
                 let rng = &mut state.acc_rng;
-                state
+                let latency = state
                     .recorder
                     .record_completion(&completion, |_| p > 0.0 && rng.next_bool(p))?;
+                if sink.enabled() {
+                    sink.record(
+                        completion.finished_at.as_nanos(),
+                        &TraceEvent::QueryCompleted {
+                            query_id: completion.query_id,
+                            latency_ns: latency.as_nanos(),
+                        },
+                    );
+                }
             }
         }
     }
@@ -244,8 +286,11 @@ where
             sut.name(),
             qsl.name(),
             state.recorder,
+            sink,
+            None,
         ));
     }
+    sink.flush();
     Ok(outcomes)
 }
 
@@ -306,16 +351,76 @@ mod tests {
         let mut qa = MemoryQsl::new("tenant-a", 64, 64);
         let mut qb = MemoryQsl::new("tenant-b", 64, 64);
         let mut sut = FixedLatencySut::new("shared", Nanos::from_micros(100));
-        let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> =
-            vec![(&a, &mut qa), (&b, &mut qb)];
+        let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> = vec![(&a, &mut qa), (&b, &mut qb)];
         let outcomes = run_multitenant_server(&mut tenants, &mut sut).unwrap();
         assert_eq!(outcomes.len(), 2);
         for (i, out) in outcomes.iter().enumerate() {
-            assert!(out.result.is_valid(), "tenant {i}: {:?}", out.result.validity);
+            assert!(
+                out.result.is_valid(),
+                "tenant {i}: {:?}",
+                out.result.validity
+            );
         }
         assert_eq!(outcomes[0].result.query_count, 300);
         assert_eq!(outcomes[1].result.query_count, 150);
         assert_eq!(outcomes[1].result.qsl_name, "tenant-b");
+    }
+
+    #[test]
+    fn ring_buffer_preserves_order_and_monotonic_time() {
+        use mlperf_trace::RingBufferSink;
+        let a = settings(300.0, 10, 200);
+        let b = settings(150.0, 20, 100);
+        let mut qa = MemoryQsl::new("tenant-a", 64, 64);
+        let mut qb = MemoryQsl::new("tenant-b", 64, 64);
+        let mut sut = FixedLatencySut::new("shared", Nanos::from_micros(100));
+        let sink = RingBufferSink::unbounded();
+        let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> = vec![(&a, &mut qa), (&b, &mut qb)];
+        run_multitenant_server_traced(&mut tenants, &mut sut, &sink).unwrap();
+        let records = sink.snapshot();
+        assert_eq!(sink.dropped(), 0);
+
+        // The DES portion (query lifecycle events from both interleaved
+        // tenants) must come out of the buffer in simulated-time order;
+        // only the per-tenant end-of-run reports, stamped with each
+        // tenant's own duration, may rewind.
+        let lifecycle: Vec<&mlperf_trace::TraceRecord> = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::QueryIssued { .. }
+                        | TraceEvent::QuerySent { .. }
+                        | TraceEvent::QueryCompleted { .. }
+                )
+            })
+            .collect();
+        assert!(lifecycle.len() >= 3 * 300, "both tenants fully traced");
+        assert!(
+            lifecycle.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "ring buffer must preserve monotonic simulated time"
+        );
+
+        // Per query, the issue -> sent -> completed order survives, for
+        // queries of both tenants.
+        let mut phase: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for r in &lifecycle {
+            match r.event {
+                TraceEvent::QueryIssued { query_id, .. } => {
+                    assert_eq!(phase.insert(query_id, 1), None);
+                }
+                TraceEvent::QuerySent { query_id } => {
+                    assert_eq!(phase.insert(query_id, 2), Some(1));
+                }
+                TraceEvent::QueryCompleted { query_id, .. } => {
+                    assert_eq!(phase.insert(query_id, 3), Some(2));
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert!(phase.keys().any(|id| tenant_of(*id) == 0));
+        assert!(phase.keys().any(|id| tenant_of(*id) == 1));
+        assert!(phase.values().all(|p| *p == 3), "every query completes");
     }
 
     #[test]
@@ -335,7 +440,11 @@ mod tests {
             "shared contention must break the 1 ms tenant"
         );
         // The loose tenant is fine.
-        assert!(outcomes[1].result.is_valid(), "{:?}", outcomes[1].result.validity);
+        assert!(
+            outcomes[1].result.is_valid(),
+            "{:?}",
+            outcomes[1].result.validity
+        );
     }
 
     #[test]
@@ -348,14 +457,18 @@ mod tests {
             match co_qps {
                 None => {
                     let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> = vec![(&a, &mut qa)];
-                    run_multitenant_server(&mut tenants, &mut sut).unwrap().remove(0)
+                    run_multitenant_server(&mut tenants, &mut sut)
+                        .unwrap()
+                        .remove(0)
                 }
                 Some(qps) => {
                     let b = settings(qps, 1_000, 400);
                     let mut qb = MemoryQsl::new("b", 64, 64);
                     let mut tenants: Vec<(&TestSettings, &mut MemoryQsl)> =
                         vec![(&a, &mut qa), (&b, &mut qb)];
-                    run_multitenant_server(&mut tenants, &mut sut).unwrap().remove(0)
+                    run_multitenant_server(&mut tenants, &mut sut)
+                        .unwrap()
+                        .remove(0)
                 }
             }
         };

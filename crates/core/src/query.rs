@@ -1,7 +1,7 @@
 //! Queries, samples, and responses.
 
 use crate::time::Nanos;
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, ToJson};
 
 /// Identifier of an issued query, unique within one run.
 pub type QueryId = u64;
@@ -10,7 +10,7 @@ pub type QueryId = u64;
 pub type SampleIndex = usize;
 
 /// One sample reference inside a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QuerySample {
     /// Response-tracking id, unique per sample per run.
     pub id: u64,
@@ -19,7 +19,7 @@ pub struct QuerySample {
 }
 
 /// A query: "a request for inference on one or more samples" (Section IV-B).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     /// The query id.
     pub id: QueryId,
@@ -32,7 +32,6 @@ pub struct Query {
     /// Which model/stream this query belongs to — 0 for every standard
     /// scenario; the multitenancy extension (Section IV-B mentions it as a
     /// planned LoadGen mode) tags each tenant's queries.
-    #[serde(default)]
     pub tenant: u32,
 }
 
@@ -48,9 +47,10 @@ impl Query {
 /// The LoadGen does not interpret payloads; it logs them (always in accuracy
 /// mode, randomly sampled in performance mode for the accuracy-verification
 /// audit) and the task's accuracy script scores them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum ResponsePayload {
     /// No payload (performance mode default).
+    #[default]
     Empty,
     /// Classification: predicted class index.
     Class(usize),
@@ -67,14 +67,8 @@ impl ResponsePayload {
     }
 }
 
-impl Default for ResponsePayload {
-    fn default() -> Self {
-        ResponsePayload::Empty
-    }
-}
-
 /// Completion of one sample of a query, reported by the SUT.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleCompletion {
     /// The sample's response id (must echo [`QuerySample::id`]).
     pub sample_id: u64,
@@ -83,7 +77,7 @@ pub struct SampleCompletion {
 }
 
 /// Completion of a whole query at a point in simulated/wall time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryCompletion {
     /// The completed query.
     pub query_id: QueryId,
@@ -91,6 +85,148 @@ pub struct QueryCompletion {
     pub finished_at: Nanos,
     /// Per-sample completions (must cover every sample of the query).
     pub samples: Vec<SampleCompletion>,
+}
+
+impl ToJson for QuerySample {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("id", self.id.to_json_value()),
+            ("index", self.index.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for QuerySample {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(QuerySample {
+            id: value.field("id")?.as_u64()?,
+            index: value.field("index")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for Query {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("id", self.id.to_json_value()),
+            ("samples", self.samples.to_json_value()),
+            ("scheduled_at", self.scheduled_at.to_json_value()),
+            ("tenant", self.tenant.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Query {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Query {
+            id: value.field("id")?.as_u64()?,
+            samples: Vec::from_json_value(value.field("samples")?)?,
+            scheduled_at: Nanos::from_json_value(value.field("scheduled_at")?)?,
+            // Logs written before the multitenancy extension lack the field.
+            tenant: match value.get("tenant") {
+                Some(v) => v.as_u32()?,
+                None => 0,
+            },
+        })
+    }
+}
+
+impl ToJson for ResponsePayload {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            ResponsePayload::Empty => JsonValue::Str("Empty".into()),
+            ResponsePayload::Class(class) => {
+                JsonValue::object(vec![("Class", class.to_json_value())])
+            }
+            ResponsePayload::Boxes(boxes) => {
+                let items = boxes
+                    .iter()
+                    .map(|(class, score, rect)| {
+                        JsonValue::Array(vec![
+                            class.to_json_value(),
+                            score.to_json_value(),
+                            JsonValue::Array(rect.iter().map(|c| c.to_json_value()).collect()),
+                        ])
+                    })
+                    .collect();
+                JsonValue::object(vec![("Boxes", JsonValue::Array(items))])
+            }
+            ResponsePayload::Tokens(tokens) => {
+                JsonValue::object(vec![("Tokens", tokens.to_json_value())])
+            }
+        }
+    }
+}
+
+impl FromJson for ResponsePayload {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        if let Ok("Empty") = value.as_str() {
+            return Ok(ResponsePayload::Empty);
+        }
+        let (name, payload) = value.as_variant()?;
+        match name {
+            "Class" => Ok(ResponsePayload::Class(payload.as_usize()?)),
+            "Boxes" => {
+                let mut boxes = Vec::new();
+                for item in payload.as_array()? {
+                    let parts = item.as_array()?;
+                    if parts.len() != 3 {
+                        return Err(JsonError::new("box must be [class, score, rect]"));
+                    }
+                    let rect_parts = parts[2].as_array()?;
+                    if rect_parts.len() != 4 {
+                        return Err(JsonError::new("box rect must have 4 coordinates"));
+                    }
+                    let mut rect = [0.0f32; 4];
+                    for (slot, coord) in rect.iter_mut().zip(rect_parts) {
+                        *slot = coord.as_f32()?;
+                    }
+                    boxes.push((parts[0].as_usize()?, parts[1].as_f32()?, rect));
+                }
+                Ok(ResponsePayload::Boxes(boxes))
+            }
+            "Tokens" => Ok(ResponsePayload::Tokens(Vec::from_json_value(payload)?)),
+            other => Err(JsonError::new(format!("unknown payload variant {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for SampleCompletion {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("sample_id", self.sample_id.to_json_value()),
+            ("payload", self.payload.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for SampleCompletion {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SampleCompletion {
+            sample_id: value.field("sample_id")?.as_u64()?,
+            payload: ResponsePayload::from_json_value(value.field("payload")?)?,
+        })
+    }
+}
+
+impl ToJson for QueryCompletion {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("query_id", self.query_id.to_json_value()),
+            ("finished_at", self.finished_at.to_json_value()),
+            ("samples", self.samples.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for QueryCompletion {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(QueryCompletion {
+            query_id: value.field("query_id")?.as_u64()?,
+            finished_at: Nanos::from_json_value(value.field("finished_at")?)?,
+            samples: Vec::from_json_value(value.field("samples")?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +242,7 @@ mod tests {
                 QuerySample { id: 11, index: 5 },
             ],
             scheduled_at: Nanos::ZERO,
-        tenant: 0,
+            tenant: 0,
         };
         assert_eq!(q.sample_count(), 2);
     }
@@ -120,7 +256,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = QueryCompletion {
             query_id: 9,
             finished_at: Nanos::from_micros(77),
@@ -129,7 +265,23 @@ mod tests {
                 payload: ResponsePayload::Boxes(vec![(2, 0.9, [0.0, 0.0, 4.0, 4.0])]),
             }],
         };
-        let json = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<QueryCompletion>(&json).unwrap(), c);
+        let json = c.to_json_string();
+        assert_eq!(QueryCompletion::from_json_str(&json).unwrap(), c);
+        for payload in [
+            ResponsePayload::Empty,
+            ResponsePayload::Class(17),
+            ResponsePayload::Tokens(vec![1, 2, 3]),
+        ] {
+            let json = payload.to_json_string();
+            assert_eq!(ResponsePayload::from_json_str(&json).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn query_without_tenant_field_parses() {
+        let json = r#"{"id":1,"samples":[{"id":2,"index":3}],"scheduled_at":50}"#;
+        let q = Query::from_json_str(json).unwrap();
+        assert_eq!(q.tenant, 0);
+        assert_eq!(q.scheduled_at, Nanos::from_nanos(50));
     }
 }

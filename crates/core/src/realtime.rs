@@ -16,14 +16,16 @@ use crate::des::{finish_run, RunOutcome};
 use crate::qsl::QuerySampleLibrary;
 use crate::query::{Query, QueryCompletion};
 use crate::record::Recorder;
-use crate::schedule::build_query;
 use crate::scenario::Scenario;
+use crate::schedule::build_query;
 use crate::sut::RealtimeSut;
 use crate::time::Nanos;
 use crate::LoadGenError;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
-use std::sync::Arc;
+use mlperf_trace::NoopSink;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Number of worker threads for the server scenario.
@@ -57,9 +59,7 @@ where
     qsl.load_samples(&loaded);
     let mut recorder = Recorder::new();
     match settings.mode {
-        TestMode::AccuracyOnly => {
-            run_batch(settings, &loaded, sut.as_ref(), &mut recorder, 1.0)?
-        }
+        TestMode::AccuracyOnly => run_batch(settings, &loaded, sut.as_ref(), &mut recorder, 1.0)?,
         TestMode::PerformanceOnly => match settings.scenario {
             Scenario::SingleStream => {
                 run_single_stream(settings, loaded.len(), sut.as_ref(), &mut recorder)?
@@ -85,7 +85,14 @@ where
         },
     }
     qsl.unload_samples(&loaded);
-    Ok(finish_run(settings, sut.name(), qsl.name(), recorder))
+    Ok(finish_run(
+        settings,
+        sut.name(),
+        qsl.name(),
+        recorder,
+        &NoopSink,
+        None,
+    ))
 }
 
 fn log_sampler(settings: &TestSettings, probability: f64) -> impl FnMut(u64) -> bool {
@@ -114,7 +121,8 @@ fn run_batch(
             samples,
         },
         log_sampler(settings, log_probability),
-    )
+    )?;
+    Ok(())
 }
 
 fn run_single_stream(
@@ -188,7 +196,7 @@ fn run_multi_stream(
         if consumed > 1 {
             recorder.record_skips(query.id, (consumed - 1) as u32);
         }
-        boundary = boundary + interval.mul(consumed);
+        boundary += interval.mul(consumed);
         if issued >= settings.min_query_count && boundary >= settings.min_duration {
             return Ok(());
         }
@@ -209,27 +217,32 @@ fn run_server(
     )
     .map_err(|e| LoadGenError::BadSettings(e.to_string()))?
     .map(Nanos::from_secs_f64);
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<Query>();
-    let (done_tx, done_rx) = crossbeam::channel::unbounded::<QueryCompletion>();
+    let (work_tx, work_rx) = mpsc::channel::<Query>();
+    let (done_tx, done_rx) = mpsc::channel::<QueryCompletion>();
+    // std's Receiver is single-consumer; the worker pool shares it behind a
+    // mutex (each worker holds the lock only for the dequeue itself).
+    let work_rx = Arc::new(Mutex::new(work_rx));
     let mut workers = Vec::new();
     for _ in 0..SERVER_WORKERS {
-        let rx = work_rx.clone();
+        let rx = Arc::clone(&work_rx);
         let tx = done_tx.clone();
         let sut = Arc::clone(sut);
-        workers.push(std::thread::spawn(move || {
-            while let Ok(query) = rx.recv() {
-                let samples = sut.issue(&query);
-                let finished = Nanos::from(start.elapsed());
-                if tx
-                    .send(QueryCompletion {
-                        query_id: query.id,
-                        finished_at: finished,
-                        samples,
-                    })
-                    .is_err()
-                {
-                    break;
-                }
+        workers.push(std::thread::spawn(move || loop {
+            let query = match rx.lock().expect("work queue poisoned").recv() {
+                Ok(query) => query,
+                Err(_) => break,
+            };
+            let samples = sut.issue(&query);
+            let finished = Nanos::from(start.elapsed());
+            if tx
+                .send(QueryCompletion {
+                    query_id: query.id,
+                    finished_at: finished,
+                    samples,
+                })
+                .is_err()
+            {
+                break;
             }
         }));
     }

@@ -3,11 +3,11 @@
 use crate::query::{Query, QueryCompletion, QueryId, ResponsePayload, SampleIndex};
 use crate::time::Nanos;
 use crate::LoadGenError;
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, ToJson};
 use std::collections::HashMap;
 
 /// Per-query record retained for the detail log and metric computation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryRecord {
     /// Query id.
     pub id: QueryId,
@@ -26,12 +26,13 @@ pub struct QueryRecord {
 impl QueryRecord {
     /// Latency from scheduled time to completion.
     pub fn latency(&self) -> Option<Nanos> {
-        self.completed_at.map(|c| c.saturating_sub(self.scheduled_at))
+        self.completed_at
+            .map(|c| c.saturating_sub(self.scheduled_at))
     }
 }
 
 /// A response payload kept for accuracy checking.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoggedResponse {
     /// The sample's response id.
     pub sample_id: u64,
@@ -39,6 +40,52 @@ pub struct LoggedResponse {
     pub sample_index: SampleIndex,
     /// The SUT's output.
     pub payload: ResponsePayload,
+}
+
+impl ToJson for QueryRecord {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("id", self.id.to_json_value()),
+            ("scheduled_at", self.scheduled_at.to_json_value()),
+            ("issued_at", self.issued_at.to_json_value()),
+            ("completed_at", self.completed_at.to_json_value()),
+            ("sample_count", self.sample_count.to_json_value()),
+            ("skipped_intervals", self.skipped_intervals.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for QueryRecord {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(QueryRecord {
+            id: value.field("id")?.as_u64()?,
+            scheduled_at: Nanos::from_json_value(value.field("scheduled_at")?)?,
+            issued_at: Nanos::from_json_value(value.field("issued_at")?)?,
+            completed_at: Option::from_json_value(value.field("completed_at")?)?,
+            sample_count: value.field("sample_count")?.as_usize()?,
+            skipped_intervals: value.field("skipped_intervals")?.as_u32()?,
+        })
+    }
+}
+
+impl ToJson for LoggedResponse {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("sample_id", self.sample_id.to_json_value()),
+            ("sample_index", self.sample_index.to_json_value()),
+            ("payload", self.payload.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for LoggedResponse {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(LoggedResponse {
+            sample_id: value.field("sample_id")?.as_u64()?,
+            sample_index: value.field("sample_index")?.as_usize()?,
+            payload: ResponsePayload::from_json_value(value.field("payload")?)?,
+        })
+    }
 }
 
 /// Records issues and completions, enforcing the SUT protocol.
@@ -86,7 +133,8 @@ impl Recorder {
         Ok(())
     }
 
-    /// Registers a completion, optionally logging payloads.
+    /// Registers a completion, optionally logging payloads, and returns the
+    /// query's scheduled-to-finished latency.
     ///
     /// `log_payload` decides per sample whether the payload lands in the
     /// accuracy log (always in accuracy mode, sampled in performance mode).
@@ -100,13 +148,16 @@ impl Recorder {
         &mut self,
         completion: &QueryCompletion,
         mut log_payload: F,
-    ) -> Result<(), LoadGenError> {
-        let (pos, samples) = self.outstanding.remove(&completion.query_id).ok_or_else(|| {
-            LoadGenError::SutProtocol(format!(
-                "completion for unknown or already-completed query {}",
-                completion.query_id
-            ))
-        })?;
+    ) -> Result<Nanos, LoadGenError> {
+        let (pos, samples) = self
+            .outstanding
+            .remove(&completion.query_id)
+            .ok_or_else(|| {
+                LoadGenError::SutProtocol(format!(
+                    "completion for unknown or already-completed query {}",
+                    completion.query_id
+                ))
+            })?;
         let record = &mut self.records[pos];
         if completion.finished_at < record.issued_at {
             return Err(LoadGenError::SutProtocol(format!(
@@ -140,7 +191,7 @@ impl Recorder {
         record.completed_at = Some(completion.finished_at);
         self.samples_completed += samples.len() as u64;
         self.last_completion = self.last_completion.max(completion.finished_at);
-        Ok(())
+        Ok(completion.finished_at.saturating_sub(record.scheduled_at))
     }
 
     /// Attributes skipped intervals to a (completed) multistream query.
@@ -196,7 +247,10 @@ impl Recorder {
 
     /// Completed-query latencies (scheduled → finished).
     pub fn latencies(&self) -> Vec<Nanos> {
-        self.records.iter().filter_map(QueryRecord::latency).collect()
+        self.records
+            .iter()
+            .filter_map(QueryRecord::latency)
+            .collect()
     }
 }
 
@@ -208,9 +262,12 @@ mod tests {
     fn query(id: u64) -> Query {
         Query {
             id,
-            samples: vec![QuerySample { id: id * 10, index: 3 }],
+            samples: vec![QuerySample {
+                id: id * 10,
+                index: 3,
+            }],
             scheduled_at: Nanos::from_micros(5),
-        tenant: 0,
+            tenant: 0,
         }
     }
 
@@ -229,8 +286,10 @@ mod tests {
     fn issue_complete_latency() {
         let mut r = Recorder::new();
         r.record_issue(&query(1), Nanos::from_micros(5)).unwrap();
-        r.record_completion(&completion(1, Nanos::from_micros(25)), |_| false)
+        let latency = r
+            .record_completion(&completion(1, Nanos::from_micros(25)), |_| false)
             .unwrap();
+        assert_eq!(latency, Nanos::from_micros(20));
         assert_eq!(r.latencies(), vec![Nanos::from_micros(20)]);
         assert_eq!(r.samples_completed(), 1);
         assert_eq!(r.outstanding(), 0);
@@ -255,7 +314,8 @@ mod tests {
     fn double_completion_rejected() {
         let mut r = Recorder::new();
         r.record_issue(&query(1), Nanos::ZERO).unwrap();
-        r.record_completion(&completion(1, Nanos::SECOND), |_| false).unwrap();
+        r.record_completion(&completion(1, Nanos::SECOND), |_| false)
+            .unwrap();
         assert!(r
             .record_completion(&completion(1, Nanos::SECOND), |_| false)
             .is_err());
@@ -293,8 +353,10 @@ mod tests {
         let mut r = Recorder::new();
         r.record_issue(&query(1), Nanos::ZERO).unwrap();
         r.record_issue(&query(2), Nanos::ZERO).unwrap();
-        r.record_completion(&completion(1, Nanos::SECOND), |_| true).unwrap();
-        r.record_completion(&completion(2, Nanos::SECOND), |_| false).unwrap();
+        r.record_completion(&completion(1, Nanos::SECOND), |_| true)
+            .unwrap();
+        r.record_completion(&completion(2, Nanos::SECOND), |_| false)
+            .unwrap();
         assert_eq!(r.accuracy_log().len(), 1);
         assert_eq!(r.accuracy_log()[0].sample_index, 3);
         assert_eq!(r.accuracy_log()[0].payload, ResponsePayload::Class(1));

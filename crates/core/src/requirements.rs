@@ -65,8 +65,14 @@ mod tests {
 
     #[test]
     fn table_v_vision_row() {
-        assert_eq!(min_query_count(Scenario::SingleStream, QosClass::Vision), 1_024);
-        assert_eq!(min_query_count(Scenario::MultiStream, QosClass::Vision), 270_336);
+        assert_eq!(
+            min_query_count(Scenario::SingleStream, QosClass::Vision),
+            1_024
+        );
+        assert_eq!(
+            min_query_count(Scenario::MultiStream, QosClass::Vision),
+            270_336
+        );
         assert_eq!(min_query_count(Scenario::Server, QosClass::Vision), 270_336);
         assert_eq!(min_query_count(Scenario::Offline, QosClass::Vision), 1);
     }

@@ -4,10 +4,10 @@ use crate::config::TestMode;
 use crate::scenario::Scenario;
 use crate::time::Nanos;
 use crate::validate::ValidityIssue;
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, ToJson};
 
 /// Distribution of per-query latencies over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Fastest query.
     pub min: Nanos,
@@ -21,6 +21,9 @@ pub struct LatencyStats {
     pub p97: Nanos,
     /// 99th percentile.
     pub p99: Nanos,
+    /// 99.9th percentile — one level deeper into the tail than the Server
+    /// scenario's p99 bound, where queueing pathologies first show up.
+    pub p999: Nanos,
     /// Slowest query.
     pub max: Nanos,
 }
@@ -45,13 +48,50 @@ impl LatencyStats {
             p90: pick(0.90),
             p97: pick(0.97),
             p99: pick(0.99),
+            p999: pick(0.999),
             max: *sorted.last().expect("non-empty"),
         })
     }
 }
 
+impl ToJson for LatencyStats {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("min", self.min.to_json_value()),
+            ("mean", self.mean.to_json_value()),
+            ("p50", self.p50.to_json_value()),
+            ("p90", self.p90.to_json_value()),
+            ("p97", self.p97.to_json_value()),
+            ("p99", self.p99.to_json_value()),
+            ("p999", self.p999.to_json_value()),
+            ("max", self.max.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for LatencyStats {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let p99 = Nanos::from_json_value(value.field("p99")?)?;
+        Ok(LatencyStats {
+            min: Nanos::from_json_value(value.field("min")?)?,
+            mean: Nanos::from_json_value(value.field("mean")?)?,
+            p50: Nanos::from_json_value(value.field("p50")?)?,
+            p90: Nanos::from_json_value(value.field("p90")?)?,
+            p97: Nanos::from_json_value(value.field("p97")?)?,
+            p99,
+            // Logs written before p99.9 was tracked get the closest
+            // conservative stand-in.
+            p999: match value.get("p999") {
+                Some(v) => Nanos::from_json_value(v)?,
+                None => p99,
+            },
+            max: Nanos::from_json_value(value.field("max")?)?,
+        })
+    }
+}
+
 /// The scenario's headline metric (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScenarioMetric {
     /// Single-stream: 90th-percentile query latency.
     SingleStream {
@@ -95,6 +135,68 @@ impl ScenarioMetric {
     }
 }
 
+impl ToJson for ScenarioMetric {
+    fn to_json_value(&self) -> JsonValue {
+        let (name, payload) = match self {
+            ScenarioMetric::SingleStream { p90_latency } => (
+                "SingleStream",
+                JsonValue::object(vec![("p90_latency", p90_latency.to_json_value())]),
+            ),
+            ScenarioMetric::MultiStream {
+                streams,
+                skip_fraction,
+            } => (
+                "MultiStream",
+                JsonValue::object(vec![
+                    ("streams", streams.to_json_value()),
+                    ("skip_fraction", skip_fraction.to_json_value()),
+                ]),
+            ),
+            ScenarioMetric::Server {
+                qps,
+                overlatency_fraction,
+            } => (
+                "Server",
+                JsonValue::object(vec![
+                    ("qps", qps.to_json_value()),
+                    ("overlatency_fraction", overlatency_fraction.to_json_value()),
+                ]),
+            ),
+            ScenarioMetric::Offline { samples_per_second } => (
+                "Offline",
+                JsonValue::object(vec![(
+                    "samples_per_second",
+                    samples_per_second.to_json_value(),
+                )]),
+            ),
+        };
+        JsonValue::object(vec![(name, payload)])
+    }
+}
+
+impl FromJson for ScenarioMetric {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let (name, p) = value.as_variant()?;
+        match name {
+            "SingleStream" => Ok(ScenarioMetric::SingleStream {
+                p90_latency: Nanos::from_json_value(p.field("p90_latency")?)?,
+            }),
+            "MultiStream" => Ok(ScenarioMetric::MultiStream {
+                streams: p.field("streams")?.as_usize()?,
+                skip_fraction: p.field("skip_fraction")?.as_f64()?,
+            }),
+            "Server" => Ok(ScenarioMetric::Server {
+                qps: p.field("qps")?.as_f64()?,
+                overlatency_fraction: p.field("overlatency_fraction")?.as_f64()?,
+            }),
+            "Offline" => Ok(ScenarioMetric::Offline {
+                samples_per_second: p.field("samples_per_second")?.as_f64()?,
+            }),
+            other => Err(JsonError::new(format!("unknown metric variant {other:?}"))),
+        }
+    }
+}
+
 impl std::fmt::Display for ScenarioMetric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -111,7 +213,7 @@ impl std::fmt::Display for ScenarioMetric {
 }
 
 /// The outcome of one LoadGen run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestResult {
     /// SUT name (from the SUT trait).
     pub sut_name: String,
@@ -162,6 +264,40 @@ impl TestResult {
     }
 }
 
+impl ToJson for TestResult {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("sut_name", self.sut_name.to_json_value()),
+            ("qsl_name", self.qsl_name.to_json_value()),
+            ("scenario", self.scenario.to_json_value()),
+            ("performance_mode", self.performance_mode.to_json_value()),
+            ("metric", self.metric.to_json_value()),
+            ("latency_stats", self.latency_stats.to_json_value()),
+            ("query_count", self.query_count.to_json_value()),
+            ("sample_count", self.sample_count.to_json_value()),
+            ("duration", self.duration.to_json_value()),
+            ("validity", self.validity.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for TestResult {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(TestResult {
+            sut_name: value.field("sut_name")?.as_str()?.to_string(),
+            qsl_name: value.field("qsl_name")?.as_str()?.to_string(),
+            scenario: Scenario::from_json_value(value.field("scenario")?)?,
+            performance_mode: value.field("performance_mode")?.as_bool()?,
+            metric: ScenarioMetric::from_json_value(value.field("metric")?)?,
+            latency_stats: Option::from_json_value(value.field("latency_stats")?)?,
+            query_count: value.field("query_count")?.as_u64()?,
+            sample_count: value.field("sample_count")?.as_u64()?,
+            duration: Nanos::from_json_value(value.field("duration")?)?,
+            validity: Vec::from_json_value(value.field("validity")?)?,
+        })
+    }
+}
+
 impl From<TestMode> for bool {
     fn from(m: TestMode) -> bool {
         matches!(m, TestMode::PerformanceOnly)
@@ -184,6 +320,7 @@ mod tests {
         assert_eq!(stats.p50, Nanos::from_millis(5));
         assert_eq!(stats.p90, Nanos::from_millis(9));
         assert_eq!(stats.p99, Nanos::from_millis(10));
+        assert_eq!(stats.p999, Nanos::from_millis(10));
         assert_eq!(stats.mean, Nanos::from_micros(5_500));
     }
 
@@ -201,9 +338,19 @@ mod tests {
             p90_latency: Nanos::from_millis(10),
         };
         assert!(fast.score() > slow.score());
-        assert_eq!(ScenarioMetric::Offline { samples_per_second: 5.0 }.score(), 5.0);
         assert_eq!(
-            ScenarioMetric::MultiStream { streams: 7, skip_fraction: 0.0 }.score(),
+            ScenarioMetric::Offline {
+                samples_per_second: 5.0
+            }
+            .score(),
+            5.0
+        );
+        assert_eq!(
+            ScenarioMetric::MultiStream {
+                streams: 7,
+                skip_fraction: 0.0
+            }
+            .score(),
             7.0
         );
     }
@@ -232,12 +379,25 @@ mod tests {
     }
 
     #[test]
+    fn latency_stats_without_p999_falls_back_to_p99() {
+        let json = r#"{"min":1,"mean":2,"p50":2,"p90":3,"p97":4,"p99":5,"max":6}"#;
+        let stats = LatencyStats::from_json_str(json).unwrap();
+        assert_eq!(stats.p999, Nanos::from_nanos(5));
+    }
+
+    #[test]
     fn metric_display() {
-        assert!(ScenarioMetric::SingleStream { p90_latency: Nanos::from_millis(2) }
-            .to_string()
-            .contains("p90"));
+        assert!(ScenarioMetric::SingleStream {
+            p90_latency: Nanos::from_millis(2)
+        }
+        .to_string()
+        .contains("p90"));
         assert_eq!(
-            ScenarioMetric::MultiStream { streams: 4, skip_fraction: 0.0 }.to_string(),
+            ScenarioMetric::MultiStream {
+                streams: 4,
+                skip_fraction: 0.0
+            }
+            .to_string(),
             "4 streams"
         );
     }

@@ -1,6 +1,6 @@
 //! The four evaluation scenarios (Table II).
 
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, ToJson};
 
 /// An MLPerf Inference scenario.
 ///
@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// membership: single-stream for latency-critical client apps, multistream
 /// for fixed-rate multi-camera pipelines, server for Poisson web traffic,
 /// and offline for throughput-oriented batch processing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// One query at a time; next issued on completion. Metric: 90th-
     /// percentile latency.
@@ -88,6 +88,30 @@ impl Scenario {
     }
 }
 
+impl ToJson for Scenario {
+    fn to_json_value(&self) -> JsonValue {
+        let name = match self {
+            Scenario::SingleStream => "SingleStream",
+            Scenario::MultiStream => "MultiStream",
+            Scenario::Server => "Server",
+            Scenario::Offline => "Offline",
+        };
+        JsonValue::Str(name.into())
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "SingleStream" => Ok(Scenario::SingleStream),
+            "MultiStream" => Ok(Scenario::MultiStream),
+            "Server" => Ok(Scenario::Server),
+            "Offline" => Ok(Scenario::Offline),
+            other => Err(JsonError::new(format!("unknown scenario {other:?}"))),
+        }
+    }
+}
+
 impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -154,6 +178,15 @@ mod tests {
         assert!(Scenario::MultiStream.latency_constrained());
         assert!(Scenario::Server.latency_constrained());
         assert!(!Scenario::Offline.latency_constrained());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for s in Scenario::ALL {
+            let json = s.to_json_string();
+            assert_eq!(Scenario::from_json_str(&json).unwrap(), s);
+        }
+        assert_eq!(Scenario::Server.to_json_string(), "\"Server\"");
     }
 
     #[test]

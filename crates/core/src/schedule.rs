@@ -12,6 +12,7 @@ use crate::query::{Query, QuerySample, SampleIndex};
 use crate::time::Nanos;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
+use mlperf_trace::{TraceEvent, TraceSink};
 
 /// Generates the sample indices for `count` queries of
 /// `samples_per_query` each, drawn uniformly with replacement from
@@ -59,6 +60,27 @@ pub fn multistream_boundaries(settings: &TestSettings, count: u64) -> Vec<Nanos>
         .collect()
 }
 
+/// Announces a pre-materialized schedule to a trace sink: one
+/// [`TraceEvent::QueryScheduled`] per query, stamped with its arrival time.
+///
+/// The LoadGen materializes the whole schedule before the timed run begins
+/// (Figure 4), so the detail log can carry the planned arrivals alongside
+/// the observed issue/completion events.
+pub fn trace_schedule(sink: &dyn TraceSink, arrivals: &[Nanos], indices: &[Vec<SampleIndex>]) {
+    if !sink.enabled() {
+        return;
+    }
+    for (id, (at, samples)) in arrivals.iter().zip(indices).enumerate() {
+        sink.record(
+            at.as_nanos(),
+            &TraceEvent::QueryScheduled {
+                query_id: id as u64,
+                sample_count: samples.len(),
+            },
+        );
+    }
+}
+
 /// Builds a full query from pre-drawn indices.
 pub fn build_query(id: u64, next_sample_id: &mut u64, indices: &[SampleIndex], at: Nanos) -> Query {
     let samples = indices
@@ -66,14 +88,17 @@ pub fn build_query(id: u64, next_sample_id: &mut u64, indices: &[SampleIndex], a
         .map(|index| {
             let sid = *next_sample_id;
             *next_sample_id += 1;
-            QuerySample { id: sid, index: *index }
+            QuerySample {
+                id: sid,
+                index: *index,
+            }
         })
         .collect();
     Query {
         id,
         samples,
         scheduled_at: at,
-    tenant: 0,
+        tenant: 0,
     }
 }
 
@@ -132,6 +157,31 @@ mod tests {
                 Nanos::from_millis(150)
             ]
         );
+    }
+
+    #[test]
+    fn trace_schedule_emits_one_event_per_query() {
+        use mlperf_trace::RingBufferSink;
+        let s = TestSettings::server(1_000.0, Nanos::from_millis(10));
+        let arrivals = server_arrivals(&s, 16);
+        let indices = sample_indices(&s, 32, 16);
+        let sink = RingBufferSink::unbounded();
+        trace_schedule(&sink, &arrivals, &indices);
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 16);
+        for (k, r) in records.iter().enumerate() {
+            assert_eq!(r.ts_ns, arrivals[k].as_nanos());
+            match &r.event {
+                mlperf_trace::TraceEvent::QueryScheduled {
+                    query_id,
+                    sample_count,
+                } => {
+                    assert_eq!(*query_id, k as u64);
+                    assert_eq!(*sample_count, indices[k].len());
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -200,7 +200,7 @@ mod tests {
                 })
                 .collect(),
             scheduled_at: Nanos::ZERO,
-        tenant: 0,
+            tenant: 0,
         }
     }
 
@@ -235,8 +235,14 @@ mod tests {
     fn class_payloads() {
         let mut sut = FixedLatencySut::new("t", Nanos::from_micros(1)).with_class_payloads(3);
         let r = sut.on_query(Nanos::ZERO, &query(0, 4));
-        assert_eq!(r.completions[0].samples[2].payload, ResponsePayload::Class(2));
-        assert_eq!(r.completions[0].samples[3].payload, ResponsePayload::Class(0));
+        assert_eq!(
+            r.completions[0].samples[2].payload,
+            ResponsePayload::Class(2)
+        );
+        assert_eq!(
+            r.completions[0].samples[3].payload,
+            ResponsePayload::Class(0)
+        );
     }
 
     #[test]

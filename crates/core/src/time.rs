@@ -5,7 +5,7 @@
 //! duration (the benchmark never needs negative time, and saturating
 //! subtraction makes misuse loud in tests rather than undefined).
 
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A timestamp or duration in nanoseconds.
 ///
@@ -18,10 +18,21 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 2_500_000);
 /// assert!((t.as_secs_f64() - 0.0025).abs() < 1e-12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Nanos(u64);
+
+impl ToJson for Nanos {
+    fn to_json_value(&self) -> JsonValue {
+        // Newtype transparency: a bare nanosecond count, as serde would emit.
+        JsonValue::Int(i128::from(self.0))
+    }
+}
+
+impl FromJson for Nanos {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Nanos(value.as_u64()?))
+    }
+}
 
 impl Nanos {
     /// Zero time.
@@ -85,7 +96,9 @@ impl Nanos {
         self.0.checked_sub(rhs.0).map(Nanos)
     }
 
-    /// Multiplies a duration by an integer count.
+    /// Multiplies a duration by an integer count (saturating, unlike a
+    /// `std::ops::Mul` impl, which is why this stays an inherent method).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, count: u64) -> Nanos {
         Nanos(self.0.saturating_mul(count))
     }
@@ -179,9 +192,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let n = Nanos::from_micros(1234);
-        let json = serde_json::to_string(&n).unwrap();
-        assert_eq!(serde_json::from_str::<Nanos>(&json).unwrap(), n);
+        let json = n.to_json_string();
+        assert_eq!(json, "1234000");
+        assert_eq!(Nanos::from_json_str(&json).unwrap(), n);
     }
 }

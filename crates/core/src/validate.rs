@@ -11,10 +11,10 @@ use crate::config::TestSettings;
 use crate::record::QueryRecord;
 use crate::scenario::Scenario;
 use crate::time::Nanos;
-use serde::{Deserialize, Serialize};
+use mlperf_trace::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A specific rule violation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ValidityIssue {
     /// Fewer queries than Table V requires.
     TooFewQueries {
@@ -58,6 +58,94 @@ pub enum ValidityIssue {
         /// Number of unfinished queries.
         outstanding: u64,
     },
+}
+
+impl ToJson for ValidityIssue {
+    fn to_json_value(&self) -> JsonValue {
+        let (name, payload) = match self {
+            ValidityIssue::TooFewQueries { required, observed } => (
+                "TooFewQueries",
+                JsonValue::object(vec![
+                    ("required", required.to_json_value()),
+                    ("observed", observed.to_json_value()),
+                ]),
+            ),
+            ValidityIssue::RunTooShort { required, observed } => (
+                "RunTooShort",
+                JsonValue::object(vec![
+                    ("required", required.to_json_value()),
+                    ("observed", observed.to_json_value()),
+                ]),
+            ),
+            ValidityIssue::LatencyBoundExceeded {
+                percentile,
+                bound,
+                observed,
+            } => (
+                "LatencyBoundExceeded",
+                JsonValue::object(vec![
+                    ("percentile", percentile.to_json_value()),
+                    ("bound", bound.to_json_value()),
+                    ("observed", observed.to_json_value()),
+                ]),
+            ),
+            ValidityIssue::TooManySkippedIntervals {
+                max_fraction,
+                observed,
+            } => (
+                "TooManySkippedIntervals",
+                JsonValue::object(vec![
+                    ("max_fraction", max_fraction.to_json_value()),
+                    ("observed", observed.to_json_value()),
+                ]),
+            ),
+            ValidityIssue::TooFewSamples { required, observed } => (
+                "TooFewSamples",
+                JsonValue::object(vec![
+                    ("required", required.to_json_value()),
+                    ("observed", observed.to_json_value()),
+                ]),
+            ),
+            ValidityIssue::IncompleteQueries { outstanding } => (
+                "IncompleteQueries",
+                JsonValue::object(vec![("outstanding", outstanding.to_json_value())]),
+            ),
+        };
+        JsonValue::object(vec![(name, payload)])
+    }
+}
+
+impl FromJson for ValidityIssue {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let (name, p) = value.as_variant()?;
+        match name {
+            "TooFewQueries" => Ok(ValidityIssue::TooFewQueries {
+                required: p.field("required")?.as_u64()?,
+                observed: p.field("observed")?.as_u64()?,
+            }),
+            "RunTooShort" => Ok(ValidityIssue::RunTooShort {
+                required: Nanos::from_json_value(p.field("required")?)?,
+                observed: Nanos::from_json_value(p.field("observed")?)?,
+            }),
+            "LatencyBoundExceeded" => Ok(ValidityIssue::LatencyBoundExceeded {
+                percentile: p.field("percentile")?.as_f64()?,
+                bound: Nanos::from_json_value(p.field("bound")?)?,
+                observed: Nanos::from_json_value(p.field("observed")?)?,
+            }),
+            "TooManySkippedIntervals" => Ok(ValidityIssue::TooManySkippedIntervals {
+                max_fraction: p.field("max_fraction")?.as_f64()?,
+                observed: p.field("observed")?.as_f64()?,
+            }),
+            "TooFewSamples" => Ok(ValidityIssue::TooFewSamples {
+                required: p.field("required")?.as_u64()?,
+                observed: p.field("observed")?.as_u64()?,
+            }),
+            "IncompleteQueries" => Ok(ValidityIssue::IncompleteQueries {
+                outstanding: p.field("outstanding")?.as_u64()?,
+            }),
+            other => Err(JsonError::new(format!("unknown validity issue {other:?}"))),
+        }
+    }
 }
 
 impl std::fmt::Display for ValidityIssue {
@@ -120,10 +208,9 @@ pub fn check_run(
     }
     match settings.scenario {
         Scenario::Server => {
-            if let Some(observed) = percentile_latency(
-                records,
-                settings.target_latency_percentile.fraction(),
-            ) {
+            if let Some(observed) =
+                percentile_latency(records, settings.target_latency_percentile.fraction())
+            {
                 if observed > settings.target_latency {
                     issues.push(ValidityIssue::LatencyBoundExceeded {
                         percentile: settings.target_latency_percentile.value(),
@@ -212,7 +299,10 @@ mod tests {
         let issues = check_run(&s, &[record(0, 0, 10)], Nanos::from_micros(10), 0);
         assert!(matches!(
             issues[0],
-            ValidityIssue::TooFewQueries { required: 5, observed: 1 }
+            ValidityIssue::TooFewQueries {
+                required: 5,
+                observed: 1
+            }
         ));
     }
 
@@ -279,7 +369,10 @@ mod tests {
         let issues = check_run(&s, &[r.clone()], Nanos::from_secs(61), 0);
         assert!(matches!(
             issues[0],
-            ValidityIssue::TooFewSamples { required: 100, observed: 99 }
+            ValidityIssue::TooFewSamples {
+                required: 100,
+                observed: 99
+            }
         ));
         r.sample_count = 100;
         assert!(check_run(&s, &[r], Nanos::from_secs(61), 0).is_empty());
@@ -310,9 +403,36 @@ mod tests {
     }
 
     #[test]
+    fn issue_json_roundtrip() {
+        let issues = [
+            ValidityIssue::TooFewQueries {
+                required: 1,
+                observed: 0,
+            },
+            ValidityIssue::LatencyBoundExceeded {
+                percentile: 99.0,
+                bound: Nanos::SECOND,
+                observed: Nanos::from_secs(2),
+            },
+            ValidityIssue::IncompleteQueries { outstanding: 4 },
+        ];
+        for issue in issues {
+            let json = issue.to_json_string();
+            assert_eq!(
+                ValidityIssue::from_json_str(&json).unwrap(),
+                issue,
+                "{json}"
+            );
+        }
+    }
+
+    #[test]
     fn issue_display_nonempty() {
         let issues = [
-            ValidityIssue::TooFewQueries { required: 1, observed: 0 },
+            ValidityIssue::TooFewQueries {
+                required: 1,
+                observed: 0,
+            },
             ValidityIssue::RunTooShort {
                 required: Nanos::SECOND,
                 observed: Nanos::ZERO,
@@ -322,8 +442,14 @@ mod tests {
                 bound: Nanos::SECOND,
                 observed: Nanos::SECOND,
             },
-            ValidityIssue::TooManySkippedIntervals { max_fraction: 0.01, observed: 0.5 },
-            ValidityIssue::TooFewSamples { required: 2, observed: 1 },
+            ValidityIssue::TooManySkippedIntervals {
+                max_fraction: 0.01,
+                observed: 0.5,
+            },
+            ValidityIssue::TooFewSamples {
+                required: 2,
+                observed: 1,
+            },
             ValidityIssue::IncompleteQueries { outstanding: 1 },
         ];
         for i in issues {

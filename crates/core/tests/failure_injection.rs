@@ -126,7 +126,7 @@ impl SimSut for DropsQueriesSut {
     }
     fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
         self.counter += 1;
-        if self.counter % 2 == 0 {
+        if self.counter.is_multiple_of(2) {
             return SutReaction::none();
         }
         let start = now.max(self.busy_until);

@@ -105,10 +105,11 @@ impl SyntheticImages {
             let (ch, y, x) = (idx[0], idx[1] as f32, idx[2] as f32);
             let mut v = 0.0f32;
             for (fx, fy, phase, amp) in &waves[ch * 3..ch * 3 + 3] {
-                v += amp * (fx * x / w as f32 * std::f32::consts::TAU
-                    + fy * y / h as f32 * std::f32::consts::TAU
-                    + phase)
-                    .sin();
+                v += amp
+                    * (fx * x / w as f32 * std::f32::consts::TAU
+                        + fy * y / h as f32 * std::f32::consts::TAU
+                        + phase)
+                        .sin();
             }
             v + (rng.next_f64() as f32 * 2.0 - 1.0) * noise
         }))

@@ -91,7 +91,9 @@ impl SyntheticSentences {
         }
         let mut rng = Rng64::new(self.seed ^ (index as u64).wrapping_mul(0xd134_2543_de82_ef95));
         let len = self.sample_length(&mut rng);
-        Ok((0..len).map(|_| rng.next_below(u64::from(self.vocab_size)) as u32).collect())
+        Ok((0..len)
+            .map(|_| rng.next_below(u64::from(self.vocab_size)) as u32)
+            .collect())
     }
 
     /// Length of sentence `index` without materializing tokens (used by the
@@ -189,7 +191,10 @@ mod tests {
         let short = SyntheticSentences::new(10, 400, 1, 1, 100).with_continuation(0.5);
         let long = SyntheticSentences::new(10, 400, 1, 1, 100).with_continuation(0.95);
         let mean = |c: &SyntheticSentences| {
-            (0..400).map(|i| c.sentence_length(i).unwrap()).sum::<usize>() as f64 / 400.0
+            (0..400)
+                .map(|i| c.sentence_length(i).unwrap())
+                .sum::<usize>() as f64
+                / 400.0
         };
         let (ms, ml) = (mean(&short), mean(&long));
         assert!(ms < 4.0, "short mean {ms}");

@@ -1,57 +1,93 @@
-//! Property-based tests for the synthetic datasets.
+//! Property-style tests for the synthetic datasets.
+//!
+//! Seeded `Rng64` case loops replace the former property-testing
+//! framework; failure messages carry the case parameters for replay.
 
 use mlperf_datasets::{SampleTracker, SyntheticImages, SyntheticSentences};
+use mlperf_stats::Rng64;
 use mlperf_tensor::Shape;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn images_are_pure_functions(seed in any::<u64>(), len in 1usize..64, index in 0usize..64) {
-        prop_assume!(index < len);
+#[test]
+fn images_are_pure_functions() {
+    let mut rng = Rng64::new(0x4453_0001);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let len = 1 + rng.next_index(63);
+        let index = rng.next_index(len);
         let a = SyntheticImages::new(Shape::d3(2, 8, 8), len, seed);
         let b = SyntheticImages::new(Shape::d3(2, 8, 8), len, seed);
-        prop_assert_eq!(a.input(index).unwrap(), b.input(index).unwrap());
+        assert_eq!(
+            a.input(index).unwrap(),
+            b.input(index).unwrap(),
+            "case {case}: seed={seed} len={len} index={index}"
+        );
     }
+}
 
-    #[test]
-    fn image_values_bounded_and_finite(seed in any::<u64>(), index in 0usize..16) {
+#[test]
+fn image_values_bounded_and_finite() {
+    let mut rng = Rng64::new(0x4453_0002);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let index = rng.next_index(16);
         let ds = SyntheticImages::new(Shape::d3(3, 8, 8), 16, seed);
         let img = ds.input(index).unwrap();
-        prop_assert!(img.data().iter().all(|v| v.is_finite()));
-        prop_assert!(img.abs_max() <= 2.4);
+        let ctx = format!("case {case}: seed={seed} index={index}");
+        assert!(img.data().iter().all(|v| v.is_finite()), "{ctx}");
+        assert!(img.abs_max() <= 2.4, "{ctx}: abs_max={}", img.abs_max());
     }
+}
 
-    #[test]
-    fn different_indices_differ(seed in any::<u64>(), a in 0usize..32, b in 0usize..32) {
-        prop_assume!(a != b);
+#[test]
+fn different_indices_differ() {
+    let mut rng = Rng64::new(0x4453_0003);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let a = rng.next_index(32);
+        let b = rng.next_index(32);
+        if a == b {
+            continue;
+        }
         let ds = SyntheticImages::new(Shape::d3(1, 8, 8), 32, seed);
-        prop_assert_ne!(ds.input(a).unwrap(), ds.input(b).unwrap());
+        assert_ne!(
+            ds.input(a).unwrap(),
+            ds.input(b).unwrap(),
+            "case {case}: seed={seed} a={a} b={b}"
+        );
     }
+}
 
-    #[test]
-    fn sentences_deterministic_and_in_vocab(
-        seed in any::<u64>(),
-        vocab in 2u32..500,
-        index in 0usize..64,
-    ) {
+#[test]
+fn sentences_deterministic_and_in_vocab() {
+    let mut rng = Rng64::new(0x4453_0004);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let vocab = 2 + rng.next_below(498) as u32;
+        let index = rng.next_index(64);
+        let ctx = format!("case {case}: seed={seed} vocab={vocab} index={index}");
         let c = SyntheticSentences::new(vocab, 64, seed, 2, 20);
         let s1 = c.sentence(index).unwrap();
         let s2 = c.sentence(index).unwrap();
-        prop_assert_eq!(&s1, &s2);
-        prop_assert!(s1.iter().all(|t| *t < vocab));
-        prop_assert!((2..=20).contains(&s1.len()));
-        prop_assert_eq!(c.sentence_length(index).unwrap(), s1.len());
+        assert_eq!(&s1, &s2, "{ctx}");
+        assert!(s1.iter().all(|t| *t < vocab), "{ctx}");
+        assert!((2..=20).contains(&s1.len()), "{ctx}: len={}", s1.len());
+        assert_eq!(c.sentence_length(index).unwrap(), s1.len(), "{ctx}");
     }
+}
 
-    #[test]
-    fn tracker_load_access_unload_invariants(
-        ops in prop::collection::vec((0usize..64, 0u8..3), 1..100)
-    ) {
+#[test]
+fn tracker_load_access_unload_invariants() {
+    let mut rng = Rng64::new(0x4453_0005);
+    for case in 0..CASES {
+        let op_count = 1 + rng.next_index(99);
         let mut t = SampleTracker::new(64);
         let mut model: std::collections::HashSet<usize> = Default::default();
-        for (idx, op) in ops {
+        for step in 0..op_count {
+            let idx = rng.next_index(64);
+            let op = rng.next_below(3) as u8;
+            let ctx = format!("case {case} step {step}: idx={idx} op={op}");
             match op {
                 0 => {
                     t.load(&[idx]).unwrap();
@@ -62,18 +98,26 @@ proptest! {
                     model.remove(&idx);
                 }
                 _ => {
-                    prop_assert_eq!(t.access(idx).is_ok(), model.contains(&idx));
+                    assert_eq!(t.access(idx).is_ok(), model.contains(&idx), "{ctx}");
                 }
             }
-            prop_assert_eq!(t.resident(), model.len());
-            prop_assert!(t.peak_resident() >= t.resident());
+            assert_eq!(t.resident(), model.len(), "{ctx}");
+            assert!(t.peak_resident() >= t.resident(), "{ctx}");
         }
     }
+}
 
-    #[test]
-    fn tracker_rejects_out_of_range_loads(total in 1usize..100, beyond in 0usize..50) {
+#[test]
+fn tracker_rejects_out_of_range_loads() {
+    let mut rng = Rng64::new(0x4453_0006);
+    for case in 0..CASES {
+        let total = 1 + rng.next_index(99);
+        let beyond = rng.next_index(50);
         let mut t = SampleTracker::new(total);
-        prop_assert!(t.load(&[total + beyond]).is_err());
-        prop_assert_eq!(t.resident(), 0);
+        assert!(
+            t.load(&[total + beyond]).is_err(),
+            "case {case}: total={total} beyond={beyond}"
+        );
+        assert_eq!(t.resident(), 0, "case {case}");
     }
 }

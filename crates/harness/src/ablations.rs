@@ -48,13 +48,11 @@ impl Ablation {
 fn peak_qps<S: SimSut>(task: TaskId, sut: &mut S, profile: Profile) -> f64 {
     let spec = task.spec();
     let mut qsl = TaskQsl::for_task(task, 4_096);
-    let duration = profile
-        .sweep_duration()
-        .max(Nanos::from_secs_f64(spec.server_latency_bound.as_secs_f64() * 30.0));
+    let duration = profile.sweep_duration().max(Nanos::from_secs_f64(
+        spec.server_latency_bound.as_secs_f64() * 30.0,
+    ));
     let settings = TestSettings::server(100.0, spec.server_latency_bound)
-        .with_min_query_count(
-            ((270_336.0 * profile.sweep_query_scale()) as u64).max(64),
-        )
+        .with_min_query_count(((270_336.0 * profile.sweep_query_scale()) as u64).max(64))
         .with_min_duration(duration);
     find_peak_server_qps(
         &settings,
@@ -98,9 +96,7 @@ pub fn length_sorting(profile: Profile) -> Ablation {
         .expect("fleet contains the server CPU");
     let task = TaskId::MachineTranslation;
     let settings = TestSettings::offline()
-        .with_offline_min_sample_count(
-            ((24_576.0 * profile.sweep_query_scale()) as u64).max(2_048),
-        )
+        .with_offline_min_sample_count(((24_576.0 * profile.sweep_query_scale()) as u64).max(2_048))
         .with_min_duration(profile.sweep_duration());
     let mut qsl = TaskQsl::for_task(task, 3_903);
     let mut sorted = system.sut_for(task, Scenario::Offline);
@@ -136,9 +132,8 @@ pub fn adaptive_batch_cap(profile: Profile) -> Ablation {
     let with_mechanism = peak_qps(task, &mut adaptive, profile);
     // Naive policy: batch to the device limit with the same timeout rule.
     let tuned = system.spec.tuned_for(Workload::new(task).mean_ops(1_024));
-    let naive_timeout = tuned.batch1_latency(
-        Workload::new(task).worst_case_ops() * tuned.max_batch as f64,
-    );
+    let naive_timeout =
+        tuned.batch1_latency(Workload::new(task).worst_case_ops() * tuned.max_batch as f64);
     let max_batch = tuned.max_batch;
     let mut naive = DeviceSut::new(
         tuned,

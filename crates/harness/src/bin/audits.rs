@@ -3,7 +3,10 @@
 //! submission round ("we cleared 595 of 600 submissions as valid; 166 of
 //! ~180 closed-division results were released").
 
-use mlperf_audit::tests::{accuracy_verification, alternate_seed_test, caching_detection, custom_dataset_test};
+use mlperf_audit::tests::{
+    accuracy_verification, alternate_seed_test, caching_detection, custom_dataset_test,
+    detail_log_compliance,
+};
 use mlperf_harness::{roundio, Profile};
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::qsl::MemoryQsl;
@@ -53,6 +56,8 @@ fn main() {
     let r = accuracy_verification(&settings(), &mut qsl, &mut honest, 0.2).expect("audit runs");
     println!("{r}");
     let r = custom_dataset_test(&mut honest, 128, 256, 1.5).expect("audit runs");
+    println!("{r}");
+    let r = detail_log_compliance(&settings(), &mut qsl, &mut honest).expect("audit runs");
     println!("{r}");
 
     println!("-- result-caching SUT --");

@@ -1,0 +1,239 @@
+//! Detail-log driver: runs a smoke-scale traced LoadGen run and exports the
+//! event stream, or summarizes an existing detail log.
+//!
+//! ```text
+//! trace run [--scenario single-stream|multistream|server|offline]
+//!           [--trace <path>] [--trace-format jsonl|chrome]
+//! trace summary <detail.jsonl>
+//! ```
+//!
+//! `run` records every LoadGen and device event (issue, batch, DVFS,
+//! completion, validity) of one smoke run. With `--trace-format chrome` the
+//! output loads directly into `chrome://tracing` or Perfetto; `jsonl` writes
+//! the `mlperf_log_detail` analog that `summary` (and
+//! `mlperf_trace::parse_detail_log`) read back.
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::des::run_simulated_traced;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::time::Nanos;
+use mlperf_models::{TaskId, Workload};
+use mlperf_sut::device::{Architecture, DeviceSpec, ThermalModel};
+use mlperf_sut::engine::{BatchPolicy, DeviceSut};
+use mlperf_trace::{
+    chrome_trace_json, parse_detail_log, LogHistogram, RingBufferSink, ToJson, TraceEvent,
+    TraceRecord,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage:
+  trace run [--scenario single-stream|multistream|server|offline] \\
+            [--trace <path>] [--trace-format jsonl|chrome]
+  trace summary <detail.jsonl>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("summary") => cmd_summary(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn settings_for(scenario: &str) -> Result<TestSettings, String> {
+    let settings = match scenario {
+        "single-stream" => TestSettings::single_stream().with_min_query_count(256),
+        "multistream" => {
+            TestSettings::multi_stream(8, Nanos::from_millis(50)).with_min_query_count(64)
+        }
+        "server" => {
+            TestSettings::server(1_000.0, Nanos::from_millis(15)).with_min_query_count(1_024)
+        }
+        "offline" => TestSettings::offline(),
+        other => return Err(format!("unknown scenario `{other}`\n{USAGE}")),
+    };
+    Ok(settings.with_min_duration(Nanos::from_millis(1)))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut scenario = "server".to_string();
+    let mut path = "trace-out.json".to_string();
+    let mut format = "chrome".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--scenario" => scenario = value_of("--scenario")?,
+            "--trace" => path = value_of("--trace")?,
+            "--trace-format" => format = value_of("--trace-format")?,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if format != "jsonl" && format != "chrome" {
+        return Err(format!("unknown trace format `{format}`\n{USAGE}"));
+    }
+
+    let settings = settings_for(&scenario)?;
+    let sink = Arc::new(RingBufferSink::unbounded());
+    let device = DeviceSpec::new(
+        "trace-demo-gpu",
+        Architecture::Gpu,
+        2_000.0,
+        2.0,
+        16,
+        2,
+        Nanos::from_micros(50),
+    )
+    .with_thermal(ThermalModel {
+        boost: 1.3,
+        decay_secs: 0.5,
+    });
+    let policy = match scenario.as_str() {
+        "server" => BatchPolicy::DynamicBatch {
+            timeout: Nanos::from_millis(2),
+            max_batch: 16,
+        },
+        _ => BatchPolicy::Immediate,
+    };
+    let mut sut = DeviceSut::new(
+        device,
+        Workload::new(TaskId::ImageClassificationLight),
+        policy,
+    )
+    .with_trace(sink.clone());
+    let mut qsl = MemoryQsl::new("trace-demo-qsl", 1_024, 1_024);
+
+    let outcome = run_simulated_traced(&settings, &mut qsl, &mut sut, sink.as_ref())
+        .map_err(|e| format!("run failed: {e}"))?;
+    let records = sink.snapshot();
+
+    let rendered = match format.as_str() {
+        "chrome" => chrome_trace_json(&records),
+        _ => {
+            let mut out = String::new();
+            for record in &records {
+                out.push_str(&record.to_json_string());
+                out.push('\n');
+            }
+            out
+        }
+    };
+    std::fs::write(&path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    println!("{}", outcome.result.summary_line());
+    if let Some(metrics) = &outcome.metrics {
+        if let Some(h) = metrics.histogram("query_latency_ns") {
+            println!(
+                "metrics: {} queries, latency p50={} p90={} p99={} ns (±{} ns bucket)",
+                metrics.counter("queries_completed"),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile_resolution(0.99),
+            );
+        }
+    }
+    println!("wrote {} events to {path} ({format})", records.len());
+    if format == "chrome" {
+        println!("open chrome://tracing or https://ui.perfetto.dev and load the file");
+    }
+    Ok(())
+}
+
+fn cmd_summary(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(USAGE.to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let records = parse_detail_log(&text).map_err(|e| format!("malformed detail log: {e}"))?;
+    print!("{}", summarize(&records));
+    Ok(())
+}
+
+/// Renders the per-kind event counts and the completion-latency quantiles of
+/// a detail log.
+fn summarize(records: &[TraceRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut kinds: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut latencies = LogHistogram::new();
+    for record in records {
+        *kinds.entry(record.event.kind()).or_insert(0) += 1;
+        if let TraceEvent::QueryCompleted { latency_ns, .. } = record.event {
+            latencies.record(latency_ns);
+        }
+    }
+    let span_ns = records.last().map_or(0, |r| r.ts_ns);
+    let _ = writeln!(
+        out,
+        "{} events over {:.3} simulated seconds",
+        records.len(),
+        span_ns as f64 / 1e9
+    );
+    for (kind, count) in &kinds {
+        let _ = writeln!(out, "  {kind:<24} {count:>8}");
+    }
+    if latencies.count() > 0 {
+        let _ = writeln!(
+            out,
+            "completion latency: p50={} p90={} p99={} max={} ns over {} queries",
+            latencies.quantile(0.50),
+            latencies.quantile(0.90),
+            latencies.quantile(0.99),
+            latencies.max(),
+            latencies.count(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_counts_kinds_and_latencies() {
+        let records = vec![
+            TraceRecord {
+                ts_ns: 0,
+                event: TraceEvent::QueryIssued {
+                    query_id: 0,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            },
+            TraceRecord {
+                ts_ns: 1_000,
+                event: TraceEvent::QueryCompleted {
+                    query_id: 0,
+                    latency_ns: 1_000,
+                },
+            },
+        ];
+        let text = summarize(&records);
+        assert!(text.contains("2 events"));
+        assert!(text.contains("query_issued"));
+        assert!(text.contains("over 1 queries"));
+    }
+
+    #[test]
+    fn every_scenario_has_settings() {
+        for scenario in ["single-stream", "multistream", "server", "offline"] {
+            settings_for(scenario).expect("known scenario");
+        }
+        assert!(settings_for("bogus").is_err());
+    }
+}

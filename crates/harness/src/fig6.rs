@@ -72,9 +72,9 @@ pub fn measure_cell(system: &FleetSystem, task: TaskId, profile: Profile) -> Opt
     // Server runs must be long enough for queue divergence to surface —
     // a short run lets an overloaded system absorb the whole burst inside
     // the bound, which is precisely what the 60-second rule prevents.
-    let server_duration = profile
-        .sweep_duration()
-        .max(Nanos::from_secs_f64(spec.server_latency_bound.as_secs_f64() * 30.0));
+    let server_duration = profile.sweep_duration().max(Nanos::from_secs_f64(
+        spec.server_latency_bound.as_secs_f64() * 30.0,
+    ));
     let settings = TestSettings::server(guess.max(0.5), spec.server_latency_bound)
         .with_min_query_count(server_queries)
         .with_min_duration(server_duration)
@@ -94,9 +94,12 @@ pub fn measure_cell(system: &FleetSystem, task: TaskId, profile: Profile) -> Opt
     let mut server_qps = peak.peak;
     let confirm = settings.clone().with_min_query_count(server_queries * 4);
     for _ in 0..6 {
-        let outcome =
-            run_simulated(&confirm.clone().with_server_target_qps(server_qps), &mut qsl, &mut server_sut)
-                .ok()?;
+        let outcome = run_simulated(
+            &confirm.clone().with_server_target_qps(server_qps),
+            &mut qsl,
+            &mut server_sut,
+        )
+        .ok()?;
         if outcome.result.is_valid() {
             break;
         }
@@ -214,7 +217,11 @@ mod tests {
             "server must not beat offline: {}",
             cell.ratio()
         );
-        assert!(cell.ratio() > 0.2, "degradation implausibly large: {}", cell.ratio());
+        assert!(
+            cell.ratio() > 0.2,
+            "degradation implausibly large: {}",
+            cell.ratio()
+        );
     }
 
     #[test]

@@ -129,10 +129,9 @@ pub fn score_combo(
         Scenario::Server => {
             let guess = tuned.peak_throughput(workload.mean_ops(1_024)) * 0.4;
             // Long enough for queue divergence to surface (see fig6).
-            let server_duration = duration
-                .max(mlperf_loadgen::time::Nanos::from_secs_f64(
-                    spec.server_latency_bound.as_secs_f64() * 30.0,
-                ));
+            let server_duration = duration.max(mlperf_loadgen::time::Nanos::from_secs_f64(
+                spec.server_latency_bound.as_secs_f64() * 30.0,
+            ));
             let settings = TestSettings::server(guess.max(0.5), spec.server_latency_bound)
                 .with_min_query_count(queries)
                 .with_min_duration(server_duration)
@@ -179,11 +178,9 @@ pub fn compute(profile: Profile) -> Vec<Fig8Column> {
                         points: systems
                             .iter()
                             .filter_map(|sys| {
-                                score_combo(sys, *task, *scenario, profile).map(|score| {
-                                    Fig8Point {
-                                        system: sys.spec.name.clone(),
-                                        score,
-                                    }
+                                score_combo(sys, *task, *scenario, profile).map(|score| Fig8Point {
+                                    system: sys.spec.name.clone(),
+                                    score,
                                 })
                             })
                             .collect(),

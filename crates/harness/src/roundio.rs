@@ -9,6 +9,7 @@ use crate::profile::Profile;
 use mlperf_submission::record::ResultRecord;
 use mlperf_submission::review::{review_round, ReviewStats};
 use mlperf_submission::round::generate_round;
+use mlperf_trace::{FromJson, ToJson};
 use std::path::PathBuf;
 
 /// Where a profile's reviewed round is cached.
@@ -25,9 +26,13 @@ pub fn cache_path(profile: Profile) -> PathBuf {
 pub fn load_or_generate(profile: Profile) -> (Vec<ResultRecord>, ReviewStats) {
     let path = cache_path(profile);
     if let Ok(json) = std::fs::read_to_string(&path) {
-        if let Ok(records) = serde_json::from_str::<Vec<ResultRecord>>(&json) {
+        if let Ok(records) = Vec::<ResultRecord>::from_json_str(&json) {
             let stats = stats_of(&records);
-            eprintln!("loaded {} reviewed records from {}", records.len(), path.display());
+            eprintln!(
+                "loaded {} reviewed records from {}",
+                records.len(),
+                path.display()
+            );
             return (records, stats);
         }
     }
@@ -37,13 +42,9 @@ pub fn load_or_generate(profile: Profile) -> (Vec<ResultRecord>, ReviewStats) {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match serde_json::to_string(&round.records) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not cache round at {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize round: {e}"),
+    let json = round.records.to_json_string();
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not cache round at {}: {e}", path.display());
     }
     (round.records, stats)
 }

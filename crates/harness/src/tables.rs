@@ -15,7 +15,12 @@ pub fn render_table1() -> String {
     for m in registry() {
         out.push_str(&format!(
             "{:<10} {:<28} {:<18} {:>9.2} {:>12.3} {:<22} {}\n",
-            m.area, m.task_name, m.model_name, m.params_millions, m.gops_per_input, m.dataset,
+            m.area,
+            m.task_name,
+            m.model_name,
+            m.params_millions,
+            m.gops_per_input,
+            m.dataset,
             m.quality_desc
         ));
     }

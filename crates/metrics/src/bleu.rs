@@ -173,7 +173,10 @@ mod tests {
         // BP = exp(1 - 8/4) = e^-1.
         let no_bp_precision = 1.0; // all candidate n-grams match
         let expected = 100.0 * no_bp_precision * (1.0f64 - 8.0 / 4.0).exp();
-        assert!((short - expected).abs() < 1e-9, "short={short} expected={expected}");
+        assert!(
+            (short - expected).abs() < 1e-9,
+            "short={short} expected={expected}"
+        );
     }
 
     #[test]
@@ -215,7 +218,7 @@ mod tests {
         let r = s("the cat lay");
         assert_eq!(
             sentence_bleu(&c, &r),
-            corpus_bleu(&[c.clone()], &[r.clone()])
+            corpus_bleu(std::slice::from_ref(&c), std::slice::from_ref(&r))
         );
     }
 

@@ -105,7 +105,10 @@ mod tests {
         let ranked = vec![vec![3, 1], vec![2, 0], vec![1, 2]];
         let labels = [3, 0, 1];
         let p1: Vec<usize> = ranked.iter().map(|r| r[0]).collect();
-        assert_eq!(topk_accuracy(&ranked, &labels, 1), top1_accuracy(&p1, &labels));
+        assert_eq!(
+            topk_accuracy(&ranked, &labels, 1),
+            top1_accuracy(&p1, &labels)
+        );
     }
 
     #[test]

@@ -150,7 +150,7 @@ pub fn average_precision(
                 continue;
             }
             let iou = det.bbox.iou(&gt.bbox);
-            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -269,10 +269,16 @@ mod tests {
             det(0, 0, 0.8, bx(0., 0., 5., 5.)),
         ];
         let map = mean_average_precision(&dets, &gts, 0.5);
-        assert!((map - 1.0).abs() < 1e-9, "recall already 1 at first det: {map}");
+        assert!(
+            (map - 1.0).abs() < 1e-9,
+            "recall already 1 at first det: {map}"
+        );
         // But with two ground truths and only one matching twice, recall
         // stays at 0.5 and precision falls.
-        let gts2 = vec![gt(0, 0, bx(0., 0., 5., 5.)), gt(0, 0, bx(20., 20., 25., 25.))];
+        let gts2 = vec![
+            gt(0, 0, bx(0., 0., 5., 5.)),
+            gt(0, 0, bx(20., 20., 25., 25.)),
+        ];
         let map2 = mean_average_precision(&dets, &gts2, 0.5);
         assert!(map2 < 0.6, "map2={map2}");
     }
@@ -304,7 +310,10 @@ mod tests {
 
     #[test]
     fn map_averages_over_classes() {
-        let gts = vec![gt(0, 0, bx(0., 0., 5., 5.)), gt(0, 1, bx(10., 10., 15., 15.))];
+        let gts = vec![
+            gt(0, 0, bx(0., 0., 5., 5.)),
+            gt(0, 1, bx(10., 10., 15., 15.)),
+        ];
         // Perfect on class 0, nothing on class 1.
         let dets = vec![det(0, 0, 0.9, bx(0., 0., 5., 5.))];
         let map = mean_average_precision(&dets, &gts, 0.5);

@@ -1,93 +1,151 @@
-//! Property-based tests for the accuracy metrics.
+//! Property-style tests for the accuracy metrics.
+//!
+//! Seeded `Rng64` case loops replace the former property-testing
+//! framework; failure messages carry the case seed for replay.
 
 use mlperf_metrics::{
     corpus_bleu, mean_average_precision, top1_accuracy, topk_accuracy, BoundingBox, Detection,
     GroundTruth,
 };
-use proptest::prelude::*;
+use mlperf_stats::Rng64;
 
-fn boxes() -> impl Strategy<Value = BoundingBox> {
-    (0f32..50.0, 0f32..50.0, 1f32..50.0, 1f32..50.0)
-        .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, x + w, y + h))
+const CASES: u64 = 32;
+
+fn random_box(rng: &mut Rng64) -> BoundingBox {
+    let x = rng.next_f64() as f32 * 50.0;
+    let y = rng.next_f64() as f32 * 50.0;
+    let w = 1.0 + rng.next_f64() as f32 * 49.0;
+    let h = 1.0 + rng.next_f64() as f32 * 49.0;
+    BoundingBox::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    #[test]
-    fn top1_in_unit_interval(
-        pairs in prop::collection::vec((0usize..10, 0usize..10), 1..100)
-    ) {
-        let (preds, labels): (Vec<usize>, Vec<usize>) = pairs.into_iter().unzip();
+#[test]
+fn top1_in_unit_interval() {
+    let mut rng = Rng64::new(0x4d45_0001);
+    for case in 0..CASES {
+        let n = 1 + rng.next_index(99);
+        let preds: Vec<usize> = (0..n).map(|_| rng.next_index(10)).collect();
+        let labels: Vec<usize> = (0..n).map(|_| rng.next_index(10)).collect();
         let acc = top1_accuracy(&preds, &labels);
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc), "case {case}: n={n} acc={acc}");
     }
+}
 
-    #[test]
-    fn topk_monotone_in_k(
-        ranked in prop::collection::vec(prop::collection::vec(0usize..10, 5), 1..50),
-        labels_seed in prop::collection::vec(0usize..10, 50),
-    ) {
-        let labels = &labels_seed[..ranked.len()];
+#[test]
+fn topk_monotone_in_k() {
+    let mut rng = Rng64::new(0x4d45_0002);
+    for case in 0..CASES {
+        let n = 1 + rng.next_index(49);
+        let ranked: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..5).map(|_| rng.next_index(10)).collect())
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|_| rng.next_index(10)).collect();
         let mut prev = 0.0;
         for k in 1..=5 {
-            let acc = topk_accuracy(&ranked, labels, k);
-            prop_assert!(acc >= prev - 1e-12);
+            let acc = topk_accuracy(&ranked, &labels, k);
+            assert!(
+                acc >= prev - 1e-12,
+                "case {case}: k={k} acc={acc} prev={prev}"
+            );
             prev = acc;
         }
     }
+}
 
-    #[test]
-    fn iou_symmetric_and_bounded(a in boxes(), b in boxes()) {
+#[test]
+fn iou_symmetric_and_bounded() {
+    let mut rng = Rng64::new(0x4d45_0003);
+    for case in 0..CASES {
+        let a = random_box(&mut rng);
+        let b = random_box(&mut rng);
         let ab = a.iou(&b);
         let ba = b.iou(&a);
-        prop_assert!((ab - ba).abs() < 1e-5);
-        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
-        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+        let ctx = format!("case {case}: a={a:?} b={b:?}");
+        assert!((ab - ba).abs() < 1e-5, "{ctx}: ab={ab} ba={ba}");
+        assert!((0.0..=1.0 + 1e-6).contains(&ab), "{ctx}: ab={ab}");
+        assert!((a.iou(&a) - 1.0).abs() < 1e-5, "{ctx}");
     }
+}
 
-    #[test]
-    fn map_bounded_and_perfect_on_self(
-        gt_boxes in prop::collection::vec((0usize..4, 0usize..3, boxes()), 1..20)
-    ) {
-        let gts: Vec<GroundTruth> = gt_boxes
-            .iter()
-            .map(|(img, class, bbox)| GroundTruth { image_id: *img, class: *class, bbox: *bbox })
+#[test]
+fn map_bounded_and_perfect_on_self() {
+    let mut rng = Rng64::new(0x4d45_0004);
+    for case in 0..CASES {
+        let n = 1 + rng.next_index(19);
+        let gts: Vec<GroundTruth> = (0..n)
+            .map(|_| GroundTruth {
+                image_id: rng.next_index(4),
+                class: rng.next_index(3),
+                bbox: random_box(&mut rng),
+            })
             .collect();
         // Echoing ground truth back as detections yields mAP close to 1
         // (ties between identical overlapping boxes can cost a little).
         let dets: Vec<Detection> = gts
             .iter()
-            .map(|g| Detection { image_id: g.image_id, class: g.class, score: 0.9, bbox: g.bbox })
+            .map(|g| Detection {
+                image_id: g.image_id,
+                class: g.class,
+                score: 0.9,
+                bbox: g.bbox,
+            })
             .collect();
         let map = mean_average_precision(&dets, &gts, 0.5);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&map));
+        assert!((0.0..=1.0 + 1e-9).contains(&map), "case {case}: map={map}");
         // Every detection matches *some* ground truth (its own twin), so the
         // score is positive.
-        prop_assert!(map > 0.0);
+        assert!(map > 0.0, "case {case}: map={map}");
     }
+}
 
-    #[test]
-    fn bleu_bounded_and_100_on_identity(
-        corpus in prop::collection::vec(prop::collection::vec(0u32..20, 1..15), 1..10)
-    ) {
+fn random_corpus(
+    rng: &mut Rng64,
+    sentences: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<Vec<u32>> {
+    (0..sentences)
+        .map(|_| {
+            let len = min_len + rng.next_index(max_len - min_len + 1);
+            (0..len).map(|_| rng.next_below(20) as u32).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn bleu_bounded_and_100_on_identity() {
+    let mut rng = Rng64::new(0x4d45_0005);
+    for case in 0..CASES {
+        let n = 1 + rng.next_index(9);
+        let corpus = random_corpus(&mut rng, n, 1, 14);
         let self_score = corpus_bleu(&corpus, &corpus);
-        prop_assert!((self_score - 100.0).abs() < 1e-6);
+        assert!(
+            (self_score - 100.0).abs() < 1e-6,
+            "case {case}: self={self_score}"
+        );
         // Against a shifted-vocabulary corpus: zero overlap.
-        let shifted: Vec<Vec<u32>> = corpus.iter().map(|s| s.iter().map(|t| t + 100).collect()).collect();
+        let shifted: Vec<Vec<u32>> = corpus
+            .iter()
+            .map(|s| s.iter().map(|t| t + 100).collect())
+            .collect();
         let zero = corpus_bleu(&shifted, &corpus);
-        prop_assert_eq!(zero, 0.0);
+        assert_eq!(zero, 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn bleu_degrades_with_corruption(
-        sentences in prop::collection::vec(prop::collection::vec(0u32..10, 6..20), 3..8),
-    ) {
+#[test]
+fn bleu_degrades_with_corruption() {
+    let mut rng = Rng64::new(0x4d45_0006);
+    for case in 0..CASES {
+        let n = 3 + rng.next_index(5);
+        let sentences = random_corpus(&mut rng, n, 6, 19);
         // Corrupting the tail of each candidate cannot raise BLEU above self-score.
         let corrupted: Vec<Vec<u32>> = sentences
             .iter()
             .map(|s| {
                 let mut c = s.clone();
-                let n = c.len();
-                for t in c[n - 2..].iter_mut() {
+                let len = c.len();
+                for t in c[len - 2..].iter_mut() {
                     *t += 50;
                 }
                 c
@@ -95,7 +153,10 @@ proptest! {
             .collect();
         let clean = corpus_bleu(&sentences, &sentences);
         let noisy = corpus_bleu(&corrupted, &sentences);
-        prop_assert!(noisy <= clean + 1e-9);
-        prop_assert!((0.0..=100.0).contains(&noisy));
+        assert!(
+            noisy <= clean + 1e-9,
+            "case {case}: noisy={noisy} clean={clean}"
+        );
+        assert!((0.0..=100.0).contains(&noisy), "case {case}: noisy={noisy}");
     }
 }

@@ -256,7 +256,10 @@ mod tests {
     #[test]
     fn ground_truth_nonempty_and_bounded() {
         let proxy = DetectorProxy::new(TaskId::ObjectDetectionLight, 60, 1);
-        assert!(!proxy.ground_truth().is_empty(), "no ground truth generated");
+        assert!(
+            !proxy.ground_truth().is_empty(),
+            "no ground truth generated"
+        );
         for gt in proxy.ground_truth() {
             assert!(gt.bbox.x1 >= 0.0 && gt.bbox.x2 <= EXTENT);
             assert!(gt.class < NUM_CLASSES);
@@ -268,7 +271,10 @@ mod tests {
     fn fp32_map_is_high_but_imperfect() {
         let proxy = DetectorProxy::new(TaskId::ObjectDetectionHeavy, 80, 2);
         let map = proxy.map(Precision::Fp32);
-        assert!(map > 0.5, "teacher should mostly match its own noisy gt: {map}");
+        assert!(
+            map > 0.5,
+            "teacher should mostly match its own noisy gt: {map}"
+        );
         assert!(map < 0.999, "noise should keep mAP below perfect: {map}");
     }
 

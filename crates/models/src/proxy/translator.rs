@@ -233,7 +233,11 @@ mod tests {
         let outputs: std::collections::HashSet<Vec<u32>> = (0..40)
             .map(|i| proxy.translate(Precision::Fp32, i))
             .collect();
-        assert!(outputs.len() > 5, "decoder collapsed to {} outputs", outputs.len());
+        assert!(
+            outputs.len() > 5,
+            "decoder collapsed to {} outputs",
+            outputs.len()
+        );
     }
 
     #[test]
@@ -262,7 +266,9 @@ mod tests {
     #[test]
     fn score_matches_bleu() {
         let proxy = TranslatorProxy::new(30, 6);
-        let cands: Vec<Vec<u32>> = (0..30).map(|i| proxy.translate(Precision::Fp32, i)).collect();
+        let cands: Vec<Vec<u32>> = (0..30)
+            .map(|i| proxy.translate(Precision::Fp32, i))
+            .collect();
         assert_eq!(proxy.score(&cands), proxy.bleu(Precision::Fp32));
     }
 }

@@ -22,32 +22,109 @@ pub struct ZooEntry {
 
 /// Representative design points spanning the Figure 1 ranges.
 pub static ZOO: [ZooEntry; 16] = [
-    ZooEntry { name: "AlexNet", top1: 56.6, gops: 1.4, params_millions: 61.0 },
-    ZooEntry { name: "SqueezeNet-v1.1", top1: 58.2, gops: 0.7, params_millions: 1.2 },
-    ZooEntry { name: "GoogLeNet", top1: 68.1, gops: 3.0, params_millions: 7.0 },
-    ZooEntry { name: "MobileNet-v1", top1: 71.7, gops: 1.1, params_millions: 4.2 },
-    ZooEntry { name: "MobileNet-v2", top1: 72.0, gops: 0.9, params_millions: 3.5 },
-    ZooEntry { name: "VGG-16", top1: 71.6, gops: 31.0, params_millions: 138.0 },
-    ZooEntry { name: "VGG-19", top1: 72.4, gops: 39.0, params_millions: 144.0 },
-    ZooEntry { name: "ResNet-18", top1: 69.8, gops: 3.6, params_millions: 11.7 },
-    ZooEntry { name: "ResNet-50 v1.5", top1: 76.5, gops: 8.2, params_millions: 25.6 },
-    ZooEntry { name: "ResNet-101", top1: 77.4, gops: 15.7, params_millions: 44.5 },
-    ZooEntry { name: "DenseNet-121", top1: 74.5, gops: 5.7, params_millions: 8.0 },
-    ZooEntry { name: "Inception-v3", top1: 77.5, gops: 11.5, params_millions: 23.8 },
-    ZooEntry { name: "Xception", top1: 79.0, gops: 16.8, params_millions: 22.9 },
-    ZooEntry { name: "SE-ResNeXt-50", top1: 79.0, gops: 8.5, params_millions: 27.6 },
-    ZooEntry { name: "SENet-154", top1: 81.3, gops: 41.0, params_millions: 115.0 },
-    ZooEntry { name: "NASNet-A-Large", top1: 82.5, gops: 47.8, params_millions: 88.9 },
+    ZooEntry {
+        name: "AlexNet",
+        top1: 56.6,
+        gops: 1.4,
+        params_millions: 61.0,
+    },
+    ZooEntry {
+        name: "SqueezeNet-v1.1",
+        top1: 58.2,
+        gops: 0.7,
+        params_millions: 1.2,
+    },
+    ZooEntry {
+        name: "GoogLeNet",
+        top1: 68.1,
+        gops: 3.0,
+        params_millions: 7.0,
+    },
+    ZooEntry {
+        name: "MobileNet-v1",
+        top1: 71.7,
+        gops: 1.1,
+        params_millions: 4.2,
+    },
+    ZooEntry {
+        name: "MobileNet-v2",
+        top1: 72.0,
+        gops: 0.9,
+        params_millions: 3.5,
+    },
+    ZooEntry {
+        name: "VGG-16",
+        top1: 71.6,
+        gops: 31.0,
+        params_millions: 138.0,
+    },
+    ZooEntry {
+        name: "VGG-19",
+        top1: 72.4,
+        gops: 39.0,
+        params_millions: 144.0,
+    },
+    ZooEntry {
+        name: "ResNet-18",
+        top1: 69.8,
+        gops: 3.6,
+        params_millions: 11.7,
+    },
+    ZooEntry {
+        name: "ResNet-50 v1.5",
+        top1: 76.5,
+        gops: 8.2,
+        params_millions: 25.6,
+    },
+    ZooEntry {
+        name: "ResNet-101",
+        top1: 77.4,
+        gops: 15.7,
+        params_millions: 44.5,
+    },
+    ZooEntry {
+        name: "DenseNet-121",
+        top1: 74.5,
+        gops: 5.7,
+        params_millions: 8.0,
+    },
+    ZooEntry {
+        name: "Inception-v3",
+        top1: 77.5,
+        gops: 11.5,
+        params_millions: 23.8,
+    },
+    ZooEntry {
+        name: "Xception",
+        top1: 79.0,
+        gops: 16.8,
+        params_millions: 22.9,
+    },
+    ZooEntry {
+        name: "SE-ResNeXt-50",
+        top1: 79.0,
+        gops: 8.5,
+        params_millions: 27.6,
+    },
+    ZooEntry {
+        name: "SENet-154",
+        top1: 81.3,
+        gops: 41.0,
+        params_millions: 115.0,
+    },
+    ZooEntry {
+        name: "NASNet-A-Large",
+        top1: 82.5,
+        gops: 47.8,
+        params_millions: 88.9,
+    },
 ];
 
 /// Entries on the accuracy/operations Pareto frontier (no other entry is
 /// both more accurate and cheaper).
 pub fn pareto_frontier() -> Vec<&'static ZooEntry> {
     ZOO.iter()
-        .filter(|e| {
-            !ZOO.iter()
-                .any(|o| o.top1 > e.top1 && o.gops < e.gops)
-        })
+        .filter(|e| !ZOO.iter().any(|o| o.top1 > e.top1 && o.gops < e.gops))
         .collect()
 }
 

@@ -164,7 +164,9 @@ mod tests {
     fn zero_input_zero_state_moves_little() {
         let mut rng = Rng64::new(2);
         let cell = GruCell::new(3, 5, &mut rng);
-        let h = cell.step(&Tensor::zeros(Shape::d1(3)), &cell.zero_state()).unwrap();
+        let h = cell
+            .step(&Tensor::zeros(Shape::d1(3)), &cell.zero_state())
+            .unwrap();
         // With zero biases the candidate is tanh(0)=0, so the state stays 0.
         assert!(h.data().iter().all(|x| x.abs() < 1e-6));
     }
@@ -192,7 +194,9 @@ mod tests {
     fn rejects_wrong_dims() {
         let mut rng = Rng64::new(5);
         let cell = GruCell::new(4, 6, &mut rng);
-        assert!(cell.step(&Tensor::zeros(Shape::d1(5)), &cell.zero_state()).is_err());
+        assert!(cell
+            .step(&Tensor::zeros(Shape::d1(5)), &cell.zero_state())
+            .is_err());
         assert!(cell
             .step(&Tensor::zeros(Shape::d1(4)), &Tensor::zeros(Shape::d1(7)))
             .is_err());

@@ -95,8 +95,14 @@ mod tests {
     fn shapes_correct() {
         let mut rng = Rng64::new(1);
         let init = WeightInit::xavier();
-        assert_eq!(init.conv_weight(4, 2, 3, &mut rng).shape().dims(), &[4, 2, 3, 3]);
-        assert_eq!(init.depthwise_weight(5, 3, &mut rng).shape().dims(), &[5, 1, 3, 3]);
+        assert_eq!(
+            init.conv_weight(4, 2, 3, &mut rng).shape().dims(),
+            &[4, 2, 3, 3]
+        );
+        assert_eq!(
+            init.depthwise_weight(5, 3, &mut rng).shape().dims(),
+            &[5, 1, 3, 3]
+        );
         assert_eq!(init.dense_weight(7, 9, &mut rng).shape().dims(), &[7, 9]);
         assert_eq!(init.bias(6).shape().dims(), &[6]);
     }

@@ -1,8 +1,6 @@
 //! Typed layers.
 
-use mlperf_tensor::ops::{
-    self, Conv2dParams,
-};
+use mlperf_tensor::ops::{self, Conv2dParams};
 use mlperf_tensor::{Shape, Tensor, TensorError};
 
 /// Pointwise activation applied after a parameterized layer.
@@ -263,7 +261,9 @@ mod tests {
             bias: Tensor::zeros(Shape::d1(1)),
             activation: Activation::Relu,
         };
-        let out = layer.forward(&Tensor::from_vec(Shape::d1(1), vec![5.0]).unwrap()).unwrap();
+        let out = layer
+            .forward(&Tensor::from_vec(Shape::d1(1), vec![5.0]).unwrap())
+            .unwrap();
         assert_eq!(out.data(), &[0.0]);
     }
 
@@ -327,6 +327,8 @@ mod tests {
         assert!(layer.output_shape(&Shape::d1(5)).is_err());
         assert!(layer.forward(&Tensor::zeros(Shape::d1(5))).is_err());
         assert!(Layer::Softmax.output_shape(&Shape::d2(2, 2)).is_err());
-        assert!(Layer::MaxPool { k: 9 }.output_shape(&Shape::d3(1, 4, 4)).is_err());
+        assert!(Layer::MaxPool { k: 9 }
+            .output_shape(&Shape::d3(1, 4, 4))
+            .is_err());
     }
 }

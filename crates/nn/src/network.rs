@@ -266,7 +266,11 @@ impl NetworkBuilder {
     /// # Errors
     ///
     /// Returns [`NnError`] if the current shape is not rank 3.
-    pub fn residual_block(mut self, activation: Activation, rng: &mut Rng64) -> Result<Self, NnError> {
+    pub fn residual_block(
+        mut self,
+        activation: Activation,
+        rng: &mut Rng64,
+    ) -> Result<Self, NnError> {
         let dims = self.current.dims();
         if dims.len() != 3 {
             return Err(NnError::BadDefinition(format!(
@@ -336,7 +340,12 @@ impl NetworkBuilder {
     /// # Errors
     ///
     /// Returns [`NnError`] if the current shape is not rank 1.
-    pub fn dense(self, out: usize, activation: Activation, rng: &mut Rng64) -> Result<Self, NnError> {
+    pub fn dense(
+        self,
+        out: usize,
+        activation: Activation,
+        rng: &mut Rng64,
+    ) -> Result<Self, NnError> {
         let inp = self.current.len();
         if self.current.rank() != 1 {
             return Err(NnError::BadDefinition(format!(

@@ -11,9 +11,7 @@
 use crate::layer::{Activation, Layer};
 use crate::network::{Network, Node};
 use crate::NnError;
-use mlperf_tensor::quant::{
-    qconv2d_per_channel, qdense_per_channel, ChannelQTensor, QuantParams,
-};
+use mlperf_tensor::quant::{qconv2d_per_channel, qdense_per_channel, ChannelQTensor, QuantParams};
 use mlperf_tensor::{QTensor, Tensor};
 
 /// A quantized layer: INT8 where supported, FP32 passthrough elsewhere.
@@ -342,9 +340,7 @@ mod tests {
         let test = inputs(64, 400);
         let agree = test
             .iter()
-            .filter(|x| {
-                network.forward(x).unwrap().argmax() == qnet.forward(x).unwrap().argmax()
-            })
+            .filter(|x| network.forward(x).unwrap().argmax() == qnet.forward(x).unwrap().argmax())
             .count();
         assert!(agree >= 56, "only {agree}/64 argmax agreements");
     }

@@ -1,4 +1,7 @@
-//! Property-based tests for the NN inference engine.
+//! Property-style tests for the NN inference engine.
+//!
+//! Seeded `Rng64` case loops replace the former property-testing
+//! framework; failure messages carry the case seeds for replay.
 
 use mlperf_nn::gru::GruCell;
 use mlperf_nn::layer::Activation;
@@ -6,7 +9,8 @@ use mlperf_nn::network::NetworkBuilder;
 use mlperf_nn::{Network, QNetwork};
 use mlperf_stats::Rng64;
 use mlperf_tensor::{Shape, Tensor};
-use proptest::prelude::*;
+
+const CASES: u64 = 16;
 
 fn tiny_net(seed: u64, classes: usize) -> Network {
     let mut rng = Rng64::new(seed);
@@ -27,31 +31,54 @@ fn input(seed: u64) -> Tensor {
     Tensor::fill_with(Shape::d3(2, 8, 8), |_| rng.next_f64() as f32 * 2.0 - 1.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn forward_is_a_pure_function(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+#[test]
+fn forward_is_a_pure_function() {
+    let mut rng = Rng64::new(0x4e4e_0001);
+    for case in 0..CASES {
+        let net_seed = rng.next_u64();
+        let in_seed = rng.next_u64();
         let net = tiny_net(net_seed, 8);
         let x = input(in_seed);
-        prop_assert_eq!(net.forward(&x).unwrap(), net.forward(&x).unwrap());
+        assert_eq!(
+            net.forward(&x).unwrap(),
+            net.forward(&x).unwrap(),
+            "case {case}: net_seed={net_seed} in_seed={in_seed}"
+        );
     }
+}
 
-    #[test]
-    fn network_construction_is_seed_deterministic(seed in any::<u64>()) {
-        prop_assert_eq!(tiny_net(seed, 8), tiny_net(seed, 8));
+#[test]
+fn network_construction_is_seed_deterministic() {
+    let mut rng = Rng64::new(0x4e4e_0002);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        assert_eq!(
+            tiny_net(seed, 8),
+            tiny_net(seed, 8),
+            "case {case}: seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn output_shape_always_matches_declaration(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+#[test]
+fn output_shape_always_matches_declaration() {
+    let mut rng = Rng64::new(0x4e4e_0003);
+    for case in 0..CASES {
+        let net_seed = rng.next_u64();
+        let in_seed = rng.next_u64();
         let net = tiny_net(net_seed, 5);
         let out = net.forward(&input(in_seed)).unwrap();
-        prop_assert_eq!(out.shape(), net.output_shape());
-        prop_assert!(out.data().iter().all(|v| v.is_finite()));
+        let ctx = format!("case {case}: net_seed={net_seed} in_seed={in_seed}");
+        assert_eq!(out.shape(), net.output_shape(), "{ctx}");
+        assert!(out.data().iter().all(|v| v.is_finite()), "{ctx}");
     }
+}
 
-    #[test]
-    fn quantized_network_mostly_agrees_with_fp32(net_seed in any::<u64>()) {
+#[test]
+fn quantized_network_mostly_agrees_with_fp32() {
+    let mut rng = Rng64::new(0x4e4e_0004);
+    for case in 0..4 {
+        let net_seed = rng.next_u64();
         let net = tiny_net(net_seed, 8);
         let calib: Vec<Tensor> = (0..8).map(|i| input(net_seed ^ (i + 1))).collect();
         let qnet = QNetwork::quantize(&net, &calib).unwrap();
@@ -61,20 +88,37 @@ proptest! {
                 net.forward(&x).unwrap().argmax() == qnet.forward(&x).unwrap().argmax()
             })
             .count();
-        prop_assert!(agree >= 26, "only {}/32 argmax agreements", agree);
+        assert!(
+            agree >= 26,
+            "case {case}: net_seed={net_seed}: only {agree}/32 argmax agreements"
+        );
     }
+}
 
-    #[test]
-    fn map_parameters_identity_is_identity(net_seed in any::<u64>(), in_seed in any::<u64>()) {
+#[test]
+fn map_parameters_identity_is_identity() {
+    let mut rng = Rng64::new(0x4e4e_0005);
+    for case in 0..CASES {
+        let net_seed = rng.next_u64();
+        let in_seed = rng.next_u64();
         let net = tiny_net(net_seed, 6);
         let same = net.map_parameters(Clone::clone);
         let x = input(in_seed);
-        prop_assert_eq!(net.forward(&x).unwrap(), same.forward(&x).unwrap());
+        assert_eq!(
+            net.forward(&x).unwrap(),
+            same.forward(&x).unwrap(),
+            "case {case}: net_seed={net_seed} in_seed={in_seed}"
+        );
     }
+}
 
-    #[test]
-    fn int16_weight_roundtrip_is_near_lossless(net_seed in any::<u64>(), in_seed in any::<u64>()) {
-        use mlperf_tensor::quant::per_channel_i16_roundtrip;
+#[test]
+fn int16_weight_roundtrip_is_near_lossless() {
+    use mlperf_tensor::quant::per_channel_i16_roundtrip;
+    let mut rng = Rng64::new(0x4e4e_0006);
+    for case in 0..CASES {
+        let net_seed = rng.next_u64();
+        let in_seed = rng.next_u64();
         let net = tiny_net(net_seed, 6);
         let q = net.map_parameters(per_channel_i16_roundtrip);
         let x = input(in_seed);
@@ -82,12 +126,20 @@ proptest! {
         let b = q.forward(&x).unwrap();
         let scale = a.abs_max().max(1e-3);
         for (u, v) in a.data().iter().zip(b.data()) {
-            prop_assert!((u - v).abs() / scale < 1e-3, "{} vs {}", u, v);
+            assert!(
+                (u - v).abs() / scale < 1e-3,
+                "case {case}: net_seed={net_seed} in_seed={in_seed}: {u} vs {v}"
+            );
         }
     }
+}
 
-    #[test]
-    fn gru_state_always_bounded(seed in any::<u64>(), steps in 1usize..64) {
+#[test]
+fn gru_state_always_bounded() {
+    let mut seeder = Rng64::new(0x4e4e_0007);
+    for case in 0..CASES {
+        let seed = seeder.next_u64();
+        let steps = 1 + seeder.next_index(63);
         let mut rng = Rng64::new(seed);
         let cell = GruCell::new(6, 10, &mut rng);
         let mut h = cell.zero_state();
@@ -97,14 +149,31 @@ proptest! {
                 r.next_f64() as f32 * 4.0 - 2.0
             });
             h = cell.step(&x, &h).unwrap();
-            prop_assert!(h.data().iter().all(|v| v.abs() <= 1.0 && v.is_finite()));
+            assert!(
+                h.data().iter().all(|v| v.abs() <= 1.0 && v.is_finite()),
+                "case {case}: seed={seed} step={s}"
+            );
         }
     }
+}
 
-    #[test]
-    fn mac_count_stable_across_equal_architectures(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+#[test]
+fn mac_count_stable_across_equal_architectures() {
+    let mut rng = Rng64::new(0x4e4e_0008);
+    for case in 0..CASES {
+        let seed_a = rng.next_u64();
+        let seed_b = rng.next_u64();
         // MACs depend on architecture, not weights.
-        prop_assert_eq!(tiny_net(seed_a, 8).mac_count(), tiny_net(seed_b, 8).mac_count());
-        prop_assert_eq!(tiny_net(seed_a, 8).param_count(), tiny_net(seed_b, 8).param_count());
+        let ctx = format!("case {case}: seed_a={seed_a} seed_b={seed_b}");
+        assert_eq!(
+            tiny_net(seed_a, 8).mac_count(),
+            tiny_net(seed_b, 8).mac_count(),
+            "{ctx}"
+        );
+        assert_eq!(
+            tiny_net(seed_a, 8).param_count(),
+            tiny_net(seed_b, 8).param_count(),
+            "{ctx}"
+        );
     }
 }

@@ -194,6 +194,9 @@ pub fn margin_for(tail_latency: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
+// Acklam's published coefficients are kept digit-for-digit even where they
+// exceed f64 precision, so they can be diffed against the original tables.
+#[allow(clippy::excessive_precision)]
 pub fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(
         p.is_finite() && p > 0.0 && p < 1.0,
@@ -307,7 +310,9 @@ impl std::fmt::Display for ConfidenceError {
             ConfidenceError::OutOfRange(v) => {
                 write!(f, "probability must lie strictly between 0 and 1, got {v}")
             }
-            ConfidenceError::BadMargin(m) => write!(f, "margin must be finite and positive, got {m}"),
+            ConfidenceError::BadMargin(m) => {
+                write!(f, "margin must be finite and positive, got {m}")
+            }
         }
     }
 }
@@ -391,10 +396,15 @@ mod tests {
 
     #[test]
     fn queries_grow_with_stricter_tails() {
-        let counts: Vec<u64> = [TailLatency::P90, TailLatency::P95, TailLatency::P97, TailLatency::P99]
-            .iter()
-            .map(|t| QueryCountPlan::paper_default(*t).raw_queries())
-            .collect();
+        let counts: Vec<u64> = [
+            TailLatency::P90,
+            TailLatency::P95,
+            TailLatency::P97,
+            TailLatency::P99,
+        ]
+        .iter()
+        .map(|t| QueryCountPlan::paper_default(*t).raw_queries())
+        .collect();
         assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
     }
 

@@ -238,9 +238,15 @@ impl std::fmt::Display for DistError {
         match self {
             DistError::NonPositiveRate(r) => write!(f, "rate must be finite and positive, got {r}"),
             DistError::NegativeStdDev(s) => {
-                write!(f, "standard deviation must be finite and non-negative, got {s}")
+                write!(
+                    f,
+                    "standard deviation must be finite and non-negative, got {s}"
+                )
             }
-            DistError::BadWeights => write!(f, "weights must be non-empty, non-negative, and not all zero"),
+            DistError::BadWeights => write!(
+                f,
+                "weights must be non-empty, non-negative, and not all zero"
+            ),
         }
     }
 }

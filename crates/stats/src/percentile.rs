@@ -144,10 +144,7 @@ impl P2Estimator {
             3
         } else {
             // Index of the cell containing x.
-            (1..5)
-                .position(|i| x < self.heights[i])
-                .map(|i| i)
-                .unwrap_or(3)
+            (1..5).position(|i| x < self.heights[i]).unwrap_or(3)
         };
         for pos in self.positions.iter_mut().skip(k + 1) {
             *pos += 1.0;
@@ -162,12 +159,12 @@ impl P2Estimator {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }

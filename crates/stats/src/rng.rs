@@ -5,9 +5,9 @@
 //! pseudorandom-number-generator seed"). To make runs bit-reproducible across
 //! toolchain and dependency upgrades, this module implements its own
 //! generator — xoshiro256++ — rather than relying on an external crate's
-//! unstable stream. The [`rand`] crate is still used elsewhere in the
-//! workspace (e.g. by `proptest`), but never on a reproducibility-critical
-//! path.
+//! unstable stream. The workspace has no external RNG dependency at all;
+//! every randomized test in the repository draws from this generator so its
+//! cases are replayable from a printed seed.
 
 /// A seedable 64-bit PRNG (xoshiro256++).
 ///
@@ -275,7 +275,10 @@ mod tests {
             counts[r.next_index(10)] += 1;
         }
         for c in counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 
@@ -293,7 +296,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

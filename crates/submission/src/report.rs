@@ -25,10 +25,8 @@ fn released_closed(records: &[ResultRecord]) -> impl Iterator<Item = &ResultReco
 
 /// Table VI: released result counts per model × scenario.
 pub fn table_vi_counts(records: &[ResultRecord]) -> BTreeMap<TaskId, [usize; 4]> {
-    let mut counts: BTreeMap<TaskId, [usize; 4]> = registry()
-        .iter()
-        .map(|m| (m.task, [0usize; 4]))
-        .collect();
+    let mut counts: BTreeMap<TaskId, [usize; 4]> =
+        registry().iter().map(|m| (m.task, [0usize; 4])).collect();
     for record in released_closed(records) {
         if let Some(task) = record.task() {
             let col = SCENARIOS

@@ -280,7 +280,10 @@ fn plan_round(config: &RoundConfig, qualities: &HashMap<TaskId, (f64, f64)>) -> 
                 .iter()
                 .filter(|s| eligible(s, task, *scenario) && capable(s, task, *scenario))
                 .collect();
-            assert!(!pool.is_empty(), "no eligible system for {task:?} {scenario}");
+            assert!(
+                !pool.is_empty(),
+                "no eligible system for {task:?} {scenario}"
+            );
             for _ in 0..count {
                 let system = pool[rng.next_index(pool.len())].clone();
                 let key = format!("{}|{task:?}|{scenario}", system.spec.name);
@@ -373,9 +376,11 @@ fn run_one(
     let settings = base_settings(config, task, planned.scenario);
     let workload = Workload::new(task);
     let result: TestResult = match planned.scenario {
-        Scenario::SingleStream => run_simulated(&settings, &mut qsl, &mut sut)
-            .expect("well-formed settings and SUT")
-            .result,
+        Scenario::SingleStream => {
+            run_simulated(&settings, &mut qsl, &mut sut)
+                .expect("well-formed settings and SUT")
+                .result
+        }
         Scenario::Offline => {
             // Offline must run the full duration *and* keep every unit
             // saturated: size the query to the expected rate with a floor
@@ -383,11 +388,11 @@ fn run_one(
             let spec_dev = planned.system.spec.tuned_for(workload.mean_ops(1_024));
             let expected = spec_dev.peak_throughput(workload.mean_ops(1_024));
             let chunk_floor = (spec_dev.units * spec_dev.max_batch * 100) as u64;
-            let samples = ((expected * settings.min_duration.as_secs_f64() * 1.3) as u64)
-                .max(chunk_floor);
-            let settings = settings.clone().with_offline_min_sample_count(
-                settings.offline_min_sample_count.max(samples),
-            );
+            let samples =
+                ((expected * settings.min_duration.as_secs_f64() * 1.3) as u64).max(chunk_floor);
+            let settings = settings
+                .clone()
+                .with_offline_min_sample_count(settings.offline_min_sample_count.max(samples));
             run_simulated(&settings, &mut qsl, &mut sut)
                 .expect("well-formed settings and SUT")
                 .result
@@ -397,7 +402,8 @@ fn run_one(
             // expensive part: official trials carry 270K queries of N
             // samples each); validate the winner at full length, stepping
             // down if the long run's tail disagrees.
-            let search_queries = (settings.min_query_count / 32).clamp(256, settings.min_query_count.max(256));
+            let search_queries =
+                (settings.min_query_count / 32).clamp(256, settings.min_query_count.max(256));
             let search = settings
                 .clone()
                 .with_min_query_count(search_queries)
@@ -518,7 +524,7 @@ fn inject_violations(records: &mut Vec<ResultRecord>, config: &RoundConfig, next
     if closed.is_empty() {
         return;
     }
-    let mut rng = Rng64::new(config.seed ^ 0xbad5_eed);
+    let mut rng = Rng64::new(config.seed ^ 0x0bad_5eed);
     for v in 0..config.violation_count {
         let source = &records[closed[rng.next_index(closed.len())]];
         let mut bad = source.clone();
@@ -558,7 +564,9 @@ pub fn generate_round(config: &RoundConfig) -> SubmissionRound {
     let next_id = plan.len() as u64;
     let threads = config.threads.max(1);
     let mut records: Vec<ResultRecord> = if threads == 1 {
-        plan.iter().map(|p| run_one(p, config, &qualities)).collect()
+        plan.iter()
+            .map(|p| run_one(p, config, &qualities))
+            .collect()
     } else {
         // Round-robin assignment: expensive runs (official-length server
         // finals) cluster in the plan, so contiguous chunks leave one
@@ -636,9 +644,21 @@ mod tests {
             .iter()
             .find(|s| s.segment == MarketSegment::Embedded)
             .unwrap();
-        assert!(!eligible(embedded, TaskId::MachineTranslation, Scenario::SingleStream));
-        assert!(!eligible(embedded, TaskId::ImageClassificationLight, Scenario::Server));
-        assert!(eligible(embedded, TaskId::ImageClassificationLight, Scenario::SingleStream));
+        assert!(!eligible(
+            embedded,
+            TaskId::MachineTranslation,
+            Scenario::SingleStream
+        ));
+        assert!(!eligible(
+            embedded,
+            TaskId::ImageClassificationLight,
+            Scenario::Server
+        ));
+        assert!(eligible(
+            embedded,
+            TaskId::ImageClassificationLight,
+            Scenario::SingleStream
+        ));
         let dc = systems
             .iter()
             .find(|s| s.segment == MarketSegment::Datacenter)

@@ -57,11 +57,13 @@ impl SimSut for CachingSut {
     }
 
     fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
-        let all_cached = query.samples.iter().all(|s| self.cache.contains_key(&s.index));
+        let all_cached = query
+            .samples
+            .iter()
+            .all(|s| self.cache.contains_key(&s.index));
         if all_cached {
-            let latency = Nanos::from_nanos(
-                (self.last_honest_latency.as_nanos() / self.speedup).max(1),
-            );
+            let latency =
+                Nanos::from_nanos((self.last_honest_latency.as_nanos() / self.speedup).max(1));
             return SutReaction::complete(QueryCompletion {
                 query_id: query.id,
                 finished_at: now + latency,
@@ -141,9 +143,7 @@ impl SimSut for SeedSniffingSut {
         if self.on_script {
             // Precomputed: answer from the prepared buffer without touching
             // the device at all.
-            let fast = Nanos::from_nanos(
-                20_000 * query.samples.len() as u64 / self.speedup.max(1),
-            );
+            let fast = Nanos::from_nanos(20_000 * query.samples.len() as u64 / self.speedup.max(1));
             return SutReaction::complete(QueryCompletion {
                 query_id: query.id,
                 finished_at: now + fast,
@@ -248,7 +248,7 @@ mod tests {
             id,
             samples: vec![QuerySample { id, index }],
             scheduled_at: Nanos::ZERO,
-        tenant: 0,
+            tenant: 0,
         }
     }
 
@@ -286,13 +286,21 @@ mod tests {
         let inner = engine().with_payloads(std::sync::Arc::new(|_| ResponsePayload::Class(7)));
         let mut sut = SloppyAccuracySut::new(inner, 3);
         let perf = sut.on_query(Nanos::ZERO, &query(0, 4));
-        assert_eq!(perf.completions[0].samples[0].payload, ResponsePayload::Class(1));
+        assert_eq!(
+            perf.completions[0].samples[0].payload,
+            ResponsePayload::Class(1)
+        );
         // A big accuracy-style batch keeps honest payloads.
         let big = Query {
             id: 1,
-            samples: (0..100).map(|i| QuerySample { id: 100 + i as u64, index: i }).collect(),
+            samples: (0..100)
+                .map(|i| QuerySample {
+                    id: 100 + i as u64,
+                    index: i,
+                })
+                .collect(),
             scheduled_at: Nanos::ZERO,
-        tenant: 0,
+            tenant: 0,
         };
         let acc = sut.on_query(Nanos::ZERO, &big);
         assert!(acc.completions[0]

@@ -197,8 +197,7 @@ impl DeviceSpec {
     /// Asymptotic samples/second at deep batches for a per-sample cost.
     pub fn peak_throughput(&self, ops_per_sample_gops: f64) -> f64 {
         let full_batch_work = ops_per_sample_gops * self.max_batch as f64;
-        self.units as f64 * self.peak_gops * self.utilization(full_batch_work)
-            / ops_per_sample_gops
+        self.units as f64 * self.peak_gops * self.utilization(full_batch_work) / ops_per_sample_gops
     }
 }
 
@@ -228,7 +227,10 @@ mod tests {
             assert!(u < 1.0);
             prev = u;
         }
-        assert!((d.utilization(20.0) - 0.5).abs() < 1e-12, "half at work_half");
+        assert!(
+            (d.utilization(20.0) - 0.5).abs() < 1e-12,
+            "half at work_half"
+        );
     }
 
     #[test]
@@ -249,7 +251,15 @@ mod tests {
 
     #[test]
     fn service_time_scales_with_work() {
-        let d = DeviceSpec::new("lin", Architecture::Cpu, 100.0, 0.0, 8, 1, Nanos::from_micros(100));
+        let d = DeviceSpec::new(
+            "lin",
+            Architecture::Cpu,
+            100.0,
+            0.0,
+            8,
+            1,
+            Nanos::from_micros(100),
+        );
         let mut rng = Rng64::new(1);
         let t1 = d.service_time(10.0, 1, Nanos::ZERO, &mut rng);
         let t2 = d.service_time(20.0, 1, Nanos::ZERO, &mut rng);
@@ -273,13 +283,13 @@ mod tests {
 
     #[test]
     fn jitter_perturbs_but_preserves_scale() {
-        let d = DeviceSpec::new("j", Architecture::Cpu, 100.0, 0.0, 8, 1, Nanos::ZERO).with_jitter(0.1);
+        let d =
+            DeviceSpec::new("j", Architecture::Cpu, 100.0, 0.0, 8, 1, Nanos::ZERO).with_jitter(0.1);
         let mut rng = Rng64::new(3);
         let times: Vec<Nanos> = (0..200)
             .map(|_| d.service_time(10.0, 1, Nanos::ZERO, &mut rng))
             .collect();
-        let distinct: std::collections::HashSet<u64> =
-            times.iter().map(|t| t.as_nanos()).collect();
+        let distinct: std::collections::HashSet<u64> = times.iter().map(|t| t.as_nanos()).collect();
         assert!(distinct.len() > 100, "jitter should vary service times");
         let mean = times.iter().map(|t| t.as_secs_f64()).sum::<f64>() / times.len() as f64;
         assert!((mean - 0.1).abs() < 0.01, "mean={mean}");
@@ -327,7 +337,10 @@ mod tests {
         // util ~0.963.
         let tp = d.peak_throughput(8.2);
         let expected = 4.0 * 1_000.0 * (525.0 / 545.0) / 8.2;
-        assert!((tp / expected - 1.0).abs() < 0.01, "tp={tp} expected={expected}");
+        assert!(
+            (tp / expected - 1.0).abs() < 0.01,
+            "tp={tp} expected={expected}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use mlperf_loadgen::sut::{SimSut, SutReaction};
 use mlperf_loadgen::time::Nanos;
 use mlperf_models::Workload;
 use mlperf_stats::Rng64;
+use mlperf_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -73,6 +74,8 @@ pub struct DeviceSut {
     queued_samples: usize,
     mean_ops: Vec<f64>,
     armed_wakeup: Option<Nanos>,
+    trace: Option<Arc<dyn TraceSink>>,
+    last_dvfs_milli: Vec<Option<u32>>,
 }
 
 impl std::fmt::Debug for DeviceSut {
@@ -92,6 +95,7 @@ impl DeviceSut {
         let mean_ops = vec![workload.mean_ops(1_024)];
         Self {
             busy_until: vec![Nanos::ZERO; spec.units],
+            last_dvfs_milli: vec![None; spec.units],
             rng: Rng64::new(seed),
             seed,
             spec,
@@ -103,6 +107,7 @@ impl DeviceSut {
             queued_samples: 0,
             mean_ops,
             armed_wakeup: None,
+            trace: None,
         }
     }
 
@@ -169,6 +174,16 @@ impl DeviceSut {
         self
     }
 
+    /// Attaches a trace sink: every dispatch emits a
+    /// [`TraceEvent::BatchFormed`] on its execution unit's timeline, and a
+    /// [`TraceEvent::DvfsStateChange`] whenever a unit's thermal throughput
+    /// multiplier (quantized to 1/1000ths) moves — the device-side half of
+    /// the detail log.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Overrides the jitter RNG seed (distinct fleet systems use distinct
     /// seeds so their jitter is uncorrelated).
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -213,6 +228,31 @@ impl DeviceSut {
         let service = self.spec.service_time(ops, count, start, &mut self.rng);
         let finish = start + service + tax;
         self.busy_until[unit] = finish;
+        if let Some(sink) = self.trace.as_deref() {
+            if sink.enabled() {
+                if let Some(thermal) = self.spec.thermal {
+                    let milli = (thermal.multiplier(start) * 1_000.0).round() as u32;
+                    if self.last_dvfs_milli[unit] != Some(milli) {
+                        self.last_dvfs_milli[unit] = Some(milli);
+                        sink.record(
+                            start.as_nanos(),
+                            &TraceEvent::DvfsStateChange {
+                                unit,
+                                multiplier_milli: milli,
+                            },
+                        );
+                    }
+                }
+                sink.record(
+                    start.as_nanos(),
+                    &TraceEvent::BatchFormed {
+                        unit,
+                        batch_size: count,
+                        service_ns: (service + tax).as_nanos(),
+                    },
+                );
+            }
+        }
         finish
     }
 
@@ -226,10 +266,7 @@ impl DeviceSut {
                 .fold(0.0f64, f64::max);
             max * indices.len() as f64
         } else {
-            indices
-                .iter()
-                .map(|i| workload.ops_for_sample(*i))
-                .sum()
+            indices.iter().map(|i| workload.ops_for_sample(*i)).sum()
         }
     }
 
@@ -382,6 +419,7 @@ impl SimSut for DeviceSut {
 
     fn reset(&mut self) {
         self.busy_until = vec![Nanos::ZERO; self.spec.units];
+        self.last_dvfs_milli = vec![None; self.spec.units];
         self.queue.clear();
         self.queued_samples = 0;
         self.armed_wakeup = None;
@@ -422,7 +460,7 @@ mod tests {
                 })
                 .collect(),
             scheduled_at: Nanos::ZERO,
-        tenant: 0,
+            tenant: 0,
         }
     }
 
@@ -559,6 +597,85 @@ mod tests {
     }
 
     #[test]
+    fn trace_sink_sees_batches_and_dvfs_changes() {
+        use crate::device::ThermalModel;
+        use mlperf_trace::RingBufferSink;
+        let sink = Arc::new(RingBufferSink::unbounded());
+        let spec = spec(1, 8).with_thermal(ThermalModel {
+            boost: 1.5,
+            decay_secs: 1.0,
+        });
+        let mut sut = DeviceSut::new(
+            spec,
+            Workload::new(TaskId::ImageClassificationLight),
+            BatchPolicy::Immediate,
+        )
+        .with_trace(sink.clone());
+        // Three dispatches spread over decaying-boost time: one BatchFormed
+        // each, and a DvfsStateChange whenever the quantized multiplier moves.
+        for (i, at) in [Nanos::ZERO, Nanos::from_secs(1), Nanos::from_secs(2)]
+            .into_iter()
+            .enumerate()
+        {
+            sut.on_query(at, &query(i as u64, 4));
+        }
+        let records = sink.snapshot();
+        let batches: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::BatchFormed {
+                    batch_size,
+                    service_ns,
+                    unit,
+                } => Some((*unit, *batch_size, *service_ns, r.ts_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), 3);
+        for (unit, batch_size, service_ns, _) in &batches {
+            assert_eq!(*unit, 0);
+            assert_eq!(*batch_size, 4);
+            assert!(*service_ns > 0);
+        }
+        let dvfs: Vec<u32> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::DvfsStateChange {
+                    multiplier_milli, ..
+                } => Some(*multiplier_milli),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            dvfs.len() >= 2,
+            "boost decay across seconds must change the quantized multiplier"
+        );
+        assert_eq!(dvfs[0], 1_500, "cold start emits the full boost");
+        assert!(
+            dvfs.windows(2).all(|w| w[0] != w[1]),
+            "only changes are emitted"
+        );
+    }
+
+    #[test]
+    fn trace_sink_silent_without_thermal_model_dvfs() {
+        use mlperf_trace::RingBufferSink;
+        let sink = Arc::new(RingBufferSink::unbounded());
+        let mut sut = DeviceSut::new(
+            spec(2, 8),
+            Workload::new(TaskId::ImageClassificationLight),
+            BatchPolicy::Immediate,
+        )
+        .with_trace(sink.clone());
+        sut.on_query(Nanos::ZERO, &query(0, 2));
+        let records = sink.snapshot();
+        assert!(records
+            .iter()
+            .all(|r| matches!(r.event, TraceEvent::BatchFormed { .. })));
+        assert!(!records.is_empty());
+    }
+
+    #[test]
     fn full_single_stream_run_through_loadgen() {
         let settings = TestSettings::single_stream()
             .with_min_query_count(100)
@@ -634,7 +751,10 @@ mod tests {
         let out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();
         assert!(out.result.is_valid(), "{:?}", out.result.validity);
         match out.result.metric {
-            ScenarioMetric::Server { overlatency_fraction, .. } => {
+            ScenarioMetric::Server {
+                overlatency_fraction,
+                ..
+            } => {
                 assert!(overlatency_fraction <= 0.01);
             }
             ref m => panic!("wrong metric {m:?}"),

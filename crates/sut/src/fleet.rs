@@ -150,123 +150,259 @@ pub fn fleet() -> Vec<FleetSystem> {
     };
     vec![
         FleetSystem {
-            spec: DeviceSpec::new("iot-cpu", Architecture::Cpu, 2.5, 0.05, 2, 1, Nanos::from_millis(1))
-                .with_jitter(0.10),
+            spec: DeviceSpec::new(
+                "iot-cpu",
+                Architecture::Cpu,
+                2.5,
+                0.05,
+                2,
+                1,
+                Nanos::from_millis(1),
+            )
+            .with_jitter(0.10),
             vendor: "Thistle Micro",
             framework: "TensorFlow Lite",
             segment: MarketSegment::Embedded,
         },
         FleetSystem {
-            spec: DeviceSpec::new("embedded-dsp", Architecture::Dsp, 9.0, 0.1, 4, 1, Nanos::from_micros(800))
-                .with_jitter(0.08),
+            spec: DeviceSpec::new(
+                "embedded-dsp",
+                Architecture::Dsp,
+                9.0,
+                0.1,
+                4,
+                1,
+                Nanos::from_micros(800),
+            )
+            .with_jitter(0.08),
             vendor: "Quarrel Wireless",
             framework: "SNPE",
             segment: MarketSegment::Embedded,
         },
         FleetSystem {
-            spec: DeviceSpec::new("mobile-cpu", Architecture::Cpu, 24.0, 0.1, 4, 1, Nanos::from_micros(400))
-                .with_jitter(0.10)
-                .with_thermal(mobile_thermal),
+            spec: DeviceSpec::new(
+                "mobile-cpu",
+                Architecture::Cpu,
+                24.0,
+                0.1,
+                4,
+                1,
+                Nanos::from_micros(400),
+            )
+            .with_jitter(0.10)
+            .with_thermal(mobile_thermal),
             vendor: "Arbor Designs",
             framework: "Arm NN",
             segment: MarketSegment::Mobile,
         },
         FleetSystem {
-            spec: DeviceSpec::new("mobile-npu", Architecture::Asic, 48.0, 0.2, 8, 1, Nanos::from_micros(500))
-                .with_jitter(0.09)
-                .with_thermal(mobile_thermal),
+            spec: DeviceSpec::new(
+                "mobile-npu",
+                Architecture::Asic,
+                48.0,
+                0.2,
+                8,
+                1,
+                Nanos::from_micros(500),
+            )
+            .with_jitter(0.09)
+            .with_thermal(mobile_thermal),
             vendor: "Quarrel Wireless",
             framework: "SNPE",
             segment: MarketSegment::Mobile,
         },
         FleetSystem {
-            spec: DeviceSpec::new("smartphone-gpu", Architecture::Gpu, 70.0, 1.5, 16, 1, Nanos::from_micros(700))
-                .with_jitter(0.10)
-                .with_thermal(mobile_thermal),
+            spec: DeviceSpec::new(
+                "smartphone-gpu",
+                Architecture::Gpu,
+                70.0,
+                1.5,
+                16,
+                1,
+                Nanos::from_micros(700),
+            )
+            .with_jitter(0.10)
+            .with_thermal(mobile_thermal),
             vendor: "Arbor Designs",
             framework: "Arm NN",
             segment: MarketSegment::Mobile,
         },
         FleetSystem {
-            spec: DeviceSpec::new("nuc-cpu", Architecture::Cpu, 130.0, 0.2, 8, 1, Nanos::from_micros(250))
-                .with_jitter(0.06),
+            spec: DeviceSpec::new(
+                "nuc-cpu",
+                Architecture::Cpu,
+                130.0,
+                0.2,
+                8,
+                1,
+                Nanos::from_micros(250),
+            )
+            .with_jitter(0.06),
             vendor: "Gable Systems",
             framework: "ONNX",
             segment: MarketSegment::Edge,
         },
         FleetSystem {
-            spec: DeviceSpec::new("laptop-cpu", Architecture::Cpu, 210.0, 0.2, 16, 1, Nanos::from_micros(200))
-                .with_jitter(0.07),
+            spec: DeviceSpec::new(
+                "laptop-cpu",
+                Architecture::Cpu,
+                210.0,
+                0.2,
+                16,
+                1,
+                Nanos::from_micros(200),
+            )
+            .with_jitter(0.07),
             vendor: "Gable Systems",
             framework: "PyTorch",
             segment: MarketSegment::Edge,
         },
         FleetSystem {
-            spec: DeviceSpec::new("edge-asic", Architecture::Asic, 550.0, 0.4, 16, 1, Nanos::from_micros(100))
-                .with_jitter(0.05),
+            spec: DeviceSpec::new(
+                "edge-asic",
+                Architecture::Asic,
+                550.0,
+                0.4,
+                16,
+                1,
+                Nanos::from_micros(100),
+            )
+            .with_jitter(0.05),
             vendor: "Halcyon AI",
             framework: "Hailo SDK",
             segment: MarketSegment::Edge,
         },
         FleetSystem {
-            spec: DeviceSpec::new("desktop-cpu", Architecture::Cpu, 420.0, 0.25, 32, 1, Nanos::from_micros(150))
-                .with_jitter(0.06),
+            spec: DeviceSpec::new(
+                "desktop-cpu",
+                Architecture::Cpu,
+                420.0,
+                0.25,
+                32,
+                1,
+                Nanos::from_micros(150),
+            )
+            .with_jitter(0.06),
             vendor: "Vantage Compute",
             framework: "OpenVINO",
             segment: MarketSegment::Edge,
         },
         FleetSystem {
-            spec: DeviceSpec::new("edge-gpu", Architecture::Gpu, 1_000.0, 4.0, 32, 1, Nanos::from_micros(250))
-                .with_jitter(0.08),
+            spec: DeviceSpec::new(
+                "edge-gpu",
+                Architecture::Gpu,
+                1_000.0,
+                4.0,
+                32,
+                1,
+                Nanos::from_micros(250),
+            )
+            .with_jitter(0.08),
             vendor: "Nimbus Graphics",
             framework: "TensorRT",
             segment: MarketSegment::Edge,
         },
         FleetSystem {
-            spec: DeviceSpec::new("fpga-card", Architecture::Fpga, 1_900.0, 2.0, 16, 1, Nanos::from_micros(120))
-                .with_jitter(0.04),
+            spec: DeviceSpec::new(
+                "fpga-card",
+                Architecture::Fpga,
+                1_900.0,
+                2.0,
+                16,
+                1,
+                Nanos::from_micros(120),
+            )
+            .with_jitter(0.04),
             vendor: "Firth Logic",
             framework: "FuriosaAI",
             segment: MarketSegment::Datacenter,
         },
         FleetSystem {
-            spec: DeviceSpec::new("server-cpu", Architecture::Cpu, 1_400.0, 0.3, 32, 2, Nanos::from_micros(100))
-                .with_jitter(0.06),
+            spec: DeviceSpec::new(
+                "server-cpu",
+                Architecture::Cpu,
+                1_400.0,
+                0.3,
+                32,
+                2,
+                Nanos::from_micros(100),
+            )
+            .with_jitter(0.06),
             vendor: "Vantage Compute",
             framework: "TensorFlow",
             segment: MarketSegment::Datacenter,
         },
         FleetSystem {
-            spec: DeviceSpec::new("workstation-gpu", Architecture::Gpu, 4_200.0, 6.0, 64, 1, Nanos::from_micros(180))
-                .with_jitter(0.08),
+            spec: DeviceSpec::new(
+                "workstation-gpu",
+                Architecture::Gpu,
+                4_200.0,
+                6.0,
+                64,
+                1,
+                Nanos::from_micros(180),
+            )
+            .with_jitter(0.08),
             vendor: "Nimbus Graphics",
             framework: "TensorFlow",
             segment: MarketSegment::Datacenter,
         },
         FleetSystem {
-            spec: DeviceSpec::new("habana-style-asic", Architecture::Asic, 8_500.0, 2.0, 64, 1, Nanos::from_micros(60))
-                .with_jitter(0.05),
+            spec: DeviceSpec::new(
+                "habana-style-asic",
+                Architecture::Asic,
+                8_500.0,
+                2.0,
+                64,
+                1,
+                Nanos::from_micros(60),
+            )
+            .with_jitter(0.05),
             vendor: "Sable Labs",
             framework: "Synapse",
             segment: MarketSegment::Datacenter,
         },
         FleetSystem {
-            spec: DeviceSpec::new("datacenter-gpu", Architecture::Gpu, 14_000.0, 8.0, 128, 1, Nanos::from_micros(150))
-                .with_jitter(0.07),
+            spec: DeviceSpec::new(
+                "datacenter-gpu",
+                Architecture::Gpu,
+                14_000.0,
+                8.0,
+                128,
+                1,
+                Nanos::from_micros(150),
+            )
+            .with_jitter(0.07),
             vendor: "Nimbus Graphics",
             framework: "TensorRT",
             segment: MarketSegment::Datacenter,
         },
         FleetSystem {
-            spec: DeviceSpec::new("multi-gpu-server", Architecture::Gpu, 14_000.0, 8.0, 128, 8, Nanos::from_micros(200))
-                .with_jitter(0.07),
+            spec: DeviceSpec::new(
+                "multi-gpu-server",
+                Architecture::Gpu,
+                14_000.0,
+                8.0,
+                128,
+                8,
+                Nanos::from_micros(200),
+            )
+            .with_jitter(0.07),
             vendor: "Nimbus Graphics",
             framework: "TensorRT",
             segment: MarketSegment::Datacenter,
         },
         FleetSystem {
-            spec: DeviceSpec::new("cloud-asic-pod", Architecture::Asic, 26_000.0, 3.0, 64, 4, Nanos::from_micros(80))
-                .with_jitter(0.05),
+            spec: DeviceSpec::new(
+                "cloud-asic-pod",
+                Architecture::Asic,
+                26_000.0,
+                3.0,
+                64,
+                4,
+                Nanos::from_micros(80),
+            )
+            .with_jitter(0.05),
             vendor: "Pagoda Cloud",
             framework: "TensorFlow",
             segment: MarketSegment::Datacenter,
@@ -346,7 +482,10 @@ mod tests {
         let mut variety: std::collections::HashMap<&str, std::collections::HashSet<Architecture>> =
             std::collections::HashMap::new();
         for s in &systems {
-            variety.entry(s.framework).or_default().insert(s.spec.architecture);
+            variety
+                .entry(s.framework)
+                .or_default()
+                .insert(s.spec.architecture);
         }
         let tf = variety["TensorFlow"].len();
         assert!(variety.values().all(|v| v.len() <= tf));

@@ -119,12 +119,7 @@ mod tests {
     #[test]
     fn detector_payloads_are_boxes() {
         let proxy = Arc::new(DetectorProxy::new(TaskId::ObjectDetectionLight, 20, 12));
-        let mut sut = detector_sut(
-            spec(),
-            proxy,
-            Precision::Quantized,
-            BatchPolicy::Immediate,
-        );
+        let mut sut = detector_sut(spec(), proxy, Precision::Quantized, BatchPolicy::Immediate);
         let settings = TestSettings::offline().with_mode(TestMode::AccuracyOnly);
         let mut qsl = MemoryQsl::new("coco-syn", 20, 20);
         let out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();

@@ -1,4 +1,8 @@
-//! Property-based tests for the simulated devices and engines.
+//! Property-style tests for the simulated devices and engines.
+//!
+//! Seeded `Rng64` case loops replace the former property-testing
+//! framework; every assertion message carries enough parameters to
+//! replay the failing case.
 
 use mlperf_loadgen::query::{Query, QuerySample};
 use mlperf_loadgen::sut::SimSut;
@@ -7,8 +11,9 @@ use mlperf_models::{TaskId, Workload};
 use mlperf_stats::Rng64;
 use mlperf_sut::device::{Architecture, DeviceSpec};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
-use proptest::prelude::*;
 use std::collections::HashSet;
+
+const CASES: u64 = 32;
 
 fn spec(peak: f64, work_half: f64, units: usize) -> DeviceSpec {
     DeviceSpec::new(
@@ -22,50 +27,66 @@ fn spec(peak: f64, work_half: f64, units: usize) -> DeviceSpec {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn utilization_is_monotone_and_bounded(
-        work_half in 0.0f64..100.0,
-        w1 in 0.01f64..1_000.0,
-        delta in 0.01f64..1_000.0,
-    ) {
+#[test]
+fn utilization_is_monotone_and_bounded() {
+    let mut rng = Rng64::new(0x5355_0001);
+    for case in 0..CASES {
+        let work_half = rng.next_f64() * 100.0;
+        let w1 = 0.01 + rng.next_f64() * 999.99;
+        let delta = 0.01 + rng.next_f64() * 999.99;
         let d = spec(1_000.0, work_half, 1);
         let (u1, u2) = (d.utilization(w1), d.utilization(w1 + delta));
-        prop_assert!(u1 > 0.0 && u1 <= 1.0);
-        prop_assert!(u2 >= u1);
+        let ctx = format!("case {case}: work_half={work_half} w1={w1} delta={delta}");
+        assert!(u1 > 0.0 && u1 <= 1.0, "{ctx}: u1={u1}");
+        assert!(u2 >= u1, "{ctx}: u2={u2} < u1={u1}");
     }
+}
 
-    #[test]
-    fn service_time_monotone_in_work(
-        peak in 10.0f64..50_000.0,
-        work_half in 0.0f64..50.0,
-        w in 0.1f64..500.0,
-        delta in 0.1f64..500.0,
-    ) {
+#[test]
+fn service_time_monotone_in_work() {
+    let mut rng = Rng64::new(0x5355_0002);
+    for case in 0..CASES {
+        let peak = 10.0 + rng.next_f64() * 49_990.0;
+        let work_half = rng.next_f64() * 50.0;
+        let w = 0.1 + rng.next_f64() * 499.9;
+        let delta = 0.1 + rng.next_f64() * 499.9;
         let d = spec(peak, work_half, 1);
-        let mut rng = Rng64::new(1);
-        let t1 = d.service_time(w, 1, Nanos::ZERO, &mut rng);
-        let t2 = d.service_time(w + delta, 1, Nanos::ZERO, &mut rng);
-        prop_assert!(t2 >= t1, "{} !>= {}", t2, t1);
+        let mut srng = Rng64::new(1);
+        let t1 = d.service_time(w, 1, Nanos::ZERO, &mut srng);
+        let t2 = d.service_time(w + delta, 1, Nanos::ZERO, &mut srng);
+        assert!(
+            t2 >= t1,
+            "case {case}: peak={peak} w={w} delta={delta}: {t2} !>= {t1}"
+        );
     }
+}
 
-    #[test]
-    fn tuned_for_clamps_and_scales(ops in 0.0001f64..100_000.0) {
+#[test]
+fn tuned_for_clamps_and_scales() {
+    let mut rng = Rng64::new(0x5355_0003);
+    for case in 0..CASES {
+        let ops = 0.0001 + rng.next_f64() * 99_999.999_9;
         let d = spec(1_000.0, 10.0, 1);
         let tuned = d.tuned_for(ops);
         let factor = tuned.work_half_gops / d.work_half_gops;
-        prop_assert!((0.2..=8.0).contains(&factor), "factor {}", factor);
+        assert!(
+            (0.2..=8.0).contains(&factor),
+            "case {case}: ops={ops} factor {factor}"
+        );
     }
+}
 
-    #[test]
-    fn engine_completes_every_sample_exactly_once(
-        seed in any::<u64>(),
-        queries in 1usize..40,
-        samples_per_query in 1usize..6,
-        use_batcher in any::<bool>(),
-    ) {
+#[test]
+fn engine_completes_every_sample_exactly_once() {
+    let mut seeder = Rng64::new(0x5355_0004);
+    for case in 0..CASES {
+        let seed = seeder.next_u64();
+        let queries = 1 + seeder.next_index(39);
+        let samples_per_query = 1 + seeder.next_index(5);
+        let use_batcher = seeder.next_bool(0.5);
+        let ctx = format!(
+            "case {case}: seed={seed} queries={queries} spq={samples_per_query} batcher={use_batcher}"
+        );
         let policy = if use_batcher {
             BatchPolicy::DynamicBatch {
                 timeout: Nanos::from_millis(1),
@@ -94,7 +115,10 @@ proptest! {
                 id: q as u64,
                 samples: (0..samples_per_query)
                     .map(|_| {
-                        let s = QuerySample { id: sid, index: rng.next_index(64) };
+                        let s = QuerySample {
+                            id: sid,
+                            index: rng.next_index(64),
+                        };
                         sid += 1;
                         s
                     })
@@ -105,9 +129,13 @@ proptest! {
             expected.extend(query.samples.iter().map(|s| s.id));
             let reaction = sut.on_query(now, &query);
             for c in &reaction.completions {
-                prop_assert!(c.finished_at >= now);
+                assert!(c.finished_at >= now, "{ctx}");
                 for s in &c.samples {
-                    prop_assert!(seen.insert(s.sample_id), "sample {} completed twice", s.sample_id);
+                    assert!(
+                        seen.insert(s.sample_id),
+                        "{ctx}: sample {} twice",
+                        s.sample_id
+                    );
                 }
             }
             if let Some(w) = reaction.wakeup_at {
@@ -118,23 +146,31 @@ proptest! {
         let mut guard = 0;
         while let Some(std::cmp::Reverse(at)) = wakeups.pop() {
             guard += 1;
-            prop_assert!(guard < 10_000, "wakeup loop did not converge");
+            assert!(guard < 10_000, "{ctx}: wakeup loop did not converge");
             now = now.max(at);
             let reaction = sut.on_wakeup(now);
             for c in &reaction.completions {
                 for s in &c.samples {
-                    prop_assert!(seen.insert(s.sample_id), "sample {} completed twice", s.sample_id);
+                    assert!(
+                        seen.insert(s.sample_id),
+                        "{ctx}: sample {} twice",
+                        s.sample_id
+                    );
                 }
             }
             if let Some(w) = reaction.wakeup_at {
                 wakeups.push(std::cmp::Reverse(w));
             }
         }
-        prop_assert_eq!(seen, expected);
+        assert_eq!(seen, expected, "{ctx}");
     }
+}
 
-    #[test]
-    fn engine_is_deterministic_given_seed(seed in any::<u64>()) {
+#[test]
+fn engine_is_deterministic_given_seed() {
+    let mut seeder = Rng64::new(0x5355_0005);
+    for case in 0..CASES {
+        let seed = seeder.next_u64();
         let run = || {
             let mut sut = DeviceSut::new(
                 spec(500.0, 1.0, 1),
@@ -146,22 +182,29 @@ proptest! {
                 .map(|q| {
                     let query = Query {
                         id: q,
-                        samples: vec![QuerySample { id: q, index: q as usize }],
+                        samples: vec![QuerySample {
+                            id: q,
+                            index: q as usize,
+                        }],
                         scheduled_at: Nanos::from_micros(q * 100),
                         tenant: 0,
                     };
-                    sut.on_query(Nanos::from_micros(q * 100), &query).completions[0].finished_at
+                    sut.on_query(Nanos::from_micros(q * 100), &query)
+                        .completions[0]
+                        .finished_at
                 })
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}: seed={seed}");
     }
+}
 
-    #[test]
-    fn variable_workload_padding_never_cheaper_than_sum(
-        seed in any::<u64>(),
-        n in 2usize..32,
-    ) {
+#[test]
+fn variable_workload_padding_never_cheaper_than_sum() {
+    let mut seeder = Rng64::new(0x5355_0006);
+    for case in 0..CASES {
+        let seed = seeder.next_u64();
+        let n = 2 + seeder.next_index(30);
         // A padded batch of GNMT samples must cost at least the longest
         // sample times the batch size; completing n samples unsorted takes
         // at least as long as sorted.
@@ -186,6 +229,9 @@ proptest! {
             .on_query(Nanos::ZERO, &query)
             .completions[0]
             .finished_at;
-        prop_assert!(sorted <= unsorted, "sorted {} > unsorted {}", sorted, unsorted);
+        assert!(
+            sorted <= unsorted,
+            "case {case}: seed={seed} n={n}: sorted {sorted} > unsorted {unsorted}"
+        );
     }
 }

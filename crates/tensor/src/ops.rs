@@ -20,7 +20,10 @@ pub struct Conv2dParams {
 
 impl Conv2dParams {
     /// Stride-1, same-padding-for-3x3 convenience.
-    pub const UNIT: Conv2dParams = Conv2dParams { stride: 1, padding: 1 };
+    pub const UNIT: Conv2dParams = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
 
     /// Creates parameters.
     ///
@@ -251,7 +254,10 @@ pub fn softmax(input: &Tensor) -> Result<Tensor, TensorError> {
             right: Shape::d1(input.len()),
         });
     }
-    let max = input.data().iter().fold(f32::NEG_INFINITY, |m, x| m.max(*x));
+    let max = input
+        .data()
+        .iter()
+        .fold(f32::NEG_INFINITY, |m, x| m.max(*x));
     let exps: Vec<f32> = input.data().iter().map(|x| (x - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(
@@ -428,11 +434,8 @@ mod tests {
 
     #[test]
     fn maxpool_halves_extent() {
-        let input = Tensor::from_vec(
-            Shape::d3(1, 2, 4),
-            vec![1., 5., 2., 0., 3., 4., 9., 1.],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::d3(1, 2, 4), vec![1., 5., 2., 0., 3., 4., 9., 1.]).unwrap();
         let out = maxpool2d(&input, 2).unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 2]);
         assert_eq!(out.data(), &[5., 9.]);

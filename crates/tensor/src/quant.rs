@@ -95,7 +95,11 @@ impl QTensor {
     pub fn quantize_with(tensor: &Tensor, params: QuantParams) -> Self {
         Self {
             shape: tensor.shape().clone(),
-            data: tensor.data().iter().map(|x| params.quantize_value(*x)).collect(),
+            data: tensor
+                .data()
+                .iter()
+                .map(|x| params.quantize_value(*x))
+                .collect(),
             params,
         }
     }
@@ -212,7 +216,11 @@ pub fn per_channel_i16_roundtrip(tensor: &Tensor) -> Tensor {
     for c in 0..channels {
         let slice = &data[c * per..(c + 1) * per];
         let abs_max = slice.iter().fold(0.0f32, |m, x| m.max(x.abs()));
-        let scale = if abs_max > 0.0 { abs_max / 32_767.0 } else { 1.0 };
+        let scale = if abs_max > 0.0 {
+            abs_max / 32_767.0
+        } else {
+            1.0
+        };
         out.extend(
             slice
                 .iter()
@@ -445,11 +453,7 @@ mod tests {
 
     #[test]
     fn quantize_roundtrip_error_bounded_by_half_scale() {
-        let t = Tensor::from_vec(
-            Shape::d1(6),
-            vec![-3.0, -1.5, 0.0, 0.7, 2.2, 3.0],
-        )
-        .unwrap();
+        let t = Tensor::from_vec(Shape::d1(6), vec![-3.0, -1.5, 0.0, 0.7, 2.2, 3.0]).unwrap();
         let q = QTensor::quantize(&t);
         let back = q.dequantize();
         let half = q.params().scale() / 2.0 + 1e-6;
@@ -556,7 +560,9 @@ mod tests {
 
     #[test]
     fn per_channel_roundtrip_bounded_per_row() {
-        let w = Tensor::fill_with(Shape::d2(3, 4), |i| (i[0] as f32 + 1.0) * (i[1] as f32 - 1.5));
+        let w = Tensor::fill_with(Shape::d2(3, 4), |i| {
+            (i[0] as f32 + 1.0) * (i[1] as f32 - 1.5)
+        });
         let q = ChannelQTensor::quantize_dim0(&w);
         assert_eq!(q.scales().len(), 3);
         let back = q.dequantize();
@@ -575,9 +581,12 @@ mod tests {
         let w = Tensor::from_vec(Shape::d2(2, 3), vec![10.0, 5.0, -5.0, 0.2, -0.1, 0.025]).unwrap();
         let b = Tensor::from_vec(Shape::d1(2), vec![0.1, -0.2]).unwrap();
         let exact = dense(&x, &w, &b).unwrap();
-        let approx =
-            qdense_per_channel(&QTensor::quantize(&x), &ChannelQTensor::quantize_dim0(&w), &b)
-                .unwrap();
+        let approx = qdense_per_channel(
+            &QTensor::quantize(&x),
+            &ChannelQTensor::quantize_dim0(&w),
+            &b,
+        )
+        .unwrap();
         // Input quantization dominates: error bound ~ in_scale * sum|w|.
         for (e, a) in exact.data().iter().zip(approx.data()) {
             assert!((e - a).abs() < 0.25, "{e} vs {a}");

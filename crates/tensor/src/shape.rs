@@ -26,8 +26,13 @@ impl Shape {
     /// Panics if `dims` is empty or any dimension is zero.
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        assert!(dims.iter().all(|d| *d > 0), "dimensions must be positive: {dims:?}");
-        Self { dims: dims.to_vec() }
+        assert!(
+            dims.iter().all(|d| *d > 0),
+            "dimensions must be positive: {dims:?}"
+        );
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// A rank-1 shape.

@@ -236,7 +236,10 @@ impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape length {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape length {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left} vs {right}")
@@ -269,7 +272,10 @@ mod tests {
         assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 3]),
-            Err(TensorError::LengthMismatch { expected: 4, actual: 3 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 

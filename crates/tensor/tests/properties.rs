@@ -1,21 +1,31 @@
-//! Property-based tests for tensor kernels.
+//! Property-style tests for tensor kernels.
+//!
+//! Seeded `Rng64` case loops replace the former property-testing
+//! framework; failure messages carry the case number for replay.
 
+use mlperf_stats::Rng64;
 use mlperf_tensor::ops::{conv2d, dense, matmul, relu, softmax, Conv2dParams};
 use mlperf_tensor::{QTensor, Shape, Tensor};
-use proptest::prelude::*;
 
-fn small_f32() -> impl Strategy<Value = f32> {
-    (-100i32..100).prop_map(|x| x as f32 / 10.0)
+const CASES: u64 = 32;
+
+/// Small grid-aligned f32 values in [-10, 10), step 0.1.
+fn small_f32(rng: &mut Rng64) -> f32 {
+    (rng.next_below(200) as i64 - 100) as f32 / 10.0
 }
 
-proptest! {
-    #[test]
-    fn conv2d_is_linear_in_input(
-        a in prop::collection::vec(small_f32(), 16),
-        b in prop::collection::vec(small_f32(), 16),
-        w in prop::collection::vec(small_f32(), 9),
-    ) {
+fn small_vec(rng: &mut Rng64, len: usize) -> Vec<f32> {
+    (0..len).map(|_| small_f32(rng)).collect()
+}
+
+#[test]
+fn conv2d_is_linear_in_input() {
+    let mut rng = Rng64::new(0x544e_0001);
+    for case in 0..CASES {
         // conv(a + b) == conv(a) + conv(b) with zero bias.
+        let a = small_vec(&mut rng, 16);
+        let b = small_vec(&mut rng, 16);
+        let w = small_vec(&mut rng, 9);
         let ta = Tensor::from_vec(Shape::d3(1, 4, 4), a).unwrap();
         let tb = Tensor::from_vec(Shape::d3(1, 4, 4), b).unwrap();
         let tw = Tensor::from_vec(Shape::d4(1, 1, 3, 3), w).unwrap();
@@ -25,16 +35,18 @@ proptest! {
         let rb = conv2d(&tb, &tw, &bias, Conv2dParams::UNIT).unwrap();
         let rhs = ra.add(&rb).unwrap();
         for (l, r) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((l - r).abs() < 1e-3, "{} vs {}", l, r);
+            assert!((l - r).abs() < 1e-3, "case {case}: {l} vs {r}");
         }
     }
+}
 
-    #[test]
-    fn matmul_matches_dense_per_row(
-        a in prop::collection::vec(small_f32(), 6),
-        b in prop::collection::vec(small_f32(), 6),
-    ) {
+#[test]
+fn matmul_matches_dense_per_row() {
+    let mut rng = Rng64::new(0x544e_0002);
+    for case in 0..CASES {
         // [2x3] * [3x2]: each output row equals dense() of that row against b^T.
+        let a = small_vec(&mut rng, 6);
+        let b = small_vec(&mut rng, 6);
         let ta = Tensor::from_vec(Shape::d2(2, 3), a.clone()).unwrap();
         let tb = Tensor::from_vec(Shape::d2(3, 2), b.clone()).unwrap();
         let mm = matmul(&ta, &tb).unwrap();
@@ -51,67 +63,114 @@ proptest! {
             let x = Tensor::from_vec(Shape::d1(3), a[row * 3..(row + 1) * 3].to_vec()).unwrap();
             let d = dense(&x, &weight, &bias).unwrap();
             for j in 0..2 {
-                prop_assert!((d.data()[j] - mm.at(&[row, j])).abs() < 1e-3);
+                assert!(
+                    (d.data()[j] - mm.at(&[row, j])).abs() < 1e-3,
+                    "case {case}: row={row} j={j}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn relu_is_idempotent_and_nonnegative(data in prop::collection::vec(small_f32(), 1..64)) {
-        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+#[test]
+fn relu_is_idempotent_and_nonnegative() {
+    let mut rng = Rng64::new(0x544e_0003);
+    for case in 0..CASES {
+        let len = 1 + rng.next_index(63);
+        let data = small_vec(&mut rng, len);
+        let t = Tensor::from_vec(Shape::d1(len), data).unwrap();
         let once = relu(&t);
-        prop_assert!(once.data().iter().all(|x| *x >= 0.0));
+        assert!(once.data().iter().all(|x| *x >= 0.0), "case {case}");
         let twice = relu(&once);
-        prop_assert_eq!(twice.data(), once.data());
+        assert_eq!(twice.data(), once.data(), "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_is_distribution(data in prop::collection::vec(small_f32(), 1..32)) {
-        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+#[test]
+fn softmax_is_distribution() {
+    let mut rng = Rng64::new(0x544e_0004);
+    for case in 0..CASES {
+        let len = 1 + rng.next_index(31);
+        let data = small_vec(&mut rng, len);
+        let t = Tensor::from_vec(Shape::d1(len), data).unwrap();
         let s = softmax(&t).unwrap();
         let sum: f32 = s.data().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(s.data().iter().all(|p| *p >= 0.0 && *p <= 1.0));
+        assert!((sum - 1.0).abs() < 1e-4, "case {case}: sum={sum}");
+        assert!(
+            s.data().iter().all(|p| *p >= 0.0 && *p <= 1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn softmax_preserves_argmax(data in prop::collection::vec(-50i32..50, 2..32)) {
+#[test]
+fn softmax_preserves_argmax() {
+    let mut rng = Rng64::new(0x544e_0005);
+    let mut accepted = 0;
+    while accepted < CASES {
+        let len = 2 + rng.next_index(30);
+        let data: Vec<i32> = (0..len).map(|_| rng.next_below(100) as i32 - 50).collect();
         // Distinct integer logits: argmax survives softmax exactly.
         let mut seen = std::collections::HashSet::new();
-        prop_assume!(data.iter().all(|x| seen.insert(*x)));
-        let t = Tensor::from_vec(Shape::d1(data.len()), data.iter().map(|x| *x as f32).collect()).unwrap();
-        prop_assert_eq!(softmax(&t).unwrap().argmax(), t.argmax());
+        if !data.iter().all(|x| seen.insert(*x)) {
+            continue;
+        }
+        accepted += 1;
+        let t = Tensor::from_vec(Shape::d1(len), data.iter().map(|x| *x as f32).collect()).unwrap();
+        assert_eq!(softmax(&t).unwrap().argmax(), t.argmax(), "data={data:?}");
     }
+}
 
-    #[test]
-    fn quantize_dequantize_error_bound(data in prop::collection::vec(small_f32(), 1..128)) {
-        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+#[test]
+fn quantize_dequantize_error_bound() {
+    let mut rng = Rng64::new(0x544e_0006);
+    for case in 0..CASES {
+        let len = 1 + rng.next_index(127);
+        let data = small_vec(&mut rng, len);
+        let t = Tensor::from_vec(Shape::d1(len), data).unwrap();
         let q = QTensor::quantize(&t);
         let back = q.dequantize();
         let bound = q.params().scale() / 2.0 + 1e-6;
         for (a, b) in t.data().iter().zip(back.data()) {
-            prop_assert!((a - b).abs() <= bound, "{} vs {} bound {}", a, b, bound);
+            assert!(
+                (a - b).abs() <= bound,
+                "case {case}: {a} vs {b} bound {bound}"
+            );
         }
     }
+}
 
-    #[test]
-    fn quantize_is_idempotent_on_grid(data in prop::collection::vec(small_f32(), 1..64)) {
+#[test]
+fn quantize_is_idempotent_on_grid() {
+    let mut rng = Rng64::new(0x544e_0007);
+    for case in 0..CASES {
         // Quantizing an already-dequantized tensor with the same params is lossless.
-        let t = Tensor::from_vec(Shape::d1(data.len()), data).unwrap();
+        let len = 1 + rng.next_index(63);
+        let data = small_vec(&mut rng, len);
+        let t = Tensor::from_vec(Shape::d1(len), data).unwrap();
         let q = QTensor::quantize(&t);
         let back = q.dequantize();
         let q2 = QTensor::quantize_with(&back, q.params());
-        prop_assert_eq!(q.data(), q2.data());
+        assert_eq!(q.data(), q2.data(), "case {case}");
     }
+}
 
-    #[test]
-    fn fill_with_matches_at(dims in prop::collection::vec(1usize..5, 1..4)) {
+#[test]
+fn fill_with_matches_at() {
+    let mut rng = Rng64::new(0x544e_0008);
+    for case in 0..CASES {
+        let rank = 1 + rng.next_index(3);
+        let dims: Vec<usize> = (0..rank).map(|_| 1 + rng.next_index(4)).collect();
         let shape = Shape::new(&dims);
         let t = Tensor::fill_with(shape.clone(), |i| i.iter().sum::<usize>() as f32);
         // Spot-check the first and last index.
         let zero = vec![0usize; dims.len()];
-        prop_assert_eq!(t.at(&zero), 0.0);
+        assert_eq!(t.at(&zero), 0.0, "case {case}: dims={dims:?}");
         let last: Vec<usize> = dims.iter().map(|d| d - 1).collect();
-        prop_assert_eq!(t.at(&last), last.iter().sum::<usize>() as f32);
+        assert_eq!(
+            t.at(&last),
+            last.iter().sum::<usize>() as f32,
+            "case {case}: dims={dims:?}"
+        );
     }
 }

@@ -1,0 +1,362 @@
+//! Chrome `trace_event`-format export.
+//!
+//! Produces the JSON array form loadable by `chrome://tracing` and
+//! Perfetto: each entry is `{name, ph, ts, pid, tid, ...}` with
+//! microsecond timestamps. Query lifecycles become complete (`ph:"X"`)
+//! spans on pid 1 — one row (tid) per concurrent "lane", assigned
+//! greedily so overlapping queries render side by side. Device batches
+//! become spans on pid 2 with tid = device unit. Everything else becomes
+//! instant (`ph:"i"`) events.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::json::{JsonValue, ToJson};
+
+/// pid used for query-lifecycle spans.
+const QUERY_PID: i64 = 1;
+/// pid used for device-lane spans.
+const DEVICE_PID: i64 = 2;
+
+fn micros(ts_ns: u64) -> JsonValue {
+    JsonValue::Float(ts_ns as f64 / 1000.0)
+}
+
+fn span(name: String, start_ns: u64, dur_ns: u64, pid: i64, tid: i64) -> JsonValue {
+    JsonValue::object(vec![
+        ("name", JsonValue::Str(name)),
+        ("ph", JsonValue::Str("X".into())),
+        ("ts", micros(start_ns)),
+        ("dur", micros(dur_ns)),
+        ("pid", JsonValue::Int(i128::from(pid))),
+        ("tid", JsonValue::Int(i128::from(tid))),
+    ])
+}
+
+fn instant(name: String, ts_ns: u64, pid: i64, tid: i64, args: JsonValue) -> JsonValue {
+    JsonValue::object(vec![
+        ("name", JsonValue::Str(name)),
+        ("ph", JsonValue::Str("i".into())),
+        ("s", JsonValue::Str("t".into())),
+        ("ts", micros(ts_ns)),
+        ("pid", JsonValue::Int(i128::from(pid))),
+        ("tid", JsonValue::Int(i128::from(tid))),
+        ("args", args),
+    ])
+}
+
+/// Converts trace records into a Chrome trace_event JSON document.
+///
+/// Query spans run from the `QueryIssued` timestamp to the matching
+/// `QueryCompleted`; queries that never complete are rendered as instant
+/// events so they remain visible.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut entries: Vec<JsonValue> = Vec::new();
+
+    // First pass: pair up issue/complete per query id.
+    struct Span {
+        query_id: u64,
+        start_ns: u64,
+        end_ns: u64,
+        sample_count: usize,
+    }
+    let mut open: Vec<(u64, u64, usize)> = Vec::new(); // (query_id, issued_ts, samples)
+    let mut spans: Vec<Span> = Vec::new();
+
+    for record in records {
+        match &record.event {
+            TraceEvent::QueryIssued {
+                query_id,
+                sample_count,
+                ..
+            } => {
+                open.push((*query_id, record.ts_ns, *sample_count));
+            }
+            TraceEvent::QueryCompleted { query_id, .. } => {
+                if let Some(pos) = open.iter().position(|(id, _, _)| id == query_id) {
+                    let (id, start_ns, sample_count) = open.swap_remove(pos);
+                    spans.push(Span {
+                        query_id: id,
+                        start_ns,
+                        end_ns: record.ts_ns.max(start_ns),
+                        sample_count,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Greedy lane assignment: a query takes the lowest-numbered lane that
+    // is free at its start time, so overlapping queries land on distinct
+    // rows of the timeline.
+    spans.sort_by_key(|s| (s.start_ns, s.query_id));
+    let mut lane_free_at: Vec<u64> = Vec::new();
+    for s in &spans {
+        let lane = lane_free_at
+            .iter()
+            .position(|&free| free <= s.start_ns)
+            .unwrap_or_else(|| {
+                lane_free_at.push(0);
+                lane_free_at.len() - 1
+            });
+        lane_free_at[lane] = s.end_ns.max(s.start_ns + 1);
+        entries.push(span(
+            format!("query {} ({} samples)", s.query_id, s.sample_count),
+            s.start_ns,
+            s.end_ns - s.start_ns,
+            QUERY_PID,
+            lane as i64,
+        ));
+    }
+
+    // Queries issued but never completed show up as instants.
+    for (query_id, ts_ns, _) in &open {
+        entries.push(instant(
+            format!("query {query_id} (incomplete)"),
+            *ts_ns,
+            QUERY_PID,
+            0,
+            JsonValue::object(vec![("query_id", query_id.to_json_value())]),
+        ));
+    }
+
+    // Second pass: device batches and instant-style events.
+    for record in records {
+        match &record.event {
+            TraceEvent::BatchFormed {
+                unit,
+                batch_size,
+                service_ns,
+            } => {
+                entries.push(span(
+                    format!("batch x{batch_size}"),
+                    record.ts_ns,
+                    *service_ns,
+                    DEVICE_PID,
+                    *unit as i64,
+                ));
+            }
+            TraceEvent::DvfsStateChange {
+                unit,
+                multiplier_milli,
+            } => {
+                entries.push(instant(
+                    format!("dvfs {:.3}x", f64::from(*multiplier_milli) / 1000.0),
+                    record.ts_ns,
+                    DEVICE_PID,
+                    *unit as i64,
+                    JsonValue::object(vec![("multiplier_milli", multiplier_milli.to_json_value())]),
+                ));
+            }
+            TraceEvent::OverloadDropped {
+                query_id,
+                intervals,
+            } => {
+                entries.push(instant(
+                    format!("dropped {intervals} intervals"),
+                    record.ts_ns,
+                    QUERY_PID,
+                    0,
+                    JsonValue::object(vec![
+                        ("query_id", query_id.to_json_value()),
+                        ("intervals", intervals.to_json_value()),
+                    ]),
+                ));
+            }
+            TraceEvent::ValidityCheckFailed { issue } => {
+                entries.push(instant(
+                    format!("INVALID: {issue}"),
+                    record.ts_ns,
+                    QUERY_PID,
+                    0,
+                    JsonValue::object(vec![("issue", JsonValue::Str(issue.clone()))]),
+                ));
+            }
+            TraceEvent::RunPhase { phase, scenario } => {
+                entries.push(instant(
+                    format!("phase: {phase}"),
+                    record.ts_ns,
+                    QUERY_PID,
+                    0,
+                    JsonValue::object(vec![
+                        ("phase", JsonValue::Str(phase.clone())),
+                        ("scenario", JsonValue::Str(scenario.clone())),
+                    ]),
+                ));
+            }
+            TraceEvent::PeakSearchStep { target, valid } => {
+                entries.push(instant(
+                    format!(
+                        "peak step {target:.2} ({})",
+                        if *valid { "valid" } else { "invalid" }
+                    ),
+                    record.ts_ns,
+                    QUERY_PID,
+                    0,
+                    JsonValue::object(vec![
+                        ("target", target.to_json_value()),
+                        ("valid", valid.to_json_value()),
+                    ]),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    JsonValue::Array(entries).to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { ts_ns, event }
+    }
+
+    #[test]
+    fn query_spans_are_complete_events() {
+        let records = vec![
+            rec(
+                100,
+                TraceEvent::QueryIssued {
+                    query_id: 1,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            ),
+            rec(
+                150,
+                TraceEvent::QueryIssued {
+                    query_id: 2,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            ),
+            rec(
+                400,
+                TraceEvent::QueryCompleted {
+                    query_id: 1,
+                    latency_ns: 300,
+                },
+            ),
+            rec(
+                500,
+                TraceEvent::QueryCompleted {
+                    query_id: 2,
+                    latency_ns: 350,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&records);
+        let doc = JsonValue::parse(&json).unwrap();
+        let entries = doc.as_array().unwrap();
+        let spans: Vec<_> = entries
+            .iter()
+            .filter(|e| e.field("ph").unwrap().as_str().unwrap() == "X")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        for entry in entries {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(entry.get(key).is_some(), "missing {key} in {json}");
+            }
+        }
+        // Overlapping queries get distinct lanes.
+        let tids: Vec<i64> = spans
+            .iter()
+            .map(|s| s.field("tid").unwrap().as_i64().unwrap())
+            .collect();
+        assert_ne!(tids[0], tids[1]);
+    }
+
+    #[test]
+    fn sequential_queries_share_a_lane() {
+        let records = vec![
+            rec(
+                0,
+                TraceEvent::QueryIssued {
+                    query_id: 1,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            ),
+            rec(
+                100,
+                TraceEvent::QueryCompleted {
+                    query_id: 1,
+                    latency_ns: 100,
+                },
+            ),
+            rec(
+                200,
+                TraceEvent::QueryIssued {
+                    query_id: 2,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            ),
+            rec(
+                300,
+                TraceEvent::QueryCompleted {
+                    query_id: 2,
+                    latency_ns: 100,
+                },
+            ),
+        ];
+        let doc = JsonValue::parse(&chrome_trace_json(&records)).unwrap();
+        let tids: Vec<i64> = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.field("tid").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(tids, vec![0, 0]);
+    }
+
+    #[test]
+    fn batches_and_instants_render() {
+        let records = vec![
+            rec(
+                10,
+                TraceEvent::BatchFormed {
+                    unit: 3,
+                    batch_size: 8,
+                    service_ns: 5000,
+                },
+            ),
+            rec(
+                20,
+                TraceEvent::DvfsStateChange {
+                    unit: 3,
+                    multiplier_milli: 900,
+                },
+            ),
+            rec(
+                30,
+                TraceEvent::ValidityCheckFailed {
+                    issue: "too few queries".into(),
+                },
+            ),
+        ];
+        let doc = JsonValue::parse(&chrome_trace_json(&records)).unwrap();
+        let entries = doc.as_array().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(entries[0].field("pid").unwrap().as_i64().unwrap(), 2);
+        assert_eq!(entries[0].field("tid").unwrap().as_i64().unwrap(), 3);
+        assert_eq!(entries[1].field("ph").unwrap().as_str().unwrap(), "i");
+    }
+
+    #[test]
+    fn incomplete_queries_still_visible() {
+        let records = vec![rec(
+            5,
+            TraceEvent::QueryIssued {
+                query_id: 42,
+                sample_count: 1,
+                delay_ns: 0,
+            },
+        )];
+        let json = chrome_trace_json(&records);
+        assert!(json.contains("incomplete"));
+    }
+}

@@ -1,0 +1,563 @@
+//! Typed trace events and the sinks that record them.
+//!
+//! Events carry **simulated-time** nanosecond timestamps (the `ts_ns`
+//! argument to [`TraceSink::record`]), not wall-clock time: a trace taken
+//! from a deterministic run is itself deterministic.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+
+/// One structured event in a LoadGen run.
+///
+/// The taxonomy mirrors the lifecycle stages the MLPerf LoadGen detail log
+/// exposes: scheduling, issue, device-side batching, completion, plus the
+/// exceptional paths (drops, validity failures) and run bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run phase boundary (e.g. "issue", "drain", "report").
+    RunPhase {
+        /// Phase label.
+        phase: String,
+        /// Scenario code (e.g. "server").
+        scenario: String,
+    },
+    /// The schedule for a query was generated.
+    QueryScheduled {
+        /// Query id.
+        query_id: u64,
+        /// Number of samples in the query.
+        sample_count: usize,
+    },
+    /// LoadGen issued a query to the SUT.
+    QueryIssued {
+        /// Query id.
+        query_id: u64,
+        /// Number of samples in the query.
+        sample_count: usize,
+        /// Nanoseconds the issue slipped past its scheduled time.
+        delay_ns: u64,
+    },
+    /// The query left LoadGen for the SUT transport (issue path end).
+    QuerySent {
+        /// Query id.
+        query_id: u64,
+    },
+    /// The SUT completed a query.
+    QueryCompleted {
+        /// Query id.
+        query_id: u64,
+        /// Issue-to-completion latency in nanoseconds.
+        latency_ns: u64,
+    },
+    /// A device engine formed a batch and dispatched it.
+    BatchFormed {
+        /// Device unit (lane) index the batch ran on.
+        unit: usize,
+        /// Number of samples in the batch.
+        batch_size: usize,
+        /// Simulated service time of the batch in nanoseconds.
+        service_ns: u64,
+    },
+    /// The device's effective clock multiplier changed (thermal/DVFS).
+    DvfsStateChange {
+        /// Device unit index.
+        unit: usize,
+        /// Clock multiplier scaled by 1000 (e.g. 1250 = 1.25x).
+        multiplier_milli: u32,
+    },
+    /// A MultiStream interval was skipped because the SUT fell behind.
+    OverloadDropped {
+        /// Query id whose tardiness caused the skip.
+        query_id: u64,
+        /// Number of intervals skipped.
+        intervals: u64,
+    },
+    /// A sample's response was recorded into the accuracy log.
+    AccuracyLogged {
+        /// Query id the sample belongs to.
+        query_id: u64,
+        /// Number of samples logged for the query.
+        samples: usize,
+    },
+    /// A validity rule failed during result finalization.
+    ValidityCheckFailed {
+        /// Human-readable description of the failed rule.
+        issue: String,
+    },
+    /// One step of a FindPeakPerformance search.
+    PeakSearchStep {
+        /// The load target tried (QPS or stream count).
+        target: f64,
+        /// Whether the run at that target was valid.
+        valid: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Short event-kind label, used for summaries and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunPhase { .. } => "run_phase",
+            TraceEvent::QueryScheduled { .. } => "query_scheduled",
+            TraceEvent::QueryIssued { .. } => "query_issued",
+            TraceEvent::QuerySent { .. } => "query_sent",
+            TraceEvent::QueryCompleted { .. } => "query_completed",
+            TraceEvent::BatchFormed { .. } => "batch_formed",
+            TraceEvent::DvfsStateChange { .. } => "dvfs_state_change",
+            TraceEvent::OverloadDropped { .. } => "overload_dropped",
+            TraceEvent::AccuracyLogged { .. } => "accuracy_logged",
+            TraceEvent::ValidityCheckFailed { .. } => "validity_check_failed",
+            TraceEvent::PeakSearchStep { .. } => "peak_search_step",
+        }
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json_value(&self) -> JsonValue {
+        let (name, payload) = match self {
+            TraceEvent::RunPhase { phase, scenario } => (
+                "RunPhase",
+                JsonValue::object(vec![
+                    ("phase", phase.to_json_value()),
+                    ("scenario", scenario.to_json_value()),
+                ]),
+            ),
+            TraceEvent::QueryScheduled {
+                query_id,
+                sample_count,
+            } => (
+                "QueryScheduled",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("sample_count", sample_count.to_json_value()),
+                ]),
+            ),
+            TraceEvent::QueryIssued {
+                query_id,
+                sample_count,
+                delay_ns,
+            } => (
+                "QueryIssued",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("sample_count", sample_count.to_json_value()),
+                    ("delay_ns", delay_ns.to_json_value()),
+                ]),
+            ),
+            TraceEvent::QuerySent { query_id } => (
+                "QuerySent",
+                JsonValue::object(vec![("query_id", query_id.to_json_value())]),
+            ),
+            TraceEvent::QueryCompleted {
+                query_id,
+                latency_ns,
+            } => (
+                "QueryCompleted",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("latency_ns", latency_ns.to_json_value()),
+                ]),
+            ),
+            TraceEvent::BatchFormed {
+                unit,
+                batch_size,
+                service_ns,
+            } => (
+                "BatchFormed",
+                JsonValue::object(vec![
+                    ("unit", unit.to_json_value()),
+                    ("batch_size", batch_size.to_json_value()),
+                    ("service_ns", service_ns.to_json_value()),
+                ]),
+            ),
+            TraceEvent::DvfsStateChange {
+                unit,
+                multiplier_milli,
+            } => (
+                "DvfsStateChange",
+                JsonValue::object(vec![
+                    ("unit", unit.to_json_value()),
+                    ("multiplier_milli", multiplier_milli.to_json_value()),
+                ]),
+            ),
+            TraceEvent::OverloadDropped {
+                query_id,
+                intervals,
+            } => (
+                "OverloadDropped",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("intervals", intervals.to_json_value()),
+                ]),
+            ),
+            TraceEvent::AccuracyLogged { query_id, samples } => (
+                "AccuracyLogged",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("samples", samples.to_json_value()),
+                ]),
+            ),
+            TraceEvent::ValidityCheckFailed { issue } => (
+                "ValidityCheckFailed",
+                JsonValue::object(vec![("issue", issue.to_json_value())]),
+            ),
+            TraceEvent::PeakSearchStep { target, valid } => (
+                "PeakSearchStep",
+                JsonValue::object(vec![
+                    ("target", target.to_json_value()),
+                    ("valid", valid.to_json_value()),
+                ]),
+            ),
+        };
+        JsonValue::object(vec![(name, payload)])
+    }
+}
+
+impl FromJson for TraceEvent {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let (name, p) = value.as_variant()?;
+        match name {
+            "RunPhase" => Ok(TraceEvent::RunPhase {
+                phase: p.field("phase")?.as_str()?.to_string(),
+                scenario: p.field("scenario")?.as_str()?.to_string(),
+            }),
+            "QueryScheduled" => Ok(TraceEvent::QueryScheduled {
+                query_id: p.field("query_id")?.as_u64()?,
+                sample_count: p.field("sample_count")?.as_usize()?,
+            }),
+            "QueryIssued" => Ok(TraceEvent::QueryIssued {
+                query_id: p.field("query_id")?.as_u64()?,
+                sample_count: p.field("sample_count")?.as_usize()?,
+                delay_ns: p.field("delay_ns")?.as_u64()?,
+            }),
+            "QuerySent" => Ok(TraceEvent::QuerySent {
+                query_id: p.field("query_id")?.as_u64()?,
+            }),
+            "QueryCompleted" => Ok(TraceEvent::QueryCompleted {
+                query_id: p.field("query_id")?.as_u64()?,
+                latency_ns: p.field("latency_ns")?.as_u64()?,
+            }),
+            "BatchFormed" => Ok(TraceEvent::BatchFormed {
+                unit: p.field("unit")?.as_usize()?,
+                batch_size: p.field("batch_size")?.as_usize()?,
+                service_ns: p.field("service_ns")?.as_u64()?,
+            }),
+            "DvfsStateChange" => Ok(TraceEvent::DvfsStateChange {
+                unit: p.field("unit")?.as_usize()?,
+                multiplier_milli: p.field("multiplier_milli")?.as_u32()?,
+            }),
+            "OverloadDropped" => Ok(TraceEvent::OverloadDropped {
+                query_id: p.field("query_id")?.as_u64()?,
+                intervals: p.field("intervals")?.as_u64()?,
+            }),
+            "AccuracyLogged" => Ok(TraceEvent::AccuracyLogged {
+                query_id: p.field("query_id")?.as_u64()?,
+                samples: p.field("samples")?.as_usize()?,
+            }),
+            "ValidityCheckFailed" => Ok(TraceEvent::ValidityCheckFailed {
+                issue: p.field("issue")?.as_str()?.to_string(),
+            }),
+            "PeakSearchStep" => Ok(TraceEvent::PeakSearchStep {
+                target: p.field("target")?.as_f64()?,
+                valid: p.field("valid")?.as_bool()?,
+            }),
+            other => Err(JsonError::new(format!("unknown trace event {other:?}"))),
+        }
+    }
+}
+
+/// A timestamped trace event, as stored by sinks and written to detail logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated time in nanoseconds since run start.
+    pub ts_ns: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl ToJson for TraceRecord {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("ts_ns", self.ts_ns.to_json_value()),
+            ("event", self.event.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(TraceRecord {
+            ts_ns: value.field("ts_ns")?.as_u64()?,
+            event: TraceEvent::from_json_value(value.field("event")?)?,
+        })
+    }
+}
+
+/// Destination for trace events.
+///
+/// Implementations use interior mutability so a single sink can be shared
+/// (e.g. behind `Arc<dyn TraceSink>`) between the LoadGen event loop and a
+/// device engine without plumbing `&mut` everywhere.
+pub trait TraceSink: Send + Sync {
+    /// Whether the sink wants events at all. Callers may skip building
+    /// event payloads when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event at simulated time `ts_ns`.
+    fn record(&self, ts_ns: u64, event: &TraceEvent);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// A sink that drops everything; the default when tracing is off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ts_ns: u64, _event: &TraceEvent) {}
+}
+
+/// An in-memory sink backed by a bounded ring buffer.
+///
+/// When full, the oldest events are evicted — the tail of a long run is
+/// usually the interesting part. A capacity of `usize::MAX` (see
+/// [`RingBufferSink::unbounded`]) keeps everything.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceRecord>>,
+    dropped: Mutex<u64>,
+}
+
+impl RingBufferSink {
+    /// Creates a sink that retains at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Creates a sink that retains every event.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.events
+            .lock()
+            .expect("ring buffer poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().expect("ring buffer poisoned")
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("ring buffer poisoned").len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for RingBufferSink {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, ts_ns: u64, event: &TraceEvent) {
+        let mut events = self.events.lock().expect("ring buffer poisoned");
+        if events.len() >= self.capacity {
+            events.pop_front();
+            *self.dropped.lock().expect("ring buffer poisoned") += 1;
+        }
+        events.push_back(TraceRecord {
+            ts_ns,
+            event: event.clone(),
+        });
+    }
+}
+
+/// A sink that streams events as JSON Lines — one `TraceRecord` object per
+/// line — to any writer. This is the repository's `mlperf_log_detail`
+/// analog.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps a writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Opens (truncating) a detail-log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, ts_ns: u64, event: &TraceEvent) {
+        let record = TraceRecord {
+            ts_ns,
+            event: event.clone(),
+        };
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // A sink must not panic the run on I/O failure; the flush at the
+        // end surfaces persistent errors via the caller.
+        let _ = writeln!(writer, "{}", record.to_json_string());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Parses a JSONL detail log back into records.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for the first malformed line.
+pub fn parse_detail_log(text: &str) -> Result<Vec<TraceRecord>, JsonError> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(TraceRecord::from_json_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunPhase {
+                phase: "issue".into(),
+                scenario: "server".into(),
+            },
+            TraceEvent::QueryIssued {
+                query_id: 7,
+                sample_count: 2,
+                delay_ns: 15,
+            },
+            TraceEvent::BatchFormed {
+                unit: 1,
+                batch_size: 8,
+                service_ns: 42_000,
+            },
+            TraceEvent::QueryCompleted {
+                query_id: 7,
+                latency_ns: 130_000,
+            },
+            TraceEvent::DvfsStateChange {
+                unit: 0,
+                multiplier_milli: 950,
+            },
+            TraceEvent::OverloadDropped {
+                query_id: 9,
+                intervals: 3,
+            },
+            TraceEvent::ValidityCheckFailed {
+                issue: "run too short".into(),
+            },
+            TraceEvent::PeakSearchStep {
+                target: 125.5,
+                valid: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        for event in sample_events() {
+            let text = event.to_json_string();
+            let back = TraceEvent::from_json_str(&text).unwrap();
+            assert_eq!(back, event, "{text}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrips() {
+        let buffer = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::new(Box::new(Shared(buffer.clone())));
+        for (i, event) in sample_events().into_iter().enumerate() {
+            sink.record(i as u64 * 10, &event);
+        }
+        sink.flush();
+
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let records = parse_detail_log(&text).unwrap();
+        assert_eq!(records.len(), sample_events().len());
+        for (i, (record, event)) in records.iter().zip(sample_events()).enumerate() {
+            assert_eq!(record.ts_ns, i as u64 * 10);
+            assert_eq!(record.event, event);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let sink = RingBufferSink::new(3);
+        for id in 0..5u64 {
+            sink.record(id, &TraceEvent::QuerySent { query_id: id });
+        }
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(events[0].ts_ns, 2);
+        assert_eq!(events[2].ts_ns, 4);
+    }
+
+    #[test]
+    fn noop_sink_reports_disabled() {
+        assert!(!NoopSink.enabled());
+        assert!(RingBufferSink::unbounded().enabled());
+    }
+}

@@ -1,0 +1,806 @@
+//! A small, self-contained JSON layer.
+//!
+//! The build environment is offline, so the workspace cannot lean on
+//! `serde`/`serde_json`; this module is the hand-rolled replacement. It
+//! deliberately mirrors serde_json's default data model so artifacts
+//! written by earlier versions of the repository (e.g. the cached
+//! submission round under `results/`) keep parsing:
+//!
+//! * unit enum variants serialize as `"VariantName"`,
+//! * data-carrying variants as `{"VariantName": {...}}`,
+//! * newtype wrappers (e.g. `Nanos`) as their inner value.
+//!
+//! Integers round-trip exactly up to the full `u64`/`i64` range (values are
+//! held as `i128` internally), and floats use Rust's shortest round-trip
+//! formatting.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts (guards against stack overflow
+/// on adversarial input).
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no `.`/`e`); `i128` covers all of `u64` + `i64`.
+    Int(i128),
+    /// A fractional or exponent-form number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved for stable output.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Errors from parsing or extracting typed values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Creates an error with a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError::new(message))
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if `self` is not an object or lacks `key`.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field {key:?}")))
+    }
+
+    /// The value as `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on any other value kind.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+
+    /// The value as `u64` (integers only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-integers or out-of-range values.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            JsonValue::Int(i) => {
+                u64::try_from(*i).map_err(|_| JsonError::new(format!("{i} out of u64 range")))
+            }
+            other => err(format!("expected unsigned integer, found {}", other.kind())),
+        }
+    }
+
+    /// The value as `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-integers or out-of-range values.
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            JsonValue::Int(i) => {
+                i64::try_from(*i).map_err(|_| JsonError::new(format!("{i} out of i64 range")))
+            }
+            other => err(format!("expected integer, found {}", other.kind())),
+        }
+    }
+
+    /// The value as `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-integers or out-of-range values.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        usize::try_from(self.as_u64()?).map_err(|_| JsonError::new("out of usize range"))
+    }
+
+    /// The value as `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-integers or out-of-range values.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
+        u32::try_from(self.as_u64()?).map_err(|_| JsonError::new("out of u32 range"))
+    }
+
+    /// The value as `f64` (accepts both number forms; `null` maps to NaN,
+    /// mirroring how non-finite floats are written).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-numeric values.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            JsonValue::Int(i) => Ok(*i as f64),
+            JsonValue::Float(f) => Ok(*f),
+            JsonValue::Null => Ok(f64::NAN),
+            other => err(format!("expected number, found {}", other.kind())),
+        }
+    }
+
+    /// The value as `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-numeric values.
+    pub fn as_f32(&self) -> Result<f32, JsonError> {
+        Ok(self.as_f64()? as f32)
+    }
+
+    /// The value as `&str`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-string values.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => err(format!("expected string, found {}", other.kind())),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-array values.
+    pub fn as_array(&self) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => err(format!("expected array, found {}", other.kind())),
+        }
+    }
+
+    /// For `{"Variant": payload}` enum encodings: the single key and its
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] unless the value is a one-field object.
+    pub fn as_variant(&self) -> Result<(&str, &JsonValue), JsonError> {
+        match self {
+            JsonValue::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), &fields[0].1))
+            }
+            other => err(format!(
+                "expected single-variant object, found {}",
+                other.kind()
+            )),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Int(_) => "integer",
+            JsonValue::Float(_) => "float",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        // Keep a trailing ".0" so the value re-parses as a
+                        // float, matching serde_json's behaviour.
+                        let _ = write!(out, "{f:.1}");
+                    } else {
+                        let _ = write!(out, "{f}");
+                    }
+                } else {
+                    // JSON has no NaN/Infinity literal.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for malformed input or trailing garbage.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return err(format!("trailing characters at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * level) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return err("document nests too deeply");
+        }
+        match self.peek() {
+            None => err("unexpected end of input"),
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => err(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair.
+                                if !self.literal("\\u") {
+                                    return err("unpaired surrogate");
+                                }
+                                let second = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + (second.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            out.push(c.ok_or_else(|| JsonError::new("invalid \\u escape"))?);
+                            continue;
+                        }
+                        _ => return err("invalid escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                _ => return err("unterminated string"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return err("truncated \\u escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let value =
+            u32::from_str_radix(hex, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| JsonError::new(format!("invalid number {text:?}")))
+        } else {
+            text.parse::<i128>()
+                .map(JsonValue::Int)
+                .map_err(|_| JsonError::new(format!("invalid number {text:?}")))
+        }
+    }
+}
+
+/// Conversion into the JSON data model.
+pub trait ToJson {
+    /// Builds the [`JsonValue`] representation.
+    fn to_json_value(&self) -> JsonValue;
+
+    /// Serializes compactly.
+    fn to_json_string(&self) -> String {
+        self.to_json_value().to_compact()
+    }
+
+    /// Serializes with indentation.
+    fn to_json_pretty(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+}
+
+/// Conversion back out of the JSON data model.
+pub trait FromJson: Sized {
+    /// Reconstructs the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the document does not match the type.
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError>;
+
+    /// Parses from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for malformed input.
+    fn from_json_str(input: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&JsonValue::parse(input)?)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_bool()
+    }
+}
+
+macro_rules! int_json {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Int(*self as i128)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+                match value {
+                    JsonValue::Int(i) => <$ty>::try_from(*i)
+                        .map_err(|_| JsonError::new("integer out of range")),
+                    other => err(format!("expected integer, found {}", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+int_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_f64()
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_f32()
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(value.as_str()?.to_string())
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_array()?.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for text in ["null", "true", "false", "0", "-7", "18446744073709551615"] {
+            let v = JsonValue::parse(text).unwrap();
+            assert_eq!(v.to_compact(), text);
+        }
+        assert_eq!(JsonValue::parse("1.5").unwrap(), JsonValue::Float(1.5));
+    }
+
+    #[test]
+    fn u64_full_range_roundtrips() {
+        let v = u64::MAX.to_json_value();
+        let text = v.to_compact();
+        assert_eq!(
+            u64::from_json_value(&JsonValue::parse(&text).unwrap()).unwrap(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}f — ünïcode".to_string();
+        let text = s.to_json_string();
+        assert_eq!(String::from_json_str(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        assert_eq!(
+            String::from_json_str("\"\\u0041\\ud83d\\ude00\"").unwrap(),
+            "A😀"
+        );
+    }
+
+    #[test]
+    fn nested_structures() {
+        let text = r#"{"a": [1, 2.5, {"b": null}], "c": "x"}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.field("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.field("c").unwrap().as_str().unwrap(), "x");
+        let reparsed = JsonValue::parse(&v.to_pretty()).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn float_formatting_reparses_as_float() {
+        let v = JsonValue::Float(2.0);
+        assert_eq!(v.to_compact(), "2.0");
+        assert_eq!(JsonValue::parse("2.0").unwrap(), JsonValue::Float(2.0));
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for text in ["{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(JsonValue::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn variant_accessor() {
+        let v = JsonValue::parse(r#"{"Server":{"qps":10.0}}"#).unwrap();
+        let (name, payload) = v.as_variant().unwrap();
+        assert_eq!(name, "Server");
+        assert_eq!(payload.field("qps").unwrap().as_f64().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn option_and_vec() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_json_string(), "null");
+        let items = vec![1u32, 2, 3];
+        assert_eq!(items.to_json_string(), "[1,2,3]");
+        assert_eq!(Vec::<u32>::from_json_str("[1,2,3]").unwrap(), items);
+    }
+}

@@ -1,0 +1,62 @@
+//! Observability layer for the MLPerf Inference reproduction.
+//!
+//! The paper's LoadGen "records queries and responses from the SUT ...
+//! reports statistics, summarizes the results, and determines whether the
+//! run was valid" (Section IV-B), and the reference implementation ships a
+//! `mlperf_log_detail.txt` event stream alongside the summary. This crate
+//! is that layer for the reproduction: typed trace events with
+//! simulated-time timestamps, pluggable sinks, a Chrome
+//! `trace_event`-format exporter, and a run metrics registry.
+//!
+//! The build environment is offline, so everything here is hand-rolled
+//! with zero third-party dependencies — including [`json`], a small
+//! serde_json-compatible JSON layer the rest of the workspace uses for its
+//! serialization needs.
+//!
+//! # Architecture
+//!
+//! * [`json`] — [`json::JsonValue`] plus the [`json::ToJson`] /
+//!   [`json::FromJson`] traits; output shapes match serde_json's defaults
+//!   so pre-existing artifacts keep parsing.
+//! * [`event`] — the [`event::TraceEvent`] taxonomy, the
+//!   [`event::TraceSink`] trait, and the built-in sinks
+//!   ([`event::NoopSink`], [`event::RingBufferSink`],
+//!   [`event::JsonlSink`]).
+//! * [`chrome`] — [`chrome::chrome_trace_json`], converting a recorded
+//!   event stream into a `chrome://tracing` / Perfetto-loadable timeline.
+//! * [`metrics`] — [`metrics::MetricsRegistry`] with counters, gauges, and
+//!   the mergeable log-bucketed [`metrics::LogHistogram`].
+//!
+//! # Example: record a run into a ring buffer
+//!
+//! ```
+//! use mlperf_trace::{RingBufferSink, TraceEvent, TraceSink};
+//!
+//! let sink = RingBufferSink::unbounded();
+//! sink.record(1_000, &TraceEvent::QueryIssued {
+//!     query_id: 0,
+//!     sample_count: 1,
+//!     delay_ns: 0,
+//! });
+//! sink.record(51_000, &TraceEvent::QueryCompleted {
+//!     query_id: 0,
+//!     latency_ns: 50_000,
+//! });
+//! let timeline = mlperf_trace::chrome_trace_json(&sink.snapshot());
+//! assert!(timeline.contains("\"ph\":\"X\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+
+pub use chrome::chrome_trace_json;
+pub use event::{
+    parse_detail_log, JsonlSink, NoopSink, RingBufferSink, TraceEvent, TraceRecord, TraceSink,
+};
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
+pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};

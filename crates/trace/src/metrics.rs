@@ -1,0 +1,421 @@
+//! Run metrics: counters, gauges, and a log-bucketed latency histogram.
+//!
+//! The histogram is hdr-histogram-flavoured but hand-rolled (the build
+//! environment is offline): values are bucketed by octave with
+//! `2^SUB_BITS` linear sub-buckets per octave, giving a worst-case
+//! relative error of `2^-SUB_BITS` (~3% at the default of 5 bits) while
+//! staying mergeable and O(1) to record into.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+
+/// Linear sub-buckets per octave = `2^SUB_BITS`.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// A mergeable latency histogram with logarithmic buckets.
+///
+/// Values below `2^SUB_BITS` are stored exactly; larger values land in the
+/// sub-bucket `[lower, upper)` whose width is `upper / 2^SUB_BITS`, so any
+/// reported quantile is within one bucket width (~3% relative) of the true
+/// value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogHistogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: BTreeMap::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> u32 {
+        if value < SUB_COUNT {
+            return value as u32;
+        }
+        // The octave is indexed by the position of the leading bit; within
+        // it, the next SUB_BITS bits select the linear sub-bucket.
+        let octave = 63 - value.leading_zeros();
+        let sub = (value >> (octave - SUB_BITS)) & (SUB_COUNT - 1);
+        ((octave - SUB_BITS + 1) * SUB_COUNT as u32) + sub as u32
+    }
+
+    /// Upper bound (inclusive) of the bucket holding `value`s mapped to
+    /// `index`.
+    fn bucket_upper(index: u32) -> u64 {
+        if (index as u64) < SUB_COUNT {
+            return index as u64;
+        }
+        let octave = index / SUB_COUNT as u32 + SUB_BITS - 1;
+        let sub = (index % SUB_COUNT as u32) as u64;
+        let base = 1u64 << octave;
+        let width = base >> SUB_BITS;
+        // `base - 1` first: the topmost bucket's bound is exactly u64::MAX,
+        // and adding before subtracting would overflow.
+        (base - 1) + (sub + 1) * width
+    }
+
+    /// Width of the bucket with the given index (1 for exact buckets).
+    fn bucket_width(index: u32) -> u64 {
+        if (index as u64) < SUB_COUNT {
+            return 1;
+        }
+        let octave = index / SUB_COUNT as u32 + SUB_BITS - 1;
+        (1u64 << octave) >> SUB_BITS
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(Self::bucket_index(value)).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper bound
+    /// of the containing bucket (clamped to the recorded max).
+    ///
+    /// Uses the nearest-rank definition (`ceil(q * count)`), matching the
+    /// percentile selection in the results layer.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (&index, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The width of the bucket containing quantile `q` — the resolution of
+    /// the [`quantile`](Self::quantile) estimate at that point.
+    pub fn quantile_resolution(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (&index, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_width(index);
+            }
+        }
+        1
+    }
+
+    /// Adds every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&index, &count) in &other.counts {
+            *self.counts.entry(index).or_insert(0) += count;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl ToJson for LogHistogram {
+    fn to_json_value(&self) -> JsonValue {
+        let buckets: Vec<JsonValue> = self
+            .counts
+            .iter()
+            .map(|(&index, &count)| {
+                JsonValue::Array(vec![
+                    JsonValue::Int(i128::from(index)),
+                    JsonValue::Int(i128::from(count)),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("sub_bits", SUB_BITS.to_json_value()),
+            ("buckets", JsonValue::Array(buckets)),
+            ("total", self.total.to_json_value()),
+            ("sum", JsonValue::Int(self.sum as i128)),
+            ("min", self.min().to_json_value()),
+            ("max", self.max.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for LogHistogram {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let sub_bits = value.field("sub_bits")?.as_u32()?;
+        if sub_bits != SUB_BITS {
+            return Err(JsonError::new(format!(
+                "histogram sub_bits mismatch: file has {sub_bits}, expected {SUB_BITS}"
+            )));
+        }
+        let mut counts = BTreeMap::new();
+        for entry in value.field("buckets")?.as_array()? {
+            let pair = entry.as_array()?;
+            if pair.len() != 2 {
+                return Err(JsonError::new("histogram bucket must be [index, count]"));
+            }
+            counts.insert(pair[0].as_u32()?, pair[1].as_u64()?);
+        }
+        let total = value.field("total")?.as_u64()?;
+        let sum = match value.field("sum")? {
+            JsonValue::Int(i) => {
+                u128::try_from(*i).map_err(|_| JsonError::new("histogram sum out of range"))?
+            }
+            other => {
+                return Err(JsonError::new(format!(
+                    "expected integer sum, found {}",
+                    other.to_compact()
+                )))
+            }
+        };
+        let min = value.field("min")?.as_u64()?;
+        Ok(LogHistogram {
+            counts,
+            total,
+            sum,
+            min: if total == 0 { u64::MAX } else { min },
+            max: value.field("max")?.as_u64()?,
+        })
+    }
+}
+
+/// A point-in-time, serializable view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency histograms by name.
+    pub histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience accessor: a counter's value, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience accessor: a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("counters", self.counters.to_json_value()),
+            ("gauges", self.gauges.to_json_value()),
+            ("histograms", self.histograms.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for MetricsSnapshot {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        fn map_of<T: FromJson>(value: &JsonValue) -> Result<BTreeMap<String, T>, JsonError> {
+            match value {
+                JsonValue::Object(fields) => fields
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), T::from_json_value(v)?)))
+                    .collect(),
+                other => Err(JsonError::new(format!(
+                    "expected object, found {}",
+                    other.to_compact()
+                ))),
+            }
+        }
+        Ok(MetricsSnapshot {
+            counters: map_of(value.field("counters")?)?,
+            gauges: map_of(value.field("gauges")?)?,
+            histograms: map_of(value.field("histograms")?)?,
+        })
+    }
+}
+
+/// A shareable registry of run metrics.
+///
+/// All methods take `&self`; the registry is safe to share behind an `Arc`
+/// between the LoadGen loop and device engines.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn incr(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a value into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Copies out the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().expect("metrics poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        for v in 0..SUB_COUNT {
+            let q = (v + 1) as f64 / SUB_COUNT as f64;
+            assert_eq!(h.quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded_by_bucket_width() {
+        let mut h = LogHistogram::new();
+        let mut values: Vec<u64> = (0..10_000u64).map(|i| i * i % 900_001 + 37).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.97, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = h.quantile(q);
+            let width = h.quantile_resolution(q);
+            assert!(
+                approx >= exact && approx - exact <= width,
+                "q={q}: exact {exact}, approx {approx}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 7919 % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn histogram_json_roundtrip() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 31, 32, 1000, 123_456_789, u64::MAX / 2] {
+            h.record(v);
+        }
+        let text = h.to_json_string();
+        assert_eq!(LogHistogram::from_json_str(&text).unwrap(), h);
+
+        let empty = LogHistogram::new();
+        let text = empty.to_json_string();
+        assert_eq!(LogHistogram::from_json_str(&text).unwrap(), empty);
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrip() {
+        let registry = MetricsRegistry::new();
+        registry.incr("queries_issued", 3);
+        registry.incr("queries_issued", 2);
+        registry.set_gauge("target_qps", 120.5);
+        for v in [10u64, 20, 30_000] {
+            registry.observe("latency_ns", v);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("queries_issued"), 5);
+        assert_eq!(snap.gauges["target_qps"], 120.5);
+        assert_eq!(snap.histogram("latency_ns").unwrap().count(), 3);
+
+        let text = snap.to_json_string();
+        assert_eq!(MetricsSnapshot::from_json_str(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn max_value_does_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

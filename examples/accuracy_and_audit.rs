@@ -26,7 +26,11 @@ use std::sync::Arc;
 fn main() {
     let task = TaskId::ImageClassificationLight;
     let samples = 300;
-    println!("building {} proxy ({} samples)...", task.spec().model_name, samples);
+    println!(
+        "building {} proxy ({} samples)...",
+        task.spec().model_name,
+        samples
+    );
     let proxy = Arc::new(ClassifierProxy::new(task, samples, 0xacc));
     let fp32 = proxy.accuracy(Precision::Fp32);
     println!("FP32 reference accuracy: {fp32:.4}");

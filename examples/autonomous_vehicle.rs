@@ -36,13 +36,8 @@ fn main() {
         let settings = TestSettings::multi_stream(1, spec.multistream_interval)
             .with_min_query_count(4_096)
             .with_min_duration(Nanos::from_millis(500));
-        match find_peak_multistream(
-            &settings,
-            &mut qsl,
-            &mut sut,
-            PeakSearchOptions::default(),
-        )
-        .expect("well-formed run")
+        match find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
+            .expect("well-formed run")
         {
             Some(peak) => {
                 let skip = match peak.outcome.result.metric {

@@ -40,11 +40,10 @@ fn main() {
     let vision_settings = TestSettings::server(450.0, vision.spec().server_latency_bound)
         .with_min_query_count(20_000)
         .with_min_duration(Nanos::from_secs(5));
-    let translation_settings =
-        TestSettings::server(150.0, translation.spec().server_latency_bound)
-            .with_min_query_count(2_000)
-            .with_min_duration(Nanos::from_secs(5))
-            .with_latency_percentile(Percentile::P97);
+    let translation_settings = TestSettings::server(150.0, translation.spec().server_latency_bound)
+        .with_min_query_count(2_000)
+        .with_min_duration(Nanos::from_secs(5))
+        .with_latency_percentile(Percentile::P97);
 
     let mut vision_qsl = TaskQsl::for_task(vision, 50_000);
     let mut translation_qsl = TaskQsl::for_task(translation, 3_903);

@@ -53,9 +53,6 @@ fn main() {
     let mut tasks: Vec<_> = round.task_qualities.iter().collect();
     tasks.sort_by_key(|(t, _)| **t);
     for (task, (fp32, int8)) in tasks {
-        println!(
-            "  {:<20} {fp32:.4} / {int8:.4}",
-            task.spec().model_name
-        );
+        println!("  {:<20} {fp32:.4} / {int8:.4}", task.spec().model_name);
     }
 }

@@ -35,3 +35,4 @@ pub use mlperf_stats as stats;
 pub use mlperf_submission as submission;
 pub use mlperf_sut as sut;
 pub use mlperf_tensor as tensor;
+pub use mlperf_trace as trace;

@@ -8,10 +8,13 @@ use mlperf_inference::loadgen::time::Nanos;
 use mlperf_inference::models::qsl::TaskQsl;
 use mlperf_inference::models::TaskId;
 use mlperf_inference::stats::rng::SeedTriple;
+use mlperf_inference::stats::Rng64;
 use mlperf_inference::sut::fleet::fleet;
-use proptest::prelude::*;
 
-fn run_once(seed_triple: SeedTriple, system_name: &str) -> mlperf_inference::loadgen::des::RunOutcome {
+fn run_once(
+    seed_triple: SeedTriple,
+    system_name: &str,
+) -> mlperf_inference::loadgen::des::RunOutcome {
     let sys = fleet()
         .into_iter()
         .find(|s| s.spec.name == system_name)
@@ -46,19 +49,30 @@ fn alternate_seeds_change_the_schedule_but_not_the_story() {
     // ...but statistically equivalent behaviour (both valid, similar p90).
     assert!(official.result.is_valid() && alternate.result.is_valid());
     let (a, b) = (
-        official.result.latency_stats.expect("completed").p90.as_secs_f64(),
-        alternate.result.latency_stats.expect("completed").p90.as_secs_f64(),
+        official
+            .result
+            .latency_stats
+            .expect("completed")
+            .p90
+            .as_secs_f64(),
+        alternate
+            .result
+            .latency_stats
+            .expect("completed")
+            .p90
+            .as_secs_f64(),
     );
     assert!((a / b - 1.0).abs() < 0.5, "p90s too different: {a} vs {b}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    #[test]
-    fn any_master_seed_reproduces(seed in any::<u64>()) {
+#[test]
+fn any_master_seed_reproduces() {
+    let mut rng = Rng64::new(0x4445_5445);
+    for case in 0..8 {
+        let seed = rng.next_u64();
         let triple = SeedTriple::from_master(seed);
         let a = run_once(triple, "laptop-cpu");
         let b = run_once(triple, "laptop-cpu");
-        prop_assert_eq!(a.result, b.result);
+        assert_eq!(a.result, b.result, "case {case}: seed={seed}");
     }
 }

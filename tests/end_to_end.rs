@@ -33,7 +33,12 @@ fn every_fleet_system_completes_a_single_stream_run() {
         let mut sut = sys.sut_for(TaskId::ImageClassificationLight, Scenario::SingleStream);
         let out = run_simulated(&settings, &mut qsl, &mut sut)
             .unwrap_or_else(|e| panic!("{}: {e}", sys.spec.name));
-        assert!(out.result.is_valid(), "{}: {:?}", sys.spec.name, out.result.validity);
+        assert!(
+            out.result.is_valid(),
+            "{}: {:?}",
+            sys.spec.name,
+            out.result.validity
+        );
         assert_eq!(out.result.query_count, 64);
     }
 }
@@ -53,7 +58,10 @@ fn all_four_scenarios_run_on_one_system() {
         &mut sys.sut_for(task, Scenario::SingleStream),
     )
     .expect("single-stream runs");
-    assert!(matches!(ss.result.metric, ScenarioMetric::SingleStream { .. }));
+    assert!(matches!(
+        ss.result.metric,
+        ScenarioMetric::SingleStream { .. }
+    ));
     assert!(ss.result.is_valid());
 
     let ms = run_simulated(
@@ -64,7 +72,10 @@ fn all_four_scenarios_run_on_one_system() {
         &mut sys.sut_for(task, Scenario::MultiStream),
     )
     .expect("multistream runs");
-    assert!(matches!(ms.result.metric, ScenarioMetric::MultiStream { streams: 2, .. }));
+    assert!(matches!(
+        ms.result.metric,
+        ScenarioMetric::MultiStream { streams: 2, .. }
+    ));
 
     let server = run_simulated(
         &TestSettings::server(200.0, spec.server_latency_bound)
@@ -152,7 +163,10 @@ fn translator_bleu_scored_from_loadgen_log() {
         }
     }
     let logged = proxy.score(&candidates);
-    assert!((logged - fp32).abs() < 1e-9, "log path must match direct eval");
+    assert!(
+        (logged - fp32).abs() < 1e-9,
+        "log path must match direct eval"
+    );
 }
 
 #[test]
@@ -170,7 +184,10 @@ fn realtime_and_simulated_agree_on_fixed_latency() {
     let real = run_realtime(
         &settings,
         &mut qsl,
-        Arc::new(SleepSut::new("fixed", std::time::Duration::from_micros(400))),
+        Arc::new(SleepSut::new(
+            "fixed",
+            std::time::Duration::from_micros(400),
+        )),
     )
     .expect("realtime run");
     // Same rulebook: both valid, same query count, latencies within a
@@ -204,10 +221,9 @@ fn multitenant_server_shares_one_gpu() {
     let vision_settings = TestSettings::server(300.0, vision.spec().server_latency_bound)
         .with_min_query_count(1_000)
         .with_min_duration(Nanos::from_millis(100));
-    let translation_settings =
-        TestSettings::server(50.0, translation.spec().server_latency_bound)
-            .with_min_query_count(100)
-            .with_min_duration(Nanos::from_millis(100));
+    let translation_settings = TestSettings::server(50.0, translation.spec().server_latency_bound)
+        .with_min_query_count(100)
+        .with_min_duration(Nanos::from_millis(100));
     let mut vision_qsl = TaskQsl::for_task(vision, 2_048);
     let mut translation_qsl = TaskQsl::for_task(translation, 2_048);
     let mut tenants: Vec<(&TestSettings, &mut TaskQsl)> = vec![
@@ -216,8 +232,16 @@ fn multitenant_server_shares_one_gpu() {
     ];
     let outcomes = run_multitenant_server(&mut tenants, &mut sut).expect("well-formed run");
     assert_eq!(outcomes.len(), 2);
-    assert!(outcomes[0].result.is_valid(), "{:?}", outcomes[0].result.validity);
-    assert!(outcomes[1].result.is_valid(), "{:?}", outcomes[1].result.validity);
+    assert!(
+        outcomes[0].result.is_valid(),
+        "{:?}",
+        outcomes[0].result.validity
+    );
+    assert!(
+        outcomes[1].result.is_valid(),
+        "{:?}",
+        outcomes[1].result.validity
+    );
     assert_eq!(outcomes[0].result.query_count, 1_000);
     assert_eq!(outcomes[1].result.query_count, 100);
 }

@@ -9,10 +9,10 @@ use mlperf_inference::loadgen::time::Nanos;
 use mlperf_inference::loadgen::validate::ValidityIssue;
 use mlperf_inference::models::qsl::TaskQsl;
 use mlperf_inference::models::TaskId;
+use mlperf_inference::models::Workload;
 use mlperf_inference::sut::device::{Architecture, DeviceSpec, ThermalModel};
 use mlperf_inference::sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_inference::sut::fleet::fleet;
-use mlperf_inference::models::Workload;
 
 /// A short run lets a big parallel machine absorb an over-capacity burst
 /// entirely within the latency bound; the minimum-duration rule exists so
@@ -138,9 +138,13 @@ fn checker_distinguishes_vision_and_translation_requirements() {
         measured_quality: 0.76,
         reference_quality: 0.76,
     };
-    assert!(check_submission(&vision)
-        .iter()
-        .any(|f| matches!(f, CheckFinding::QueryCountBelowTableV { required: 270_336, .. })));
+    assert!(check_submission(&vision).iter().any(|f| matches!(
+        f,
+        CheckFinding::QueryCountBelowTableV {
+            required: 270_336,
+            ..
+        }
+    )));
 }
 
 /// GNMT pays for padding in unsorted server batches but not in sorted
@@ -157,10 +161,18 @@ fn gnmt_offline_sorting_beats_unsorted_processing() {
         .with_min_duration(Nanos::from_millis(1));
     let mut qsl = TaskQsl::for_task(task, 3_903);
     // The fleet's offline engine sorts by length.
-    let sorted = run_simulated(&settings, &mut qsl, &mut sys.sut_for(task, Scenario::Offline))
-        .expect("run completes");
+    let sorted = run_simulated(
+        &settings,
+        &mut qsl,
+        &mut sys.sut_for(task, Scenario::Offline),
+    )
+    .expect("run completes");
     // An unsorted engine on the same device.
-    let mut unsorted_sut = DeviceSut::new(sys.spec.clone(), Workload::new(task), BatchPolicy::Immediate);
+    let mut unsorted_sut = DeviceSut::new(
+        sys.spec.clone(),
+        Workload::new(task),
+        BatchPolicy::Immediate,
+    );
     let unsorted = run_simulated(&settings, &mut qsl, &mut unsorted_sut).expect("run completes");
     let (a, b) = (sorted.result.metric.score(), unsorted.result.metric.score());
     assert!(
