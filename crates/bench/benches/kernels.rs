@@ -61,4 +61,6 @@ fn main() {
     bench.bench("gru_step_12_to_20", || {
         black_box(cell.step(&x, &h).expect("dims fixed"))
     });
+
+    bench.finish();
 }

@@ -39,4 +39,6 @@ fn main() {
     bench.bench("sample_indices_100k_queries", || {
         black_box(sample_indices(&ss, 1_024, 100_000))
     });
+
+    bench.finish();
 }

@@ -75,4 +75,6 @@ fn main() {
     bench.bench("bleu_3k_sentence_corpus", || {
         black_box(corpus_bleu(&cands, &refs))
     });
+
+    bench.finish();
 }

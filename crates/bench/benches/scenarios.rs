@@ -44,4 +44,6 @@ fn main() {
             ))
         });
     }
+
+    bench.finish();
 }

@@ -48,4 +48,6 @@ fn main() {
     bench.bench("fig7_results_per_architecture", || {
         black_box(figure7_by_architecture(&records))
     });
+
+    bench.finish();
 }

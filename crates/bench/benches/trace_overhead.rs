@@ -41,11 +41,25 @@ fn main() {
         black_box(run_simulated_traced(&settings, &mut qsl, &mut sut, &sink).expect("runs"))
     });
 
+    bench.finish();
+
     if let (Some(base), Some(noop)) = (baseline, noop) {
-        let ratio = noop as f64 / base.max(1) as f64;
-        println!(
-            "noop-sink overhead vs baseline: {:+.1}%",
-            (ratio - 1.0) * 100.0
-        );
+        let pct = (noop as f64 / base.max(1) as f64 - 1.0) * 100.0;
+        println!("noop-sink overhead vs baseline: {pct:+.1}%");
+        // Enforce mode for CI: with MLPERF_TRACE_OVERHEAD_MAX_PCT set, a
+        // disabled sink costing more than the allowance fails the run.
+        if let Some(max_pct) = std::env::var("MLPERF_TRACE_OVERHEAD_MAX_PCT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            if pct > max_pct {
+                eprintln!(
+                    "trace overhead gate: noop-sink overhead {pct:+.1}% exceeds \
+                     allowance {max_pct:.1}%"
+                );
+                std::process::exit(1);
+            }
+            println!("trace overhead gate: within {max_pct:.1}% allowance");
+        }
     }
 }

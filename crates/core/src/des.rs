@@ -7,6 +7,7 @@
 //! tractable on a laptop (the original submissions ran for hours per result).
 
 use crate::config::{TestMode, TestSettings};
+use crate::instrument::Instruments;
 use crate::qsl::QuerySampleLibrary;
 use crate::query::{Query, QueryCompletion};
 use crate::record::{LoggedResponse, QueryRecord, Recorder};
@@ -19,7 +20,8 @@ use crate::validate::{check_run, overlatency_fraction, percentile_latency};
 use crate::LoadGenError;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
-use mlperf_trace::{MetricsRegistry, MetricsSnapshot, NoopSink, TraceEvent, TraceSink};
+use mlperf_trace::profile_span;
+use mlperf_trace::{MetricsRegistry, MetricsSnapshot, TimeSeriesSampler, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -92,6 +94,7 @@ struct Sim<'a, S: SimSut + ?Sized> {
     events_processed: u64,
     sink: &'a dyn TraceSink,
     metrics: Option<&'a MetricsRegistry>,
+    sampler: Option<&'a TimeSeriesSampler>,
 }
 
 impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
@@ -100,6 +103,7 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
         sut: &'a mut S,
         sink: &'a dyn TraceSink,
         metrics: Option<&'a MetricsRegistry>,
+        sampler: Option<&'a TimeSeriesSampler>,
     ) -> Self {
         let log_probability = match settings.mode {
             TestMode::AccuracyOnly => 1.0,
@@ -115,6 +119,7 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
             events_processed: 0,
             sink,
             metrics,
+            sampler,
         }
     }
 
@@ -139,10 +144,19 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
                 "event budget of {MAX_EVENTS} exhausted; SUT appears to loop"
             )));
         }
-        Ok(self.heap.pop().map(|Reverse(e)| e))
+        let event = self.heap.pop().map(|Reverse(e)| e);
+        // Sample *before* the event is processed, so each row reflects the
+        // state strictly before its boundary.
+        if let (Some(sampler), Some(metrics), Some(event)) =
+            (self.sampler, self.metrics, event.as_ref())
+        {
+            sampler.advance_to(event.at.as_nanos(), metrics);
+        }
+        Ok(event)
     }
 
     fn issue(&mut self, query: Query) -> Result<(), LoadGenError> {
+        profile_span!("loadgen/issue");
         let now = query.scheduled_at;
         self.recorder.record_issue(&query, now)?;
         if self.sink.enabled() {
@@ -192,11 +206,13 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
     }
 
     fn wakeup(&mut self, now: Nanos) -> Result<(), LoadGenError> {
+        profile_span!("loadgen/wakeup");
         let reaction = self.sut.on_wakeup(now);
         self.apply(now, reaction)
     }
 
     fn complete(&mut self, completion: &QueryCompletion) -> Result<(), LoadGenError> {
+        profile_span!("loadgen/complete");
         let p = self.log_probability;
         let rng = &mut self.acc_rng;
         let logged_before = self.recorder.accuracy_log().len();
@@ -250,15 +266,15 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
-    run_simulated_traced(settings, qsl, sut, &NoopSink)
+    run_instrumented(settings, qsl, sut, &Instruments::none())
 }
 
 /// [`run_simulated`] with a trace sink attached.
 ///
 /// Every lifecycle event of the run flows into `sink`; when the sink is
 /// enabled a [`MetricsRegistry`] also rides along and its snapshot lands in
-/// [`RunOutcome::metrics`]. With [`NoopSink`] the overhead is one branch
-/// per event.
+/// [`RunOutcome::metrics`]. With [`mlperf_trace::NoopSink`] the overhead is
+/// one branch per event.
 ///
 /// # Errors
 ///
@@ -273,6 +289,34 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    run_instrumented(settings, qsl, sut, &Instruments::traced(sink))
+}
+
+/// The one real simulated issue loop; [`run_simulated`] and
+/// [`run_simulated_traced`] are thin wrappers over it.
+///
+/// Beyond the PR 1 tracing contract, `instruments` may attach a
+/// [`TimeSeriesSampler`] — snapshotted once per crossed interval boundary
+/// as simulated time advances, then flushed to the final run duration —
+/// and/or a caller-owned [`MetricsRegistry`] shared with device engines;
+/// when a registry is active (owned or supplied) its snapshot lands in
+/// [`RunOutcome::metrics`].
+///
+/// # Errors
+///
+/// Same contract as [`run_simulated`].
+pub fn run_instrumented<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    instruments: &Instruments<'_>,
+) -> Result<RunOutcome, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    profile_span!("loadgen/run");
+    let sink = instruments.sink;
     settings.validate()?;
     if qsl.total_sample_count() == 0 || qsl.performance_sample_count() == 0 {
         return Err(LoadGenError::BadQsl(format!(
@@ -286,9 +330,14 @@ where
         TestMode::PerformanceOnly => (0..qsl.performance_sample_count()).collect(),
         TestMode::AccuracyOnly => (0..qsl.total_sample_count()).collect(),
     };
-    qsl.load_samples(&loaded);
+    {
+        profile_span!("loadgen/load_samples");
+        qsl.load_samples(&loaded);
+    }
 
-    let registry = sink.enabled().then(MetricsRegistry::new);
+    let own_registry =
+        (instruments.metrics.is_none() && instruments.wants_metrics()).then(MetricsRegistry::new);
+    let registry = instruments.metrics.or(own_registry.as_ref());
     if sink.enabled() {
         sink.record(
             0,
@@ -298,27 +347,29 @@ where
             },
         );
     }
-    let mut sim = Sim::new(settings, sut, sink, registry.as_ref());
-    match settings.mode {
-        TestMode::AccuracyOnly => run_accuracy(settings, &loaded, &mut sim)?,
-        TestMode::PerformanceOnly => match settings.scenario {
-            Scenario::SingleStream => run_single_stream(settings, loaded.len(), &mut sim)?,
-            Scenario::MultiStream => run_multi_stream(settings, loaded.len(), &mut sim)?,
-            Scenario::Server => run_server(settings, loaded.len(), &mut sim)?,
-            Scenario::Offline => run_offline(settings, loaded.len(), &mut sim)?,
-        },
+    let mut sim = Sim::new(settings, sut, sink, registry, instruments.sampler);
+    {
+        profile_span!("loadgen/event_loop");
+        match settings.mode {
+            TestMode::AccuracyOnly => run_accuracy(settings, &loaded, &mut sim)?,
+            TestMode::PerformanceOnly => match settings.scenario {
+                Scenario::SingleStream => run_single_stream(settings, loaded.len(), &mut sim)?,
+                Scenario::MultiStream => run_multi_stream(settings, loaded.len(), &mut sim)?,
+                Scenario::Server => run_server(settings, loaded.len(), &mut sim)?,
+                Scenario::Offline => run_offline(settings, loaded.len(), &mut sim)?,
+            },
+        }
     }
 
     qsl.unload_samples(&loaded);
     let recorder = std::mem::take(&mut sim.recorder);
-    let outcome = finish_run(
-        settings,
-        sut.name(),
-        qsl.name(),
-        recorder,
-        sink,
-        registry.as_ref(),
-    );
+    let outcome = {
+        profile_span!("loadgen/score");
+        finish_run(settings, sut.name(), qsl.name(), recorder, sink, registry)
+    };
+    if let (Some(sampler), Some(registry)) = (instruments.sampler, registry) {
+        sampler.finish(outcome.result.duration.as_nanos(), registry);
+    }
     sink.flush();
     Ok(outcome)
 }

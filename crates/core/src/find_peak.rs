@@ -9,11 +9,12 @@
 
 use crate::config::TestSettings;
 use crate::des::{run_simulated, RunOutcome};
+use crate::instrument::Instruments;
 use crate::qsl::QuerySampleLibrary;
 use crate::scenario::Scenario;
 use crate::sut::SimSut;
 use crate::LoadGenError;
-use mlperf_trace::{NoopSink, TraceEvent, TraceSink};
+use mlperf_trace::{profile_span, TraceEvent, TraceSink};
 
 /// Search controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +65,7 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
-    find_peak_server_qps_traced(settings, qsl, sut, options, &NoopSink)
+    find_peak_server_qps_instrumented(settings, qsl, sut, options, &Instruments::none())
 }
 
 /// [`find_peak_server_qps`] with a trace sink: each probed operating point
@@ -86,6 +87,33 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    find_peak_server_qps_instrumented(settings, qsl, sut, options, &Instruments::traced(sink))
+}
+
+/// The one real server peak search; the plain and `_traced` entry points
+/// are thin wrappers over it.
+///
+/// Only the search itself is instrumented (step events on the sink, a
+/// profiler span per probe); the inner LoadGen runs stay uninstrumented
+/// because each restarts simulated time at zero, which would scramble a
+/// sampler or trace timeline.
+///
+/// # Errors
+///
+/// Same contract as [`find_peak_server_qps`].
+pub fn find_peak_server_qps_instrumented<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    options: PeakSearchOptions,
+    instruments: &Instruments<'_>,
+) -> Result<PeakResult, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    profile_span!("loadgen/peak_search_server");
+    let sink = instruments.sink;
     if settings.scenario != Scenario::Server {
         return Err(LoadGenError::BadSettings(
             "find_peak_server_qps requires the server scenario".into(),
@@ -93,6 +121,7 @@ where
     }
     let mut runs = 0u32;
     let try_qps = |qps: f64, qsl: &mut Q, sut: &mut S, runs: &mut u32| {
+        profile_span!("loadgen/peak_probe");
         *runs += 1;
         let s = settings.clone().with_server_target_qps(qps);
         let out = run_simulated(&s, qsl, sut);
@@ -183,7 +212,7 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
-    find_peak_multistream_traced(settings, qsl, sut, options, &NoopSink)
+    find_peak_multistream_instrumented(settings, qsl, sut, options, &Instruments::none())
 }
 
 /// [`find_peak_multistream`] with a trace sink; see
@@ -203,6 +232,28 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    find_peak_multistream_instrumented(settings, qsl, sut, options, &Instruments::traced(sink))
+}
+
+/// The one real multistream peak search; see
+/// [`find_peak_server_qps_instrumented`] for the instrumentation contract.
+///
+/// # Errors
+///
+/// Same contract as [`find_peak_multistream`].
+pub fn find_peak_multistream_instrumented<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    options: PeakSearchOptions,
+    instruments: &Instruments<'_>,
+) -> Result<Option<PeakResult>, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    profile_span!("loadgen/peak_search_multistream");
+    let sink = instruments.sink;
     if settings.scenario != Scenario::MultiStream {
         return Err(LoadGenError::BadSettings(
             "find_peak_multistream requires the multistream scenario".into(),
@@ -210,6 +261,7 @@ where
     }
     let mut runs = 0u32;
     let try_n = |n: usize, qsl: &mut Q, sut: &mut S, runs: &mut u32| {
+        profile_span!("loadgen/peak_probe");
         *runs += 1;
         let s = settings.clone().with_samples_per_query(n);
         let out = run_simulated(&s, qsl, sut);

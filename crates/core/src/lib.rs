@@ -20,6 +20,9 @@
 //!   interval for multistream, sequential and batch for the rest).
 //! * [`des`] — the discrete-event issue loop used by the experiments; a
 //!   270,336-query server run finishes in well under a second of wall time.
+//! * [`instrument`] — [`instrument::Instruments`], the observability
+//!   bundle (trace sink, time-series sampler, shared metrics registry)
+//!   accepted by the `*_instrumented` runners.
 //! * [`realtime`] — a thread-based wall-clock issue loop mirroring the C++
 //!   LoadGen's operation, used by the quickstart example and tests.
 //! * [`record`] / [`results`] / [`validate`] — latency bookkeeping, metric
@@ -59,6 +62,7 @@
 pub mod config;
 pub mod des;
 pub mod find_peak;
+pub mod instrument;
 pub mod log;
 pub mod multitenant;
 pub mod qsl;
@@ -74,6 +78,7 @@ pub mod time;
 pub mod validate;
 
 pub use config::{TestMode, TestSettings};
+pub use instrument::Instruments;
 pub use query::{Query, QueryId, QuerySample, ResponsePayload, SampleIndex};
 pub use results::{ScenarioMetric, TestResult};
 pub use scenario::Scenario;

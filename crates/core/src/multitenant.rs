@@ -14,6 +14,7 @@
 
 use crate::config::{TestMode, TestSettings};
 use crate::des::{finish_run, RunOutcome};
+use crate::instrument::Instruments;
 use crate::qsl::QuerySampleLibrary;
 use crate::query::{Query, QueryCompletion, QuerySample};
 use crate::record::Recorder;
@@ -23,7 +24,7 @@ use crate::time::Nanos;
 use crate::LoadGenError;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
-use mlperf_trace::{NoopSink, TraceEvent, TraceSink};
+use mlperf_trace::{profile_span, MetricsRegistry, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -104,7 +105,7 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
-    run_multitenant_server_traced(tenants, sut, &NoopSink)
+    run_multitenant_server_instrumented(tenants, sut, &Instruments::none())
 }
 
 /// [`run_multitenant_server`] with a trace sink attached.
@@ -125,6 +126,32 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    run_multitenant_server_instrumented(tenants, sut, &Instruments::traced(sink))
+}
+
+/// The one real multitenant loop; the plain and `_traced` entry points are
+/// thin wrappers over it.
+///
+/// An attached [`mlperf_trace::TimeSeriesSampler`] observes the *combined*
+/// load: rows are emitted as the interleaved event stream crosses interval
+/// boundaries, so the time series shows cross-tenant aggregate throughput
+/// and latency, not any single tenant's view. Metrics (whether a supplied
+/// registry or a run-private one) aggregate across tenants the same way.
+///
+/// # Errors
+///
+/// Same contract as [`run_multitenant_server`].
+pub fn run_multitenant_server_instrumented<Q, S>(
+    tenants: &mut [(&TestSettings, &mut Q)],
+    sut: &mut S,
+    instruments: &Instruments<'_>,
+) -> Result<Vec<RunOutcome>, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    profile_span!("loadgen/multitenant_run");
+    let sink = instruments.sink;
     if tenants.is_empty() {
         return Err(LoadGenError::BadSettings(
             "multitenant run needs at least one tenant".into(),
@@ -169,6 +196,10 @@ where
         });
     }
 
+    let own_registry =
+        (instruments.metrics.is_none() && instruments.wants_metrics()).then(MetricsRegistry::new);
+    let registry = instruments.metrics.or(own_registry.as_ref());
+
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut sample_id = 0u64;
@@ -187,6 +218,7 @@ where
     }
 
     let mut events = 0u64;
+    let mut horizon = Nanos::ZERO;
     while let Some(Reverse(event)) = heap.pop() {
         events += 1;
         if events > 200_000_000 {
@@ -194,8 +226,15 @@ where
                 "multitenant event budget exhausted; SUT appears to loop".into(),
             ));
         }
+        horizon = horizon.max(event.at);
+        // Sample *before* the event is processed, so each row reflects the
+        // state strictly up to its interval boundary.
+        if let (Some(sampler), Some(metrics)) = (instruments.sampler, registry) {
+            sampler.advance_to(event.at.as_nanos(), metrics);
+        }
         match event.kind {
             EventKind::Arrival(t) => {
+                profile_span!("loadgen/mt_arrival");
                 let state = &mut states[t];
                 let at = pending_arrivals[t]
                     .take()
@@ -220,6 +259,10 @@ where
                 };
                 state.issued += 1;
                 state.recorder.record_issue(&query, at)?;
+                if let Some(m) = registry {
+                    m.incr("queries_issued", 1);
+                    m.incr("samples_issued", query.sample_count() as u64);
+                }
                 if sink.enabled() {
                     sink.record(
                         at.as_nanos(),
@@ -250,10 +293,12 @@ where
                 }
             }
             EventKind::Wakeup => {
+                profile_span!("loadgen/mt_wakeup");
                 let reaction = sut.on_wakeup(event.at);
                 apply(&mut heap, &mut seq, event.at, reaction)?;
             }
             EventKind::Completion(completion) => {
+                profile_span!("loadgen/mt_completion");
                 let t = tenant_of(completion.query_id) as usize;
                 let state = states.get_mut(t).ok_or_else(|| {
                     LoadGenError::SutProtocol(format!("completion routed to unknown tenant {t}"))
@@ -263,6 +308,11 @@ where
                 let latency = state
                     .recorder
                     .record_completion(&completion, |_| p > 0.0 && rng.next_bool(p))?;
+                if let Some(m) = registry {
+                    m.incr("queries_completed", 1);
+                    m.incr("samples_completed", completion.samples.len() as u64);
+                    m.observe("query_latency_ns", latency.as_nanos());
+                }
                 if sink.enabled() {
                     sink.record(
                         completion.finished_at.as_nanos(),
@@ -276,19 +326,25 @@ where
         }
     }
 
+    if let (Some(sampler), Some(metrics)) = (instruments.sampler, registry) {
+        sampler.finish(horizon.as_nanos(), metrics);
+    }
     let mut outcomes = Vec::with_capacity(states.len());
-    for (state, (_, qsl)) in states.into_iter().zip(tenants.iter_mut()) {
-        // Mirror run_simulated: unload what was loaded at start.
-        let loaded: Vec<usize> = (0..state.population).collect();
-        qsl.unload_samples(&loaded);
-        outcomes.push(finish_run(
-            &state.settings,
-            sut.name(),
-            qsl.name(),
-            state.recorder,
-            sink,
-            None,
-        ));
+    {
+        profile_span!("loadgen/score");
+        for (state, (_, qsl)) in states.into_iter().zip(tenants.iter_mut()) {
+            // Mirror run_simulated: unload what was loaded at start.
+            let loaded: Vec<usize> = (0..state.population).collect();
+            qsl.unload_samples(&loaded);
+            outcomes.push(finish_run(
+                &state.settings,
+                sut.name(),
+                qsl.name(),
+                state.recorder,
+                sink,
+                registry,
+            ));
+        }
     }
     sink.flush();
     Ok(outcomes)

@@ -12,7 +12,7 @@ use crate::query::{Query, QuerySample, SampleIndex};
 use crate::time::Nanos;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
-use mlperf_trace::{TraceEvent, TraceSink};
+use mlperf_trace::{profile_span, TraceEvent, TraceSink};
 
 /// Generates the sample indices for `count` queries of
 /// `samples_per_query` each, drawn uniformly with replacement from
@@ -26,6 +26,7 @@ pub fn sample_indices(
     population: usize,
     count: u64,
 ) -> Vec<Vec<SampleIndex>> {
+    profile_span!("schedule/sample_indices");
     assert!(population > 0, "cannot sample from an empty population");
     let mut rng = Rng64::new(settings.seeds.qsl_seed);
     (0..count)
@@ -42,6 +43,7 @@ pub fn sample_indices(
 /// Panics if the settings carry a non-positive target QPS (validated
 /// settings cannot).
 pub fn server_arrivals(settings: &TestSettings, count: u64) -> Vec<Nanos> {
+    profile_span!("schedule/server_arrivals");
     let process = PoissonProcess::new(
         settings.server_target_qps,
         Rng64::new(settings.seeds.schedule_seed),

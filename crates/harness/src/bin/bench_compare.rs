@@ -1,0 +1,94 @@
+//! Diffs two `BENCH_*.json` reports and fails on perf regressions.
+//!
+//! ```text
+//! bench-compare <baseline.json> <candidate.json> [--tolerance <pct>]
+//! ```
+//!
+//! Prints a per-benchmark comparison table and exits non-zero if any
+//! benchmark's median got slower by more than the tolerance (default 20%,
+//! generous because the CI runners are noisy shared machines). Benchmarks
+//! present in only one file are reported but never fail the gate, so
+//! adding or retiring a benchmark does not need a baseline refresh in the
+//! same commit.
+
+use std::process::ExitCode;
+
+use mlperf_trace::json::FromJson;
+use mlperf_trace::{bench, BenchReport};
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut tolerance_pct = 20.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_string())?;
+                tolerance_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad tolerance {v:?}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench-compare <baseline.json> <candidate.json> \
+                     [--tolerance <pct>]"
+                );
+                return Ok(true);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("expected exactly two report paths (baseline, candidate)".into());
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let cmp = bench::compare(&old, &new, tolerance_pct);
+    println!(
+        "baseline {} ({})  vs  candidate {} ({})",
+        old_path,
+        if old.git_commit.is_empty() {
+            "?"
+        } else {
+            &old.git_commit
+        },
+        new_path,
+        if new.git_commit.is_empty() {
+            "?"
+        } else {
+            &new.git_commit
+        },
+    );
+    print!("{}", cmp.table(tolerance_pct));
+    if cmp.passed() {
+        println!("OK: no median regressed more than {tolerance_pct:.1}%");
+    } else {
+        println!(
+            "FAIL: {} benchmark(s) regressed more than {tolerance_pct:.1}%",
+            cmp.regressions.len()
+        );
+    }
+    Ok(cmp.passed())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench-compare: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

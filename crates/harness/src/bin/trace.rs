@@ -4,6 +4,9 @@
 //! ```text
 //! trace run [--scenario single-stream|multistream|server|offline]
 //!           [--trace <path>] [--trace-format jsonl|chrome]
+//!           [--tenants <n>] [--profile] [--collapsed <path>]
+//!           [--timeseries <path>] [--timeseries-format jsonl|csv]
+//!           [--interval-ms <n>]
 //! trace summary <detail.jsonl>
 //! ```
 //!
@@ -12,24 +15,37 @@
 //! output loads directly into `chrome://tracing` or Perfetto; `jsonl` writes
 //! the `mlperf_log_detail` analog that `summary` (and
 //! `mlperf_trace::parse_detail_log`) read back.
+//!
+//! `--tenants N` (server scenario only) runs N concurrent server streams
+//! against one shared device via the multitenancy extension. `--profile`
+//! turns on the wall-clock span profiler and prints the self-time table;
+//! `--collapsed` additionally writes flamegraph.pl-compatible collapsed
+//! stacks. `--timeseries` attaches a simulated-time sampler and writes one
+//! row of run metrics per `--interval-ms` of simulated time.
 
 use mlperf_loadgen::config::TestSettings;
-use mlperf_loadgen::des::run_simulated_traced;
+use mlperf_loadgen::des::run_instrumented;
+use mlperf_loadgen::multitenant::run_multitenant_server_instrumented;
 use mlperf_loadgen::qsl::MemoryQsl;
 use mlperf_loadgen::time::Nanos;
+use mlperf_loadgen::Instruments;
 use mlperf_models::{TaskId, Workload};
 use mlperf_sut::device::{Architecture, DeviceSpec, ThermalModel};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_trace::{
-    chrome_trace_json, parse_detail_log, LogHistogram, RingBufferSink, ToJson, TraceEvent,
-    TraceRecord,
+    chrome_trace_json, parse_detail_log, profile, LogHistogram, MetricsRegistry, RingBufferSink,
+    TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 const USAGE: &str = "usage:
   trace run [--scenario single-stream|multistream|server|offline] \\
-            [--trace <path>] [--trace-format jsonl|chrome]
+            [--trace <path>] [--trace-format jsonl|chrome] \\
+            [--tenants <n>] [--profile] [--collapsed <path>] \\
+            [--timeseries <path>] [--timeseries-format jsonl|csv] \\
+            [--interval-ms <n>]
   trace summary <detail.jsonl>";
 
 fn main() -> ExitCode {
@@ -67,6 +83,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut scenario = "server".to_string();
     let mut path = "trace-out.json".to_string();
     let mut format = "chrome".to_string();
+    let mut tenants = 1usize;
+    let mut profile_on = false;
+    let mut collapsed_path: Option<String> = None;
+    let mut timeseries_path: Option<String> = None;
+    let mut timeseries_format = "jsonl".to_string();
+    let mut interval_ms = 100u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| {
@@ -78,15 +100,47 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--scenario" => scenario = value_of("--scenario")?,
             "--trace" => path = value_of("--trace")?,
             "--trace-format" => format = value_of("--trace-format")?,
+            "--tenants" => {
+                let v = value_of("--tenants")?;
+                tenants = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| (1..=255).contains(n))
+                    .ok_or_else(|| format!("--tenants needs a count in 1..=255, got `{v}`"))?;
+            }
+            "--profile" => profile_on = true,
+            "--collapsed" => {
+                collapsed_path = Some(value_of("--collapsed")?);
+                profile_on = true;
+            }
+            "--timeseries" => timeseries_path = Some(value_of("--timeseries")?),
+            "--timeseries-format" => timeseries_format = value_of("--timeseries-format")?,
+            "--interval-ms" => {
+                let v = value_of("--interval-ms")?;
+                interval_ms =
+                    v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        format!("--interval-ms needs a positive integer, got `{v}`")
+                    })?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     if format != "jsonl" && format != "chrome" {
         return Err(format!("unknown trace format `{format}`\n{USAGE}"));
     }
+    if timeseries_format != "jsonl" && timeseries_format != "csv" {
+        return Err(format!(
+            "unknown timeseries format `{timeseries_format}`\n{USAGE}"
+        ));
+    }
+    if tenants > 1 && scenario != "server" {
+        return Err("--tenants requires --scenario server".to_string());
+    }
 
     let settings = settings_for(&scenario)?;
     let sink = Arc::new(RingBufferSink::unbounded());
+    let registry = Arc::new(MetricsRegistry::new());
+    let sampler = TimeSeriesSampler::new(interval_ms.saturating_mul(1_000_000));
     let device = DeviceSpec::new(
         "trace-demo-gpu",
         Architecture::Gpu,
@@ -112,11 +166,58 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Workload::new(TaskId::ImageClassificationLight),
         policy,
     )
-    .with_trace(sink.clone());
-    let mut qsl = MemoryQsl::new("trace-demo-qsl", 1_024, 1_024);
+    .with_trace(sink.clone())
+    .with_metrics(registry.clone());
+    for _ in 1..tenants {
+        sut = sut.with_tenant_workload(Workload::new(TaskId::ImageClassificationLight));
+    }
 
-    let outcome = run_simulated_traced(&settings, &mut qsl, &mut sut, sink.as_ref())
-        .map_err(|e| format!("run failed: {e}"))?;
+    let mut instruments = Instruments::traced(sink.as_ref()).with_metrics(&registry);
+    if timeseries_path.is_some() {
+        instruments = instruments.with_sampler(&sampler);
+    }
+
+    if profile_on {
+        profile::reset();
+        profile::set_enabled(true);
+    }
+    let wall_start = Instant::now();
+    let outcome = if tenants > 1 {
+        let per_tenant: Vec<TestSettings> = (0..tenants)
+            .map(|t| {
+                let mut s = settings.clone();
+                // Split the target load and decorrelate the streams.
+                s.server_target_qps = settings.server_target_qps / tenants as f64;
+                s.seeds.schedule_seed ^= t as u64;
+                s.seeds.qsl_seed ^= (t as u64) << 8;
+                s.with_min_query_count(settings.min_query_count / tenants as u64)
+            })
+            .collect();
+        let mut qsls: Vec<MemoryQsl> = (0..tenants)
+            .map(|t| MemoryQsl::new(&format!("trace-demo-qsl-{t}"), 1_024, 1_024))
+            .collect();
+        let mut pairs: Vec<(&TestSettings, &mut MemoryQsl)> =
+            per_tenant.iter().zip(qsls.iter_mut()).collect();
+        let outcomes = run_multitenant_server_instrumented(&mut pairs, &mut sut, &instruments)
+            .map_err(|e| format!("run failed: {e}"))?;
+        for (t, out) in outcomes.iter().enumerate() {
+            println!("tenant {t}: {}", out.result.summary_line());
+        }
+        outcomes
+            .into_iter()
+            .next()
+            .expect("at least one tenant outcome")
+    } else {
+        let mut qsl = MemoryQsl::new("trace-demo-qsl", 1_024, 1_024);
+        let outcome = run_instrumented(&settings, &mut qsl, &mut sut, &instruments)
+            .map_err(|e| format!("run failed: {e}"))?;
+        println!("{}", outcome.result.summary_line());
+        outcome
+    };
+    let wall = wall_start.elapsed();
+    if profile_on {
+        profile::set_enabled(false);
+    }
     let records = sink.snapshot();
 
     let rendered = match format.as_str() {
@@ -132,7 +233,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     std::fs::write(&path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
 
-    println!("{}", outcome.result.summary_line());
     if let Some(metrics) = &outcome.metrics {
         if let Some(h) = metrics.histogram("query_latency_ns") {
             println!(
@@ -148,6 +248,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("wrote {} events to {path} ({format})", records.len());
     if format == "chrome" {
         println!("open chrome://tracing or https://ui.perfetto.dev and load the file");
+    }
+
+    if let Some(ts_path) = &timeseries_path {
+        let rows = sampler.rows();
+        let rendered = match timeseries_format.as_str() {
+            "csv" => sampler.to_csv(),
+            _ => sampler.to_jsonl(),
+        };
+        std::fs::write(ts_path, rendered).map_err(|e| format!("cannot write {ts_path}: {e}"))?;
+        println!(
+            "wrote {} time-series rows ({} ms simulated interval) to {ts_path} \
+             ({timeseries_format})",
+            rows.len(),
+            interval_ms
+        );
+    }
+
+    if profile_on {
+        let report = profile::report();
+        println!(
+            "\nspan profile (wall time {:.3} ms, root inclusive {:.3} ms):",
+            wall.as_secs_f64() * 1e3,
+            report.root_inclusive_ns() as f64 / 1e6
+        );
+        print!("{}", report.table());
+        if let Some(cpath) = &collapsed_path {
+            let collapsed = report.collapsed();
+            std::fs::write(cpath, &collapsed).map_err(|e| format!("cannot write {cpath}: {e}"))?;
+            println!(
+                "wrote {} collapsed stacks to {cpath} (feed to flamegraph.pl)",
+                collapsed.lines().count()
+            );
+        }
     }
     Ok(())
 }

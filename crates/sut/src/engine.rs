@@ -6,7 +6,7 @@ use mlperf_loadgen::sut::{SimSut, SutReaction};
 use mlperf_loadgen::time::Nanos;
 use mlperf_models::Workload;
 use mlperf_stats::Rng64;
-use mlperf_trace::{TraceEvent, TraceSink};
+use mlperf_trace::{profile_span, MetricsRegistry, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -75,6 +75,7 @@ pub struct DeviceSut {
     mean_ops: Vec<f64>,
     armed_wakeup: Option<Nanos>,
     trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
     last_dvfs_milli: Vec<Option<u32>>,
 }
 
@@ -108,6 +109,7 @@ impl DeviceSut {
             mean_ops,
             armed_wakeup: None,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -184,6 +186,17 @@ impl DeviceSut {
         self
     }
 
+    /// Attaches a metrics registry: every dispatch bumps `batches_formed`
+    /// and `batched_samples`, observes `batch_service_ns`, and mirrors the
+    /// most recent thermal multiplier into the `dvfs_multiplier_milli`
+    /// gauge. Share the registry with the LoadGen run (via
+    /// `Instruments::with_metrics`) and a time-series sampler sees device
+    /// state alongside query state.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Overrides the jitter RNG seed (distinct fleet systems use distinct
     /// seeds so their jitter is uncorrelated).
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -223,27 +236,37 @@ impl DeviceSut {
     /// [`DeviceSut::dispatch_batch`] plus a fixed extra occupancy (the
     /// online path's per-query response handling).
     fn dispatch_batch_taxed(&mut self, now: Nanos, ops: f64, count: usize, tax: Nanos) -> Nanos {
+        profile_span!("sut/dispatch_batch");
         let unit = self.pick_unit();
         let start = now.max(self.busy_until[unit]);
         let service = self.spec.service_time(ops, count, start, &mut self.rng);
         let finish = start + service + tax;
         self.busy_until[unit] = finish;
-        if let Some(sink) = self.trace.as_deref() {
-            if sink.enabled() {
-                if let Some(thermal) = self.spec.thermal {
-                    let milli = (thermal.multiplier(start) * 1_000.0).round() as u32;
-                    if self.last_dvfs_milli[unit] != Some(milli) {
-                        self.last_dvfs_milli[unit] = Some(milli);
-                        sink.record(
-                            start.as_nanos(),
-                            &TraceEvent::DvfsStateChange {
-                                unit,
-                                multiplier_milli: milli,
-                            },
-                        );
-                    }
+        let sink_enabled = self.trace.as_deref().is_some_and(|s| s.enabled());
+        if sink_enabled || self.metrics.is_some() {
+            if let Some(thermal) = self.spec.thermal {
+                let milli = (thermal.multiplier(start) * 1_000.0).round() as u32;
+                if let Some(m) = self.metrics.as_deref() {
+                    m.set_gauge("dvfs_multiplier_milli", f64::from(milli));
                 }
-                sink.record(
+                if sink_enabled && self.last_dvfs_milli[unit] != Some(milli) {
+                    self.last_dvfs_milli[unit] = Some(milli);
+                    self.trace.as_deref().expect("sink_enabled").record(
+                        start.as_nanos(),
+                        &TraceEvent::DvfsStateChange {
+                            unit,
+                            multiplier_milli: milli,
+                        },
+                    );
+                }
+            }
+            if let Some(m) = self.metrics.as_deref() {
+                m.incr("batches_formed", 1);
+                m.incr("batched_samples", count as u64);
+                m.observe("batch_service_ns", (service + tax).as_nanos());
+            }
+            if sink_enabled {
+                self.trace.as_deref().expect("sink_enabled").record(
                     start.as_nanos(),
                     &TraceEvent::BatchFormed {
                         unit,
@@ -272,6 +295,7 @@ impl DeviceSut {
 
     /// Runs a whole query immediately, chunked across units.
     fn run_immediate(&mut self, now: Nanos, query: &Query) -> QueryCompletion {
+        profile_span!("sut/run_immediate");
         let mut order: Vec<usize> = (0..query.samples.len()).collect();
         let workload = self.workload_for(query.tenant);
         if self.length_sorting && workload.is_variable() {
@@ -312,6 +336,7 @@ impl DeviceSut {
         target_batch: usize,
         force_due: bool,
     ) -> SutReaction {
+        profile_span!("sut/drain_queue");
         let target_batch = target_batch.min(self.spec.max_batch).max(1);
         let mut reaction = SutReaction::none();
         loop {

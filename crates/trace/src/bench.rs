@@ -1,0 +1,324 @@
+//! Machine-readable benchmark reports and the perf-regression gate.
+//!
+//! The bench suite's mini harness (`mlperf_bench::runner::Bench`) prints
+//! human-readable lines; this module gives those measurements a durable,
+//! diffable shape: a [`BenchReport`] JSON document (per-bench median /
+//! min / max ns, iteration counts, git metadata) written to
+//! `BENCH_*.json` at the repository root, and [`compare`], the tolerance
+//! check behind the `bench-compare` harness binary that turns two such
+//! files into a CI verdict.
+
+use std::collections::BTreeMap;
+
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+
+/// Schema tag written into every report, bumped on breaking changes.
+pub const BENCH_SCHEMA: &str = "mlperf-bench-v1";
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Median ns per iteration across sample batches.
+    pub median_ns: u64,
+    /// Fastest sample batch, ns per iteration.
+    pub min_ns: u64,
+    /// Slowest sample batch, ns per iteration.
+    pub max_ns: u64,
+    /// Number of timed sample batches.
+    pub samples: u64,
+    /// Iterations per batch.
+    pub batch: u64,
+}
+
+impl ToJson for BenchEntry {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("median_ns", self.median_ns.to_json_value()),
+            ("min_ns", self.min_ns.to_json_value()),
+            ("max_ns", self.max_ns.to_json_value()),
+            ("samples", self.samples.to_json_value()),
+            ("batch", self.batch.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for BenchEntry {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(BenchEntry {
+            median_ns: value.field("median_ns")?.as_u64()?,
+            min_ns: value.field("min_ns")?.as_u64()?,
+            max_ns: value.field("max_ns")?.as_u64()?,
+            samples: value.field("samples")?.as_u64()?,
+            batch: value.field("batch")?.as_u64()?,
+        })
+    }
+}
+
+/// A full bench-suite report: entries by benchmark name plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchReport {
+    /// Git commit the suite ran at (passed in by ci.sh; empty if unknown).
+    pub git_commit: String,
+    /// Free-form provenance label (branch, host, profile).
+    pub label: String,
+    /// Measurements by benchmark name.
+    pub benches: BTreeMap<String, BenchEntry>,
+}
+
+impl BenchReport {
+    /// Inserts or replaces one benchmark's measurement.
+    pub fn record(&mut self, name: &str, entry: BenchEntry) {
+        self.benches.insert(name.to_string(), entry);
+    }
+
+    /// Merges `other`'s entries into `self` (other wins on conflicts), so
+    /// several bench binaries can contribute to one report file.
+    pub fn merge(&mut self, other: &BenchReport) {
+        for (name, entry) in &other.benches {
+            self.benches.insert(name.clone(), entry.clone());
+        }
+        if !other.git_commit.is_empty() {
+            self.git_commit = other.git_commit.clone();
+        }
+        if !other.label.is_empty() {
+            self.label = other.label.clone();
+        }
+    }
+}
+
+impl ToJson for BenchReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema", BENCH_SCHEMA.to_json_value()),
+            ("git_commit", self.git_commit.to_json_value()),
+            ("label", self.label.to_json_value()),
+            ("benches", self.benches.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for BenchReport {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let schema = value.field("schema")?.as_str()?;
+        if schema != BENCH_SCHEMA {
+            return Err(JsonError::new(format!(
+                "bench report schema mismatch: file has {schema:?}, expected {BENCH_SCHEMA:?}"
+            )));
+        }
+        let benches = match value.field("benches")? {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), BenchEntry::from_json_value(v)?)))
+                .collect::<Result<BTreeMap<_, _>, JsonError>>()?,
+            other => {
+                return Err(JsonError::new(format!(
+                    "expected benches object, found {}",
+                    other.to_compact()
+                )))
+            }
+        };
+        Ok(BenchReport {
+            git_commit: value.field("git_commit")?.as_str()?.to_string(),
+            label: value.field("label")?.as_str()?.to_string(),
+            benches,
+        })
+    }
+}
+
+/// One benchmark's old-vs-new delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median ns/iter.
+    pub old_median_ns: u64,
+    /// Candidate median ns/iter.
+    pub new_median_ns: u64,
+    /// Percentage change of the median (positive = slower).
+    pub change_pct: f64,
+}
+
+/// The verdict of comparing two bench reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchComparison {
+    /// Per-benchmark deltas for names present in both reports, sorted
+    /// worst-first.
+    pub deltas: Vec<BenchDelta>,
+    /// Deltas exceeding the tolerance (subset of `deltas`).
+    pub regressions: Vec<BenchDelta>,
+    /// Benchmarks only in the baseline (removed or not run).
+    pub missing: Vec<String>,
+    /// Benchmarks only in the candidate (newly added).
+    pub added: Vec<String>,
+}
+
+impl BenchComparison {
+    /// Whether the candidate passes the gate (no regression above
+    /// tolerance).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders a human-readable comparison table.
+    pub fn table(&self, tolerance_pct: f64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>9}",
+            "bench", "old ns/iter", "new ns/iter", "change"
+        );
+        for d in &self.deltas {
+            let flag = if d.change_pct > tolerance_pct {
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12} {:>12} {:>+8.1}%{flag}",
+                d.name, d.old_median_ns, d.new_median_ns, d.change_pct
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "{name:<44} (missing from candidate)");
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "{name:<44} (new, no baseline)");
+        }
+        out
+    }
+}
+
+/// Diffs two bench reports: every benchmark present in both contributes a
+/// delta, and medians that got slower by more than `tolerance_pct` percent
+/// are flagged as regressions.
+pub fn compare(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) -> BenchComparison {
+    let mut comparison = BenchComparison::default();
+    for (name, old_entry) in &old.benches {
+        match new.benches.get(name) {
+            None => comparison.missing.push(name.clone()),
+            Some(new_entry) => {
+                let old_ns = old_entry.median_ns.max(1);
+                let change_pct = (new_entry.median_ns as f64 / old_ns as f64 - 1.0) * 100.0;
+                comparison.deltas.push(BenchDelta {
+                    name: name.clone(),
+                    old_median_ns: old_entry.median_ns,
+                    new_median_ns: new_entry.median_ns,
+                    change_pct,
+                });
+            }
+        }
+    }
+    for name in new.benches.keys() {
+        if !old.benches.contains_key(name) {
+            comparison.added.push(name.clone());
+        }
+    }
+    comparison
+        .deltas
+        .sort_by(|a, b| b.change_pct.total_cmp(&a.change_pct));
+    comparison.regressions = comparison
+        .deltas
+        .iter()
+        .filter(|d| d.change_pct > tolerance_pct)
+        .cloned()
+        .collect();
+    comparison
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(median_ns: u64) -> BenchEntry {
+        BenchEntry {
+            median_ns,
+            min_ns: median_ns.saturating_sub(median_ns / 10),
+            max_ns: median_ns + median_ns / 10,
+            samples: 20,
+            batch: 100,
+        }
+    }
+
+    fn report(pairs: &[(&str, u64)]) -> BenchReport {
+        let mut r = BenchReport {
+            git_commit: "abc1234".into(),
+            label: "test".into(),
+            benches: BTreeMap::new(),
+        };
+        for (name, median) in pairs {
+            r.record(name, entry(*median));
+        }
+        r
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report(&[("a", 100), ("b", 2_000_000)]);
+        let text = r.to_json_string();
+        assert_eq!(BenchReport::from_json_str(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let text = r#"{"schema":"mlperf-bench-v0","git_commit":"","label":"","benches":{}}"#;
+        assert!(BenchReport::from_json_str(text).is_err());
+    }
+
+    #[test]
+    fn merge_replaces_and_extends() {
+        let mut base = report(&[("a", 100), ("b", 200)]);
+        let incoming = report(&[("b", 999), ("c", 300)]);
+        base.merge(&incoming);
+        assert_eq!(base.benches["a"].median_ns, 100);
+        assert_eq!(base.benches["b"].median_ns, 999);
+        assert_eq!(base.benches["c"].median_ns, 300);
+    }
+
+    #[test]
+    fn synthetic_two_x_regression_fails_gate() {
+        // The acceptance fixture: one bench got 2x slower; at 20%
+        // tolerance the gate must reject.
+        let old = report(&[("des_server_10k", 1_000), ("kernel_conv", 500)]);
+        let new = report(&[("des_server_10k", 2_000), ("kernel_conv", 490)]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].name, "des_server_10k");
+        assert!((cmp.regressions[0].change_pct - 100.0).abs() < 1e-9);
+        // Worst delta sorts first.
+        assert_eq!(cmp.deltas[0].name, "des_server_10k");
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let old = report(&[("a", 1_000), ("b", 500)]);
+        let new = report(&[("a", 1_150), ("b", 400)]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        // Improvements are never regressions, however large.
+        assert!(cmp.deltas.iter().any(|d| d.change_pct < 0.0));
+    }
+
+    #[test]
+    fn added_and_missing_are_informational() {
+        let old = report(&[("gone", 100), ("kept", 100)]);
+        let new = report(&[("kept", 100), ("fresh", 100)]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(cmp.passed(), "missing benches must not fail the gate");
+        assert_eq!(cmp.missing, vec!["gone".to_string()]);
+        assert_eq!(cmp.added, vec!["fresh".to_string()]);
+        let table = cmp.table(20.0);
+        assert!(table.contains("missing from candidate"), "{table}");
+        assert!(table.contains("new, no baseline"), "{table}");
+    }
+
+    #[test]
+    fn table_flags_regressions() {
+        let old = report(&[("slowpoke", 100)]);
+        let new = report(&[("slowpoke", 300)]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(cmp.table(20.0).contains("REGRESSION"));
+    }
+}

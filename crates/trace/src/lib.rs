@@ -26,6 +26,14 @@
 //!   event stream into a `chrome://tracing` / Perfetto-loadable timeline.
 //! * [`metrics`] — [`metrics::MetricsRegistry`] with counters, gauges, and
 //!   the mergeable log-bucketed [`metrics::LogHistogram`].
+//! * [`profile`] — the *wall-clock* side of observability: a hierarchical
+//!   span profiler ([`profile_span!`]) with self-time tables and
+//!   flamegraph-compatible collapsed stacks.
+//! * [`timeseries`] — [`timeseries::TimeSeriesSampler`], snapshotting the
+//!   metrics registry on a simulated-time grid so degradation curves are
+//!   plottable over a run.
+//! * [`bench`] — [`bench::BenchReport`] (the `BENCH_*.json` schema) and
+//!   [`bench::compare`], the perf-regression gate.
 //!
 //! # Example: record a run into a ring buffer
 //!
@@ -49,14 +57,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod timeseries;
 
+pub use bench::{BenchComparison, BenchEntry, BenchReport};
 pub use chrome::chrome_trace_json;
 pub use event::{
     parse_detail_log, JsonlSink, NoopSink, RingBufferSink, TraceEvent, TraceRecord, TraceSink,
 };
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{SpanGuard, SpanReport, SpanRow};
+pub use timeseries::{TimeSeriesRow, TimeSeriesSampler};

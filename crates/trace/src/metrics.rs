@@ -163,6 +163,35 @@ impl LogHistogram {
             self.max = self.max.max(other.max);
         }
     }
+
+    /// The values recorded into `self` after `earlier` was snapshotted from
+    /// it: per-bucket count difference, used by the time-series sampler to
+    /// compute per-interval quantiles from the cumulative run histogram.
+    ///
+    /// `earlier` must be a previous snapshot of the same histogram;
+    /// differences are saturating, so an unrelated histogram degrades to an
+    /// empty-ish delta instead of panicking. The delta's `min`/`max` are
+    /// the cumulative bounds (the exact interval extrema are not
+    /// recoverable from bucket counts), which only widens — never
+    /// misplaces — the reported quantile bucket.
+    pub fn delta_since(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut counts = BTreeMap::new();
+        for (&index, &count) in &self.counts {
+            let before = earlier.counts.get(&index).copied().unwrap_or(0);
+            let delta = count.saturating_sub(before);
+            if delta > 0 {
+                counts.insert(index, delta);
+            }
+        }
+        let total = self.total.saturating_sub(earlier.total);
+        LogHistogram {
+            counts,
+            total,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: if total == 0 { u64::MAX } else { self.min },
+            max: if total == 0 { 0 } else { self.max },
+        }
+    }
 }
 
 impl ToJson for LogHistogram {
@@ -377,6 +406,135 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        // (a ∪ b) ∪ c must equal a ∪ (b ∪ c), field for field.
+        let mk = |seed: u64, n: u64| {
+            let mut h = LogHistogram::new();
+            for i in 0..n {
+                h.record((i * seed * 2654435761) % 5_000_000);
+            }
+            h
+        };
+        let (a, b, c) = (mk(3, 500), mk(7, 400), mk(11, 300));
+        let left = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a = a.clone();
+            a.merge(&bc);
+            a
+        };
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 50, 7_777, 1 << 40] {
+            h.record(v);
+        }
+        let reference = h.clone();
+
+        // Non-empty ∪ empty: unchanged, and min/max are not clobbered by
+        // the empty histogram's sentinels (min = u64::MAX, max = 0).
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, reference);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1 << 40);
+
+        // Empty ∪ non-empty: adopts the other side wholesale.
+        let mut empty = LogHistogram::new();
+        empty.merge(&reference);
+        assert_eq!(empty, reference);
+
+        // Empty ∪ empty stays empty and keeps reporting zeros.
+        let mut ee = LogHistogram::new();
+        ee.merge(&LogHistogram::new());
+        assert_eq!(ee.count(), 0);
+        assert_eq!(ee.min(), 0);
+        assert_eq!(ee.max(), 0);
+        assert_eq!(ee.quantile(0.99), 0);
+        assert_eq!(ee.quantile_resolution(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_resolution_bounds_error_at_bucket_boundaries() {
+        // Values sitting exactly on and adjacent to bucket edges: powers of
+        // two open a new octave, so off-by-one errors in the index math
+        // would show up precisely here.
+        let mut h = LogHistogram::new();
+        let mut values = Vec::new();
+        for octave in SUB_BITS..40 {
+            let base = 1u64 << octave;
+            for v in [base - 1, base, base + 1] {
+                h.record(v);
+                values.push(v);
+            }
+        }
+        values.sort_unstable();
+        let n = values.len();
+        for rank in 1..=n {
+            let q = rank as f64 / n as f64;
+            let exact = values[rank - 1];
+            let approx = h.quantile(q);
+            let width = h.quantile_resolution(q);
+            assert!(
+                approx >= exact && approx - exact <= width,
+                "q={q}: exact {exact}, approx {approx}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_resolution_exact_below_sub_count() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        // Every value below 2^SUB_BITS is stored exactly: width 1.
+        for q in [0.01, 0.5, 1.0] {
+            assert_eq!(h.quantile_resolution(q), 1);
+        }
+    }
+
+    #[test]
+    fn delta_since_matches_late_recordings() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 300] {
+            h.record(v);
+        }
+        let snapshot = h.clone();
+        let mut late_only = LogHistogram::new();
+        for v in [400u64, 5_000, 20, 1 << 20] {
+            h.record(v);
+            late_only.record(v);
+        }
+        let delta = h.delta_since(&snapshot);
+        assert_eq!(delta.count(), 4);
+        assert_eq!(delta.counts, late_only.counts);
+        assert_eq!(delta.sum, late_only.sum);
+        // Quantiles over the delta agree with the late-only histogram.
+        for q in [0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(delta.quantile(q), late_only.quantile(q));
+        }
+    }
+
+    #[test]
+    fn delta_since_self_is_empty() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        let delta = h.delta_since(&h.clone());
+        assert_eq!(delta.count(), 0);
+        assert_eq!(delta.quantile(0.5), 0);
+        assert_eq!(delta, LogHistogram::new());
     }
 
     #[test]
