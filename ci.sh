@@ -12,11 +12,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== chaos smoke (fault matrix: reproducibility + validity flips) =="
+# Builds the scenario x fault matrix twice with the default seed and asserts
+# byte-identical output, VALID fault-free baselines, at least one
+# INVALID-flipping fault per scenario, and at least one cell rescued by the
+# resilience policies. The table itself is noise in CI logs.
+cargo run -q --release -p mlperf-harness --bin chaos -- --check > /dev/null
+
 echo "== bench suite (smoke mode, JSON report) =="
 # Fast smoke pass over every bench binary: each one appends its medians to
 # one machine-readable report. MLPERF_TRACE_OVERHEAD_MAX_PCT makes the
 # trace_overhead bench assert that a disabled sink stays within noise of
-# the un-traced baseline (the observability layer must be free when off).
+# the un-traced baseline (the observability layer must be free when off);
+# MLPERF_FAULT_OVERHEAD_MAX_PCT does the same for a disarmed FaultySut
+# wrapper (the chaos hooks must be free when no fault is armed).
 BENCH_JSON="$(pwd)/target/bench-current.json"
 rm -f "$BENCH_JSON"
 MLPERF_BENCH_JSON="$BENCH_JSON" \
@@ -24,6 +33,7 @@ MLPERF_BENCH_BUDGET_MS=50 \
 MLPERF_BENCH_LABEL="ci-smoke" \
 MLPERF_GIT_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 MLPERF_TRACE_OVERHEAD_MAX_PCT=10 \
+MLPERF_FAULT_OVERHEAD_MAX_PCT=10 \
 cargo bench -p mlperf-bench
 
 if [[ -f BENCH_PR2.json ]]; then

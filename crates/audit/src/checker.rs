@@ -173,6 +173,7 @@ mod tests {
             },
             latency_stats: None,
             query_count: 1_024,
+            error_count: 0,
             sample_count: 1_024,
             duration: Nanos::from_secs(61),
             validity: vec![],

@@ -7,8 +7,9 @@
 //! * [`tests`] — the behavioural audits run against a live SUT:
 //!   accuracy verification (sampled performance-mode response logging
 //!   checked against an accuracy run), on-the-fly caching detection
-//!   (duplicate vs unique sample indices), and alternate-random-seed
-//!   testing.
+//!   (duplicate vs unique sample indices), alternate-random-seed
+//!   testing, and query-completeness verification (the issued-vs-resolved
+//!   detail-log count that exposes silent query dropping).
 //! * [`checker`] — the submission checker: static validation of a scored
 //!   run against the Table I/III/V rules (quality target, latency bound,
 //!   query counts, validity flags). In the real v0.5 round these checks

@@ -295,6 +295,62 @@ pub fn custom_dataset_test<S: SimSut + ?Sized>(
     })
 }
 
+/// Query-completeness verification.
+///
+/// Replays the submitted settings in performance mode with the detail log
+/// attached and compares the number of queries the LoadGen *issued* with
+/// the number the SUT *resolved* — completed or explicitly errored. A SUT
+/// that silently discards its slowest queries reports a latency
+/// distribution built only from the queries it chose to answer; the
+/// issued-vs-resolved count mismatch exposes it. Honest degraded systems
+/// pass: an errored query is resolved, only a vanished one is not.
+///
+/// # Errors
+///
+/// Propagates run errors from the LoadGen.
+pub fn completeness_check<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+) -> Result<AuditReport, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    let perf = settings.clone().with_mode(TestMode::PerformanceOnly);
+    let sink = RingBufferSink::unbounded();
+    let _outcome = run_simulated_traced(&perf, qsl, sut, &sink)?;
+    let records = sink.snapshot();
+    let issued = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::QueryIssued { .. }))
+        .count();
+    let resolved = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TraceEvent::QueryCompleted { .. } | TraceEvent::QueryErrored { .. }
+            )
+        })
+        .count();
+    let outcome = if issued == 0 {
+        AuditOutcome::Fail("the run issued no queries to audit".into())
+    } else if resolved < issued {
+        AuditOutcome::Fail(format!(
+            "{} of {issued} issued queries silently vanished (never completed, never errored)",
+            issued - resolved
+        ))
+    } else {
+        AuditOutcome::Pass
+    };
+    Ok(AuditReport {
+        test: "TEST06-query-completeness",
+        outcome,
+        details: format!("issued {issued} queries, SUT resolved {resolved}"),
+    })
+}
+
 /// Performance-mode detail-log compliance.
 ///
 /// The rules require accuracy logging to be off during performance runs
@@ -431,6 +487,17 @@ mod unit {
             .snapshot()
             .iter()
             .any(|r| matches!(r.event, TraceEvent::AccuracyLogged { .. })));
+    }
+
+    #[test]
+    fn honest_sut_passes_completeness_check() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(64)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
+        let report = completeness_check(&settings, &mut qsl, &mut sut).unwrap();
+        assert!(report.passed(), "{report}");
     }
 
     #[test]

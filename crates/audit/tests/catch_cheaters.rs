@@ -1,14 +1,18 @@
 //! The audits must catch each cheating SUT and clear the honest one.
 
-use mlperf_audit::tests::{accuracy_verification, alternate_seed_test, caching_detection};
+use mlperf_audit::tests::{
+    accuracy_verification, alternate_seed_test, caching_detection, completeness_check,
+};
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::sut::SimSut;
 use mlperf_loadgen::time::Nanos;
 use mlperf_models::{TaskId, Workload};
 use mlperf_stats::rng::SeedTriple;
-use mlperf_sut::cheats::{CachingSut, SeedSniffingSut, SloppyAccuracySut};
+use mlperf_sut::cheats::{CachingSut, SeedSniffingSut, SilentDropperSut, SloppyAccuracySut};
 use mlperf_sut::device::{Architecture, DeviceSpec};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
+use mlperf_sut::faults::{FaultPlan, FaultySut};
 
 fn engine() -> DeviceSut {
     DeviceSut::new(
@@ -109,5 +113,54 @@ fn custom_dataset_test_clears_honest_engine() {
     use mlperf_audit::tests::custom_dataset_test;
     let mut honest = engine();
     let report = custom_dataset_test(&mut honest, 64, 128, 1.5).unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+/// Server settings loading the audit device to ~80% utilization, where
+/// queueing spreads the latency distribution enough for a tail to exist.
+fn loaded_server_settings() -> TestSettings {
+    let mut probe = engine();
+    let q = mlperf_loadgen::query::Query {
+        id: 0,
+        samples: vec![mlperf_loadgen::query::QuerySample { id: 0, index: 0 }],
+        scheduled_at: Nanos::ZERO,
+        tenant: 0,
+    };
+    let service = probe.on_query(Nanos::ZERO, &q).completions[0].finished_at;
+    let rate = 0.8 / service.as_secs_f64();
+    TestSettings::server(rate, service.mul(20))
+        .with_min_query_count(2_000)
+        .with_min_duration(Nanos::ZERO)
+}
+
+#[test]
+fn completeness_check_catches_silent_dropper() {
+    let settings = loaded_server_settings();
+    let mut qsl = MemoryQsl::new("q", 64, 64);
+    let mut cheater = SilentDropperSut::new(engine(), 0.05, 1.5);
+    let report = completeness_check(&settings, &mut qsl, &mut cheater).unwrap();
+    assert!(
+        !report.passed(),
+        "silent dropping went undetected: {report}"
+    );
+}
+
+#[test]
+fn completeness_check_clears_honest_engine() {
+    let settings = loaded_server_settings();
+    let mut qsl = MemoryQsl::new("q", 64, 64);
+    let mut honest = engine();
+    let report = completeness_check(&settings, &mut qsl, &mut honest).unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn completeness_check_tolerates_honest_errors() {
+    // A degraded-but-honest SUT resolves its failures as explicit errors;
+    // only *vanished* queries fail the audit.
+    let settings = loaded_server_settings();
+    let mut qsl = MemoryQsl::new("q", 64, 64);
+    let mut degraded = FaultySut::new(engine(), FaultPlan::new(7).with_transient_errors(0.1));
+    let report = completeness_check(&settings, &mut qsl, &mut degraded).unwrap();
     assert!(report.passed(), "{report}");
 }

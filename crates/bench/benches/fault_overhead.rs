@@ -1,0 +1,66 @@
+//! Cost of the fault-injection hooks when no fault is armed.
+//!
+//! `FaultySut` short-circuits to a plain pass-through when its
+//! `FaultPlan` is unarmed, so wrapping a production engine in the chaos
+//! decorator must cost nothing measurable. This bench compares a bare
+//! engine against a disarmed `FaultySut` wrapper and against an armed
+//! plan, so a regression in the disarmed path is visible as a gap
+//! between the first two numbers.
+
+use mlperf_bench::runner::Bench;
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_sut::faults::{FaultPlan, FaultySut};
+use std::hint::black_box;
+
+fn main() {
+    let bench = Bench::from_env();
+    let settings = TestSettings::server(10_000.0, Nanos::from_millis(10))
+        .with_min_query_count(5_000)
+        .with_min_duration(Nanos::from_micros(1));
+    let engine = || FixedLatencySut::new("s", Nanos::from_micros(50));
+
+    let baseline = bench.bench("run_simulated_bare_engine", || {
+        let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+        let mut sut = engine();
+        black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
+    });
+
+    let disarmed = bench.bench("run_simulated_disarmed_faulty_sut", || {
+        let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+        let mut sut = FaultySut::new(engine(), FaultPlan::new(1));
+        black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
+    });
+
+    bench.bench("run_simulated_armed_faulty_sut", || {
+        let mut qsl = MemoryQsl::new("q", 1_024, 1_024);
+        let plan = FaultPlan::new(1).with_latency_spikes(0.05, 10.0);
+        let mut sut = FaultySut::new(engine(), plan);
+        black_box(run_simulated(&settings, &mut qsl, &mut sut).expect("runs"))
+    });
+
+    bench.finish();
+
+    if let (Some(base), Some(disarmed)) = (baseline, disarmed) {
+        let pct = (disarmed as f64 / base.max(1) as f64 - 1.0) * 100.0;
+        println!("disarmed fault-hook overhead vs bare engine: {pct:+.1}%");
+        // Enforce mode for CI: with MLPERF_FAULT_OVERHEAD_MAX_PCT set, a
+        // disarmed wrapper costing more than the allowance fails the run.
+        if let Some(max_pct) = std::env::var("MLPERF_FAULT_OVERHEAD_MAX_PCT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            if pct > max_pct {
+                eprintln!(
+                    "fault overhead gate: disarmed overhead {pct:+.1}% exceeds \
+                     allowance {max_pct:.1}%"
+                );
+                std::process::exit(1);
+            }
+            println!("fault overhead gate: within {max_pct:.1}% allowance");
+        }
+    }
+}

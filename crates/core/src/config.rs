@@ -63,6 +63,11 @@ pub struct TestSettings {
     /// Probability of logging a response payload in performance mode, for
     /// the accuracy-verification audit (Section V-B). 0 disables.
     pub accuracy_log_probability: f64,
+    /// Maximum fraction of issued queries that may resolve as errors/drops
+    /// before the run is INVALID. The benchmark rules have no tolerance for
+    /// failed queries, so the default is 0.0; resilience experiments relax
+    /// it deliberately.
+    pub max_error_fraction: f64,
 }
 
 impl TestSettings {
@@ -81,6 +86,7 @@ impl TestSettings {
             multistream_max_skip_fraction: 0.01,
             offline_min_sample_count: 24_576,
             accuracy_log_probability: 0.0,
+            max_error_fraction: 0.0,
         }
     }
 
@@ -185,6 +191,12 @@ impl TestSettings {
         self
     }
 
+    /// Overrides the tolerated errored-query fraction (0 by rule).
+    pub fn with_max_error_fraction(mut self, f: f64) -> Self {
+        self.max_error_fraction = f;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -206,6 +218,12 @@ impl TestSettings {
             return Err(LoadGenError::BadSettings(format!(
                 "accuracy_log_probability must be in [0,1], got {}",
                 self.accuracy_log_probability
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.max_error_fraction) {
+            return Err(LoadGenError::BadSettings(format!(
+                "max_error_fraction must be in [0,1], got {}",
+                self.max_error_fraction
             )));
         }
         match self.scenario {
@@ -270,6 +288,11 @@ mod tests {
 
         let off = TestSettings::offline();
         assert_eq!(off.offline_min_sample_count, 24_576);
+
+        // Zero tolerance for errored queries by default, in every scenario.
+        for s in [&ss, &ms, &sv, &off] {
+            assert_eq!(s.max_error_fraction, 0.0);
+        }
     }
 
     #[test]
@@ -294,6 +317,14 @@ mod tests {
             .is_err());
         assert!(TestSettings::single_stream()
             .with_accuracy_log_probability(1.5)
+            .validate()
+            .is_err());
+        assert!(TestSettings::single_stream()
+            .with_max_error_fraction(-0.1)
+            .validate()
+            .is_err());
+        assert!(TestSettings::single_stream()
+            .with_max_error_fraction(1.1)
             .validate()
             .is_err());
         let mut ms = TestSettings::multi_stream(1, Nanos::from_millis(50));

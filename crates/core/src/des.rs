@@ -220,13 +220,23 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
             .recorder
             .record_completion(completion, |_| p > 0.0 && rng.next_bool(p))?;
         if self.sink.enabled() {
-            self.sink.record(
-                completion.finished_at.as_nanos(),
-                &TraceEvent::QueryCompleted {
-                    query_id: completion.query_id,
-                    latency_ns: latency.as_nanos(),
-                },
-            );
+            if completion.error {
+                self.sink.record(
+                    completion.finished_at.as_nanos(),
+                    &TraceEvent::QueryErrored {
+                        query_id: completion.query_id,
+                        latency_ns: latency.as_nanos(),
+                    },
+                );
+            } else {
+                self.sink.record(
+                    completion.finished_at.as_nanos(),
+                    &TraceEvent::QueryCompleted {
+                        query_id: completion.query_id,
+                        latency_ns: latency.as_nanos(),
+                    },
+                );
+            }
             let logged = self.recorder.accuracy_log().len() - logged_before;
             if logged > 0 {
                 self.sink.record(
@@ -239,9 +249,15 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
             }
         }
         if let Some(m) = self.metrics {
-            m.incr("queries_completed", 1);
-            m.incr("samples_completed", completion.samples.len() as u64);
-            m.observe("query_latency_ns", latency.as_nanos());
+            if completion.error {
+                // Errored latencies stay out of the latency histogram: it
+                // summarizes service behaviour, not failure timing.
+                m.incr("queries_errored", 1);
+            } else {
+                m.incr("queries_completed", 1);
+                m.incr("samples_completed", completion.samples.len() as u64);
+                m.observe("query_latency_ns", latency.as_nanos());
+            }
         }
         Ok(())
     }
@@ -410,9 +426,10 @@ pub(crate) fn finish_run(
     }
     let samples_completed: u64 = records
         .iter()
-        .filter(|r| r.completed_at.is_some())
+        .filter(|r| r.completed_at.is_some() && !r.error)
         .map(|r| r.sample_count as u64)
         .sum();
+    let error_count = records.iter().filter(|r| r.error).count() as u64;
     let metric = compute_metric(settings, &records, duration, samples_completed);
     let latencies: Vec<Nanos> = records.iter().filter_map(QueryRecord::latency).collect();
     let result = TestResult {
@@ -423,6 +440,7 @@ pub(crate) fn finish_run(
         metric,
         latency_stats: LatencyStats::from_latencies(&latencies),
         query_count: records.len() as u64,
+        error_count,
         sample_count: samples_completed,
         duration,
         validity,
@@ -919,11 +937,11 @@ mod tests {
                 "tt"
             }
             fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
-                SutReaction::complete(QueryCompletion {
-                    query_id: query.id,
-                    finished_at: now.saturating_sub(Nanos::from_micros(1)),
-                    samples: vec![],
-                })
+                SutReaction::complete(QueryCompletion::ok(
+                    query.id,
+                    now.saturating_sub(Nanos::from_micros(1)),
+                    vec![],
+                ))
             }
         }
         let settings = TestSettings::single_stream()

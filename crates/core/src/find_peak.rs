@@ -45,22 +45,67 @@ pub struct PeakResult {
     pub runs: u32,
 }
 
+/// How a peak search ended.
+///
+/// A search that never finds a valid operating point is not a caller error:
+/// a SUT can be genuinely hopeless for the workload, or it can *die* partway
+/// through the search (fault injection, a real device falling off the bus).
+/// Both must terminate the search with a structured verdict rather than loop
+/// or panic, so degraded hardware shows up in reports as an aborted search
+/// with a reason, not as a crash.
+#[derive(Debug, Clone)]
+pub enum PeakSearchOutcome {
+    /// The search converged on a valid operating point.
+    Converged(Box<PeakResult>),
+    /// The search gave up: no probed load ever produced a VALID run.
+    Aborted {
+        /// Human-readable explanation of why the search stopped.
+        reason: String,
+        /// How many LoadGen runs the search consumed before giving up.
+        runs: u32,
+    },
+}
+
+impl PeakSearchOutcome {
+    /// Consumes the outcome, returning the converged result if any.
+    pub fn converged(self) -> Option<PeakResult> {
+        match self {
+            Self::Converged(result) => Some(*result),
+            Self::Aborted { .. } => None,
+        }
+    }
+
+    /// The peak load, if the search converged.
+    pub fn peak(&self) -> Option<f64> {
+        match self {
+            Self::Converged(result) => Some(result.peak),
+            Self::Aborted { .. } => None,
+        }
+    }
+
+    /// True if the search gave up without a valid operating point.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, Self::Aborted { .. })
+    }
+}
+
 /// Finds the peak valid server QPS by exponential growth + bisection.
 ///
 /// `settings` must be a server-scenario configuration; its
-/// `server_target_qps` seeds the search.
+/// `server_target_qps` seeds the search. A SUT with no valid operating
+/// point (including one that dies mid-search) yields
+/// [`PeakSearchOutcome::Aborted`] — the search always terminates.
 ///
 /// # Errors
 ///
-/// Returns [`LoadGenError::BadSettings`] if the scenario is not server or no
-/// valid operating point exists within the run budget, and propagates any
-/// run error.
+/// Returns [`LoadGenError::BadSettings`] if the scenario is not server, and
+/// propagates any run error.
 pub fn find_peak_server_qps<Q, S>(
     settings: &TestSettings,
     qsl: &mut Q,
     sut: &mut S,
     options: PeakSearchOptions,
-) -> Result<PeakResult, LoadGenError>
+) -> Result<PeakSearchOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
@@ -82,7 +127,7 @@ pub fn find_peak_server_qps_traced<Q, S>(
     sut: &mut S,
     options: PeakSearchOptions,
     sink: &dyn TraceSink,
-) -> Result<PeakResult, LoadGenError>
+) -> Result<PeakSearchOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
@@ -107,7 +152,7 @@ pub fn find_peak_server_qps_instrumented<Q, S>(
     sut: &mut S,
     options: PeakSearchOptions,
     instruments: &Instruments<'_>,
-) -> Result<PeakResult, LoadGenError>
+) -> Result<PeakSearchOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
@@ -143,10 +188,13 @@ where
     let mut best: Option<(f64, RunOutcome)>;
     loop {
         if runs >= options.max_runs {
-            return Err(LoadGenError::BadSettings(format!(
-                "no valid server operating point found within {} runs",
-                options.max_runs
-            )));
+            return Ok(PeakSearchOutcome::Aborted {
+                reason: format!(
+                    "no valid server operating point found within {} runs",
+                    options.max_runs
+                ),
+                runs,
+            });
         }
         let out = try_qps(lo, qsl, sut, &mut runs)?;
         if out.result.is_valid() {
@@ -155,9 +203,12 @@ where
         }
         lo /= 2.0;
         if lo < 1e-6 {
-            return Err(LoadGenError::BadSettings(
-                "SUT cannot sustain any server load".into(),
-            ));
+            return Ok(PeakSearchOutcome::Aborted {
+                reason: "SUT cannot sustain any server load; every probed rate \
+                         down to 1e-6 qps went INVALID"
+                    .into(),
+                runs,
+            });
         }
     }
     // Grow until invalid.
@@ -187,16 +238,17 @@ where
         }
     }
     let (peak, outcome) = best.expect("loop established a valid point");
-    Ok(PeakResult {
+    Ok(PeakSearchOutcome::Converged(Box::new(PeakResult {
         peak,
         outcome,
         runs,
-    })
+    })))
 }
 
 /// Finds the maximum valid multistream stream count (samples per query).
 ///
-/// Returns `None` if even one stream is unsustainable.
+/// Yields [`PeakSearchOutcome::Aborted`] if even one stream is
+/// unsustainable.
 ///
 /// # Errors
 ///
@@ -207,7 +259,7 @@ pub fn find_peak_multistream<Q, S>(
     qsl: &mut Q,
     sut: &mut S,
     options: PeakSearchOptions,
-) -> Result<Option<PeakResult>, LoadGenError>
+) -> Result<PeakSearchOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
@@ -227,7 +279,7 @@ pub fn find_peak_multistream_traced<Q, S>(
     sut: &mut S,
     options: PeakSearchOptions,
     sink: &dyn TraceSink,
-) -> Result<Option<PeakResult>, LoadGenError>
+) -> Result<PeakSearchOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
@@ -247,7 +299,7 @@ pub fn find_peak_multistream_instrumented<Q, S>(
     sut: &mut S,
     options: PeakSearchOptions,
     instruments: &Instruments<'_>,
-) -> Result<Option<PeakResult>, LoadGenError>
+) -> Result<PeakSearchOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
@@ -280,7 +332,10 @@ where
     };
     let first = try_n(1, qsl, sut, &mut runs)?;
     if !first.result.is_valid() {
-        return Ok(None);
+        return Ok(PeakSearchOutcome::Aborted {
+            reason: "SUT cannot sustain even a single multistream stream".into(),
+            runs,
+        });
     }
     let mut best = (1usize, first);
     // Exponential growth.
@@ -307,11 +362,11 @@ where
             hi = mid;
         }
     }
-    Ok(Some(PeakResult {
+    Ok(PeakSearchOutcome::Converged(Box::new(PeakResult {
         peak: best.0 as f64,
         outcome: best.1,
         runs,
-    }))
+    })))
 }
 
 #[cfg(test)]
@@ -339,7 +394,9 @@ mod tests {
             &mut sut,
             PeakSearchOptions::default(),
         )
-        .unwrap();
+        .unwrap()
+        .converged()
+        .expect("search converges");
         assert!(
             (500.0..1_000.0).contains(&peak.peak),
             "peak={} runs={}",
@@ -360,6 +417,8 @@ mod tests {
             &mut fast,
             PeakSearchOptions::default(),
         )
+        .unwrap()
+        .converged()
         .unwrap();
         let ps = find_peak_server_qps(
             &server_settings(),
@@ -367,6 +426,8 @@ mod tests {
             &mut slow,
             PeakSearchOptions::default(),
         )
+        .unwrap()
+        .converged()
         .unwrap();
         assert!(pf.peak > 3.0 * ps.peak, "fast={} slow={}", pf.peak, ps.peak);
     }
@@ -383,21 +444,65 @@ mod tests {
         let peak =
             find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
                 .unwrap()
+                .converged()
                 .unwrap();
         assert_eq!(peak.peak as usize, 25, "runs={}", peak.runs);
     }
 
     #[test]
-    fn multistream_hopeless_sut_returns_none() {
+    fn multistream_hopeless_sut_aborts() {
         let settings = TestSettings::multi_stream(1, Nanos::from_millis(10))
             .with_min_query_count(50)
             .with_min_duration(Nanos::from_millis(1));
         let mut qsl = MemoryQsl::new("q", 16, 16);
         let mut sut = FixedLatencySut::new("s", Nanos::from_millis(25));
-        let peak =
+        let outcome =
             find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
                 .unwrap();
-        assert!(peak.is_none());
+        match outcome {
+            PeakSearchOutcome::Aborted { reason, runs } => {
+                assert!(reason.contains("single multistream stream"), "{reason}");
+                assert_eq!(runs, 1);
+            }
+            PeakSearchOutcome::Converged(p) => panic!("hopeless SUT converged at {}", p.peak),
+        }
+    }
+
+    #[test]
+    fn dead_server_sut_aborts_instead_of_looping() {
+        /// Accepts queries and never completes any — the shape of a device
+        /// that died before the search started.
+        struct DeadSut;
+        impl crate::sut::SimSut for DeadSut {
+            fn name(&self) -> &str {
+                "dead"
+            }
+            fn on_query(
+                &mut self,
+                _now: Nanos,
+                _query: &crate::query::Query,
+            ) -> crate::sut::SutReaction {
+                crate::sut::SutReaction::none()
+            }
+        }
+        let settings = TestSettings::server(100.0, Nanos::from_millis(10))
+            .with_min_query_count(20)
+            .with_min_duration(Nanos::from_millis(1));
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let outcome = find_peak_server_qps(
+            &settings,
+            &mut qsl,
+            &mut DeadSut,
+            PeakSearchOptions::default(),
+        )
+        .unwrap();
+        match outcome {
+            PeakSearchOutcome::Aborted { reason, runs } => {
+                assert!(reason.contains("cannot sustain"), "{reason}");
+                assert!(runs > 0 && runs <= PeakSearchOptions::default().max_runs);
+            }
+            PeakSearchOutcome::Converged(p) => panic!("dead SUT converged at {}", p.peak),
+        }
     }
 
     #[test]
@@ -413,6 +518,8 @@ mod tests {
             PeakSearchOptions::default(),
             &sink,
         )
+        .unwrap()
+        .converged()
         .unwrap();
         let records = sink.snapshot();
         assert_eq!(records.len() as u32, peak.runs);

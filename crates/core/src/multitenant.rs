@@ -308,19 +308,34 @@ where
                 let latency = state
                     .recorder
                     .record_completion(&completion, |_| p > 0.0 && rng.next_bool(p))?;
-                if let Some(m) = registry {
-                    m.incr("queries_completed", 1);
-                    m.incr("samples_completed", completion.samples.len() as u64);
-                    m.observe("query_latency_ns", latency.as_nanos());
-                }
-                if sink.enabled() {
-                    sink.record(
-                        completion.finished_at.as_nanos(),
-                        &TraceEvent::QueryCompleted {
-                            query_id: completion.query_id,
-                            latency_ns: latency.as_nanos(),
-                        },
-                    );
+                if completion.error {
+                    if let Some(m) = registry {
+                        m.incr("queries_errored", 1);
+                    }
+                    if sink.enabled() {
+                        sink.record(
+                            completion.finished_at.as_nanos(),
+                            &TraceEvent::QueryErrored {
+                                query_id: completion.query_id,
+                                latency_ns: latency.as_nanos(),
+                            },
+                        );
+                    }
+                } else {
+                    if let Some(m) = registry {
+                        m.incr("queries_completed", 1);
+                        m.incr("samples_completed", completion.samples.len() as u64);
+                        m.observe("query_latency_ns", latency.as_nanos());
+                    }
+                    if sink.enabled() {
+                        sink.record(
+                            completion.finished_at.as_nanos(),
+                            &TraceEvent::QueryCompleted {
+                                query_id: completion.query_id,
+                                latency_ns: latency.as_nanos(),
+                            },
+                        );
+                    }
                 }
             }
         }

@@ -85,6 +85,42 @@ pub struct QueryCompletion {
     pub finished_at: Nanos,
     /// Per-sample completions (must cover every sample of the query).
     pub samples: Vec<SampleCompletion>,
+    /// The query resolved as an error/drop instead of an answer. Errored
+    /// completions still echo every sample id (so the protocol checks hold
+    /// and every scenario loop terminates), but their payloads are
+    /// meaningless and validity scoring treats them as infinitely late.
+    pub error: bool,
+}
+
+impl QueryCompletion {
+    /// A successful completion echoing the query's samples with the given
+    /// payloads.
+    pub fn ok(query_id: QueryId, finished_at: Nanos, samples: Vec<SampleCompletion>) -> Self {
+        QueryCompletion {
+            query_id,
+            finished_at,
+            samples,
+            error: false,
+        }
+    }
+
+    /// An errored completion for `query`: echoes every sample id with an
+    /// empty payload so the run can terminate, but marks the query failed.
+    pub fn errored(query: &Query, finished_at: Nanos) -> Self {
+        QueryCompletion {
+            query_id: query.id,
+            finished_at,
+            samples: query
+                .samples
+                .iter()
+                .map(|s| SampleCompletion {
+                    sample_id: s.id,
+                    payload: ResponsePayload::Empty,
+                })
+                .collect(),
+            error: true,
+        }
+    }
 }
 
 impl ToJson for QuerySample {
@@ -215,6 +251,7 @@ impl ToJson for QueryCompletion {
             ("query_id", self.query_id.to_json_value()),
             ("finished_at", self.finished_at.to_json_value()),
             ("samples", self.samples.to_json_value()),
+            ("error", self.error.to_json_value()),
         ])
     }
 }
@@ -225,6 +262,12 @@ impl FromJson for QueryCompletion {
             query_id: value.field("query_id")?.as_u64()?,
             finished_at: Nanos::from_json_value(value.field("finished_at")?)?,
             samples: Vec::from_json_value(value.field("samples")?)?,
+            // Logs written before the fault-injection extension lack the
+            // field; every completion then was a success.
+            error: match value.get("error") {
+                Some(v) => v.as_bool()?,
+                None => false,
+            },
         })
     }
 }
@@ -264,6 +307,7 @@ mod tests {
                 sample_id: 1,
                 payload: ResponsePayload::Boxes(vec![(2, 0.9, [0.0, 0.0, 4.0, 4.0])]),
             }],
+            error: false,
         };
         let json = c.to_json_string();
         assert_eq!(QueryCompletion::from_json_str(&json).unwrap(), c);
@@ -275,6 +319,33 @@ mod tests {
             let json = payload.to_json_string();
             assert_eq!(ResponsePayload::from_json_str(&json).unwrap(), payload);
         }
+    }
+
+    #[test]
+    fn completion_without_error_field_parses_as_success() {
+        let json = r#"{"query_id":4,"finished_at":90,"samples":[]}"#;
+        let c = QueryCompletion::from_json_str(json).unwrap();
+        assert!(!c.error);
+        assert_eq!(c.finished_at, Nanos::from_nanos(90));
+    }
+
+    #[test]
+    fn errored_completion_echoes_every_sample() {
+        let q = Query {
+            id: 7,
+            samples: vec![
+                QuerySample { id: 70, index: 1 },
+                QuerySample { id: 71, index: 2 },
+            ],
+            scheduled_at: Nanos::ZERO,
+            tenant: 0,
+        };
+        let c = QueryCompletion::errored(&q, Nanos::from_micros(5));
+        assert!(c.error);
+        assert_eq!(c.samples.len(), 2);
+        assert_eq!(c.samples[1].sample_id, 71);
+        let json = c.to_json_string();
+        assert_eq!(QueryCompletion::from_json_str(&json).unwrap(), c);
     }
 
     #[test]

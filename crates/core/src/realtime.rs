@@ -115,11 +115,7 @@ fn run_batch(
     let samples = sut.issue(&query);
     let finished = Nanos::from(start.elapsed());
     recorder.record_completion(
-        &QueryCompletion {
-            query_id: 0,
-            finished_at: finished,
-            samples,
-        },
+        &QueryCompletion::ok(0, finished, samples),
         log_sampler(settings, log_probability),
     )?;
     Ok(())
@@ -144,14 +140,7 @@ fn run_single_stream(
         recorder.record_issue(&query, scheduled)?;
         let samples = sut.issue(&query);
         let finished = Nanos::from(start.elapsed());
-        recorder.record_completion(
-            &QueryCompletion {
-                query_id: query.id,
-                finished_at: finished,
-                samples,
-            },
-            &mut log,
-        )?;
+        recorder.record_completion(&QueryCompletion::ok(query.id, finished, samples), &mut log)?;
         if issued >= settings.min_query_count && finished >= settings.min_duration {
             return Ok(());
         }
@@ -183,14 +172,7 @@ fn run_multi_stream(
         recorder.record_issue(&query, boundary)?;
         let samples = sut.issue(&query);
         let finished = Nanos::from(start.elapsed());
-        recorder.record_completion(
-            &QueryCompletion {
-                query_id: query.id,
-                finished_at: finished,
-                samples,
-            },
-            &mut log,
-        )?;
+        recorder.record_completion(&QueryCompletion::ok(query.id, finished, samples), &mut log)?;
         let elapsed = finished.saturating_sub(boundary).as_nanos();
         let consumed = elapsed.div_ceil(interval.as_nanos()).max(1);
         if consumed > 1 {
@@ -235,11 +217,7 @@ fn run_server(
             let samples = sut.issue(&query);
             let finished = Nanos::from(start.elapsed());
             if tx
-                .send(QueryCompletion {
-                    query_id: query.id,
-                    finished_at: finished,
-                    samples,
-                })
+                .send(QueryCompletion::ok(query.id, finished, samples))
                 .is_err()
             {
                 break;

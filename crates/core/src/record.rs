@@ -21,13 +21,35 @@ pub struct QueryRecord {
     pub sample_count: usize,
     /// Multistream only: intervals this query overran.
     pub skipped_intervals: u32,
+    /// The query resolved as an error/drop: the SUT acknowledged it (so it
+    /// is not outstanding) but produced no usable answer.
+    pub error: bool,
 }
 
 impl QueryRecord {
-    /// Latency from scheduled time to completion.
+    /// Latency from scheduled time to completion, for queries that produced
+    /// a usable answer. Errored queries return `None`: they carry a
+    /// completion timestamp (when the failure surfaced) but no service
+    /// latency worth aggregating into [`LatencyStats`].
+    ///
+    /// [`LatencyStats`]: crate::results::LatencyStats
     pub fn latency(&self) -> Option<Nanos> {
+        if self.error {
+            return None;
+        }
         self.completed_at
             .map(|c| c.saturating_sub(self.scheduled_at))
+    }
+
+    /// Latency as scored by the validity rules: errored queries count as
+    /// infinitely late ([`Nanos::MAX`]), so they always land past any
+    /// latency bound. Still-outstanding queries return `None` (they are
+    /// caught separately by the incomplete-queries check).
+    pub fn scored_latency(&self) -> Option<Nanos> {
+        if self.error {
+            return self.completed_at.map(|_| Nanos::MAX);
+        }
+        self.latency()
     }
 }
 
@@ -51,6 +73,7 @@ impl ToJson for QueryRecord {
             ("completed_at", self.completed_at.to_json_value()),
             ("sample_count", self.sample_count.to_json_value()),
             ("skipped_intervals", self.skipped_intervals.to_json_value()),
+            ("error", self.error.to_json_value()),
         ])
     }
 }
@@ -64,6 +87,12 @@ impl FromJson for QueryRecord {
             completed_at: Option::from_json_value(value.field("completed_at")?)?,
             sample_count: value.field("sample_count")?.as_usize()?,
             skipped_intervals: value.field("skipped_intervals")?.as_u32()?,
+            // Logs written before the fault-injection extension lack the
+            // field; every completion then was a success.
+            error: match value.get("error") {
+                Some(v) => v.as_bool()?,
+                None => false,
+            },
         })
     }
 }
@@ -97,6 +126,7 @@ pub struct Recorder {
     accuracy_log: Vec<LoggedResponse>,
     samples_completed: u64,
     last_completion: Nanos,
+    errored: u64,
 }
 
 impl Recorder {
@@ -125,6 +155,7 @@ impl Recorder {
             completed_at: None,
             sample_count: query.sample_count(),
             skipped_intervals: 0,
+            error: false,
         });
         self.outstanding.insert(
             query.id,
@@ -180,7 +211,9 @@ impl Recorder {
                     completion.query_id, sc.sample_id, sid
                 )));
             }
-            if log_payload(*sid) {
+            // Errored completions echo sample ids but carry no usable
+            // payload, so they never land in the accuracy log.
+            if !completion.error && log_payload(*sid) {
                 self.accuracy_log.push(LoggedResponse {
                     sample_id: *sid,
                     sample_index: *sindex,
@@ -189,7 +222,12 @@ impl Recorder {
             }
         }
         record.completed_at = Some(completion.finished_at);
-        self.samples_completed += samples.len() as u64;
+        record.error = completion.error;
+        if completion.error {
+            self.errored += 1;
+        } else {
+            self.samples_completed += samples.len() as u64;
+        }
         self.last_completion = self.last_completion.max(completion.finished_at);
         Ok(completion.finished_at.saturating_sub(record.scheduled_at))
     }
@@ -235,9 +273,14 @@ impl Recorder {
         self.outstanding.len()
     }
 
-    /// Total samples completed.
+    /// Total samples completed successfully (errored queries excluded).
     pub fn samples_completed(&self) -> u64 {
         self.samples_completed
+    }
+
+    /// Number of queries that resolved as errors.
+    pub fn errored(&self) -> u64 {
+        self.errored
     }
 
     /// Latest completion timestamp seen.
@@ -272,14 +315,14 @@ mod tests {
     }
 
     fn completion(id: u64, at: Nanos) -> QueryCompletion {
-        QueryCompletion {
-            query_id: id,
-            finished_at: at,
-            samples: vec![SampleCompletion {
+        QueryCompletion::ok(
+            id,
+            at,
+            vec![SampleCompletion {
                 sample_id: id * 10,
                 payload: ResponsePayload::Class(1),
             }],
-        }
+        )
     }
 
     #[test]

@@ -30,16 +30,17 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes stats from raw latencies; `None` when empty.
+    ///
+    /// Percentiles use the same nearest-rank rule as the validity checks —
+    /// see [`nearest_rank`](crate::validate::nearest_rank) for the
+    /// tie-breaking and rounding documentation.
     pub fn from_latencies(latencies: &[Nanos]) -> Option<Self> {
         if latencies.is_empty() {
             return None;
         }
         let mut sorted = latencies.to_vec();
         sorted.sort_unstable();
-        let pick = |p: f64| {
-            let rank = (p * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        let pick = |p: f64| crate::validate::nearest_rank(&sorted, p).expect("non-empty");
         let sum: u128 = sorted.iter().map(|l| u128::from(l.as_nanos())).sum();
         Some(Self {
             min: sorted[0],
@@ -229,6 +230,8 @@ pub struct TestResult {
     pub latency_stats: Option<LatencyStats>,
     /// Queries issued.
     pub query_count: u64,
+    /// Queries that resolved as errors/drops.
+    pub error_count: u64,
     /// Samples completed.
     pub sample_count: u64,
     /// Time from first issue to last completion.
@@ -274,6 +277,7 @@ impl ToJson for TestResult {
             ("metric", self.metric.to_json_value()),
             ("latency_stats", self.latency_stats.to_json_value()),
             ("query_count", self.query_count.to_json_value()),
+            ("error_count", self.error_count.to_json_value()),
             ("sample_count", self.sample_count.to_json_value()),
             ("duration", self.duration.to_json_value()),
             ("validity", self.validity.to_json_value()),
@@ -291,6 +295,12 @@ impl FromJson for TestResult {
             metric: ScenarioMetric::from_json_value(value.field("metric")?)?,
             latency_stats: Option::from_json_value(value.field("latency_stats")?)?,
             query_count: value.field("query_count")?.as_u64()?,
+            // Results written before the fault-injection extension lack the
+            // field; every query then succeeded.
+            error_count: match value.get("error_count") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            },
             sample_count: value.field("sample_count")?.as_u64()?,
             duration: Nanos::from_json_value(value.field("duration")?)?,
             validity: Vec::from_json_value(value.field("validity")?)?,
@@ -368,6 +378,7 @@ mod tests {
             },
             latency_stats: None,
             query_count: 100,
+            error_count: 0,
             sample_count: 100,
             duration: Nanos::from_secs(61),
             validity: vec![],
@@ -376,6 +387,30 @@ mod tests {
         assert!(line.contains("VALID"));
         assert!(line.contains("12.50 QPS"));
         assert!(result.is_valid());
+    }
+
+    #[test]
+    fn result_without_error_count_parses_as_zero() {
+        let result = TestResult {
+            sut_name: "sut".into(),
+            qsl_name: "qsl".into(),
+            scenario: Scenario::Offline,
+            performance_mode: true,
+            metric: ScenarioMetric::Offline {
+                samples_per_second: 10.0,
+            },
+            latency_stats: None,
+            query_count: 1,
+            error_count: 3,
+            sample_count: 100,
+            duration: Nanos::from_secs(61),
+            validity: vec![],
+        };
+        let json = result.to_json_string();
+        assert_eq!(TestResult::from_json_str(&json).unwrap(), result);
+        let legacy = json.replace("\"error_count\":3,", "");
+        let parsed = TestResult::from_json_str(&legacy).unwrap();
+        assert_eq!(parsed.error_count, 0);
     }
 
     #[test]

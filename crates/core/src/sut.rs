@@ -118,10 +118,10 @@ impl SimSut for FixedLatencySut {
         let start = now.max(self.busy_until);
         let finish = start + self.per_sample.mul(query.sample_count() as u64);
         self.busy_until = finish;
-        SutReaction::complete(QueryCompletion {
-            query_id: query.id,
-            finished_at: finish,
-            samples: query
+        SutReaction::complete(QueryCompletion::ok(
+            query.id,
+            finish,
+            query
                 .samples
                 .iter()
                 .map(|s| SampleCompletion {
@@ -129,7 +129,7 @@ impl SimSut for FixedLatencySut {
                     payload: self.payload(s.index),
                 })
                 .collect(),
-        })
+        ))
     }
 
     fn reset(&mut self) {

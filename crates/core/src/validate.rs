@@ -58,6 +58,13 @@ pub enum ValidityIssue {
         /// Number of unfinished queries.
         outstanding: u64,
     },
+    /// Too many queries resolved as errors/drops.
+    ErrorFractionExceeded {
+        /// Maximum permitted fraction of errored queries.
+        max_fraction: f64,
+        /// Observed fraction.
+        observed: f64,
+    },
 }
 
 impl ToJson for ValidityIssue {
@@ -110,6 +117,16 @@ impl ToJson for ValidityIssue {
                 "IncompleteQueries",
                 JsonValue::object(vec![("outstanding", outstanding.to_json_value())]),
             ),
+            ValidityIssue::ErrorFractionExceeded {
+                max_fraction,
+                observed,
+            } => (
+                "ErrorFractionExceeded",
+                JsonValue::object(vec![
+                    ("max_fraction", max_fraction.to_json_value()),
+                    ("observed", observed.to_json_value()),
+                ]),
+            ),
         };
         JsonValue::object(vec![(name, payload)])
     }
@@ -143,6 +160,10 @@ impl FromJson for ValidityIssue {
             "IncompleteQueries" => Ok(ValidityIssue::IncompleteQueries {
                 outstanding: p.field("outstanding")?.as_u64()?,
             }),
+            "ErrorFractionExceeded" => Ok(ValidityIssue::ErrorFractionExceeded {
+                max_fraction: p.field("max_fraction")?.as_f64()?,
+                observed: p.field("observed")?.as_f64()?,
+            }),
             other => Err(JsonError::new(format!("unknown validity issue {other:?}"))),
         }
     }
@@ -175,6 +196,13 @@ impl std::fmt::Display for ValidityIssue {
             ValidityIssue::IncompleteQueries { outstanding } => {
                 write!(f, "{outstanding} queries never completed")
             }
+            ValidityIssue::ErrorFractionExceeded {
+                max_fraction,
+                observed,
+            } => write!(
+                f,
+                "errored-query fraction {observed:.4} exceeds {max_fraction:.4}"
+            ),
         }
     }
 }
@@ -193,6 +221,19 @@ pub fn check_run(
     let issued = records.len() as u64;
     if outstanding > 0 {
         issues.push(ValidityIssue::IncompleteQueries { outstanding });
+    }
+    // Error-fraction rule (fault-injection extension, all scenarios): a run
+    // whose SUT errored/dropped more than `max_error_fraction` of its
+    // queries is INVALID regardless of how fast the surviving queries were.
+    if issued > 0 {
+        let errored = records.iter().filter(|r| r.error).count();
+        let fraction = errored as f64 / issued as f64;
+        if fraction > settings.max_error_fraction {
+            issues.push(ValidityIssue::ErrorFractionExceeded {
+                max_fraction: settings.max_error_fraction,
+                observed: fraction,
+            });
+        }
     }
     if issued < settings.min_query_count {
         issues.push(ValidityIssue::TooFewQueries {
@@ -246,24 +287,58 @@ pub fn check_run(
     issues
 }
 
-/// Nearest-rank percentile over completed-query latencies.
-pub fn percentile_latency(records: &[QueryRecord], fraction: f64) -> Option<Nanos> {
-    let mut latencies: Vec<Nanos> = records.iter().filter_map(QueryRecord::latency).collect();
-    if latencies.is_empty() {
+/// Nearest-rank selection from a **sorted ascending** slice.
+///
+/// This is the one percentile definition shared by the validity rules
+/// ([`percentile_latency`]) and the reported latency statistics
+/// ([`LatencyStats`]), so a run can never pass the p99 bound while
+/// reporting a p99 above it. The rule, including its tie-breaking and
+/// rounding behaviour:
+///
+/// * `rank = ceil(fraction * n)`, clamped to `[1, n]`, 1-indexed.
+/// * The result is `sorted[rank - 1]` — always an **observed** value, never
+///   an interpolation. Rounding is therefore *up*: for n = 100 and
+///   fraction 0.99 the 99th of 100 values is chosen, so exactly one value
+///   may sit above the p99 without moving it.
+/// * Ties need no special handling: equal values occupy adjacent ranks and
+///   nearest-rank selection picks the same value for any rank in the tie.
+///
+/// Returns `None` only for an empty slice.
+///
+/// [`LatencyStats`]: crate::results::LatencyStats
+pub fn nearest_rank<T: Copy>(sorted: &[T], fraction: f64) -> Option<T> {
+    if sorted.is_empty() {
         return None;
     }
-    latencies.sort_unstable();
-    let rank = (fraction * latencies.len() as f64).ceil() as usize;
-    Some(latencies[rank.clamp(1, latencies.len()) - 1])
+    let rank = (fraction * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
-/// Fraction of completed queries whose latency exceeds `bound`.
+/// Nearest-rank percentile over *scored* latencies of completed queries.
+///
+/// Errored queries count as infinitely late ([`Nanos::MAX`] via
+/// [`QueryRecord::scored_latency`]), so enough failures push any percentile
+/// past any finite bound — errors cannot hide from the server p99 rule.
+pub fn percentile_latency(records: &[QueryRecord], fraction: f64) -> Option<Nanos> {
+    let mut latencies: Vec<Nanos> = records
+        .iter()
+        .filter_map(QueryRecord::scored_latency)
+        .collect();
+    latencies.sort_unstable();
+    nearest_rank(&latencies, fraction)
+}
+
+/// Fraction of completed queries whose *scored* latency exceeds `bound`
+/// (errored queries always count as over the bound).
 pub fn overlatency_fraction(records: &[QueryRecord], bound: Nanos) -> f64 {
-    let completed: Vec<Nanos> = records.iter().filter_map(QueryRecord::latency).collect();
-    if completed.is_empty() {
+    let scored: Vec<Nanos> = records
+        .iter()
+        .filter_map(QueryRecord::scored_latency)
+        .collect();
+    if scored.is_empty() {
         return 0.0;
     }
-    completed.iter().filter(|l| **l > bound).count() as f64 / completed.len() as f64
+    scored.iter().filter(|l| **l > bound).count() as f64 / scored.len() as f64
 }
 
 #[cfg(test)]
@@ -279,6 +354,14 @@ mod tests {
             completed_at: Some(Nanos::from_micros(completed_us)),
             sample_count: 1,
             skipped_intervals: 0,
+            error: false,
+        }
+    }
+
+    fn errored(id: u64, scheduled_us: u64, completed_us: u64) -> QueryRecord {
+        QueryRecord {
+            error: true,
+            ..record(id, scheduled_us, completed_us)
         }
     }
 
@@ -403,6 +486,110 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_rule() {
+        let v = [10u64, 20, 20, 30];
+        // ceil(0.5 * 4) = 2 -> second value; the tie at 20 is immaterial.
+        assert_eq!(nearest_rank(&v, 0.5), Some(20));
+        // ceil(0.99 * 4) = 4 -> the maximum.
+        assert_eq!(nearest_rank(&v, 0.99), Some(30));
+        // Fractions at/below 1/n clamp to the minimum rank.
+        assert_eq!(nearest_rank(&v, 0.0), Some(10));
+        assert_eq!(nearest_rank(&v, 1.0), Some(30));
+        assert_eq!(nearest_rank::<u64>(&[], 0.5), None);
+    }
+
+    #[test]
+    fn errored_queries_count_against_server_bound() {
+        let s = TestSettings::server(10.0, Nanos::from_micros(20))
+            .with_min_query_count(1)
+            .with_min_duration(Nanos::ZERO)
+            .with_max_error_fraction(1.0);
+        // 98 fast successes + 2 errors: the p99 rank lands on Nanos::MAX.
+        let mut records: Vec<QueryRecord> = (0..98).map(|i| record(i, 0, 15)).collect();
+        records.push(errored(98, 0, 15));
+        records.push(errored(99, 0, 15));
+        let issues = check_run(&s, &records, Nanos::from_secs(61), 0);
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, ValidityIssue::LatencyBoundExceeded { .. })),
+            "{issues:?}"
+        );
+        // A single error among 100 hides below the p99 rank.
+        let mut records: Vec<QueryRecord> = (0..99).map(|i| record(i, 0, 15)).collect();
+        records.push(errored(99, 0, 15));
+        assert!(check_run(&s, &records, Nanos::from_secs(61), 0).is_empty());
+    }
+
+    #[test]
+    fn error_fraction_rule_across_scenarios() {
+        // The error-fraction rule applies to every scenario; the
+        // latency-bound rule only to Server. Cross them: for each scenario,
+        // (a) all-success baseline VALID, (b) errors above the threshold
+        // INVALID via ErrorFractionExceeded, (c) errors at/below the
+        // threshold tolerated, (d) for Server, errors also interact with
+        // the overlatency bound independently of the fraction rule.
+        let scenarios = [
+            TestSettings::single_stream(),
+            TestSettings::multi_stream(1, Nanos::from_millis(50)),
+            TestSettings::server(10.0, Nanos::from_micros(20)),
+            TestSettings::offline(),
+        ];
+        for base in scenarios {
+            let scenario = base.scenario;
+            let s = base
+                .with_min_query_count(1)
+                .with_min_duration(Nanos::ZERO)
+                .with_offline_min_sample_count(1)
+                .with_max_error_fraction(0.05);
+            // (a) Baseline: 100 fast successes.
+            let ok: Vec<QueryRecord> = (0..100).map(|i| record(i, 0, 15)).collect();
+            assert!(
+                check_run(&s, &ok, Nanos::from_secs(61), 0).is_empty(),
+                "{scenario:?} baseline"
+            );
+            // (b) 10% errors: ErrorFractionExceeded in every scenario.
+            let mut bad = ok.clone();
+            for r in bad.iter_mut().take(10) {
+                r.error = true;
+            }
+            let issues = check_run(&s, &bad, Nanos::from_secs(61), 0);
+            assert!(
+                issues.iter().any(|i| matches!(
+                    i,
+                    ValidityIssue::ErrorFractionExceeded { max_fraction, observed }
+                        if *max_fraction == 0.05 && (*observed - 0.10).abs() < 1e-12
+                )),
+                "{scenario:?}: {issues:?}"
+            );
+            // (c) 5% errors: within tolerance — but for Server they still
+            // push the p99 (rank 100 of 100 scored latencies ... rank 95+
+            // are Nanos::MAX) over the bound.
+            let mut edge = ok.clone();
+            for r in edge.iter_mut().take(5) {
+                r.error = true;
+            }
+            let issues = check_run(&s, &edge, Nanos::from_secs(61), 0);
+            assert!(
+                !issues
+                    .iter()
+                    .any(|i| matches!(i, ValidityIssue::ErrorFractionExceeded { .. })),
+                "{scenario:?}: 5% errors must pass the fraction rule: {issues:?}"
+            );
+            if scenario == Scenario::Server {
+                assert!(
+                    issues
+                        .iter()
+                        .any(|i| matches!(i, ValidityIssue::LatencyBoundExceeded { .. })),
+                    "{scenario:?}: 5% errors must still break the p99 bound: {issues:?}"
+                );
+            } else {
+                assert!(issues.is_empty(), "{scenario:?}: {issues:?}");
+            }
+        }
+    }
+
+    #[test]
     fn issue_json_roundtrip() {
         let issues = [
             ValidityIssue::TooFewQueries {
@@ -415,6 +602,10 @@ mod tests {
                 observed: Nanos::from_secs(2),
             },
             ValidityIssue::IncompleteQueries { outstanding: 4 },
+            ValidityIssue::ErrorFractionExceeded {
+                max_fraction: 0.0,
+                observed: 0.25,
+            },
         ];
         for issue in issues {
             let json = issue.to_json_string();
@@ -451,6 +642,10 @@ mod tests {
                 observed: 1,
             },
             ValidityIssue::IncompleteQueries { outstanding: 1 },
+            ValidityIssue::ErrorFractionExceeded {
+                max_fraction: 0.0,
+                observed: 1.0,
+            },
         ];
         for i in issues {
             assert!(!i.to_string().is_empty());

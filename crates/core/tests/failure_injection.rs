@@ -21,10 +21,10 @@ fn run(sut: &mut impl SimSut) -> Result<mlperf_loadgen::des::RunOutcome, LoadGen
 }
 
 fn honest_completion(query: &Query, finished_at: Nanos) -> QueryCompletion {
-    QueryCompletion {
-        query_id: query.id,
+    QueryCompletion::ok(
+        query.id,
         finished_at,
-        samples: query
+        query
             .samples
             .iter()
             .map(|s| SampleCompletion {
@@ -32,7 +32,7 @@ fn honest_completion(query: &Query, finished_at: Nanos) -> QueryCompletion {
                 payload: ResponsePayload::Empty,
             })
             .collect(),
-    }
+    )
 }
 
 /// Responds to the wrong query id.

@@ -63,7 +63,8 @@ fn peak_qps<S: SimSut>(task: TaskId, sut: &mut S, profile: Profile) -> f64 {
             max_runs: 32,
         },
     )
-    .map(|p| p.peak)
+    .ok()
+    .and_then(|o| o.peak())
     .unwrap_or(0.0)
 }
 

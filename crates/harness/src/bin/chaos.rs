@@ -1,0 +1,435 @@
+//! Chaos harness: a scenario × fault-matrix sweep over the fault-injection
+//! layer, reporting which runs stay VALID, which the validity rules catch,
+//! and which the resilience policies rescue.
+//!
+//! ```text
+//! chaos [--seed <n>] [--out <path>] [--check]
+//! ```
+//!
+//! Every cell of the matrix runs one scaled-down LoadGen test twice: once
+//! against a device wrapped in a [`FaultySut`] armed with the cell's fault
+//! plan, and once with a [`ResilientSut`] (timeout, bounded retry, sibling
+//! failover) layered on top of the same faulty device. Fault windows are
+//! placed relative to the scenario's measured baseline duration, so the
+//! same matrix scales across scenarios. Everything is seeded: the same
+//! `--seed` yields byte-identical output.
+//!
+//! `--check` is the CI smoke mode: it rebuilds the matrix twice and asserts
+//! (1) both builds render to identical bytes, (2) the fault-free baseline is
+//! VALID in every scenario, (3) every scenario has at least one fault that
+//! flips it to INVALID — the validity rules catch degraded runs — and
+//! (4) the resilience policies rescue at least one INVALID cell.
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::scenario::Scenario;
+use mlperf_loadgen::time::Nanos;
+use mlperf_models::{TaskId, Workload};
+use mlperf_sut::device::{Architecture, DeviceSpec};
+use mlperf_sut::engine::{BatchPolicy, DeviceSut};
+use mlperf_sut::faults::FaultPlan;
+use mlperf_sut::resilience::{ResiliencePolicy, ResilientSut};
+use mlperf_sut::FaultySut;
+use mlperf_trace::{JsonValue, ToJson};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check]";
+
+const SCENARIOS: [Scenario; 4] = [
+    Scenario::SingleStream,
+    Scenario::MultiStream,
+    Scenario::Server,
+    Scenario::Offline,
+];
+
+/// Fault configurations, parameterized by the scenario's baseline duration
+/// so windows land inside the run regardless of its simulated length.
+const FAULT_CASES: [&str; 6] = [
+    "none",
+    "transient-errors",
+    "latency-spikes",
+    "stall",
+    "throttle",
+    "death",
+];
+
+fn plan_for(case: &str, seed: u64, horizon: Nanos) -> FaultPlan {
+    let at = |f: f64| Nanos::from_secs_f64(horizon.as_secs_f64() * f);
+    let plan = FaultPlan::new(seed);
+    match case {
+        "none" => plan,
+        "transient-errors" => plan.with_transient_errors(0.10),
+        "latency-spikes" => plan.with_latency_spikes(0.05, 25.0),
+        "stall" => plan.with_stall(at(0.3), at(0.1)),
+        "throttle" => plan.with_throttle(at(0.2), at(0.5), 6.0),
+        "death" => plan.with_death_at(at(0.5)),
+        other => unreachable!("unknown fault case {other}"),
+    }
+}
+
+fn scenario_label(s: Scenario) -> &'static str {
+    match s {
+        Scenario::SingleStream => "single-stream",
+        Scenario::MultiStream => "multistream",
+        Scenario::Server => "server",
+        Scenario::Offline => "offline",
+    }
+}
+
+/// Scaled-down settings per scenario: long enough for fault windows to
+/// matter, short enough for a CI smoke stage. `max_error_fraction` arms the
+/// error-fraction validity rule everywhere.
+fn settings_for(scenario: Scenario) -> TestSettings {
+    let settings = match scenario {
+        Scenario::SingleStream => TestSettings::single_stream()
+            .with_min_query_count(1_024)
+            .with_min_duration(Nanos::from_millis(500)),
+        Scenario::MultiStream => TestSettings::multi_stream(8, Nanos::from_millis(50))
+            .with_min_query_count(64)
+            .with_min_duration(Nanos::from_millis(1)),
+        Scenario::Server => TestSettings::server(800.0, Nanos::from_millis(15))
+            .with_min_query_count(1_024)
+            .with_min_duration(Nanos::from_secs(1)),
+        Scenario::Offline => TestSettings::offline()
+            .with_offline_min_sample_count(4_096)
+            .with_min_duration(Nanos::from_millis(1)),
+    };
+    settings.with_max_error_fraction(0.02)
+}
+
+fn device_sut(scenario: Scenario) -> DeviceSut {
+    let spec = DeviceSpec::new(
+        "chaos-dev",
+        Architecture::Gpu,
+        2_000.0,
+        2.0,
+        16,
+        2,
+        Nanos::from_micros(50),
+    );
+    let policy = match scenario {
+        Scenario::Server => BatchPolicy::DynamicBatch {
+            timeout: Nanos::from_millis(2),
+            max_batch: 16,
+        },
+        _ => BatchPolicy::Immediate,
+    };
+    DeviceSut::new(
+        spec,
+        Workload::new(TaskId::ImageClassificationLight),
+        policy,
+    )
+}
+
+/// Recovery policy per scenario. The offline query's service time dwarfs an
+/// interactive timeout, so its deadline scales with the baseline duration;
+/// the server timeout sits just under the latency bound so it fires on real
+/// stragglers, not on the healthy queueing tail.
+fn policy_for(scenario: Scenario, horizon: Nanos) -> ResiliencePolicy {
+    let timeout = match scenario {
+        Scenario::Offline => horizon.mul(2),
+        Scenario::Server => Nanos::from_millis(12),
+        _ => Nanos::from_millis(5),
+    };
+    ResiliencePolicy {
+        timeout: Some(timeout),
+        max_retries: 3,
+        backoff: Nanos::from_micros(200),
+        shed_threshold: None,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cell {
+    scenario: Scenario,
+    fault: &'static str,
+    faulty_valid: bool,
+    faulty_errors: u64,
+    faulty_issues: Vec<String>,
+    resilient_valid: bool,
+    resilient_errors: u64,
+    resilient_issues: Vec<String>,
+}
+
+fn run_cell(
+    scenario: Scenario,
+    fault: &'static str,
+    seed: u64,
+    horizon: Nanos,
+) -> Result<Cell, String> {
+    let settings = settings_for(scenario);
+    let plan = plan_for(fault, seed, horizon);
+
+    let mut qsl = MemoryQsl::new("chaos-qsl", 1_024, 1_024);
+    let mut faulty = FaultySut::new(device_sut(scenario), plan.clone());
+    let faulty_out = run_simulated(&settings, &mut qsl, &mut faulty).map_err(|e| {
+        format!(
+            "{} / {fault}: faulty run failed: {e}",
+            scenario_label(scenario)
+        )
+    })?;
+
+    let mut qsl = MemoryQsl::new("chaos-qsl", 1_024, 1_024);
+    let spare = FaultySut::new(device_sut(scenario), FaultPlan::new(seed ^ 0x5AFE));
+    let mut resilient = ResilientSut::new(
+        FaultySut::new(device_sut(scenario), plan),
+        policy_for(scenario, horizon),
+    )
+    .with_sibling(spare);
+    let resilient_out = run_simulated(&settings, &mut qsl, &mut resilient).map_err(|e| {
+        format!(
+            "{} / {fault}: resilient run failed: {e}",
+            scenario_label(scenario)
+        )
+    })?;
+
+    Ok(Cell {
+        scenario,
+        fault,
+        faulty_valid: faulty_out.result.is_valid(),
+        faulty_errors: faulty_out.result.error_count,
+        faulty_issues: faulty_out
+            .result
+            .validity
+            .iter()
+            .map(|i| i.to_string())
+            .collect(),
+        resilient_valid: resilient_out.result.is_valid(),
+        resilient_errors: resilient_out.result.error_count,
+        resilient_issues: resilient_out
+            .result
+            .validity
+            .iter()
+            .map(|i| i.to_string())
+            .collect(),
+    })
+}
+
+fn build_matrix(seed: u64) -> Result<Vec<Cell>, String> {
+    let mut cells = Vec::new();
+    for scenario in SCENARIOS {
+        // The fault-free baseline both fills the first matrix column and
+        // measures the horizon the fault windows are placed against.
+        let settings = settings_for(scenario);
+        let mut qsl = MemoryQsl::new("chaos-qsl", 1_024, 1_024);
+        let mut base = device_sut(scenario);
+        let baseline = run_simulated(&settings, &mut qsl, &mut base)
+            .map_err(|e| format!("{}: baseline run failed: {e}", scenario_label(scenario)))?;
+        let horizon = baseline.result.duration;
+        for fault in FAULT_CASES {
+            cells.push(run_cell(scenario, fault, seed, horizon)?);
+        }
+    }
+    Ok(cells)
+}
+
+fn render_json(seed: u64, cells: &[Cell]) -> String {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            JsonValue::object(vec![
+                ("scenario", scenario_label(c.scenario).to_json_value()),
+                ("fault", c.fault.to_json_value()),
+                ("faulty_valid", c.faulty_valid.to_json_value()),
+                ("faulty_errors", c.faulty_errors.to_json_value()),
+                (
+                    "faulty_issues",
+                    JsonValue::Array(c.faulty_issues.iter().map(|i| i.to_json_value()).collect()),
+                ),
+                ("resilient_valid", c.resilient_valid.to_json_value()),
+                ("resilient_errors", c.resilient_errors.to_json_value()),
+                (
+                    "resilient_issues",
+                    JsonValue::Array(
+                        c.resilient_issues
+                            .iter()
+                            .map(|i| i.to_json_value())
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::object(vec![
+        ("seed", seed.to_json_value()),
+        ("rows", JsonValue::Array(rows)),
+    ]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+fn render_table(cells: &[Cell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{:<14} {:<17} {:<10} {:<11} NOTES\n",
+        "SCENARIO", "FAULT", "FAULTY", "RESILIENT"
+    );
+    for c in cells {
+        let verdict = |v: bool| if v { "VALID" } else { "INVALID" };
+        let note = if !c.faulty_valid && c.resilient_valid {
+            "recovered".to_string()
+        } else if let Some(issue) = c.faulty_issues.first() {
+            issue.clone()
+        } else if c.faulty_errors > 0 {
+            format!("{} errors tolerated", c.faulty_errors)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:<17} {:<10} {:<11} {}",
+            scenario_label(c.scenario),
+            c.fault,
+            verdict(c.faulty_valid),
+            verdict(c.resilient_valid),
+            note
+        );
+    }
+    out
+}
+
+/// The CI assertions. Returns the list of violated expectations.
+fn check(seed: u64, cells: &[Cell], first: &str, second: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    if first != second {
+        failures.push(format!(
+            "matrix is not reproducible: two builds with seed {seed} rendered differently"
+        ));
+    }
+    for scenario in SCENARIOS {
+        let label = scenario_label(scenario);
+        let of_scenario: Vec<&Cell> = cells.iter().filter(|c| c.scenario == scenario).collect();
+        let baseline = of_scenario
+            .iter()
+            .find(|c| c.fault == "none")
+            .expect("matrix has a baseline row per scenario");
+        if !baseline.faulty_valid {
+            failures.push(format!("{label}: fault-free baseline is INVALID"));
+        }
+        if !baseline.resilient_valid {
+            failures.push(format!(
+                "{label}: fault-free baseline under the resilience policy is INVALID \
+                 (the recovery hooks are not free)"
+            ));
+        }
+        if !of_scenario.iter().any(|c| !c.faulty_valid) {
+            failures.push(format!(
+                "{label}: no fault configuration flipped the run to INVALID — \
+                 the validity rules missed every degraded run"
+            ));
+        }
+    }
+    if !cells.iter().any(|c| !c.faulty_valid && c.resilient_valid) {
+        failures.push("no INVALID cell was rescued by the resilience policies".to_string());
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let mut seed = 0xC4A05u64;
+    let mut out_path: Option<String> = None;
+    let mut check_mode = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--seed needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                seed = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--seed needs an integer, got `{v}`\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out_path = Some(v.clone());
+            }
+            "--check" => check_mode = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cells = match build_matrix(seed) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = render_json(seed, &cells);
+    print!("{}", render_table(&cells));
+    let invalid = cells.iter().filter(|c| !c.faulty_valid).count();
+    let recovered = cells
+        .iter()
+        .filter(|c| !c.faulty_valid && c.resilient_valid)
+        .count();
+    println!(
+        "\n{} cells, {invalid} INVALID under faults, {recovered} recovered by resilience (seed {seed})",
+        cells.len()
+    );
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote chaos matrix to {path}");
+    }
+
+    if check_mode {
+        let again = match build_matrix(seed) {
+            Ok(cells) => render_json(seed, &cells),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check(seed, &cells, &rendered, &again);
+        if failures.is_empty() {
+            println!("chaos check: all expectations hold");
+        } else {
+            for failure in &failures {
+                eprintln!("chaos check FAILED: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_has_settings_and_plans() {
+        for scenario in SCENARIOS {
+            let s = settings_for(scenario);
+            assert!(s.max_error_fraction > 0.0);
+            for fault in FAULT_CASES {
+                let plan = plan_for(fault, 1, Nanos::from_secs(1));
+                assert_eq!(plan.is_armed(), fault != "none");
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_cell_runs_and_death_invalidates() {
+        let cell = run_cell(Scenario::Server, "death", 7, Nanos::from_secs(1)).unwrap();
+        assert!(!cell.faulty_valid, "death left the server run VALID");
+    }
+}

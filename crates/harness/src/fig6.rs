@@ -88,7 +88,8 @@ pub fn measure_cell(system: &FleetSystem, task: TaskId, profile: Profile) -> Opt
             max_runs: 40,
         },
     )
-    .ok()?;
+    .ok()?
+    .converged()?;
     // Confirmation runs at 4x the query count: the bisection can overshoot
     // on a lucky tail; the reported rate must hold up under a longer run.
     let mut server_qps = peak.peak;

@@ -138,6 +138,7 @@ pub fn score_combo(
                 .with_latency_percentile(percentile_for(task));
             find_peak_server_qps(&settings, &mut qsl, &mut sut, options)
                 .ok()?
+                .converged()?
                 .peak
         }
         Scenario::MultiStream => {
@@ -145,7 +146,9 @@ pub fn score_combo(
                 .with_min_query_count(queries)
                 .with_min_duration(duration)
                 .with_latency_percentile(percentile_for(task));
-            let peak = find_peak_multistream(&settings, &mut qsl, &mut sut, options).ok()??;
+            let peak = find_peak_multistream(&settings, &mut qsl, &mut sut, options)
+                .ok()?
+                .converged()?;
             peak.peak
         }
     };

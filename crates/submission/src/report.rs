@@ -180,6 +180,7 @@ mod tests {
                 },
                 latency_stats: None,
                 query_count: 1,
+                error_count: 0,
                 sample_count: 1,
                 duration: Nanos::from_secs(61),
                 validity: vec![],

@@ -414,6 +414,7 @@ fn run_one(
             };
             match find_peak_multistream(&search, &mut qsl, &mut sut, options)
                 .expect("well-formed settings")
+                .converged()
             {
                 Some(peak) => {
                     let mut streams = peak.peak as usize;
@@ -470,7 +471,8 @@ fn run_one(
             // fail on marginal systems; fall back to a token rate and let
             // review handle the (invalid) result.
             let peak_qps = find_peak_server_qps(&search, &mut qsl, &mut sut, options)
-                .map(|p| p.peak)
+                .ok()
+                .and_then(|o| o.peak())
                 .unwrap_or(0.5);
             // Final validation run at the found rate, backing off on
             // failure (longer runs see more tail).

@@ -2,8 +2,8 @@
 //!
 //! The result-review process exists because submissions can violate the
 //! rules in ways a single performance number hides (Section V-B). These
-//! SUTs implement the three abuses the LoadGen's validation suite targets,
-//! so `mlperf-audit`'s tests have something real to catch:
+//! SUTs implement the abuses the LoadGen's validation suite targets, so
+//! `mlperf-audit`'s tests have something real to catch:
 //!
 //! * [`CachingSut`] — caches query results; repeated sample indices run
 //!   ~10× faster (the rules prohibit caching; duplicate-vs-unique index
@@ -14,6 +14,9 @@
 //! * [`SloppyAccuracySut`] — runs a degraded model in performance mode and
 //!   the honest model in accuracy mode (randomly sampled performance-mode
 //!   response logging exposes it).
+//! * [`SilentDropperSut`] — quietly discards its slowest queries so the
+//!   reported latency distribution contains only the flattering tail
+//!   (the completeness audit's issued-vs-resolved count exposes it).
 
 use crate::engine::DeviceSut;
 use mlperf_loadgen::query::{
@@ -64,10 +67,10 @@ impl SimSut for CachingSut {
         if all_cached {
             let latency =
                 Nanos::from_nanos((self.last_honest_latency.as_nanos() / self.speedup).max(1));
-            return SutReaction::complete(QueryCompletion {
-                query_id: query.id,
-                finished_at: now + latency,
-                samples: query
+            return SutReaction::complete(QueryCompletion::ok(
+                query.id,
+                now + latency,
+                query
                     .samples
                     .iter()
                     .map(|s| SampleCompletion {
@@ -75,7 +78,7 @@ impl SimSut for CachingSut {
                         payload: self.cache[&s.index].clone(),
                     })
                     .collect(),
-            });
+            ));
         }
         let reaction = self.inner.on_query(now, query);
         for completion in &reaction.completions {
@@ -144,10 +147,10 @@ impl SimSut for SeedSniffingSut {
             // Precomputed: answer from the prepared buffer without touching
             // the device at all.
             let fast = Nanos::from_nanos(20_000 * query.samples.len() as u64 / self.speedup.max(1));
-            return SutReaction::complete(QueryCompletion {
-                query_id: query.id,
-                finished_at: now + fast,
-                samples: query
+            return SutReaction::complete(QueryCompletion::ok(
+                query.id,
+                now + fast,
+                query
                     .samples
                     .iter()
                     .map(|s| SampleCompletion {
@@ -155,7 +158,7 @@ impl SimSut for SeedSniffingSut {
                         payload: ResponsePayload::Empty,
                     })
                     .collect(),
-            });
+            ));
         }
         self.inner.on_query(now, query)
     }
@@ -219,6 +222,103 @@ impl SimSut for SloppyAccuracySut {
     }
 }
 
+/// Silently discards completions for its slowest queries: a query whose
+/// latency lands beyond `slow_factor`× the running mean of everything
+/// reported so far simply never completes (up to a `drop_fraction` budget),
+/// so the latency distribution the run reports is built only from the
+/// queries the cheater chose to answer. No error, no log line — the query
+/// vanishes. The completeness audit compares the LoadGen's issued count
+/// against the SUT's resolved count to expose the gap.
+pub struct SilentDropperSut {
+    inner: DeviceSut,
+    issued_at: std::collections::HashMap<u64, Nanos>,
+    seen: u64,
+    dropped: u64,
+    mean_latency_ns: f64,
+    drop_fraction: f64,
+    slow_factor: f64,
+}
+
+impl SilentDropperSut {
+    /// Wraps `inner`; up to `drop_fraction` of queries vanish when their
+    /// latency exceeds `slow_factor`× the running mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_fraction` is outside `[0, 1]` or `slow_factor < 1`.
+    pub fn new(inner: DeviceSut, drop_fraction: f64, slow_factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_fraction),
+            "drop_fraction must be a fraction"
+        );
+        assert!(slow_factor >= 1.0, "slow_factor must be at least 1");
+        Self {
+            inner,
+            issued_at: std::collections::HashMap::new(),
+            seen: 0,
+            dropped: 0,
+            mean_latency_ns: 0.0,
+            drop_fraction,
+            slow_factor,
+        }
+    }
+
+    /// How many queries have vanished so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn censor(&mut self, mut reaction: SutReaction) -> SutReaction {
+        let mut kept = Vec::with_capacity(reaction.completions.len());
+        for completion in reaction.completions.drain(..) {
+            let Some(issued) = self.issued_at.remove(&completion.query_id) else {
+                kept.push(completion);
+                continue;
+            };
+            let latency = completion.finished_at.saturating_sub(issued).as_nanos() as f64;
+            self.seen += 1;
+            let slow =
+                self.mean_latency_ns > 0.0 && latency > self.slow_factor * self.mean_latency_ns;
+            let within_budget = (self.dropped as f64) < self.drop_fraction * self.seen as f64;
+            if slow && within_budget {
+                self.dropped += 1;
+                continue; // the query simply never completes
+            }
+            // The running mean covers only what the cheater reports, so the
+            // censored tail never drags the threshold upward.
+            self.mean_latency_ns += (latency - self.mean_latency_ns) / self.seen as f64;
+            kept.push(completion);
+        }
+        reaction.completions = kept;
+        reaction
+    }
+}
+
+impl SimSut for SilentDropperSut {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_query(&mut self, now: Nanos, query: &Query) -> SutReaction {
+        self.issued_at.insert(query.id, now);
+        let reaction = self.inner.on_query(now, query);
+        self.censor(reaction)
+    }
+
+    fn on_wakeup(&mut self, now: Nanos) -> SutReaction {
+        let reaction = self.inner.on_wakeup(now);
+        self.censor(reaction)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.issued_at.clear();
+        self.seen = 0;
+        self.dropped = 0;
+        self.mean_latency_ns = 0.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +378,31 @@ mod tests {
         assert!(
             on_script.as_nanos() * 4 < off_script.as_nanos(),
             "{on_script} vs {off_script}"
+        );
+    }
+
+    #[test]
+    fn silent_dropper_vanishes_slow_queries() {
+        // A burst at t=0 on a serial device queues up, so latencies climb
+        // query by query; the tail should silently disappear.
+        let mut sut = SilentDropperSut::new(engine(), 0.25, 1.5);
+        let mut completed = 0usize;
+        for id in 0..16 {
+            completed += sut
+                .on_query(Nanos::ZERO, &query(id, id as usize % 4))
+                .completions
+                .len();
+        }
+        assert!(completed < 16, "no query was dropped");
+        assert!(sut.dropped() > 0);
+        assert_eq!(completed + sut.dropped() as usize, 16);
+        // The drop budget bounds the damage.
+        assert!(sut.dropped() <= 5, "dropped {} of 16", sut.dropped());
+        // After reset the first (unqueued) query completes normally.
+        sut.reset();
+        assert_eq!(
+            sut.on_query(Nanos::ZERO, &query(99, 0)).completions.len(),
+            1
         );
     }
 

@@ -313,10 +313,10 @@ impl DeviceSut {
             let done = self.dispatch_batch(now, ops, indices.len());
             finish = finish.max(done);
         }
-        QueryCompletion {
-            query_id: query.id,
-            finished_at: finish,
-            samples: query
+        QueryCompletion::ok(
+            query.id,
+            finish,
+            query
                 .samples
                 .iter()
                 .map(|s| SampleCompletion {
@@ -324,7 +324,7 @@ impl DeviceSut {
                     payload: self.payload(s.index),
                 })
                 .collect(),
-        }
+        )
     }
 
     /// Drains full batches (and, when `force_due`, everything whose timeout
@@ -377,10 +377,10 @@ impl DeviceSut {
             let tax = RESPONSE_HANDLING.mul(batch.len() as u64);
             let finish = self.dispatch_batch_taxed(now, ops, indices.len(), tax);
             for pending in batch {
-                reaction.completions.push(QueryCompletion {
-                    query_id: pending.query_id,
-                    finished_at: finish,
-                    samples: pending
+                reaction.completions.push(QueryCompletion::ok(
+                    pending.query_id,
+                    finish,
+                    pending
                         .samples
                         .iter()
                         .map(|(sid, idx)| SampleCompletion {
@@ -388,7 +388,7 @@ impl DeviceSut {
                             payload: self.payload(*idx),
                         })
                         .collect(),
-                });
+                ));
             }
         }
         if let Some(front) = self.queue.front() {

@@ -21,7 +21,14 @@
 //! * [`proxy_sut`] — SUTs whose payloads come from the runnable proxy
 //!   models, for accuracy mode and the audit tests.
 //! * [`cheats`] — deliberately rule-breaking SUTs (result caching, seed
-//!   sniffing, accuracy corner-cutting) that the audit suite must catch.
+//!   sniffing, accuracy corner-cutting, silent query dropping) that the
+//!   audit suite must catch.
+//! * [`faults`] — seeded fault injection ([`faults::FaultPlan`] /
+//!   [`faults::FaultySut`]): transient errors, latency spikes, stalls,
+//!   sustained throttling, and hard device death, layered over any engine.
+//! * [`resilience`] — recovery policies ([`resilience::ResilientSut`]):
+//!   per-query timeout, bounded retry with backoff, failover to a sibling
+//!   device, and priority-ordered load shedding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +36,13 @@
 pub mod cheats;
 pub mod device;
 pub mod engine;
+pub mod faults;
 pub mod fleet;
 pub mod proxy_sut;
+pub mod resilience;
 
 pub use device::{Architecture, DeviceSpec, ThermalModel};
 pub use engine::{BatchPolicy, DeviceSut};
+pub use faults::{FaultPlan, FaultySut, StallWindow, ThrottleEpisode};
 pub use fleet::{fleet, FleetSystem};
+pub use resilience::{ResiliencePolicy, ResilientSut};

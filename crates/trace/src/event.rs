@@ -94,6 +94,30 @@ pub enum TraceEvent {
         /// Whether the run at that target was valid.
         valid: bool,
     },
+    /// The SUT resolved a query as an error/drop instead of an answer.
+    QueryErrored {
+        /// Query id.
+        query_id: u64,
+        /// Schedule-to-failure latency in nanoseconds.
+        latency_ns: u64,
+    },
+    /// A fault plan fired on a query (fault-injection extension).
+    FaultInjected {
+        /// Query id the fault hit.
+        query_id: u64,
+        /// Fault kind label: `transient_error`, `latency_spike`, `stall`,
+        /// `throttle`, or `death`.
+        fault: String,
+    },
+    /// A resilience policy acted on a query.
+    RecoveryAction {
+        /// Query id the action concerned.
+        query_id: u64,
+        /// Action label: `timeout`, `retry`, `failover`, or `shed`.
+        action: String,
+        /// 1-based attempt number (retries); 0 where not meaningful.
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -111,6 +135,9 @@ impl TraceEvent {
             TraceEvent::AccuracyLogged { .. } => "accuracy_logged",
             TraceEvent::ValidityCheckFailed { .. } => "validity_check_failed",
             TraceEvent::PeakSearchStep { .. } => "peak_search_step",
+            TraceEvent::QueryErrored { .. } => "query_errored",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RecoveryAction { .. } => "recovery_action",
         }
     }
 }
@@ -211,6 +238,35 @@ impl ToJson for TraceEvent {
                     ("valid", valid.to_json_value()),
                 ]),
             ),
+            TraceEvent::QueryErrored {
+                query_id,
+                latency_ns,
+            } => (
+                "QueryErrored",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("latency_ns", latency_ns.to_json_value()),
+                ]),
+            ),
+            TraceEvent::FaultInjected { query_id, fault } => (
+                "FaultInjected",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("fault", fault.to_json_value()),
+                ]),
+            ),
+            TraceEvent::RecoveryAction {
+                query_id,
+                action,
+                attempt,
+            } => (
+                "RecoveryAction",
+                JsonValue::object(vec![
+                    ("query_id", query_id.to_json_value()),
+                    ("action", action.to_json_value()),
+                    ("attempt", attempt.to_json_value()),
+                ]),
+            ),
         };
         JsonValue::object(vec![(name, payload)])
     }
@@ -263,6 +319,19 @@ impl FromJson for TraceEvent {
             "PeakSearchStep" => Ok(TraceEvent::PeakSearchStep {
                 target: p.field("target")?.as_f64()?,
                 valid: p.field("valid")?.as_bool()?,
+            }),
+            "QueryErrored" => Ok(TraceEvent::QueryErrored {
+                query_id: p.field("query_id")?.as_u64()?,
+                latency_ns: p.field("latency_ns")?.as_u64()?,
+            }),
+            "FaultInjected" => Ok(TraceEvent::FaultInjected {
+                query_id: p.field("query_id")?.as_u64()?,
+                fault: p.field("fault")?.as_str()?.to_string(),
+            }),
+            "RecoveryAction" => Ok(TraceEvent::RecoveryAction {
+                query_id: p.field("query_id")?.as_u64()?,
+                action: p.field("action")?.as_str()?.to_string(),
+                attempt: p.field("attempt")?.as_u32()?,
             }),
             other => Err(JsonError::new(format!("unknown trace event {other:?}"))),
         }
@@ -499,6 +568,19 @@ mod tests {
             TraceEvent::PeakSearchStep {
                 target: 125.5,
                 valid: true,
+            },
+            TraceEvent::QueryErrored {
+                query_id: 11,
+                latency_ns: 88_000,
+            },
+            TraceEvent::FaultInjected {
+                query_id: 11,
+                fault: "transient_error".into(),
+            },
+            TraceEvent::RecoveryAction {
+                query_id: 11,
+                action: "retry".into(),
+                attempt: 2,
             },
         ]
     }

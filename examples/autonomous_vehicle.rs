@@ -38,6 +38,7 @@ fn main() {
             .with_min_duration(Nanos::from_millis(500));
         match find_peak_multistream(&settings, &mut qsl, &mut sut, PeakSearchOptions::default())
             .expect("well-formed run")
+            .converged()
         {
             Some(peak) => {
                 let skip = match peak.outcome.result.metric {

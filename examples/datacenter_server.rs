@@ -49,7 +49,9 @@ fn main() {
         &mut sut,
         PeakSearchOptions::default(),
     )
-    .expect("datacenter GPU serves ResNet");
+    .expect("datacenter GPU serves ResNet")
+    .converged()
+    .expect("a healthy datacenter GPU has a valid operating point");
     println!(
         "search: {:.0} QPS after {} LoadGen runs",
         peak.peak, peak.runs
