@@ -19,13 +19,22 @@ echo "== chaos smoke (fault matrix: reproducibility + validity flips) =="
 # resilience policies. The table itself is noise in CI logs.
 cargo run -q --release -p mlperf-harness --bin chaos -- --check > /dev/null
 
+echo "== netbench loopback smoke (network SUT: VALID + byte-stable detail log) =="
+# Single-process wire smoke: a serving daemon and a RemoteSut client on a
+# loopback socket run the scaled-down offline + server pair twice, asserting
+# every run is VALID and the logical detail log (deterministic per-query
+# fields) renders byte-identically across connections under the fixed seed.
+cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --check
+
 echo "== bench suite (smoke mode, JSON report) =="
 # Fast smoke pass over every bench binary: each one appends its medians to
 # one machine-readable report. MLPERF_TRACE_OVERHEAD_MAX_PCT makes the
 # trace_overhead bench assert that a disabled sink stays within noise of
 # the un-traced baseline (the observability layer must be free when off);
 # MLPERF_FAULT_OVERHEAD_MAX_PCT does the same for a disarmed FaultySut
-# wrapper (the chaos hooks must be free when no fault is armed).
+# wrapper (the chaos hooks must be free when no fault is armed);
+# MLPERF_WIRE_OVERHEAD_MAX_PCT bounds the loopback wire tax in the
+# wire_overhead bench (warn-only: loopback latency is kernel-dependent).
 BENCH_JSON="$(pwd)/target/bench-current.json"
 rm -f "$BENCH_JSON"
 MLPERF_BENCH_JSON="$BENCH_JSON" \
@@ -34,6 +43,7 @@ MLPERF_BENCH_LABEL="ci-smoke" \
 MLPERF_GIT_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 MLPERF_TRACE_OVERHEAD_MAX_PCT=10 \
 MLPERF_FAULT_OVERHEAD_MAX_PCT=10 \
+MLPERF_WIRE_OVERHEAD_MAX_PCT=150 \
 cargo bench -p mlperf-bench
 
 if [[ -f BENCH_PR2.json ]]; then

@@ -4,9 +4,11 @@ use mlperf_loadgen::config::{TestMode, TestSettings};
 use mlperf_loadgen::des::{run_simulated, run_simulated_traced};
 use mlperf_loadgen::qsl::QuerySampleLibrary;
 use mlperf_loadgen::query::{Query, QuerySample, ResponsePayload, SampleIndex};
-use mlperf_loadgen::sut::SimSut;
+use mlperf_loadgen::realtime::run_realtime_traced;
+use mlperf_loadgen::sut::{RealtimeSut, SimSut};
 use mlperf_loadgen::time::Nanos;
 use mlperf_loadgen::LoadGenError;
+use mlperf_trace::event::TraceRecord;
 use mlperf_trace::{RingBufferSink, TraceEvent};
 use std::collections::HashMap;
 
@@ -320,7 +322,39 @@ where
     let perf = settings.clone().with_mode(TestMode::PerformanceOnly);
     let sink = RingBufferSink::unbounded();
     let _outcome = run_simulated_traced(&perf, qsl, sut, &sink)?;
-    let records = sink.snapshot();
+    Ok(completeness_report(&sink.snapshot()))
+}
+
+/// [`completeness_check`] for wall-clock SUTs — including network ones.
+///
+/// Replays the settings through the realtime runner with the detail log
+/// attached. This is the audit to point at a `RemoteSut`: a serving
+/// daemon that silently drops frames leaves issued-but-never-resolved
+/// queries in the log, and the verdict comes from the same
+/// [`completeness_report`] counting as the simulated path.
+///
+/// # Errors
+///
+/// Propagates run errors from the LoadGen.
+pub fn completeness_check_realtime<Q>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: std::sync::Arc<dyn RealtimeSut>,
+) -> Result<AuditReport, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+{
+    let perf = settings.clone().with_mode(TestMode::PerformanceOnly);
+    let sink = RingBufferSink::unbounded();
+    let _outcome = run_realtime_traced(&perf, qsl, sut, &sink)?;
+    Ok(completeness_report(&sink.snapshot()))
+}
+
+/// Renders the TEST06 verdict from an already-captured detail log:
+/// queries *issued* versus queries *resolved* (completed or explicitly
+/// errored). Shared by the simulated and realtime/network audit paths;
+/// also usable directly on a detail log captured elsewhere.
+pub fn completeness_report(records: &[TraceRecord]) -> AuditReport {
     let issued = records
         .iter()
         .filter(|r| matches!(r.event, TraceEvent::QueryIssued { .. }))
@@ -344,11 +378,11 @@ where
     } else {
         AuditOutcome::Pass
     };
-    Ok(AuditReport {
+    AuditReport {
         test: "TEST06-query-completeness",
         outcome,
         details: format!("issued {issued} queries, SUT resolved {resolved}"),
-    })
+    }
 }
 
 /// Performance-mode detail-log compliance.

@@ -68,6 +68,10 @@ pub struct TestSettings {
     /// failed queries, so the default is 0.0; resilience experiments relax
     /// it deliberately.
     pub max_error_fraction: f64,
+    /// Worker threads the realtime server-scenario issue loop keeps in
+    /// flight (4 by default, matching the reference LoadGen's thread pool).
+    /// Network SUT benchmarks scale this up to fill a remote machine.
+    pub server_workers: usize,
 }
 
 impl TestSettings {
@@ -87,6 +91,7 @@ impl TestSettings {
             offline_min_sample_count: 24_576,
             accuracy_log_probability: 0.0,
             max_error_fraction: 0.0,
+            server_workers: 4,
         }
     }
 
@@ -197,6 +202,12 @@ impl TestSettings {
         self
     }
 
+    /// Overrides the realtime server-scenario worker-pool size.
+    pub fn with_server_workers(mut self, workers: usize) -> Self {
+        self.server_workers = workers;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -225,6 +236,11 @@ impl TestSettings {
                 "max_error_fraction must be in [0,1], got {}",
                 self.max_error_fraction
             )));
+        }
+        if self.server_workers == 0 {
+            return Err(LoadGenError::BadSettings(
+                "server_workers must be at least 1".into(),
+            ));
         }
         match self.scenario {
             Scenario::Server => {
@@ -292,7 +308,19 @@ mod tests {
         // Zero tolerance for errored queries by default, in every scenario.
         for s in [&ss, &ms, &sv, &off] {
             assert_eq!(s.max_error_fraction, 0.0);
+            assert_eq!(s.server_workers, 4);
         }
+    }
+
+    #[test]
+    fn server_workers_override_and_validation() {
+        let s = TestSettings::server(10.0, Nanos::from_millis(10)).with_server_workers(16);
+        assert_eq!(s.server_workers, 16);
+        assert!(s.validate().is_ok());
+        assert!(TestSettings::server(10.0, Nanos::from_millis(10))
+            .with_server_workers(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

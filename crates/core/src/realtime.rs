@@ -7,9 +7,18 @@
 //! the simulated loop, so the two runners agree wherever timing permits —
 //! an integration test asserts that.
 //!
+//! Unlike the simulated loop, a realtime SUT can fail *structurally*: the
+//! wire extension puts the LoadGen/SUT boundary on a socket, and sockets
+//! disconnect. [`RealtimeSut::issue_outcome`] reports those failures and
+//! this loop folds them into the PR 3 completion path — an erroring remote
+//! becomes errored completions (`ErrorFractionExceeded`), a silently
+//! dropped query stays outstanding (`IncompleteQueries`) — so a dying
+//! server yields a structured INVALID verdict, never a hang.
+//!
 //! Official experiments in this repository use the simulated loop; this one
-//! exists for fidelity to the original system and for exercising real
-//! concurrency in tests and the quickstart example.
+//! exists for fidelity to the original system, for exercising real
+//! concurrency in tests and the quickstart example, and as the client-side
+//! engine of the network SUT benchmark (`netbench`).
 
 use crate::config::{TestMode, TestSettings};
 use crate::des::{finish_run, RunOutcome};
@@ -18,18 +27,15 @@ use crate::query::{Query, QueryCompletion};
 use crate::record::Recorder;
 use crate::scenario::Scenario;
 use crate::schedule::build_query;
-use crate::sut::RealtimeSut;
+use crate::sut::{IssueOutcome, RealtimeSut};
 use crate::time::Nanos;
 use crate::LoadGenError;
 use mlperf_stats::dist::PoissonProcess;
 use mlperf_stats::Rng64;
-use mlperf_trace::NoopSink;
+use mlperf_trace::{NoopSink, TraceEvent, TraceSink};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-/// Number of worker threads for the server scenario.
-const SERVER_WORKERS: usize = 4;
 
 /// Runs one benchmark against a wall clock.
 ///
@@ -41,6 +47,29 @@ pub fn run_realtime<Q>(
     settings: &TestSettings,
     qsl: &mut Q,
     sut: Arc<dyn RealtimeSut>,
+) -> Result<RunOutcome, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+{
+    run_realtime_traced(settings, qsl, sut, &NoopSink)
+}
+
+/// Runs one wall-clock benchmark with a detail-log sink attached.
+///
+/// Issue, completion, and error events land in `sink` with wall-clock
+/// timestamps (nanoseconds since run start). This is the realtime analog
+/// of `run_simulated_traced`, and what the TEST06 completeness audit reads
+/// when the SUT lives on the far side of a socket.
+///
+/// # Errors
+///
+/// Returns [`LoadGenError`] for inconsistent settings, an unusable QSL, or
+/// SUT protocol violations.
+pub fn run_realtime_traced<Q>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: Arc<dyn RealtimeSut>,
+    sink: &dyn TraceSink,
 ) -> Result<RunOutcome, LoadGenError>
 where
     Q: QuerySampleLibrary + ?Sized,
@@ -57,17 +86,28 @@ where
         TestMode::AccuracyOnly => (0..qsl.total_sample_count()).collect(),
     };
     qsl.load_samples(&loaded);
+    if sink.enabled() {
+        sink.record(
+            0,
+            &TraceEvent::RunPhase {
+                phase: "issue".into(),
+                scenario: settings.scenario.to_string(),
+            },
+        );
+    }
     let mut recorder = Recorder::new();
     match settings.mode {
-        TestMode::AccuracyOnly => run_batch(settings, &loaded, sut.as_ref(), &mut recorder, 1.0)?,
+        TestMode::AccuracyOnly => {
+            run_batch(settings, &loaded, sut.as_ref(), &mut recorder, 1.0, sink)?
+        }
         TestMode::PerformanceOnly => match settings.scenario {
             Scenario::SingleStream => {
-                run_single_stream(settings, loaded.len(), sut.as_ref(), &mut recorder)?
+                run_single_stream(settings, loaded.len(), sut.as_ref(), &mut recorder, sink)?
             }
             Scenario::MultiStream => {
-                run_multi_stream(settings, loaded.len(), sut.as_ref(), &mut recorder)?
+                run_multi_stream(settings, loaded.len(), sut.as_ref(), &mut recorder, sink)?
             }
-            Scenario::Server => run_server(settings, loaded.len(), &sut, &mut recorder)?,
+            Scenario::Server => run_server(settings, loaded.len(), &sut, &mut recorder, sink)?,
             Scenario::Offline => {
                 let mut rng = Rng64::new(settings.seeds.qsl_seed);
                 let indices = rng.sample_with_replacement(
@@ -80,6 +120,7 @@ where
                     sut.as_ref(),
                     &mut recorder,
                     settings.accuracy_log_probability,
+                    sink,
                 )?
             }
         },
@@ -90,7 +131,7 @@ where
         sut.name(),
         qsl.name(),
         recorder,
-        &NoopSink,
+        sink,
         None,
     ))
 }
@@ -100,6 +141,71 @@ fn log_sampler(settings: &TestSettings, probability: f64) -> impl FnMut(u64) -> 
     move |_| probability > 0.0 && rng.next_bool(probability)
 }
 
+fn record_issue_event(sink: &dyn TraceSink, query: &Query, issued_at: Nanos) {
+    if sink.enabled() {
+        sink.record(
+            issued_at.as_nanos(),
+            &TraceEvent::QueryIssued {
+                query_id: query.id,
+                sample_count: query.sample_count(),
+                delay_ns: issued_at.saturating_sub(query.scheduled_at).as_nanos(),
+            },
+        );
+    }
+}
+
+/// Resolves one [`IssueOutcome`] into the recorder and the detail log.
+///
+/// `Completed` and `Errored` outcomes produce a completion record (and a
+/// `QueryCompleted` / `QueryErrored` event); `Vanished` leaves the query
+/// outstanding so the incomplete-queries validity rule catches it.
+fn record_outcome<F: FnMut(u64) -> bool>(
+    recorder: &mut Recorder,
+    query: &Query,
+    outcome: IssueOutcome,
+    finished: Nanos,
+    log: F,
+    sink: &dyn TraceSink,
+) -> Result<(), LoadGenError> {
+    let completion = match outcome {
+        IssueOutcome::Completed(samples) => QueryCompletion::ok(query.id, finished, samples),
+        IssueOutcome::Errored => QueryCompletion::errored(query, finished),
+        IssueOutcome::Vanished => return Ok(()),
+    };
+    record_completion(recorder, &completion, query.scheduled_at, log, sink)
+}
+
+/// Records a ready-made completion (server scenario builds them on worker
+/// threads) plus its trace event.
+fn record_completion<F: FnMut(u64) -> bool>(
+    recorder: &mut Recorder,
+    completion: &QueryCompletion,
+    scheduled_at: Nanos,
+    log: F,
+    sink: &dyn TraceSink,
+) -> Result<(), LoadGenError> {
+    recorder.record_completion(completion, log)?;
+    if sink.enabled() {
+        let latency_ns = completion
+            .finished_at
+            .saturating_sub(scheduled_at)
+            .as_nanos();
+        let event = if completion.error {
+            TraceEvent::QueryErrored {
+                query_id: completion.query_id,
+                latency_ns,
+            }
+        } else {
+            TraceEvent::QueryCompleted {
+                query_id: completion.query_id,
+                latency_ns,
+            }
+        };
+        sink.record(completion.finished_at.as_nanos(), &event);
+    }
+    Ok(())
+}
+
 /// One query over `indices`, issued synchronously (offline + accuracy mode).
 fn run_batch(
     settings: &TestSettings,
@@ -107,18 +213,23 @@ fn run_batch(
     sut: &dyn RealtimeSut,
     recorder: &mut Recorder,
     log_probability: f64,
+    sink: &dyn TraceSink,
 ) -> Result<(), LoadGenError> {
     let start = Instant::now();
     let mut next_sample_id = 0u64;
     let query = build_query(0, &mut next_sample_id, indices, Nanos::ZERO);
     recorder.record_issue(&query, Nanos::ZERO)?;
-    let samples = sut.issue(&query);
+    record_issue_event(sink, &query, Nanos::ZERO);
+    let outcome = sut.issue_outcome(&query);
     let finished = Nanos::from(start.elapsed());
-    recorder.record_completion(
-        &QueryCompletion::ok(0, finished, samples),
+    record_outcome(
+        recorder,
+        &query,
+        outcome,
+        finished,
         log_sampler(settings, log_probability),
-    )?;
-    Ok(())
+        sink,
+    )
 }
 
 fn run_single_stream(
@@ -126,6 +237,7 @@ fn run_single_stream(
     population: usize,
     sut: &dyn RealtimeSut,
     recorder: &mut Recorder,
+    sink: &dyn TraceSink,
 ) -> Result<(), LoadGenError> {
     let start = Instant::now();
     let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
@@ -138,9 +250,10 @@ fn run_single_stream(
         let query = build_query(issued, &mut next_sample_id, &indices, scheduled);
         issued += 1;
         recorder.record_issue(&query, scheduled)?;
-        let samples = sut.issue(&query);
+        record_issue_event(sink, &query, scheduled);
+        let outcome = sut.issue_outcome(&query);
         let finished = Nanos::from(start.elapsed());
-        recorder.record_completion(&QueryCompletion::ok(query.id, finished, samples), &mut log)?;
+        record_outcome(recorder, &query, outcome, finished, &mut log, sink)?;
         if issued >= settings.min_query_count && finished >= settings.min_duration {
             return Ok(());
         }
@@ -152,6 +265,7 @@ fn run_multi_stream(
     population: usize,
     sut: &dyn RealtimeSut,
     recorder: &mut Recorder,
+    sink: &dyn TraceSink,
 ) -> Result<(), LoadGenError> {
     let start = Instant::now();
     let interval = settings.multistream_arrival_interval;
@@ -170,9 +284,10 @@ fn run_multi_stream(
         let query = build_query(issued, &mut next_sample_id, &indices, boundary);
         issued += 1;
         recorder.record_issue(&query, boundary)?;
-        let samples = sut.issue(&query);
+        record_issue_event(sink, &query, boundary);
+        let outcome = sut.issue_outcome(&query);
         let finished = Nanos::from(start.elapsed());
-        recorder.record_completion(&QueryCompletion::ok(query.id, finished, samples), &mut log)?;
+        record_outcome(recorder, &query, outcome, finished, &mut log, sink)?;
         let elapsed = finished.saturating_sub(boundary).as_nanos();
         let consumed = elapsed.div_ceil(interval.as_nanos()).max(1);
         if consumed > 1 {
@@ -190,6 +305,7 @@ fn run_server(
     population: usize,
     sut: &Arc<dyn RealtimeSut>,
     recorder: &mut Recorder,
+    sink: &dyn TraceSink,
 ) -> Result<(), LoadGenError> {
     let start = Instant::now();
     let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
@@ -200,12 +316,15 @@ fn run_server(
     .map_err(|e| LoadGenError::BadSettings(e.to_string()))?
     .map(Nanos::from_secs_f64);
     let (work_tx, work_rx) = mpsc::channel::<Query>();
-    let (done_tx, done_rx) = mpsc::channel::<QueryCompletion>();
+    // Workers report (scheduled_at, completion); `None` completions mark
+    // queries that vanished on a live transport — never recorded, so they
+    // stay outstanding and trip the incomplete-queries check.
+    let (done_tx, done_rx) = mpsc::channel::<(Nanos, Option<QueryCompletion>)>();
     // std's Receiver is single-consumer; the worker pool shares it behind a
     // mutex (each worker holds the lock only for the dequeue itself).
     let work_rx = Arc::new(Mutex::new(work_rx));
     let mut workers = Vec::new();
-    for _ in 0..SERVER_WORKERS {
+    for _ in 0..settings.server_workers {
         let rx = Arc::clone(&work_rx);
         let tx = done_tx.clone();
         let sut = Arc::clone(sut);
@@ -214,12 +333,16 @@ fn run_server(
                 Ok(query) => query,
                 Err(_) => break,
             };
-            let samples = sut.issue(&query);
+            let outcome = sut.issue_outcome(&query);
             let finished = Nanos::from(start.elapsed());
-            if tx
-                .send(QueryCompletion::ok(query.id, finished, samples))
-                .is_err()
-            {
+            let completion = match outcome {
+                IssueOutcome::Completed(samples) => {
+                    Some(QueryCompletion::ok(query.id, finished, samples))
+                }
+                IssueOutcome::Errored => Some(QueryCompletion::errored(&query, finished)),
+                IssueOutcome::Vanished => None,
+            };
+            if tx.send((query.scheduled_at, completion)).is_err() {
                 break;
             }
         }));
@@ -237,6 +360,7 @@ fn run_server(
         let query = build_query(issued, &mut next_sample_id, &indices, arrival);
         issued += 1;
         recorder.record_issue(&query, arrival)?;
+        record_issue_event(sink, &query, arrival);
         work_tx
             .send(query)
             .map_err(|_| LoadGenError::SutProtocol("server worker pool died".into()))?;
@@ -245,9 +369,20 @@ fn run_server(
         }
     }
     drop(work_tx);
+    if sink.enabled() {
+        sink.record(
+            Nanos::from(start.elapsed()).as_nanos(),
+            &TraceEvent::RunPhase {
+                phase: "drain".into(),
+                scenario: settings.scenario.to_string(),
+            },
+        );
+    }
     let mut log = log_sampler(settings, settings.accuracy_log_probability);
-    for completion in done_rx.iter() {
-        recorder.record_completion(&completion, &mut log)?;
+    for (scheduled_at, completion) in done_rx.iter() {
+        if let Some(completion) = completion {
+            record_completion(recorder, &completion, scheduled_at, &mut log, sink)?;
+        }
     }
     for worker in workers {
         worker
@@ -261,12 +396,53 @@ fn run_server(
 mod tests {
     use super::*;
     use crate::qsl::MemoryQsl;
+    use crate::query::SampleCompletion;
     use crate::results::ScenarioMetric;
     use crate::sut::SleepSut;
+    use crate::validate::ValidityIssue;
+    use mlperf_trace::RingBufferSink;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Duration;
 
     fn sleepy(us: u64) -> Arc<dyn RealtimeSut> {
         Arc::new(SleepSut::new("sleepy", Duration::from_micros(us)))
+    }
+
+    /// A SUT whose every `n`-th query errors or vanishes.
+    struct FlakySut {
+        counter: AtomicU64,
+        every: u64,
+        vanish: bool,
+    }
+
+    impl RealtimeSut for FlakySut {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn issue(&self, query: &Query) -> Vec<SampleCompletion> {
+            query
+                .samples
+                .iter()
+                .map(|s| SampleCompletion {
+                    sample_id: s.id,
+                    payload: Default::default(),
+                })
+                .collect()
+        }
+
+        fn issue_outcome(&self, query: &Query) -> IssueOutcome {
+            let n = self.counter.fetch_add(1, Ordering::Relaxed);
+            if n % self.every == self.every - 1 {
+                if self.vanish {
+                    IssueOutcome::Vanished
+                } else {
+                    IssueOutcome::Errored
+                }
+            } else {
+                IssueOutcome::Completed(self.issue(query))
+            }
+        }
     }
 
     #[test]
@@ -309,6 +485,17 @@ mod tests {
     }
 
     #[test]
+    fn server_worker_pool_is_configurable() {
+        let settings = TestSettings::server(500.0, Nanos::from_millis(50))
+            .with_min_query_count(40)
+            .with_min_duration(Nanos::from_millis(5))
+            .with_server_workers(2);
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let out = run_realtime(&settings, &mut qsl, sleepy(100)).unwrap();
+        assert!(out.result.is_valid(), "{:?}", out.result.validity);
+    }
+
+    #[test]
     fn multistream_realtime() {
         // Generous interval vs service time: scheduler jitter in loaded CI
         // environments must not overrun an interval.
@@ -330,5 +517,76 @@ mod tests {
         let mut qsl = MemoryQsl::new("q", 40, 8);
         let out = run_realtime(&settings, &mut qsl, sleepy(1)).unwrap();
         assert_eq!(out.accuracy_log.len(), 40);
+    }
+
+    #[test]
+    fn errored_outcomes_fail_the_error_fraction_rule() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(10)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 8, 8);
+        let sut = Arc::new(FlakySut {
+            counter: AtomicU64::new(0),
+            every: 2,
+            vanish: false,
+        });
+        let out = run_realtime(&settings, &mut qsl, sut).unwrap();
+        assert!(!out.result.is_valid());
+        assert!(out.result.error_count > 0);
+        assert!(
+            out.result
+                .validity
+                .iter()
+                .any(|i| matches!(i, ValidityIssue::ErrorFractionExceeded { .. })),
+            "{:?}",
+            out.result.validity
+        );
+    }
+
+    #[test]
+    fn vanished_outcomes_stay_outstanding() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(10)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 8, 8);
+        let sut = Arc::new(FlakySut {
+            counter: AtomicU64::new(0),
+            every: 5,
+            vanish: true,
+        });
+        let out = run_realtime(&settings, &mut qsl, sut).unwrap();
+        assert!(!out.result.is_valid());
+        assert!(
+            out.result
+                .validity
+                .iter()
+                .any(|i| matches!(i, ValidityIssue::IncompleteQueries { .. })),
+            "{:?}",
+            out.result.validity
+        );
+    }
+
+    #[test]
+    fn traced_run_logs_issue_and_completion_events() {
+        let settings = TestSettings::single_stream()
+            .with_min_query_count(5)
+            .with_min_duration(Nanos::from_micros(1));
+        let mut qsl = MemoryQsl::new("q", 8, 8);
+        let sink = RingBufferSink::unbounded();
+        let out = run_realtime_traced(&settings, &mut qsl, sleepy(10), &sink).unwrap();
+        let records = sink.snapshot();
+        let issued = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::QueryIssued { .. }))
+            .count() as u64;
+        let completed = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::QueryCompleted { .. }))
+            .count() as u64;
+        assert_eq!(issued, out.result.query_count);
+        assert_eq!(completed, out.result.query_count);
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, TraceEvent::RunPhase { phase, .. } if phase == "report")));
     }
 }

@@ -137,6 +137,34 @@ impl SimSut for FixedLatencySut {
     }
 }
 
+/// How a [`RealtimeSut::issue_outcome`] call resolved.
+///
+/// In-process SUTs always answer; a *network* SUT (the wire extension) can
+/// also fail structurally, and the realtime issue loop must tell those
+/// failures apart so a broken transport surfaces as an INVALID verdict
+/// instead of a hang:
+///
+/// * [`Completed`](IssueOutcome::Completed) — the normal path.
+/// * [`Errored`](IssueOutcome::Errored) — the SUT acknowledged the query
+///   but produced no usable answer (remote error report, disconnect with
+///   the query in flight). Recorded as an errored completion, counted
+///   against [`max_error_fraction`].
+/// * [`Vanished`](IssueOutcome::Vanished) — the query was never resolved
+///   at all (a response timeout on a live connection: the peer silently
+///   swallowed it). Left outstanding in the recorder, so it trips the
+///   `IncompleteQueries` validity rule and the TEST06 completeness audit.
+///
+/// [`max_error_fraction`]: crate::config::TestSettings::max_error_fraction
+#[derive(Debug, Clone, PartialEq)]
+pub enum IssueOutcome {
+    /// Per-sample completions for a successfully answered query.
+    Completed(Vec<SampleCompletion>),
+    /// The query resolved as an error/drop; no usable payloads.
+    Errored,
+    /// The query was never resolved; it stays outstanding.
+    Vanished,
+}
+
 /// A blocking wall-clock system under test.
 ///
 /// Implementations must be internally synchronized: the server-scenario
@@ -148,6 +176,13 @@ pub trait RealtimeSut: Send + Sync {
     /// Runs inference on the query, blocking until complete, and returns
     /// per-sample completions.
     fn issue(&self, query: &Query) -> Vec<SampleCompletion>;
+
+    /// Like [`issue`](RealtimeSut::issue), but able to report structural
+    /// failure. The realtime issue loop calls this; the default wraps
+    /// `issue`, which cannot fail, so in-process SUTs need not override it.
+    fn issue_outcome(&self, query: &Query) -> IssueOutcome {
+        IssueOutcome::Completed(self.issue(query))
+    }
 }
 
 /// A wall-clock SUT that sleeps a fixed time per sample.
@@ -258,5 +293,14 @@ mod tests {
         let sut = SleepSut::new("s", std::time::Duration::from_micros(1));
         let out = sut.issue(&query(0, 3));
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn default_issue_outcome_wraps_issue() {
+        let sut = SleepSut::new("s", std::time::Duration::ZERO);
+        match sut.issue_outcome(&query(0, 2)) {
+            IssueOutcome::Completed(samples) => assert_eq!(samples.len(), 2),
+            other => panic!("default must complete, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,335 @@
+//! Network LoadGen harness: drive a remote SUT daemon, export one, or do
+//! both in-process over a loopback socket.
+//!
+//! ```text
+//! netbench --serve <addr>               export the benchmark device as a daemon
+//! netbench --connect <addr> [opts]      drive a remote daemon (offline + server runs)
+//! netbench --loopback [opts]            single-process: daemon + client on 127.0.0.1
+//!
+//! opts: [--seed <n>] [--out <path>] [--check]
+//! ```
+//!
+//! Every run writes a *logical detail log*: the deterministic slice of the
+//! per-query records (id, scheduled time, sample count, error flag) that is
+//! byte-reproducible under a fixed seed — wall-clock latencies explicitly
+//! excluded. `--check` is the CI smoke mode: it repeats the run pair on
+//! fresh connections and asserts every run is VALID and the two logical
+//! logs render to identical bytes.
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
+use mlperf_loadgen::realtime::run_realtime_traced;
+use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_stats::rng::SeedTriple;
+use mlperf_trace::metrics::MetricsRegistry;
+use mlperf_trace::{JsonValue, RingBufferSink, ToJson, TraceEvent};
+use mlperf_wire::{serve_on, RemoteSut, RemoteSutConfig, ServeConfig, SimHost};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str =
+    "usage: netbench (--serve <addr> | --connect <addr> | --loopback) [--seed <n>] [--out <path>] [--check]";
+
+/// Simulated per-sample service time of the benchmark device. The daemon
+/// replays this on the wall clock, so the whole loopback pair stays fast
+/// enough for a CI smoke stage.
+const DEVICE_PER_SAMPLE: Nanos = Nanos::from_micros(40);
+
+fn benchmark_device() -> SimHost<FixedLatencySut> {
+    SimHost::new(FixedLatencySut::new("netbench-dev", DEVICE_PER_SAMPLE))
+}
+
+/// Scaled-down run pair. Both scenarios terminate on schedule-derived
+/// conditions (an offline run is one batch; the server issue loop stops on
+/// seeded arrival times), so the issued query stream — ids, scheduled
+/// times, sample counts — is deterministic under a fixed seed.
+fn run_pair(seed: u64) -> [(&'static str, TestSettings); 2] {
+    let seeds = SeedTriple::from_master(seed);
+    [
+        (
+            "offline",
+            TestSettings::offline()
+                .with_offline_min_sample_count(1_024)
+                .with_min_duration(Nanos::from_millis(1))
+                .with_seeds(seeds),
+        ),
+        (
+            "server",
+            TestSettings::server(200.0, Nanos::from_millis(50))
+                .with_min_query_count(48)
+                .with_min_duration(Nanos::from_millis(100))
+                .with_seeds(seeds),
+        ),
+    ]
+}
+
+struct RunSummary {
+    label: &'static str,
+    valid: bool,
+    issues: Vec<String>,
+    query_count: u64,
+    sample_count: u64,
+    wire_events: usize,
+    logical_log: JsonValue,
+}
+
+/// Drives one scenario against the daemon at `addr` over a fresh
+/// connection (a connection is a run: the handshake resets the service).
+fn run_one(addr: &str, label: &'static str, settings: &TestSettings) -> Result<RunSummary, String> {
+    let mut qsl = MemoryQsl::new("netbench-qsl", 64, 64);
+    let config = RemoteSutConfig::default();
+    let hello = RemoteSut::hello_for(settings, qsl.total_sample_count() as u64, &config);
+    let sink = Arc::new(RingBufferSink::unbounded());
+    let metrics = Arc::new(MetricsRegistry::new());
+    let client = RemoteSut::connect_instrumented(
+        addr,
+        hello,
+        config,
+        Some(sink.clone()),
+        Some(metrics.clone()),
+    )
+    .map_err(|e| format!("{label}: connect to {addr} failed: {e}"))?;
+
+    let out = run_realtime_traced(settings, &mut qsl, Arc::new(client), sink.as_ref())
+        .map_err(|e| format!("{label}: run failed: {e}"))?;
+
+    let snapshot = metrics.snapshot();
+    let frames = snapshot
+        .counters
+        .get("wire_frames_sent")
+        .copied()
+        .unwrap_or(0);
+    let rtt = snapshot.histograms.get("wire_rtt_ns");
+    println!(
+        "{label:<8} {:<8} queries={} samples={} wire: {frames} frames sent, rtt mean {:.1} us over {} obs",
+        if out.result.is_valid() { "VALID" } else { "INVALID" },
+        out.result.query_count,
+        out.result.sample_count,
+        rtt.map_or(0.0, |h| h.mean() / 1_000.0),
+        rtt.map_or(0, |h| h.count()),
+    );
+
+    let wire_events = sink
+        .snapshot()
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::WireEvent { .. }))
+        .count();
+
+    // The logical detail log: deterministic fields only, in issue order.
+    let queries: Vec<JsonValue> = out
+        .records
+        .iter()
+        .map(|r| {
+            JsonValue::object(vec![
+                ("id", r.id.to_json_value()),
+                ("scheduled_at_ns", r.scheduled_at.as_nanos().to_json_value()),
+                ("sample_count", (r.sample_count as u64).to_json_value()),
+                ("error", r.error.to_json_value()),
+            ])
+        })
+        .collect();
+    let logical_log = JsonValue::object(vec![
+        ("scenario", label.to_json_value()),
+        ("valid", out.result.is_valid().to_json_value()),
+        ("query_count", out.result.query_count.to_json_value()),
+        ("sample_count", out.result.sample_count.to_json_value()),
+        ("queries", JsonValue::Array(queries)),
+    ]);
+
+    Ok(RunSummary {
+        label,
+        valid: out.result.is_valid(),
+        issues: out.result.validity.iter().map(|i| i.to_string()).collect(),
+        query_count: out.result.query_count,
+        sample_count: out.result.sample_count,
+        wire_events,
+        logical_log,
+    })
+}
+
+/// Runs the offline + server pair against `addr`; returns the summaries
+/// and the rendered logical detail log.
+fn drive(addr: &str, seed: u64) -> Result<(Vec<RunSummary>, String), String> {
+    let mut summaries = Vec::new();
+    for (label, settings) in run_pair(seed) {
+        summaries.push(run_one(addr, label, &settings)?);
+    }
+    let doc = JsonValue::object(vec![
+        ("seed", seed.to_json_value()),
+        (
+            "runs",
+            JsonValue::Array(summaries.iter().map(|s| s.logical_log.clone()).collect()),
+        ),
+    ]);
+    let mut rendered = doc.to_pretty();
+    rendered.push('\n');
+    Ok((summaries, rendered))
+}
+
+fn check_summaries(summaries: &[RunSummary]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for s in summaries {
+        if !s.valid {
+            failures.push(format!(
+                "{}: run is INVALID over the wire: {}",
+                s.label,
+                s.issues.join("; ")
+            ));
+        }
+        if s.query_count == 0 || s.sample_count == 0 {
+            failures.push(format!("{}: run resolved no queries", s.label));
+        }
+        if s.wire_events == 0 {
+            failures.push(format!(
+                "{}: detail log recorded no wire events (instrumentation broken)",
+                s.label
+            ));
+        }
+    }
+    failures
+}
+
+enum Mode {
+    Serve(String),
+    Connect(String),
+    Loopback,
+}
+
+fn main() -> ExitCode {
+    let mut mode: Option<Mode> = None;
+    let mut seed = 0xBE7Cu64;
+    let mut out_path: Option<String> = None;
+    let mut check_mode = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--serve" | "--connect" => {
+                let Some(addr) = it.next() else {
+                    eprintln!("{arg} needs an address\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                mode = Some(if arg == "--serve" {
+                    Mode::Serve(addr.clone())
+                } else {
+                    Mode::Connect(addr.clone())
+                });
+            }
+            "--loopback" => mode = Some(Mode::Loopback),
+            "--seed" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--seed needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                seed = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--seed needs an integer, got `{v}`\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out_path = Some(v.clone());
+            }
+            "--check" => check_mode = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(mode) = mode else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    // --serve never returns: export the device and wait for clients.
+    let addr = match mode {
+        Mode::Serve(addr) => {
+            let handle = match serve_on(&addr, Arc::new(benchmark_device()), ServeConfig::default())
+            {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("cannot serve on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "serving netbench-dev on {} (one run per connection; ctrl-c to stop)",
+                handle.addr()
+            );
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Mode::Connect(addr) => addr,
+        Mode::Loopback => {
+            let handle = match serve_on(
+                "127.0.0.1:0",
+                Arc::new(benchmark_device()),
+                ServeConfig::default(),
+            ) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("cannot start loopback daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("loopback daemon on {}", handle.addr());
+            // Leak the handle: the daemon lives for the process.
+            let addr = handle.addr().to_string();
+            std::mem::forget(handle);
+            addr
+        }
+    };
+
+    let (summaries, rendered) = match drive(&addr, seed) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote logical detail log to {path}");
+    }
+
+    if check_mode {
+        let mut failures = check_summaries(&summaries);
+        // Reproducibility: the same seed over fresh connections must
+        // render a byte-identical logical detail log.
+        match drive(&addr, seed) {
+            Ok((again, rendered_again)) => {
+                failures.extend(check_summaries(&again));
+                if rendered != rendered_again {
+                    failures.push(
+                        "logical detail log is not byte-reproducible across connections".into(),
+                    );
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+        if failures.is_empty() {
+            println!("netbench check: OK (both runs VALID, logical detail log byte-stable)");
+        } else {
+            for f in &failures {
+                eprintln!("netbench check: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -118,6 +118,18 @@ pub enum TraceEvent {
         /// 1-based attempt number (retries); 0 where not meaningful.
         attempt: u32,
     },
+    /// Something happened on the network SUT transport (wire extension).
+    WireEvent {
+        /// Which endpoint observed it: `client` or `server`.
+        endpoint: String,
+        /// Event label: `connect`, `handshake`, `heartbeat_loss`,
+        /// `disconnect`, `response_timeout`, `drain`, or `reject`.
+        kind: String,
+        /// Query id the event concerned; 0 where not query-scoped.
+        query_id: u64,
+        /// Free-form context (peer address, reject reason, ...).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -138,6 +150,7 @@ impl TraceEvent {
             TraceEvent::QueryErrored { .. } => "query_errored",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::RecoveryAction { .. } => "recovery_action",
+            TraceEvent::WireEvent { .. } => "wire_event",
         }
     }
 }
@@ -267,6 +280,20 @@ impl ToJson for TraceEvent {
                     ("attempt", attempt.to_json_value()),
                 ]),
             ),
+            TraceEvent::WireEvent {
+                endpoint,
+                kind,
+                query_id,
+                detail,
+            } => (
+                "WireEvent",
+                JsonValue::object(vec![
+                    ("endpoint", endpoint.to_json_value()),
+                    ("kind", kind.to_json_value()),
+                    ("query_id", query_id.to_json_value()),
+                    ("detail", detail.to_json_value()),
+                ]),
+            ),
         };
         JsonValue::object(vec![(name, payload)])
     }
@@ -332,6 +359,12 @@ impl FromJson for TraceEvent {
                 query_id: p.field("query_id")?.as_u64()?,
                 action: p.field("action")?.as_str()?.to_string(),
                 attempt: p.field("attempt")?.as_u32()?,
+            }),
+            "WireEvent" => Ok(TraceEvent::WireEvent {
+                endpoint: p.field("endpoint")?.as_str()?.to_string(),
+                kind: p.field("kind")?.as_str()?.to_string(),
+                query_id: p.field("query_id")?.as_u64()?,
+                detail: p.field("detail")?.as_str()?.to_string(),
             }),
             other => Err(JsonError::new(format!("unknown trace event {other:?}"))),
         }
@@ -581,6 +614,12 @@ mod tests {
                 query_id: 11,
                 action: "retry".into(),
                 attempt: 2,
+            },
+            TraceEvent::WireEvent {
+                endpoint: "client".into(),
+                kind: "heartbeat_loss".into(),
+                query_id: 0,
+                detail: "no pong for 250ms".into(),
             },
         ]
     }

@@ -1,0 +1,578 @@
+//! The LoadGen-side endpoint: [`RemoteSut`].
+//!
+//! `RemoteSut` implements [`RealtimeSut`], so `run_realtime` drives a
+//! machine on the other end of a TCP connection exactly as it drives an
+//! in-process SUT. Internally it keeps a bounded in-flight window
+//! (backpressure), a reader thread routing completion frames to blocked
+//! issuers, and a heartbeat thread that detects a silently dead peer.
+//!
+//! Failure mapping — this is the contract the validity rules lean on:
+//!
+//! * disconnect / heartbeat loss / remote errored reply →
+//!   [`IssueOutcome::Errored`] → an errored completion → the
+//!   `ErrorFractionExceeded` rule;
+//! * response timeout on a live connection (the server swallowed the
+//!   frame) → [`IssueOutcome::Vanished`] → the query stays outstanding →
+//!   the `IncompleteQueries` rule and the TEST06 completeness audit.
+//!
+//! Neither path can hang the run.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::query::{Query, SampleCompletion};
+use mlperf_loadgen::sut::{IssueOutcome, RealtimeSut};
+use mlperf_trace::event::{TraceEvent, TraceSink};
+use mlperf_trace::metrics::MetricsRegistry;
+
+use crate::frame::{read_frame, write_frame, WireError};
+use crate::message::{Hello, Message, PROTOCOL_VERSION};
+
+/// Tuning knobs for a [`RemoteSut`] connection.
+#[derive(Debug, Clone)]
+pub struct RemoteSutConfig {
+    /// Backpressure window: issuers block once this many queries are on
+    /// the wire without a completion.
+    pub max_in_flight: u32,
+    /// How long an issuer waits for its completion frame before declaring
+    /// the query vanished.
+    pub response_timeout: Duration,
+    /// Interval between heartbeat frames.
+    pub heartbeat_interval: Duration,
+    /// Silence tolerated (no heartbeat ack, no completion) before the
+    /// connection is declared dead.
+    pub heartbeat_grace: Duration,
+}
+
+impl Default for RemoteSutConfig {
+    fn default() -> Self {
+        RemoteSutConfig {
+            max_in_flight: 64,
+            response_timeout: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RemoteSutConfig {
+    /// Overrides the in-flight window.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, n: u32) -> Self {
+        self.max_in_flight = n.max(1);
+        self
+    }
+
+    /// Overrides the per-query response timeout.
+    #[must_use]
+    pub fn with_response_timeout(mut self, t: Duration) -> Self {
+        self.response_timeout = t;
+        self
+    }
+
+    /// Overrides the heartbeat interval and grace window.
+    #[must_use]
+    pub fn with_heartbeat(mut self, interval: Duration, grace: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self.heartbeat_grace = grace;
+        self
+    }
+}
+
+/// What the reader thread hands back to a blocked issuer.
+enum Reply {
+    Completion {
+        error: bool,
+        samples: Vec<SampleCompletion>,
+    },
+    Disconnected,
+}
+
+struct Pending {
+    tx: mpsc::Sender<Reply>,
+    sent_at: Instant,
+}
+
+struct ClientState {
+    connected: bool,
+    reason: String,
+    in_flight: u32,
+    pending: HashMap<u64, Pending>,
+}
+
+struct ClientShared {
+    config: RemoteSutConfig,
+    writer: Mutex<TcpStream>,
+    state: Mutex<ClientState>,
+    window: Condvar,
+    start: Instant,
+    last_pong: Mutex<Instant>,
+    stopping: AtomicBool,
+    sink: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ClientShared {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn wire_event(&self, kind: &str, query_id: u64, detail: &str) {
+        if let Some(sink) = &self.sink {
+            if sink.enabled() {
+                sink.record(
+                    self.now_ns(),
+                    &TraceEvent::WireEvent {
+                        endpoint: "client".to_string(),
+                        kind: kind.to_string(),
+                        query_id,
+                        detail: detail.to_string(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn incr(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.incr(name, 1);
+        }
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        if let Some(m) = &self.metrics {
+            m.observe(name, value);
+        }
+    }
+
+    /// Marks the connection dead and wakes every blocked issuer with
+    /// [`Reply::Disconnected`]. Idempotent; the first reason wins.
+    fn fail(&self, reason: &str) {
+        let mut st = self.state.lock().expect("wire client state poisoned");
+        if !st.connected {
+            return;
+        }
+        st.connected = false;
+        st.reason = reason.to_string();
+        st.in_flight = 0;
+        for (_, pending) in st.pending.drain() {
+            let _ = pending.tx.send(Reply::Disconnected);
+        }
+        drop(st);
+        self.window.notify_all();
+        self.incr("wire_disconnects");
+        if !self.stopping.load(Ordering::SeqCst) {
+            self.wire_event("disconnect", 0, reason);
+        }
+    }
+
+    /// Encodes and sends one frame, timing the encode and failing the
+    /// connection on socket errors.
+    fn send(&self, msg: &Message) -> Result<(), WireError> {
+        let encode_started = Instant::now();
+        let payload = msg.encode();
+        self.observe("wire_encode_ns", encode_started.elapsed().as_nanos() as u64);
+        let result = {
+            let mut writer = self.writer.lock().expect("wire writer poisoned");
+            write_frame(&mut *writer, &payload)
+        };
+        match result {
+            Ok(()) => {
+                self.incr("wire_frames_sent");
+                Ok(())
+            }
+            Err(e) => {
+                if !self.stopping.load(Ordering::SeqCst) {
+                    self.fail(&format!("send failed: {e}"));
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A [`RealtimeSut`] whose machinery lives on the other end of a TCP
+/// connection. See the module docs for the failure mapping.
+pub struct RemoteSut {
+    name: String,
+    peer: String,
+    shared: Arc<ClientShared>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    heartbeat: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for RemoteSut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSut")
+            .field("name", &self.name)
+            .field("peer", &self.peer)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteSut {
+    /// Connects and performs the versioned handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the TCP connect fails,
+    /// [`WireError::VersionMismatch`] / [`WireError::Rejected`] if the
+    /// server refuses the handshake, and [`WireError::Protocol`] if the
+    /// server answers with anything but `HelloAck`/`Reject`.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        hello: Hello,
+        config: RemoteSutConfig,
+    ) -> Result<Self, WireError> {
+        Self::connect_instrumented(addr, hello, config, None, None)
+    }
+
+    /// [`RemoteSut::connect`], wiring trace events and wire histograms
+    /// into the given sink and registry.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`RemoteSut::connect`].
+    pub fn connect_instrumented<A: ToSocketAddrs>(
+        addr: A,
+        hello: Hello,
+        config: RemoteSutConfig,
+        sink: Option<Arc<dyn TraceSink>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> Result<Self, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+
+        write_frame(&mut stream, &Message::Hello(hello).encode())?;
+        let ack = Message::decode(&read_frame(&mut stream)?)?;
+        let (version, sut_name) = match ack {
+            Message::HelloAck {
+                version, sut_name, ..
+            } => (version, sut_name),
+            Message::Reject { reason } => return Err(WireError::Rejected(reason)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected HelloAck, got {}",
+                    other.tag_name()
+                )))
+            }
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            });
+        }
+
+        let reader_stream = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            config,
+            writer: Mutex::new(stream),
+            state: Mutex::new(ClientState {
+                connected: true,
+                reason: String::new(),
+                in_flight: 0,
+                pending: HashMap::new(),
+            }),
+            window: Condvar::new(),
+            start: Instant::now(),
+            last_pong: Mutex::new(Instant::now()),
+            stopping: AtomicBool::new(false),
+            sink,
+            metrics,
+        });
+        shared.wire_event("handshake", 0, &format!("peer={peer} sut={sut_name}"));
+
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wire-reader".to_string())
+                .spawn(move || reader_loop(&shared, reader_stream))
+                .map_err(WireError::Io)?
+        };
+        let heartbeat = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wire-heartbeat".to_string())
+                .spawn(move || heartbeat_loop(&shared))
+                .map_err(WireError::Io)?
+        };
+
+        Ok(RemoteSut {
+            name: sut_name,
+            peer,
+            shared,
+            reader: Mutex::new(Some(reader)),
+            heartbeat: Mutex::new(Some(heartbeat)),
+        })
+    }
+
+    /// Builds the handshake `Hello` for a run: scenario, seeds, and QSL
+    /// size are negotiated up front so both ends agree on what the run is.
+    pub fn hello_for(settings: &TestSettings, qsl_size: u64, config: &RemoteSutConfig) -> Hello {
+        Hello {
+            version: PROTOCOL_VERSION,
+            scenario: settings.scenario,
+            seeds: settings.seeds,
+            qsl_size,
+            max_in_flight: config.max_in_flight,
+        }
+    }
+
+    /// The peer address this client connected to.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Whether the connection is still up.
+    pub fn is_connected(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("wire client state poisoned")
+            .connected
+    }
+
+    /// Sends `Drain`, closes the socket, and joins the worker threads.
+    /// Called by `Drop`; safe to call more than once.
+    pub fn shutdown(&self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let still_connected = self.is_connected();
+        if still_connected {
+            let _ = self.shared.send(&Message::Drain);
+            self.shared.wire_event("drain", 0, "");
+        }
+        {
+            let writer = self.shared.writer.lock().expect("wire writer poisoned");
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+        self.shared.fail("client shutdown");
+        if let Some(handle) = self.reader.lock().expect("reader handle poisoned").take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self
+            .heartbeat
+            .lock()
+            .expect("heartbeat handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RemoteSut {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl RealtimeSut for RemoteSut {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn issue(&self, query: &Query) -> Vec<SampleCompletion> {
+        match self.issue_outcome(query) {
+            IssueOutcome::Completed(samples) => samples,
+            // `issue` has no failure channel; echo empty payloads so the
+            // recorder's sample-id checks still hold. `run_realtime` uses
+            // `issue_outcome` and never hits this path.
+            IssueOutcome::Errored | IssueOutcome::Vanished => query
+                .samples
+                .iter()
+                .map(|s| SampleCompletion {
+                    sample_id: s.id,
+                    payload: Default::default(),
+                })
+                .collect(),
+        }
+    }
+
+    fn issue_outcome(&self, query: &Query) -> IssueOutcome {
+        let shared = &self.shared;
+
+        // Backpressure: wait for a slot in the in-flight window, then
+        // register ourselves before the frame leaves so a fast reply
+        // cannot race past the routing table.
+        let rx = {
+            let mut st = shared.state.lock().expect("wire client state poisoned");
+            while st.connected && st.in_flight >= shared.config.max_in_flight {
+                st = shared.window.wait(st).expect("wire client state poisoned");
+            }
+            if !st.connected {
+                return IssueOutcome::Errored;
+            }
+            let (tx, rx) = mpsc::channel();
+            st.in_flight += 1;
+            st.pending.insert(
+                query.id,
+                Pending {
+                    tx,
+                    sent_at: Instant::now(),
+                },
+            );
+            rx
+        };
+
+        if shared.send(&Message::Issue(query.clone())).is_err() {
+            // `fail` already drained our pending entry and released the
+            // window slot.
+            return IssueOutcome::Errored;
+        }
+
+        match rx.recv_timeout(shared.config.response_timeout) {
+            Ok(Reply::Completion { error, samples }) => {
+                if error {
+                    IssueOutcome::Errored
+                } else {
+                    IssueOutcome::Completed(samples)
+                }
+            }
+            Ok(Reply::Disconnected) => IssueOutcome::Errored,
+            Err(_) => {
+                let mut st = shared.state.lock().expect("wire client state poisoned");
+                if st.pending.remove(&query.id).is_some() {
+                    st.in_flight = st.in_flight.saturating_sub(1);
+                    drop(st);
+                    shared.window.notify_all();
+                    shared.incr("wire_timeouts");
+                    shared.wire_event(
+                        "response_timeout",
+                        query.id,
+                        "no completion frame within the response timeout",
+                    );
+                    IssueOutcome::Vanished
+                } else {
+                    // The reply raced in between our timeout and taking
+                    // the lock; it is sitting in the channel.
+                    drop(st);
+                    match rx.try_recv() {
+                        Ok(Reply::Completion {
+                            error: false,
+                            samples,
+                        }) => IssueOutcome::Completed(samples),
+                        _ => IssueOutcome::Errored,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads frames until the socket dies, routing completions to their
+/// blocked issuers and acks to the heartbeat monitor.
+fn reader_loop(shared: &Arc<ClientShared>, mut stream: TcpStream) {
+    loop {
+        let decode_started = Instant::now();
+        let message = read_frame(&mut stream).and_then(|payload| {
+            let msg = Message::decode(&payload);
+            shared.observe("wire_decode_ns", decode_started.elapsed().as_nanos() as u64);
+            msg
+        });
+        match message {
+            Ok(Message::Completion {
+                query_id,
+                error,
+                samples,
+            }) => {
+                shared.incr("wire_frames_received");
+                // A completion is as good as a heartbeat ack for liveness.
+                *shared.last_pong.lock().expect("last pong poisoned") = Instant::now();
+                let pending = {
+                    let mut st = shared.state.lock().expect("wire client state poisoned");
+                    let pending = st.pending.remove(&query_id);
+                    if pending.is_some() {
+                        st.in_flight = st.in_flight.saturating_sub(1);
+                    }
+                    pending
+                };
+                match pending {
+                    Some(p) => {
+                        shared.window.notify_all();
+                        shared.observe("wire_rtt_ns", p.sent_at.elapsed().as_nanos() as u64);
+                        let _ = p.tx.send(Reply::Completion { error, samples });
+                    }
+                    None => {
+                        // Reply for a query we already timed out on.
+                        shared.wire_event("orphan_completion", query_id, "reply after timeout");
+                    }
+                }
+            }
+            Ok(Message::HeartbeatAck { .. }) => {
+                *shared.last_pong.lock().expect("last pong poisoned") = Instant::now();
+            }
+            Ok(Message::Goodbye { served }) => {
+                shared.wire_event("goodbye", 0, &format!("served={served}"));
+                shared.fail("server closed after drain");
+                return;
+            }
+            Ok(other) => {
+                shared.fail(&format!(
+                    "unexpected message from server: {}",
+                    other.tag_name()
+                ));
+                return;
+            }
+            Err(e) => {
+                if !shared.stopping.load(Ordering::SeqCst) {
+                    shared.fail(&format!("read failed: {e}"));
+                }
+                return;
+            }
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Pings the server every `heartbeat_interval`; a completion or ack
+/// refreshes `last_pong`, and `heartbeat_grace` of silence kills the
+/// connection so blocked issuers resolve as errored instead of hanging.
+fn heartbeat_loop(shared: &Arc<ClientShared>) {
+    let mut seq: u64 = 0;
+    loop {
+        std::thread::sleep(shared.config.heartbeat_interval);
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let st = shared.state.lock().expect("wire client state poisoned");
+            if !st.connected {
+                return;
+            }
+        }
+        seq += 1;
+        if shared.send(&Message::Heartbeat { seq }).is_err() {
+            return;
+        }
+        shared.incr("wire_heartbeats");
+        let silence = shared
+            .last_pong
+            .lock()
+            .expect("last pong poisoned")
+            .elapsed();
+        if silence > shared.config.heartbeat_grace {
+            shared.wire_event(
+                "heartbeat_loss",
+                0,
+                &format!("no ack for {} ms", silence.as_millis()),
+            );
+            shared.fail("heartbeat loss");
+            return;
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! LoadGen over the wire: a network SUT protocol, remote client, and
+//! serving daemon.
+//!
+//! The MLPerf rulebook measures latency at the LoadGen/SUT boundary; this
+//! crate moves that boundary onto a TCP connection without moving the
+//! rules. A [`RemoteSut`] implements the core `RealtimeSut` trait, so
+//! `run_realtime` drives a machine on the other side of the network
+//! unchanged, and [`serve`] exports any local SUT — simulated device
+//! fleets ([`SimHost`]), fault-injection stacks, anything implementing
+//! [`WireService`] — as a daemon.
+//!
+//! Layering, bottom-up:
+//!
+//! * [`frame`] — length-prefixed frames and the byte codec;
+//! * [`message`] — the message vocabulary and binary layouts, behind a
+//!   versioned handshake;
+//! * [`client`] — [`RemoteSut`], with bounded in-flight backpressure,
+//!   heartbeats, and the disconnect/vanish failure mapping;
+//! * [`server`] — [`serve`] / [`ServerHandle`], one worker pool per
+//!   connection;
+//! * [`host`] — [`SimHost`], bridging event-driven simulated SUTs onto
+//!   the wall clock;
+//! * [`cheat`] — deliberately misbehaving services for audit tests.
+//!
+//! Everything runs on `std::net` and threads; the workspace is
+//! dependency-free by rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cheat;
+pub mod client;
+pub mod frame;
+pub mod host;
+pub mod message;
+pub mod server;
+pub mod service;
+
+pub use cheat::SilentDropService;
+pub use client::{RemoteSut, RemoteSutConfig};
+pub use frame::{WireError, MAX_FRAME_LEN};
+pub use host::SimHost;
+pub use message::{Hello, Message, PROTOCOL_VERSION};
+pub use server::{serve, serve_on, ServeConfig, ServerHandle};
+pub use service::{ServedReply, WireService};
+
+use std::sync::Arc;
+
+/// Spins up a daemon on a loopback port and connects a [`RemoteSut`] to
+/// it — the single-process topology CI uses.
+///
+/// The returned handle keeps the daemon alive; shut the client down (or
+/// drop it) before [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the bind, connect, or handshake fails.
+pub fn loopback(
+    service: Arc<dyn WireService>,
+    serve_config: ServeConfig,
+    hello: Hello,
+    client_config: RemoteSutConfig,
+) -> Result<(RemoteSut, ServerHandle), WireError> {
+    loopback_instrumented(service, serve_config, hello, client_config, None, None)
+}
+
+/// [`loopback`] with client-side trace and metrics instrumentation.
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the bind, connect, or handshake fails.
+pub fn loopback_instrumented(
+    service: Arc<dyn WireService>,
+    serve_config: ServeConfig,
+    hello: Hello,
+    client_config: RemoteSutConfig,
+    sink: Option<Arc<dyn mlperf_trace::event::TraceSink>>,
+    metrics: Option<Arc<mlperf_trace::metrics::MetricsRegistry>>,
+) -> Result<(RemoteSut, ServerHandle), WireError> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+    let handle = serve(listener, service, serve_config)?;
+    let client =
+        RemoteSut::connect_instrumented(handle.addr(), hello, client_config, sink, metrics)?;
+    Ok((client, handle))
+}

@@ -1,0 +1,458 @@
+//! The wire message vocabulary and its binary layouts.
+//!
+//! One [`Message`] per frame. Tags and layouts (all integers big-endian):
+//!
+//! | tag | message        | payload layout                                              |
+//! |-----|----------------|-------------------------------------------------------------|
+//! | 1   | `Hello`        | version u16, scenario u8, 3× seed u64, qsl_size u64, max_in_flight u32 |
+//! | 2   | `HelloAck`     | version u16, sut_name str, max_in_flight u32                |
+//! | 3   | `Reject`       | reason str                                                  |
+//! | 4   | `Issue`        | query_id u64, scheduled_at u64, tenant u32, n u32, n× (sample_id u64, index u64) |
+//! | 5   | `Completion`   | query_id u64, error u8, n u32, n× (sample_id u64, payload)  |
+//! | 6   | `Heartbeat`    | seq u64                                                     |
+//! | 7   | `HeartbeatAck` | seq u64                                                     |
+//! | 8   | `Drain`        | (empty)                                                     |
+//! | 9   | `Goodbye`      | served u64                                                  |
+//!
+//! Response payloads are themselves tagged: 0 empty, 1 class (u64),
+//! 2 boxes (n u32, n× class u64 + score f32 + 4× f32), 3 tokens
+//! (n u32, n× u32).
+
+use crate::frame::{ByteReader, ByteWriter, WireError};
+use mlperf_loadgen::query::{Query, QuerySample, ResponsePayload, SampleCompletion};
+use mlperf_loadgen::scenario::Scenario;
+use mlperf_loadgen::time::Nanos;
+use mlperf_stats::rng::SeedTriple;
+
+/// The protocol version this build speaks. Bumped on any layout change;
+/// the handshake refuses mismatched peers outright (no downgrades).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// What the client announces before any query flows: everything the server
+/// needs to pre-load its QSL and sanity-check the run (scenario, the three
+/// rulebook seeds, QSL size) plus the backpressure window it intends to use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Client protocol version.
+    pub version: u16,
+    /// Scenario the run will drive.
+    pub scenario: Scenario,
+    /// The run's seed triple (qsl, schedule, accuracy).
+    pub seeds: SeedTriple,
+    /// Number of samples in the client's QSL.
+    pub qsl_size: u64,
+    /// Maximum queries the client will keep in flight.
+    pub max_in_flight: u32,
+}
+
+/// One message on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: handshake open.
+    Hello(Hello),
+    /// Server → client: handshake accept.
+    HelloAck {
+        /// Server protocol version.
+        version: u16,
+        /// Name of the SUT the server exports.
+        sut_name: String,
+        /// In-flight window the server granted.
+        max_in_flight: u32,
+    },
+    /// Server → client: handshake refusal; the connection closes after.
+    Reject {
+        /// Why the server refused.
+        reason: String,
+    },
+    /// Client → server: run inference on a query.
+    Issue(Query),
+    /// Server → client: a query resolved. `error` marks a structural
+    /// failure (the remote engine errored/dropped); sample ids still echo.
+    Completion {
+        /// Query id being resolved.
+        query_id: u64,
+        /// Whether the query resolved as an error.
+        error: bool,
+        /// Per-sample completions.
+        samples: Vec<SampleCompletion>,
+    },
+    /// Either direction: liveness probe.
+    Heartbeat {
+        /// Monotonic probe sequence number.
+        seq: u64,
+    },
+    /// Reply to a [`Message::Heartbeat`], echoing its sequence number.
+    HeartbeatAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// Client → server: no more queries; flush outstanding completions.
+    Drain,
+    /// Server → client: drain finished, connection closing.
+    Goodbye {
+        /// Queries the server resolved over the connection's lifetime.
+        served: u64,
+    },
+}
+
+fn scenario_tag(s: Scenario) -> u8 {
+    match s {
+        Scenario::SingleStream => 0,
+        Scenario::MultiStream => 1,
+        Scenario::Server => 2,
+        Scenario::Offline => 3,
+    }
+}
+
+fn scenario_from_tag(tag: u8) -> Result<Scenario, WireError> {
+    match tag {
+        0 => Ok(Scenario::SingleStream),
+        1 => Ok(Scenario::MultiStream),
+        2 => Ok(Scenario::Server),
+        3 => Ok(Scenario::Offline),
+        other => Err(WireError::Protocol(format!("unknown scenario tag {other}"))),
+    }
+}
+
+fn put_payload(w: &mut ByteWriter, payload: &ResponsePayload) {
+    match payload {
+        ResponsePayload::Empty => w.put_u8(0),
+        ResponsePayload::Class(class) => {
+            w.put_u8(1);
+            w.put_u64(*class as u64);
+        }
+        ResponsePayload::Boxes(boxes) => {
+            w.put_u8(2);
+            w.put_u32(boxes.len() as u32);
+            for (class, score, rect) in boxes {
+                w.put_u64(*class as u64);
+                w.put_f32(*score);
+                for coord in rect {
+                    w.put_f32(*coord);
+                }
+            }
+        }
+        ResponsePayload::Tokens(tokens) => {
+            w.put_u8(3);
+            w.put_u32(tokens.len() as u32);
+            for t in tokens {
+                w.put_u32(*t);
+            }
+        }
+    }
+}
+
+fn get_payload(r: &mut ByteReader<'_>) -> Result<ResponsePayload, WireError> {
+    match r.get_u8()? {
+        0 => Ok(ResponsePayload::Empty),
+        1 => Ok(ResponsePayload::Class(r.get_u64()? as usize)),
+        2 => {
+            let n = r.get_u32()? as usize;
+            let mut boxes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let class = r.get_u64()? as usize;
+                let score = r.get_f32()?;
+                let mut rect = [0.0f32; 4];
+                for coord in &mut rect {
+                    *coord = r.get_f32()?;
+                }
+                boxes.push((class, score, rect));
+            }
+            Ok(ResponsePayload::Boxes(boxes))
+        }
+        3 => {
+            let n = r.get_u32()? as usize;
+            let mut tokens = Vec::with_capacity(n);
+            for _ in 0..n {
+                tokens.push(r.get_u32()?);
+            }
+            Ok(ResponsePayload::Tokens(tokens))
+        }
+        other => Err(WireError::Protocol(format!("unknown payload tag {other}"))),
+    }
+}
+
+impl Message {
+    /// Human-readable message name, for diagnostics.
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            Message::Hello(_) => "Hello",
+            Message::HelloAck { .. } => "HelloAck",
+            Message::Reject { .. } => "Reject",
+            Message::Issue(_) => "Issue",
+            Message::Completion { .. } => "Completion",
+            Message::Heartbeat { .. } => "Heartbeat",
+            Message::HeartbeatAck { .. } => "HeartbeatAck",
+            Message::Drain => "Drain",
+            Message::Goodbye { .. } => "Goodbye",
+        }
+    }
+
+    /// Encodes the message as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Message::Hello(h) => {
+                w.put_u8(1);
+                w.put_u16(h.version);
+                w.put_u8(scenario_tag(h.scenario));
+                w.put_u64(h.seeds.qsl_seed);
+                w.put_u64(h.seeds.schedule_seed);
+                w.put_u64(h.seeds.accuracy_seed);
+                w.put_u64(h.qsl_size);
+                w.put_u32(h.max_in_flight);
+            }
+            Message::HelloAck {
+                version,
+                sut_name,
+                max_in_flight,
+            } => {
+                w.put_u8(2);
+                w.put_u16(*version);
+                w.put_str(sut_name);
+                w.put_u32(*max_in_flight);
+            }
+            Message::Reject { reason } => {
+                w.put_u8(3);
+                w.put_str(reason);
+            }
+            Message::Issue(query) => {
+                w.put_u8(4);
+                w.put_u64(query.id);
+                w.put_u64(query.scheduled_at.as_nanos());
+                w.put_u32(query.tenant);
+                w.put_u32(query.samples.len() as u32);
+                for s in &query.samples {
+                    w.put_u64(s.id);
+                    w.put_u64(s.index as u64);
+                }
+            }
+            Message::Completion {
+                query_id,
+                error,
+                samples,
+            } => {
+                w.put_u8(5);
+                w.put_u64(*query_id);
+                w.put_u8(u8::from(*error));
+                w.put_u32(samples.len() as u32);
+                for s in samples {
+                    w.put_u64(s.sample_id);
+                    put_payload(&mut w, &s.payload);
+                }
+            }
+            Message::Heartbeat { seq } => {
+                w.put_u8(6);
+                w.put_u64(*seq);
+            }
+            Message::HeartbeatAck { seq } => {
+                w.put_u8(7);
+                w.put_u64(*seq);
+            }
+            Message::Drain => {
+                w.put_u8(8);
+            }
+            Message::Goodbye { served } => {
+                w.put_u8(9);
+                w.put_u64(*served);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Protocol`] for unknown tags, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = ByteReader::new(payload);
+        let message = match r.get_u8()? {
+            1 => Message::Hello(Hello {
+                version: r.get_u16()?,
+                scenario: scenario_from_tag(r.get_u8()?)?,
+                seeds: SeedTriple {
+                    qsl_seed: r.get_u64()?,
+                    schedule_seed: r.get_u64()?,
+                    accuracy_seed: r.get_u64()?,
+                },
+                qsl_size: r.get_u64()?,
+                max_in_flight: r.get_u32()?,
+            }),
+            2 => Message::HelloAck {
+                version: r.get_u16()?,
+                sut_name: r.get_str()?,
+                max_in_flight: r.get_u32()?,
+            },
+            3 => Message::Reject {
+                reason: r.get_str()?,
+            },
+            4 => {
+                let id = r.get_u64()?;
+                let scheduled_at = Nanos::from_nanos(r.get_u64()?);
+                let tenant = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut samples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    samples.push(QuerySample {
+                        id: r.get_u64()?,
+                        index: r.get_u64()? as usize,
+                    });
+                }
+                Message::Issue(Query {
+                    id,
+                    samples,
+                    scheduled_at,
+                    tenant,
+                })
+            }
+            5 => {
+                let query_id = r.get_u64()?;
+                let error = r.get_u8()? != 0;
+                let n = r.get_u32()? as usize;
+                let mut samples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    samples.push(SampleCompletion {
+                        sample_id: r.get_u64()?,
+                        payload: get_payload(&mut r)?,
+                    });
+                }
+                Message::Completion {
+                    query_id,
+                    error,
+                    samples,
+                }
+            }
+            6 => Message::Heartbeat { seq: r.get_u64()? },
+            7 => Message::HeartbeatAck { seq: r.get_u64()? },
+            8 => Message::Drain,
+            9 => Message::Goodbye {
+                served: r.get_u64()?,
+            },
+            other => {
+                return Err(WireError::Protocol(format!("unknown message tag {other}")));
+            }
+        };
+        r.finish()?;
+        Ok(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                scenario: Scenario::Server,
+                seeds: SeedTriple::OFFICIAL,
+                qsl_size: 1_024,
+                max_in_flight: 64,
+            }),
+            Message::HelloAck {
+                version: PROTOCOL_VERSION,
+                sut_name: "datacenter-gpu".into(),
+                max_in_flight: 64,
+            },
+            Message::Reject {
+                reason: "version mismatch".into(),
+            },
+            Message::Issue(Query {
+                id: 17,
+                samples: vec![
+                    QuerySample { id: 170, index: 3 },
+                    QuerySample {
+                        id: 171,
+                        index: 900,
+                    },
+                ],
+                scheduled_at: Nanos::from_micros(250),
+                tenant: 2,
+            }),
+            Message::Completion {
+                query_id: 17,
+                error: false,
+                samples: vec![
+                    SampleCompletion {
+                        sample_id: 170,
+                        payload: ResponsePayload::Class(7),
+                    },
+                    SampleCompletion {
+                        sample_id: 171,
+                        payload: ResponsePayload::Boxes(vec![(1, 0.75, [0.0, 1.0, 2.0, 3.0])]),
+                    },
+                ],
+            },
+            Message::Completion {
+                query_id: 18,
+                error: true,
+                samples: vec![SampleCompletion {
+                    sample_id: 180,
+                    payload: ResponsePayload::Empty,
+                }],
+            },
+            Message::Completion {
+                query_id: 19,
+                error: false,
+                samples: vec![SampleCompletion {
+                    sample_id: 190,
+                    payload: ResponsePayload::Tokens(vec![5, 6, 7]),
+                }],
+            },
+            Message::Heartbeat { seq: 41 },
+            Message::HeartbeatAck { seq: 41 },
+            Message::Drain,
+            Message::Goodbye { served: 270_336 },
+        ]
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        for message in sample_messages() {
+            let bytes = message.encode();
+            let back = Message::decode(&bytes).unwrap();
+            assert_eq!(back, message, "{message:?}");
+        }
+    }
+
+    #[test]
+    fn every_scenario_tag_roundtrips() {
+        for scenario in Scenario::ALL {
+            assert_eq!(scenario_from_tag(scenario_tag(scenario)).unwrap(), scenario);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Message::decode(&[200]),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_for_every_message() {
+        for message in sample_messages() {
+            let bytes = message.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::decode(&bytes[..cut]).is_err(),
+                    "{message:?} decoded from a {cut}-byte prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Message::Drain.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

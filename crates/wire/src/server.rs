@@ -1,0 +1,373 @@
+//! The daemon-side endpoint: [`serve`] and [`ServerHandle`].
+//!
+//! `serve` exports any [`WireService`] over a TCP listener. Each accepted
+//! connection performs the versioned handshake, then runs a worker pool
+//! (one worker per connection by default) pulling issue frames off the
+//! socket, resolving them through the service, and writing completion
+//! frames back. Heartbeats are answered inline; `Drain` waits for the
+//! connection's outstanding queries to resolve, then answers `Goodbye`
+//! and closes.
+//!
+//! [`ServerHandle::kill`] exists for resilience testing: it severs every
+//! live connection abruptly — the moral equivalent of yanking the
+//! machine's power cord mid-run — so clients exercise their disconnect
+//! path.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mlperf_loadgen::query::Query;
+use mlperf_trace::event::{TraceEvent, TraceSink};
+
+use crate::frame::{read_frame, write_frame, WireError};
+use crate::message::{Message, PROTOCOL_VERSION};
+use crate::service::WireService;
+
+/// Tuning knobs for a serving daemon.
+#[derive(Clone, Default)]
+pub struct ServeConfig {
+    /// Workers resolving queries per connection. `0` means one.
+    pub workers_per_conn: usize,
+    /// Optional sink receiving server-side `WireEvent`s
+    /// (connect, reject, drain, disconnect).
+    pub sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers_per_conn", &self.workers_per_conn)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the per-connection worker count.
+    #[must_use]
+    pub fn with_workers_per_conn(mut self, n: usize) -> Self {
+        self.workers_per_conn = n;
+        self
+    }
+
+    /// Attaches a trace sink for server-side wire events.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+struct ServerShared {
+    stop: AtomicBool,
+    served: AtomicU64,
+    conns: Mutex<Vec<TcpStream>>,
+    sink: Option<Arc<dyn TraceSink>>,
+    start: Instant,
+}
+
+impl ServerShared {
+    fn wire_event(&self, kind: &str, query_id: u64, detail: &str) {
+        if let Some(sink) = &self.sink {
+            if sink.enabled() {
+                sink.record(
+                    self.start.elapsed().as_nanos() as u64,
+                    &TraceEvent::WireEvent {
+                        endpoint: "server".to_string(),
+                        kind: kind.to_string(),
+                        query_id,
+                        detail: detail.to_string(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Handle to a running daemon. Dropping the handle does *not* stop the
+/// daemon; call [`ServerHandle::shutdown`] (graceful) or
+/// [`ServerHandle::kill`] (abrupt).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries resolved across all connections so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+
+    /// Severs every live connection abruptly, without drain or goodbye —
+    /// simulates the serving machine dying mid-run. The listener also
+    /// stops accepting.
+    pub fn kill(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let conns = self.shared.conns.lock().expect("server conns poisoned");
+        for conn in conns.iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.shared.wire_event("kill", 0, "all connections severed");
+        self.unblock_accept();
+    }
+
+    /// Stops accepting new connections and waits for the accept thread.
+    /// Existing connections finish naturally (clients drain and leave).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.unblock_accept();
+        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// The accept loop blocks in `accept()`; poke it with a throwaway
+    /// connection so it notices the stop flag.
+    fn unblock_accept(&self) {
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Starts a daemon exporting `service` on `listener`.
+///
+/// Returns immediately; connections are handled on background threads.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] if the listener's local address cannot be
+/// resolved or the accept thread cannot spawn.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<dyn WireService>,
+    config: ServeConfig,
+) -> Result<ServerHandle, WireError> {
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        stop: AtomicBool::new(false),
+        served: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+        sink: config.sink.clone(),
+        start: Instant::now(),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let workers = config.workers_per_conn.max(1);
+        std::thread::Builder::new()
+            .name("wire-accept".to_string())
+            .spawn(move || accept_loop(&listener, &service, workers, &shared))
+            .map_err(WireError::Io)?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+/// Binds `addr` and starts a daemon on it. `"127.0.0.1:0"` picks a free
+/// port; read it back from [`ServerHandle::addr`].
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] if the bind fails, plus [`serve`]'s failures.
+pub fn serve_on(
+    addr: &str,
+    service: Arc<dyn WireService>,
+    config: ServeConfig,
+) -> Result<ServerHandle, WireError> {
+    serve(TcpListener::bind(addr)?, service, config)
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<dyn WireService>,
+    workers: usize,
+    shared: &Arc<ServerShared>,
+) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        {
+            let mut conns = shared.conns.lock().expect("server conns poisoned");
+            if let Ok(clone) = stream.try_clone() {
+                conns.push(clone);
+            }
+        }
+        shared.wire_event("connect", 0, &peer.to_string());
+        let service = Arc::clone(service);
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name(format!("wire-conn-{peer}"))
+            .spawn(move || {
+                handle_conn(stream, &service, workers, &shared);
+                shared.wire_event("disconnect", 0, &peer.to_string());
+            });
+    }
+}
+
+/// Runs one connection: handshake, then the issue/complete loop until the
+/// client drains or the socket dies.
+fn handle_conn(
+    mut stream: TcpStream,
+    service: &Arc<dyn WireService>,
+    workers: usize,
+    shared: &Arc<ServerShared>,
+) {
+    // --- handshake ---
+    let hello = match read_frame(&mut stream).and_then(|p| Message::decode(&p)) {
+        Ok(Message::Hello(h)) => h,
+        _ => return, // includes the shutdown poke connection
+    };
+    if hello.version != PROTOCOL_VERSION {
+        shared.wire_event(
+            "reject",
+            0,
+            &format!("version mismatch: client v{}", hello.version),
+        );
+        let reject = Message::Reject {
+            reason: format!(
+                "protocol version mismatch: server v{PROTOCOL_VERSION}, client v{}",
+                hello.version
+            ),
+        };
+        let _ = write_frame(&mut stream, &reject.encode());
+        return;
+    }
+    // A connection is a run: let stateful services clear between runs.
+    service.reset();
+    let ack = Message::HelloAck {
+        version: PROTOCOL_VERSION,
+        sut_name: service.name().to_string(),
+        max_in_flight: hello.max_in_flight,
+    };
+    if write_frame(&mut stream, &ack.encode()).is_err() {
+        return;
+    }
+    shared.wire_event(
+        "handshake",
+        0,
+        &format!(
+            "scenario={:?} qsl_size={} window={}",
+            hello.scenario, hello.qsl_size, hello.max_in_flight
+        ),
+    );
+
+    // --- worker pool ---
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let (work_tx, work_rx) = mpsc::channel::<Query>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let mut pool = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let work_rx = Arc::clone(&work_rx);
+        let writer = Arc::clone(&writer);
+        let outstanding = Arc::clone(&outstanding);
+        let service = Arc::clone(service);
+        let shared = Arc::clone(shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("wire-worker-{i}"))
+            .spawn(move || loop {
+                let query = {
+                    let rx = work_rx.lock().expect("server work queue poisoned");
+                    rx.recv()
+                };
+                let Ok(query) = query else { return };
+                if let Some(reply) = service.serve(&query) {
+                    let completion = Message::Completion {
+                        query_id: query.id,
+                        error: reply.error,
+                        samples: reply.samples,
+                    };
+                    let payload = completion.encode();
+                    let mut w = writer.lock().expect("server writer poisoned");
+                    let _ = write_frame(&mut *w, &payload);
+                    shared.served.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    // The service swallowed the query: no frame goes back.
+                    shared.wire_event("dropped_reply", query.id, "service returned nothing");
+                }
+                let (count, cv) = &*outstanding;
+                let mut n = count.lock().expect("server outstanding poisoned");
+                *n -= 1;
+                cv.notify_all();
+            });
+        match worker {
+            Ok(handle) => pool.push(handle),
+            Err(_) => break,
+        }
+    }
+
+    // --- read loop ---
+    loop {
+        match read_frame(&mut stream).and_then(|p| Message::decode(&p)) {
+            Ok(Message::Issue(query)) => {
+                let (count, _) = &*outstanding;
+                *count.lock().expect("server outstanding poisoned") += 1;
+                if work_tx.send(query).is_err() {
+                    break;
+                }
+            }
+            Ok(Message::Heartbeat { seq }) => {
+                let ack = Message::HeartbeatAck { seq };
+                let mut w = writer.lock().expect("server writer poisoned");
+                if write_frame(&mut *w, &ack.encode()).is_err() {
+                    break;
+                }
+            }
+            Ok(Message::Drain) => {
+                let (count, cv) = &*outstanding;
+                let mut n = count.lock().expect("server outstanding poisoned");
+                while *n > 0 {
+                    n = cv.wait(n).expect("server outstanding poisoned");
+                }
+                drop(n);
+                shared.wire_event("drain", 0, "flushed outstanding queries");
+                let goodbye = Message::Goodbye {
+                    served: shared.served.load(Ordering::SeqCst),
+                };
+                let mut w = writer.lock().expect("server writer poisoned");
+                let _ = write_frame(&mut *w, &goodbye.encode());
+                break;
+            }
+            Ok(Message::Goodbye { .. }) => break,
+            Ok(_) => break, // protocol violation: drop the connection
+            Err(_) => break,
+        }
+    }
+
+    // Unblock any worker mid-write, stop the pool, and close.
+    drop(work_tx);
+    let _ = stream.shutdown(Shutdown::Both);
+    for handle in pool {
+        let _ = handle.join();
+    }
+}

@@ -1,0 +1,114 @@
+//! TEST06 query-completeness auditing across the wire.
+//!
+//! The network gives a SUT a brand-new way to cheat — swallow a frame and
+//! say nothing — and a brand-new way to fail honestly — die mid-run.
+//! These tests pin down how each shows up in the detail log: silent drops
+//! as issued-but-never-resolved queries (completeness FAIL), disconnects
+//! as explicit errored completions (completeness PASS, validity INVALID).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlperf_audit::tests::{completeness_check_realtime, completeness_report, AuditOutcome};
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
+use mlperf_loadgen::realtime::run_realtime_traced;
+use mlperf_loadgen::sut::{FixedLatencySut, SleepSut};
+use mlperf_loadgen::time::Nanos;
+use mlperf_trace::{RingBufferSink, TraceEvent};
+use mlperf_wire::{loopback, RemoteSut, RemoteSutConfig, ServeConfig, SilentDropService, SimHost};
+
+#[test]
+fn honest_wire_sut_passes_completeness() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(15)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("audit-qsl", 8, 8);
+    let config = RemoteSutConfig::default();
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "honest-remote",
+        Nanos::from_micros(10),
+    )));
+    let (client, server) =
+        loopback(service, ServeConfig::default(), hello, config).expect("loopback");
+
+    let report = completeness_check_realtime(&settings, &mut qsl, Arc::new(client)).unwrap();
+    assert!(report.passed(), "{report}");
+    server.shutdown();
+}
+
+#[test]
+fn silently_dropping_server_fails_completeness() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(12)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("audit-qsl", 8, 8);
+    // A dropped frame only surfaces after the response timeout; keep it
+    // short so the audit run stays fast.
+    let config = RemoteSutConfig::default().with_response_timeout(Duration::from_millis(80));
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SilentDropService::new(
+        SleepSut::new("cheating-remote", Duration::ZERO),
+        0.3,
+        17,
+    ));
+    let (client, server) =
+        loopback(service, ServeConfig::default(), hello, config).expect("loopback");
+
+    let report = completeness_check_realtime(&settings, &mut qsl, Arc::new(client)).unwrap();
+    match &report.outcome {
+        AuditOutcome::Fail(reason) => {
+            assert!(
+                reason.contains("silently vanished"),
+                "unexpected failure reason: {reason}"
+            );
+        }
+        AuditOutcome::Pass => panic!("a frame-dropping server must fail TEST06: {report}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn mid_run_disconnect_lands_in_the_detail_log_as_errored_queries() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(100)
+        .with_min_duration(Nanos::from_millis(30));
+    let mut qsl = MemoryQsl::new("audit-qsl", 8, 8);
+    let config = RemoteSutConfig::default().with_response_timeout(Duration::from_millis(500));
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "doomed-remote",
+        Nanos::from_micros(200),
+    )));
+    let (client, server) =
+        loopback(service, ServeConfig::default(), hello, config).expect("loopback");
+    let server = Arc::new(server);
+
+    let killer = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(8));
+            server.kill();
+        })
+    };
+
+    let sink = RingBufferSink::unbounded();
+    let out = run_realtime_traced(&settings, &mut qsl, Arc::new(client), &sink).expect("run");
+    killer.join().unwrap();
+
+    let records = sink.snapshot();
+    let errored = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::QueryErrored { .. }))
+        .count();
+    assert!(
+        errored > 0,
+        "disconnected queries must land as explicit errored completions"
+    );
+    // A disconnect is an *honest* failure: every query resolves (as an
+    // error), so completeness passes while the run verdict is INVALID.
+    let report = completeness_report(&records);
+    assert!(report.passed(), "{report}");
+    assert!(!out.result.is_valid());
+}

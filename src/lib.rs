@@ -36,3 +36,4 @@ pub use mlperf_submission as submission;
 pub use mlperf_sut as sut;
 pub use mlperf_tensor as tensor;
 pub use mlperf_trace as trace;
+pub use mlperf_wire as wire;

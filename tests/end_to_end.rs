@@ -205,6 +205,39 @@ fn realtime_and_simulated_agree_on_fixed_latency() {
         rp90 >= sp90 && rp90 < Nanos::from_micros(4_000),
         "realtime p90 {rp90} wildly off simulated {sp90}"
     );
+
+    // Third leg: the same device behind a loopback TCP connection. The
+    // wire moves the LoadGen/SUT boundary onto the network without moving
+    // the rulebook — same verdict, same query count, under the same seed.
+    use mlperf_inference::loadgen::qsl::QuerySampleLibrary;
+    use mlperf_inference::wire::{loopback, RemoteSut, RemoteSutConfig, ServeConfig, SimHost};
+
+    let config = RemoteSutConfig::default();
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "fixed",
+        Nanos::from_micros(400),
+    )));
+    let (client, server) =
+        loopback(service, ServeConfig::default(), hello, config).expect("loopback");
+    let remote = run_realtime(&settings, &mut qsl, Arc::new(client)).expect("remote run");
+    server.shutdown();
+
+    assert!(
+        remote.result.is_valid(),
+        "loopback remote run must be valid: {:?}",
+        remote.result.validity
+    );
+    assert_eq!(remote.result.query_count, sim.result.query_count);
+    assert_eq!(remote.result.query_count, real.result.query_count);
+    let wp90 = match remote.result.metric {
+        ScenarioMetric::SingleStream { p90_latency } => p90_latency,
+        ref m => panic!("wrong metric {m:?}"),
+    };
+    assert!(
+        wp90 >= sp90 && wp90 < Nanos::from_micros(8_000),
+        "wire p90 {wp90} wildly off simulated {sp90}"
+    );
 }
 
 #[test]
