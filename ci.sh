@@ -19,6 +19,14 @@ echo "== chaos smoke (fault matrix: reproducibility + validity flips) =="
 # resilience policies. The table itself is noise in CI logs.
 cargo run -q --release -p mlperf-harness --bin chaos -- --check > /dev/null
 
+echo "== networked chaos smoke (wire faults: integrity + session resume) =="
+# The wire-fault half of the matrix: scenario x wire fault x resume over a
+# loopback daemon. Asserts corruption/truncation/partition surface as
+# error-fraction (CRC rejects, never a fake completion), an unresumed
+# disconnect ends IncompleteQueries, and reconnect+resume rescues it with
+# a logical detail log byte-identical to the fault-free baseline.
+cargo run -q --release -p mlperf-harness --bin chaos -- --wire --check > /dev/null
+
 echo "== netbench loopback smoke (network SUT: VALID + byte-stable detail log) =="
 # Single-process wire smoke: a serving daemon and a RemoteSut client on a
 # loopback socket run the scaled-down offline + server pair twice, asserting
@@ -34,7 +42,9 @@ echo "== bench suite (smoke mode, JSON report) =="
 # MLPERF_FAULT_OVERHEAD_MAX_PCT does the same for a disarmed FaultySut
 # wrapper (the chaos hooks must be free when no fault is armed);
 # MLPERF_WIRE_OVERHEAD_MAX_PCT bounds the loopback wire tax in the
-# wire_overhead bench (warn-only: loopback latency is kernel-dependent).
+# wire_overhead bench (warn-only: loopback latency is kernel-dependent);
+# MLPERF_WIRE_CHAOS_OVERHEAD_MAX_PCT bounds the disarmed chaos-decorator
+# tax in wire_chaos_overhead (also warn-only, same noise caveat).
 BENCH_JSON="$(pwd)/target/bench-current.json"
 rm -f "$BENCH_JSON"
 MLPERF_BENCH_JSON="$BENCH_JSON" \
@@ -44,6 +54,7 @@ MLPERF_GIT_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 MLPERF_TRACE_OVERHEAD_MAX_PCT=10 \
 MLPERF_FAULT_OVERHEAD_MAX_PCT=10 \
 MLPERF_WIRE_OVERHEAD_MAX_PCT=150 \
+MLPERF_WIRE_CHAOS_OVERHEAD_MAX_PCT=25 \
 cargo bench -p mlperf-bench
 
 if [[ -f BENCH_PR2.json ]]; then

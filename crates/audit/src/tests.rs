@@ -354,22 +354,37 @@ where
 /// queries *issued* versus queries *resolved* (completed or explicitly
 /// errored). Shared by the simulated and realtime/network audit paths;
 /// also usable directly on a detail log captured elsewhere.
+///
+/// Two cheats are caught, not one. A SUT that silently discards queries
+/// resolves fewer than were issued; a SUT (or a buggy resume/replay
+/// path) that reports the same query twice inflates its throughput with
+/// completions the LoadGen never asked for. Both fail: every issued
+/// query must resolve exactly once.
 pub fn completeness_report(records: &[TraceRecord]) -> AuditReport {
     let issued = records
         .iter()
         .filter(|r| matches!(r.event, TraceEvent::QueryIssued { .. }))
         .count();
-    let resolved = records
-        .iter()
-        .filter(|r| {
-            matches!(
-                r.event,
-                TraceEvent::QueryCompleted { .. } | TraceEvent::QueryErrored { .. }
-            )
-        })
-        .count();
+    let mut resolutions: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for record in records {
+        if let TraceEvent::QueryCompleted { query_id, .. }
+        | TraceEvent::QueryErrored { query_id, .. } = record.event
+        {
+            *resolutions.entry(query_id).or_insert(0) += 1;
+        }
+    }
+    let resolved: usize = resolutions.values().sum();
+    let double_counted = resolutions.values().filter(|&&count| count > 1).count();
     let outcome = if issued == 0 {
         AuditOutcome::Fail("the run issued no queries to audit".into())
+    } else if double_counted > 0 {
+        AuditOutcome::Fail(format!(
+            "{double_counted} queries resolved more than once (double-counted completions)"
+        ))
+    } else if resolved > issued {
+        AuditOutcome::Fail(format!(
+            "the SUT resolved {resolved} queries but only {issued} were issued"
+        ))
     } else if resolved < issued {
         AuditOutcome::Fail(format!(
             "{} of {issued} issued queries silently vanished (never completed, never errored)",
@@ -532,6 +547,68 @@ mod unit {
         let mut sut = FixedLatencySut::new("f", Nanos::from_micros(10));
         let report = completeness_check(&settings, &mut qsl, &mut sut).unwrap();
         assert!(report.passed(), "{report}");
+    }
+
+    /// Builds a synthetic detail log: `issued` queries issued, then one
+    /// resolution per entry in `resolutions` (query id, errored?).
+    fn synthetic_log(issued: u64, resolutions: &[(u64, bool)]) -> Vec<TraceRecord> {
+        let mut records = Vec::new();
+        for query_id in 0..issued {
+            records.push(TraceRecord {
+                ts_ns: query_id * 10,
+                event: TraceEvent::QueryIssued {
+                    query_id,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            });
+        }
+        for (i, &(query_id, errored)) in resolutions.iter().enumerate() {
+            let event = if errored {
+                TraceEvent::QueryErrored {
+                    query_id,
+                    latency_ns: 100,
+                }
+            } else {
+                TraceEvent::QueryCompleted {
+                    query_id,
+                    latency_ns: 100,
+                }
+            };
+            records.push(TraceRecord {
+                ts_ns: issued * 10 + i as u64,
+                event,
+            });
+        }
+        records
+    }
+
+    #[test]
+    fn completeness_passes_exactly_once_resolutions() {
+        let records = synthetic_log(4, &[(0, false), (1, false), (2, true), (3, false)]);
+        let report = completeness_report(&records);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn duplicated_completion_cheat_fails_completeness() {
+        // A replayed completion that gets counted twice — the cheat a
+        // buggy resume/journal path would commit. The totals even out
+        // (4 issued, 4 resolutions) because the duplicate hides a
+        // genuinely vanished query; per-id counting catches both.
+        let records = synthetic_log(4, &[(0, false), (1, false), (1, false), (2, true)]);
+        let report = completeness_report(&records);
+        match &report.outcome {
+            AuditOutcome::Fail(reason) => assert!(
+                reason.contains("more than once"),
+                "unexpected failure reason: {reason}"
+            ),
+            AuditOutcome::Pass => panic!("double-counted completions must fail TEST06: {report}"),
+        }
+        // The same cheat without the vanished query: more resolutions
+        // than issues, still a FAIL.
+        let records = synthetic_log(2, &[(0, false), (0, false), (1, false)]);
+        assert!(!completeness_report(&records).passed());
     }
 
     #[test]

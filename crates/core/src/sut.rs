@@ -145,14 +145,15 @@ impl SimSut for FixedLatencySut {
 /// instead of a hang:
 ///
 /// * [`Completed`](IssueOutcome::Completed) — the normal path.
-/// * [`Errored`](IssueOutcome::Errored) — the SUT acknowledged the query
-///   but produced no usable answer (remote error report, disconnect with
-///   the query in flight). Recorded as an errored completion, counted
-///   against [`max_error_fraction`].
+/// * [`Errored`](IssueOutcome::Errored) — the SUT provably misbehaved on
+///   this query (remote error report, corrupt frame, heartbeat loss on a
+///   live socket). Recorded as an errored completion, counted against
+///   [`max_error_fraction`].
 /// * [`Vanished`](IssueOutcome::Vanished) — the query was never resolved
-///   at all (a response timeout on a live connection: the peer silently
-///   swallowed it). Left outstanding in the recorder, so it trips the
-///   `IncompleteQueries` validity rule and the TEST06 completeness audit.
+///   at all (a response timeout on a live connection, or a hard
+///   disconnect with the query in flight and no resume). Left outstanding
+///   in the recorder, so it trips the `IncompleteQueries` validity rule
+///   and the TEST06 completeness audit.
 ///
 /// [`max_error_fraction`]: crate::config::TestSettings::max_error_fraction
 #[derive(Debug, Clone, PartialEq)]

@@ -3,7 +3,7 @@
 //! and which the resilience policies rescue.
 //!
 //! ```text
-//! chaos [--seed <n>] [--out <path>] [--check]
+//! chaos [--seed <n>] [--out <path>] [--check] [--wire]
 //! ```
 //!
 //! Every cell of the matrix runs one scaled-down LoadGen test twice: once
@@ -14,27 +14,48 @@
 //! same matrix scales across scenarios. Everything is seeded: the same
 //! `--seed` yields byte-identical output.
 //!
+//! `--wire` adds the *network* chaos matrix: scenario × wire fault ×
+//! resume on/off, each cell a real LoadGen run over a loopback TCP daemon
+//! with a seeded [`WireChaosPlan`] armed on the client transport. The
+//! matrix records structured validity-issue kinds (never wall-clock
+//! counts) plus an FNV-1a hash of the logical detail log for VALID cells,
+//! so both builds of the same seed render byte-identical JSON.
+//!
 //! `--check` is the CI smoke mode: it rebuilds the matrix twice and asserts
 //! (1) both builds render to identical bytes, (2) the fault-free baseline is
 //! VALID in every scenario, (3) every scenario has at least one fault that
 //! flips it to INVALID — the validity rules catch degraded runs — and
-//! (4) the resilience policies rescue at least one INVALID cell.
+//! (4) the resilience policies rescue at least one INVALID cell. With
+//! `--wire` it additionally asserts the wire-fault taxonomy lands exactly
+//! as documented: corruption/truncation/partition end `ErrorFraction`,
+//! an unresumed disconnect ends `IncompleteQueries`, and the same
+//! disconnect under a resume policy is rescued to VALID with a logical
+//! detail log byte-identical to the fault-free run's.
 
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::des::run_simulated;
-use mlperf_loadgen::qsl::MemoryQsl;
+use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
+use mlperf_loadgen::realtime::run_realtime;
 use mlperf_loadgen::scenario::Scenario;
+use mlperf_loadgen::sut::FixedLatencySut;
 use mlperf_loadgen::time::Nanos;
+use mlperf_loadgen::validate::ValidityIssue;
 use mlperf_models::{TaskId, Workload};
+use mlperf_stats::rng::SeedTriple;
 use mlperf_sut::device::{Architecture, DeviceSpec};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_sut::faults::FaultPlan;
 use mlperf_sut::resilience::{ResiliencePolicy, ResilientSut};
 use mlperf_sut::FaultySut;
 use mlperf_trace::{JsonValue, ToJson};
+use mlperf_wire::{
+    loopback, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig, SimHost, WireChaosPlan,
+};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check]";
+const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire]";
 
 const SCENARIOS: [Scenario; 4] = [
     Scenario::SingleStream,
@@ -206,6 +227,199 @@ fn run_cell(
     })
 }
 
+/// The network fault taxonomy: one label per `WireChaosPlan` knob the
+/// matrix exercises. Each hits a deterministic frame index (or every
+/// frame), so heartbeat interleaving cannot shift which logical frame is
+/// faulted.
+const WIRE_FAULT_CASES: [&str; 7] = [
+    "none",
+    "corrupt",
+    "truncate",
+    "duplicate",
+    "delay",
+    "partition",
+    "disconnect",
+];
+
+/// Client-side wire chaos per fault case. Frame 1 outbound is the Hello
+/// and frame 1 inbound the HelloAck, so "frame 2" is the first real
+/// traffic in either direction.
+fn wire_plan_for(case: &str, seed: u64) -> WireChaosPlan {
+    let plan = WireChaosPlan::new(seed);
+    match case {
+        "none" => plan,
+        "corrupt" => plan.with_corrupt_recv_at(2),
+        "truncate" => plan.with_truncate_recv_at(2),
+        "duplicate" => plan.with_duplicate_send(1.0),
+        "delay" => plan.with_delay_recv(Duration::from_millis(3)),
+        "partition" => plan.with_partition_send_after(1),
+        "disconnect" => plan.with_disconnect_after_send(2),
+        other => unreachable!("unknown wire fault case {other}"),
+    }
+}
+
+/// Scaled-down wire scenarios. Both terminate on schedule-derived
+/// conditions (an offline run is one batch; the server issue loop stops on
+/// seeded arrival times), so the issued query stream is deterministic
+/// under a fixed seed and the logical detail log of a VALID run is
+/// byte-reproducible.
+fn wire_settings(seed: u64) -> [(&'static str, TestSettings); 2] {
+    let seeds = SeedTriple::from_master(seed);
+    [
+        (
+            "offline",
+            TestSettings::offline()
+                .with_offline_min_sample_count(256)
+                .with_min_duration(Nanos::ZERO)
+                .with_max_error_fraction(0.02)
+                .with_seeds(seeds),
+        ),
+        (
+            "server",
+            TestSettings::server(200.0, Nanos::from_millis(500))
+                .with_min_query_count(40)
+                .with_min_duration(Nanos::from_millis(100))
+                .with_max_error_fraction(0.02)
+                .with_seeds(seeds),
+        ),
+    ]
+}
+
+/// Stable kind label for a validity issue — never its Display string,
+/// which carries run-dependent counts and durations.
+fn issue_kind(issue: &ValidityIssue) -> &'static str {
+    match issue {
+        ValidityIssue::TooFewQueries { .. } => "too_few_queries",
+        ValidityIssue::RunTooShort { .. } => "run_too_short",
+        ValidityIssue::LatencyBoundExceeded { .. } => "latency_bound_exceeded",
+        ValidityIssue::TooManySkippedIntervals { .. } => "too_many_skipped_intervals",
+        ValidityIssue::TooFewSamples { .. } => "too_few_samples",
+        ValidityIssue::IncompleteQueries { .. } => "incomplete_queries",
+        ValidityIssue::ErrorFractionExceeded { .. } => "error_fraction_exceeded",
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[derive(Debug, Clone)]
+struct WireRun {
+    valid: bool,
+    /// Sorted, deduplicated issue kinds.
+    issues: Vec<String>,
+    /// FNV-1a of the logical detail log; only for VALID runs, where the
+    /// log is deterministic (id, scheduled time, sample count, error flag
+    /// per query, in issue order).
+    log_hash: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct WireCell {
+    scenario: &'static str,
+    fault: &'static str,
+    plain: WireRun,
+    resumed: WireRun,
+}
+
+impl WireCell {
+    fn rescued(&self) -> bool {
+        !self.plain.valid && self.resumed.valid
+    }
+}
+
+/// One wire run: a fresh loopback daemon, a chaos-armed client, a real
+/// LoadGen run over TCP.
+fn run_wire(
+    scenario: &'static str,
+    settings: &TestSettings,
+    fault: &'static str,
+    resume: bool,
+    seed: u64,
+) -> Result<WireRun, String> {
+    let mut qsl = MemoryQsl::new("wire-chaos-qsl", 64, 64);
+    // The partition is one-way outbound: only heartbeat loss can prove the
+    // peer unreachable, so that cell runs an aggressive heartbeat. Every
+    // other cell spaces heartbeats out past the deterministic fault frames.
+    let (interval, grace) = if fault == "partition" {
+        (Duration::from_millis(15), Duration::from_millis(75))
+    } else {
+        (Duration::from_millis(200), Duration::from_secs(2))
+    };
+    let mut config = RemoteSutConfig::default()
+        .with_response_timeout(Duration::from_secs(5))
+        .with_heartbeat(interval, grace)
+        .with_chaos(wire_plan_for(fault, seed));
+    if resume {
+        config = config.with_resume(ResumePolicy {
+            max_attempts: 5,
+            backoff: Duration::from_millis(30),
+        });
+    }
+    let hello = RemoteSut::hello_for(settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "wire-chaos-dev",
+        Nanos::from_micros(200),
+    )));
+    let (client, server) = loopback(service, ServeConfig::default(), hello, config)
+        .map_err(|e| format!("{scenario} / {fault}: loopback failed: {e}"))?;
+    let out = run_realtime(settings, &mut qsl, Arc::new(client))
+        .map_err(|e| format!("{scenario} / {fault}: run failed: {e}"))?;
+    server.shutdown();
+
+    let mut issues: Vec<String> = out
+        .result
+        .validity
+        .iter()
+        .map(|i| issue_kind(i).to_string())
+        .collect();
+    issues.sort();
+    issues.dedup();
+    let valid = out.result.is_valid();
+    let log_hash = valid.then(|| {
+        let mut text = String::new();
+        for r in &out.records {
+            use std::fmt::Write as _;
+            let _ = write!(
+                text,
+                "{},{},{},{};",
+                r.id,
+                r.scheduled_at.as_nanos(),
+                r.sample_count,
+                r.error
+            );
+        }
+        format!("{:016x}", fnv1a64(text.as_bytes()))
+    });
+    Ok(WireRun {
+        valid,
+        issues,
+        log_hash,
+    })
+}
+
+fn build_wire_matrix(seed: u64) -> Result<Vec<WireCell>, String> {
+    let mut cells = Vec::new();
+    for (scenario, settings) in wire_settings(seed) {
+        for fault in WIRE_FAULT_CASES {
+            let plain = run_wire(scenario, &settings, fault, false, seed)?;
+            let resumed = run_wire(scenario, &settings, fault, true, seed)?;
+            cells.push(WireCell {
+                scenario,
+                fault,
+                plain,
+                resumed,
+            });
+        }
+    }
+    Ok(cells)
+}
+
 fn build_matrix(seed: u64) -> Result<Vec<Cell>, String> {
     let mut cells = Vec::new();
     for scenario in SCENARIOS {
@@ -224,7 +438,24 @@ fn build_matrix(seed: u64) -> Result<Vec<Cell>, String> {
     Ok(cells)
 }
 
-fn render_json(seed: u64, cells: &[Cell]) -> String {
+fn wire_run_json(run: &WireRun) -> JsonValue {
+    JsonValue::object(vec![
+        ("valid", run.valid.to_json_value()),
+        (
+            "issues",
+            JsonValue::Array(run.issues.iter().map(|i| i.to_json_value()).collect()),
+        ),
+        (
+            "log_hash",
+            match &run.log_hash {
+                Some(h) => h.to_json_value(),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn render_json(seed: u64, cells: &[Cell], wire: Option<&[WireCell]>) -> String {
     let rows = cells
         .iter()
         .map(|c| {
@@ -251,13 +482,57 @@ fn render_json(seed: u64, cells: &[Cell]) -> String {
             ])
         })
         .collect();
-    let doc = JsonValue::object(vec![
+    let mut fields = vec![
         ("seed", seed.to_json_value()),
         ("rows", JsonValue::Array(rows)),
-    ]);
+    ];
+    if let Some(wire_cells) = wire {
+        let wire_rows = wire_cells
+            .iter()
+            .map(|c| {
+                JsonValue::object(vec![
+                    ("scenario", c.scenario.to_json_value()),
+                    ("fault", c.fault.to_json_value()),
+                    ("plain", wire_run_json(&c.plain)),
+                    ("resumed", wire_run_json(&c.resumed)),
+                    ("rescued", c.rescued().to_json_value()),
+                ])
+            })
+            .collect();
+        fields.push(("wire_rows", JsonValue::Array(wire_rows)));
+    }
+    let doc = JsonValue::object(fields);
     let mut text = doc.to_pretty();
     text.push('\n');
     text
+}
+
+fn render_wire_table(cells: &[WireCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "\n{:<10} {:<12} {:<10} {:<10} NOTES\n",
+        "SCENARIO", "WIRE FAULT", "PLAIN", "RESUMED"
+    );
+    for c in cells {
+        let verdict = |v: bool| if v { "VALID" } else { "INVALID" };
+        let note = if c.rescued() {
+            "rescued by resume".to_string()
+        } else if let Some(issue) = c.plain.issues.first() {
+            issue.clone()
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:<12} {:<10} {:<10} {}",
+            c.scenario,
+            c.fault,
+            verdict(c.plain.valid),
+            verdict(c.resumed.valid),
+            note
+        );
+    }
+    out
 }
 
 fn render_table(cells: &[Cell]) -> String {
@@ -327,10 +602,81 @@ fn check(seed: u64, cells: &[Cell], first: &str, second: &str) -> Vec<String> {
     failures
 }
 
+/// The wire-matrix CI assertions: the fault taxonomy must land exactly as
+/// the docs promise, in every wire scenario.
+fn check_wire(cells: &[WireCell]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let cell = |scenario: &str, fault: &str| {
+        cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.fault == fault)
+            .expect("wire matrix covers every scenario × fault")
+    };
+    let has = |run: &WireRun, kind: &str| run.issues.iter().any(|i| i == kind);
+    for (scenario, _) in wire_settings(0) {
+        let none = cell(scenario, "none");
+        if !none.plain.valid || !none.resumed.valid {
+            failures.push(format!(
+                "{scenario}: fault-free wire baseline is INVALID (plain={}, resumed={})",
+                none.plain.valid, none.resumed.valid
+            ));
+        }
+        for fault in ["corrupt", "truncate", "partition"] {
+            let c = cell(scenario, fault);
+            if c.plain.valid || !has(&c.plain, "error_fraction_exceeded") {
+                failures.push(format!(
+                    "{scenario}/{fault}: expected error_fraction_exceeded without resume, \
+                     got valid={} issues={:?}",
+                    c.plain.valid, c.plain.issues
+                ));
+            }
+        }
+        let disco = cell(scenario, "disconnect");
+        if disco.plain.valid || !has(&disco.plain, "incomplete_queries") {
+            failures.push(format!(
+                "{scenario}/disconnect: expected incomplete_queries without resume, \
+                 got valid={} issues={:?}",
+                disco.plain.valid, disco.plain.issues
+            ));
+        }
+        if !disco.rescued() {
+            failures.push(format!(
+                "{scenario}/disconnect: reconnect+resume failed to rescue the run \
+                 (resumed issues={:?})",
+                disco.resumed.issues
+            ));
+        }
+        // The rescue must be lossless: the resumed run's logical detail
+        // log is byte-identical to the fault-free run's.
+        if disco.resumed.valid && disco.resumed.log_hash != none.plain.log_hash {
+            failures.push(format!(
+                "{scenario}/disconnect: resumed logical log diverged from the \
+                 fault-free baseline ({:?} vs {:?})",
+                disco.resumed.log_hash, none.plain.log_hash
+            ));
+        }
+        for fault in ["duplicate", "delay"] {
+            let c = cell(scenario, fault);
+            if !c.plain.valid || !c.resumed.valid {
+                failures.push(format!(
+                    "{scenario}/{fault}: a tolerable wire fault turned the run INVALID \
+                     (plain={} {:?}, resumed={} {:?})",
+                    c.plain.valid, c.plain.issues, c.resumed.valid, c.resumed.issues
+                ));
+            }
+        }
+    }
+    if !cells.iter().any(WireCell::rescued) {
+        failures.push("no INVALID wire cell was rescued by reconnect+resume".to_string());
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let mut seed = 0xC4A05u64;
     let mut out_path: Option<String> = None;
     let mut check_mode = false;
+    let mut wire_mode = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -356,6 +702,7 @@ fn main() -> ExitCode {
                 out_path = Some(v.clone());
             }
             "--check" => check_mode = true,
+            "--wire" => wire_mode = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -370,7 +717,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let rendered = render_json(seed, &cells);
+    let wire_cells = if wire_mode {
+        match build_wire_matrix(seed) {
+            Ok(cells) => Some(cells),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let rendered = render_json(seed, &cells, wire_cells.as_deref());
     print!("{}", render_table(&cells));
     let invalid = cells.iter().filter(|c| !c.faulty_valid).count();
     let recovered = cells
@@ -381,6 +739,15 @@ fn main() -> ExitCode {
         "\n{} cells, {invalid} INVALID under faults, {recovered} recovered by resilience (seed {seed})",
         cells.len()
     );
+    if let Some(wire_cells) = &wire_cells {
+        print!("{}", render_wire_table(wire_cells));
+        let invalid = wire_cells.iter().filter(|c| !c.plain.valid).count();
+        let rescued = wire_cells.iter().filter(|c| c.rescued()).count();
+        println!(
+            "\n{} wire cells, {invalid} INVALID without resume, {rescued} rescued by reconnect+resume",
+            wire_cells.len()
+        );
+    }
 
     if let Some(path) = &out_path {
         if let Err(e) = std::fs::write(path, &rendered) {
@@ -391,14 +758,29 @@ fn main() -> ExitCode {
     }
 
     if check_mode {
-        let again = match build_matrix(seed) {
-            Ok(cells) => render_json(seed, &cells),
+        let again_cells = match build_matrix(seed) {
+            Ok(cells) => cells,
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         };
-        let failures = check(seed, &cells, &rendered, &again);
+        let again_wire = if wire_mode {
+            match build_wire_matrix(seed) {
+                Ok(cells) => Some(cells),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
+        let again = render_json(seed, &again_cells, again_wire.as_deref());
+        let mut failures = check(seed, &cells, &rendered, &again);
+        if let Some(wire_cells) = &wire_cells {
+            failures.extend(check_wire(wire_cells));
+        }
         if failures.is_empty() {
             println!("chaos check: all expectations hold");
         } else {
@@ -431,5 +813,44 @@ mod tests {
     fn smoke_cell_runs_and_death_invalidates() {
         let cell = run_cell(Scenario::Server, "death", 7, Nanos::from_secs(1)).unwrap();
         assert!(!cell.faulty_valid, "death left the server run VALID");
+    }
+
+    #[test]
+    fn wire_plans_arm_exactly_when_a_fault_is_selected() {
+        for fault in WIRE_FAULT_CASES {
+            let plan = wire_plan_for(fault, 3);
+            assert_eq!(plan.is_armed(), fault != "none", "fault {fault}");
+        }
+    }
+
+    #[test]
+    fn issue_kinds_are_stable_snake_case_labels() {
+        let issue = ValidityIssue::IncompleteQueries { outstanding: 3 };
+        assert_eq!(issue_kind(&issue), "incomplete_queries");
+        let issue = ValidityIssue::ErrorFractionExceeded {
+            max_fraction: 0.02,
+            observed: 0.5,
+        };
+        assert_eq!(issue_kind(&issue), "error_fraction_exceeded");
+    }
+
+    #[test]
+    fn fnv_hash_is_deterministic_and_input_sensitive() {
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+
+    #[test]
+    fn smoke_wire_cell_disconnect_is_rescued_by_resume() {
+        let [(scenario, settings), _] = wire_settings(11);
+        let plain = run_wire(scenario, &settings, "disconnect", false, 11).unwrap();
+        let resumed = run_wire(scenario, &settings, "disconnect", true, 11).unwrap();
+        let cell = WireCell {
+            scenario,
+            fault: "disconnect",
+            plain,
+            resumed,
+        };
+        assert!(cell.rescued(), "disconnect must be rescued by resume");
     }
 }

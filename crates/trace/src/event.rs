@@ -130,6 +130,20 @@ pub enum TraceEvent {
         /// Free-form context (peer address, reject reason, ...).
         detail: String,
     },
+    /// A chaos transport injected a fault into the wire (network chaos
+    /// extension). Distinct from [`TraceEvent::FaultInjected`], which is
+    /// device-side: this one fires per *frame*, not per query.
+    WireFault {
+        /// Which endpoint's transport injected it: `client` or `server`.
+        endpoint: String,
+        /// Fault kind label: `corrupt`, `truncate`, `duplicate`, `delay`,
+        /// `partition`, or `disconnect`.
+        fault: String,
+        /// 1-based frame index (per direction) the fault hit.
+        frame: u64,
+        /// Free-form context (direction, byte offset, ...).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -151,6 +165,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::RecoveryAction { .. } => "recovery_action",
             TraceEvent::WireEvent { .. } => "wire_event",
+            TraceEvent::WireFault { .. } => "wire_fault",
         }
     }
 }
@@ -294,6 +309,20 @@ impl ToJson for TraceEvent {
                     ("detail", detail.to_json_value()),
                 ]),
             ),
+            TraceEvent::WireFault {
+                endpoint,
+                fault,
+                frame,
+                detail,
+            } => (
+                "WireFault",
+                JsonValue::object(vec![
+                    ("endpoint", endpoint.to_json_value()),
+                    ("fault", fault.to_json_value()),
+                    ("frame", frame.to_json_value()),
+                    ("detail", detail.to_json_value()),
+                ]),
+            ),
         };
         JsonValue::object(vec![(name, payload)])
     }
@@ -364,6 +393,12 @@ impl FromJson for TraceEvent {
                 endpoint: p.field("endpoint")?.as_str()?.to_string(),
                 kind: p.field("kind")?.as_str()?.to_string(),
                 query_id: p.field("query_id")?.as_u64()?,
+                detail: p.field("detail")?.as_str()?.to_string(),
+            }),
+            "WireFault" => Ok(TraceEvent::WireFault {
+                endpoint: p.field("endpoint")?.as_str()?.to_string(),
+                fault: p.field("fault")?.as_str()?.to_string(),
+                frame: p.field("frame")?.as_u64()?,
                 detail: p.field("detail")?.as_str()?.to_string(),
             }),
             other => Err(JsonError::new(format!("unknown trace event {other:?}"))),
@@ -620,6 +655,12 @@ mod tests {
                 kind: "heartbeat_loss".into(),
                 query_id: 0,
                 detail: "no pong for 250ms".into(),
+            },
+            TraceEvent::WireFault {
+                endpoint: "client".into(),
+                fault: "corrupt".into(),
+                frame: 4,
+                detail: "recv: flipped byte 17".into(),
             },
         ]
     }

@@ -4,21 +4,31 @@
 //! machine on the other end of a TCP connection exactly as it drives an
 //! in-process SUT. Internally it keeps a bounded in-flight window
 //! (backpressure), a reader thread routing completion frames to blocked
-//! issuers, and a heartbeat thread that detects a silently dead peer.
+//! issuers, and a heartbeat thread that detects a silently dead peer. With
+//! a [`ResumePolicy`] armed, the reader also owns the reconnect loop: on a
+//! severed link it redials with bounded backoff, re-handshakes with the
+//! same session id at a bumped epoch, and replays every in-flight query —
+//! the server's completion journal dedups by wire id, so nothing is
+//! double-counted.
 //!
 //! Failure mapping — this is the contract the validity rules lean on:
 //!
-//! * disconnect / heartbeat loss / remote errored reply →
-//!   [`IssueOutcome::Errored`] → an errored completion → the
-//!   `ErrorFractionExceeded` rule;
+//! * corrupt frame (CRC failure), protocol violation, or heartbeat loss →
+//!   [`IssueOutcome::Errored`] → errored completions → the
+//!   `ErrorFractionExceeded` rule: the link was alive enough to prove the
+//!   peer misbehaved;
+//! * hard disconnect (EOF/reset) without resume, or resume exhausted →
+//!   [`IssueOutcome::Vanished`] → the queries stay outstanding → the
+//!   `IncompleteQueries` rule and the TEST06 completeness audit: the
+//!   completions' fate is genuinely unknown, and claiming "errored" would
+//!   fabricate a resolution;
 //! * response timeout on a live connection (the server swallowed the
-//!   frame) → [`IssueOutcome::Vanished`] → the query stays outstanding →
-//!   the `IncompleteQueries` rule and the TEST06 completeness audit.
+//!   frame) → [`IssueOutcome::Vanished`], as before.
 //!
-//! Neither path can hang the run.
+//! No path can hang the run.
 
 use std::collections::HashMap;
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -31,8 +41,27 @@ use mlperf_loadgen::sut::{IssueOutcome, RealtimeSut};
 use mlperf_trace::event::{TraceEvent, TraceSink};
 use mlperf_trace::metrics::MetricsRegistry;
 
-use crate::frame::{read_frame, write_frame, WireError};
+use crate::frame::WireError;
 use crate::message::{Hello, Message, PROTOCOL_VERSION};
+use crate::transport::{splitmix64, ChaosSession, TcpTransport, Transport, WireChaosPlan};
+
+/// How a [`RemoteSut`] reconnects after a severed link.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumePolicy {
+    /// Redial attempts per outage before the run is failed.
+    pub max_attempts: u32,
+    /// Base backoff; attempt `n` sleeps `n × backoff` (bounded linear).
+    pub backoff: Duration,
+}
+
+impl Default for ResumePolicy {
+    fn default() -> Self {
+        ResumePolicy {
+            max_attempts: 5,
+            backoff: Duration::from_millis(20),
+        }
+    }
+}
 
 /// Tuning knobs for a [`RemoteSut`] connection.
 #[derive(Debug, Clone)]
@@ -48,6 +77,12 @@ pub struct RemoteSutConfig {
     /// Silence tolerated (no heartbeat ack, no completion) before the
     /// connection is declared dead.
     pub heartbeat_grace: Duration,
+    /// Reconnect-and-resume policy; `None` (the default) fails the link on
+    /// the first disconnect, as protocol v1 did.
+    pub resume: Option<ResumePolicy>,
+    /// Client-side wire chaos plan, for fault-injection testing. `None`
+    /// (or a disarmed plan) leaves the transport untouched.
+    pub chaos: Option<WireChaosPlan>,
 }
 
 impl Default for RemoteSutConfig {
@@ -57,6 +92,8 @@ impl Default for RemoteSutConfig {
             response_timeout: Duration::from_secs(10),
             heartbeat_interval: Duration::from_millis(100),
             heartbeat_grace: Duration::from_secs(2),
+            resume: None,
+            chaos: None,
         }
     }
 }
@@ -83,6 +120,47 @@ impl RemoteSutConfig {
         self.heartbeat_grace = grace;
         self
     }
+
+    /// Arms reconnect-and-resume with the given policy.
+    #[must_use]
+    pub fn with_resume(mut self, policy: ResumePolicy) -> Self {
+        self.resume = Some(policy);
+        self
+    }
+
+    /// Arms a client-side wire chaos plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: WireChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+}
+
+/// How a terminally failed link resolves its queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    /// The peer provably misbehaved → errored completions.
+    Errored,
+    /// The queries' fate is unknown → they stay outstanding.
+    Vanished,
+}
+
+impl FailKind {
+    fn outcome(self) -> IssueOutcome {
+        match self {
+            FailKind::Errored => IssueOutcome::Errored,
+            FailKind::Vanished => IssueOutcome::Vanished,
+        }
+    }
+}
+
+/// Link state. `Down` is transient: the reader thread owns the reconnect
+/// and either restores `Up` or settles on `Dead`.
+#[derive(Debug, Clone, Copy)]
+enum Link {
+    Up,
+    Down,
+    Dead(FailKind),
 }
 
 /// What the reader thread hands back to a blocked issuer.
@@ -91,24 +169,30 @@ enum Reply {
         error: bool,
         samples: Vec<SampleCompletion>,
     },
-    Disconnected,
+    Failed(FailKind),
 }
 
 struct Pending {
     tx: mpsc::Sender<Reply>,
     sent_at: Instant,
+    /// Kept for replay: a resumed link re-sends every in-flight query.
+    query: Query,
 }
 
 struct ClientState {
-    connected: bool,
+    link: Link,
     reason: String,
+    epoch: u32,
     in_flight: u32,
     pending: HashMap<u64, Pending>,
 }
 
 struct ClientShared {
     config: RemoteSutConfig,
-    writer: Mutex<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    base_hello: Hello,
+    writer: Mutex<Box<dyn Transport>>,
+    chaos: Option<Arc<ChaosSession>>,
     state: Mutex<ClientState>,
     window: Condvar,
     start: Instant,
@@ -151,18 +235,18 @@ impl ClientShared {
         }
     }
 
-    /// Marks the connection dead and wakes every blocked issuer with
-    /// [`Reply::Disconnected`]. Idempotent; the first reason wins.
-    fn fail(&self, reason: &str) {
+    /// Marks the link terminally dead and wakes every blocked issuer with
+    /// [`Reply::Failed`]. Idempotent; the first reason and kind win.
+    fn fail(&self, reason: &str, kind: FailKind) {
         let mut st = self.state.lock().expect("wire client state poisoned");
-        if !st.connected {
+        if matches!(st.link, Link::Dead(_)) {
             return;
         }
-        st.connected = false;
+        st.link = Link::Dead(kind);
         st.reason = reason.to_string();
         st.in_flight = 0;
         for (_, pending) in st.pending.drain() {
-            let _ = pending.tx.send(Reply::Disconnected);
+            let _ = pending.tx.send(Reply::Failed(kind));
         }
         drop(st);
         self.window.notify_all();
@@ -172,15 +256,43 @@ impl ClientShared {
         }
     }
 
-    /// Encodes and sends one frame, timing the encode and failing the
-    /// connection on socket errors.
+    /// Marks the link down (resume pending) and severs the current
+    /// transport so the reader notices. Pending queries stay registered —
+    /// the reconnect replays them. No-op unless the link is up.
+    fn sever(&self, reason: &str) {
+        {
+            let mut st = self.state.lock().expect("wire client state poisoned");
+            if !matches!(st.link, Link::Up) {
+                return;
+            }
+            st.link = Link::Down;
+            st.reason = reason.to_string();
+        }
+        self.writer.lock().expect("wire writer poisoned").shutdown();
+        self.window.notify_all();
+        self.incr("wire_severs");
+        if !self.stopping.load(Ordering::SeqCst) {
+            self.wire_event("sever", 0, reason);
+        }
+    }
+
+    /// Whether a send/read failure should be handled by reconnecting
+    /// rather than failing the run.
+    fn resume_armed(&self) -> bool {
+        self.config.resume.is_some() && !self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Encodes and sends one frame, timing the encode. A socket failure
+    /// severs the link (resume armed) or fails the run; either way the
+    /// caller may treat the send as best-effort, because a resumed link
+    /// replays every pending query.
     fn send(&self, msg: &Message) -> Result<(), WireError> {
         let encode_started = Instant::now();
-        let payload = msg.encode();
+        let payload = msg.to_wire();
         self.observe("wire_encode_ns", encode_started.elapsed().as_nanos() as u64);
         let result = {
             let mut writer = self.writer.lock().expect("wire writer poisoned");
-            write_frame(&mut *writer, &payload)
+            writer.send(&payload)
         };
         match result {
             Ok(()) => {
@@ -189,12 +301,74 @@ impl ClientShared {
             }
             Err(e) => {
                 if !self.stopping.load(Ordering::SeqCst) {
-                    self.fail(&format!("send failed: {e}"));
+                    if self.resume_armed() {
+                        self.sever(&format!("send failed: {e}"));
+                    } else {
+                        // The frame never left; its fate (and that of every
+                        // in-flight sibling) is unknown.
+                        self.fail(&format!("send failed: {e}"), FailKind::Vanished);
+                    }
                 }
                 Err(e)
             }
         }
     }
+}
+
+/// A freshly dialed, handshaken link: writer half, reader half, the peer
+/// address, and the server's SUT name.
+type DialedLink = (Box<dyn Transport>, Box<dyn Transport>, String, String);
+
+/// Dials `addrs` in order and performs the versioned handshake over the
+/// (optionally chaos-wrapped) transport.
+fn dial(
+    addrs: &[SocketAddr],
+    hello: &Hello,
+    chaos: Option<&Arc<ChaosSession>>,
+) -> Result<DialedLink, WireError> {
+    let mut last_err = WireError::Disconnected("no addresses to dial".to_string());
+    for addr in addrs {
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                last_err = e.into();
+                continue;
+            }
+        };
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        let base: Box<dyn Transport> = Box::new(TcpTransport::new(stream));
+        let mut transport = match chaos {
+            Some(session) => session.wrap(base),
+            None => base,
+        };
+        transport.send(&Message::Hello(hello.clone()).to_wire())?;
+        let ack = Message::from_wire(&transport.recv()?)?;
+        let (version, sut_name) = match ack {
+            Message::HelloAck {
+                version, sut_name, ..
+            } => (version, sut_name),
+            Message::Reject { reason } => return Err(WireError::Rejected(reason)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected HelloAck, got {}",
+                    other.tag_name()
+                )))
+            }
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            });
+        }
+        let reader = transport.try_clone()?;
+        return Ok((transport, reader, peer, sut_name));
+    }
+    Err(last_err)
 }
 
 /// A [`RealtimeSut`] whose machinery lives on the other end of a TCP
@@ -246,41 +420,26 @@ impl RemoteSut {
         sink: Option<Arc<dyn TraceSink>>,
         metrics: Option<Arc<MetricsRegistry>>,
     ) -> Result<Self, WireError> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".to_string());
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut hello = hello;
+        hello.resume = config.resume.is_some();
+        let chaos = config
+            .chaos
+            .clone()
+            .map(|plan| Arc::new(ChaosSession::new(plan, "client", sink.clone())));
 
-        write_frame(&mut stream, &Message::Hello(hello).encode())?;
-        let ack = Message::decode(&read_frame(&mut stream)?)?;
-        let (version, sut_name) = match ack {
-            Message::HelloAck {
-                version, sut_name, ..
-            } => (version, sut_name),
-            Message::Reject { reason } => return Err(WireError::Rejected(reason)),
-            other => {
-                return Err(WireError::Protocol(format!(
-                    "expected HelloAck, got {}",
-                    other.tag_name()
-                )))
-            }
-        };
-        if version != PROTOCOL_VERSION {
-            return Err(WireError::VersionMismatch {
-                ours: PROTOCOL_VERSION,
-                theirs: version,
-            });
-        }
+        let (writer, reader_transport, peer, sut_name) = dial(&addrs, &hello, chaos.as_ref())?;
 
-        let reader_stream = stream.try_clone()?;
         let shared = Arc::new(ClientShared {
             config,
-            writer: Mutex::new(stream),
+            addrs,
+            base_hello: hello,
+            writer: Mutex::new(writer),
+            chaos,
             state: Mutex::new(ClientState {
-                connected: true,
+                link: Link::Up,
                 reason: String::new(),
+                epoch: 0,
                 in_flight: 0,
                 pending: HashMap::new(),
             }),
@@ -297,7 +456,7 @@ impl RemoteSut {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("wire-reader".to_string())
-                .spawn(move || reader_loop(&shared, reader_stream))
+                .spawn(move || reader_loop(&shared, reader_transport))
                 .map_err(WireError::Io)?
         };
         let heartbeat = {
@@ -319,13 +478,23 @@ impl RemoteSut {
 
     /// Builds the handshake `Hello` for a run: scenario, seeds, and QSL
     /// size are negotiated up front so both ends agree on what the run is.
+    /// The session id is a stable hash of those run parameters, so a
+    /// reconnect resumes *this* run's journal and nothing else.
     pub fn hello_for(settings: &TestSettings, qsl_size: u64, config: &RemoteSutConfig) -> Hello {
+        let session = splitmix64(
+            settings.seeds.qsl_seed
+                ^ splitmix64(settings.seeds.schedule_seed)
+                ^ splitmix64(qsl_size ^ ((settings.scenario as u64) << 56)),
+        );
         Hello {
             version: PROTOCOL_VERSION,
             scenario: settings.scenario,
             seeds: settings.seeds,
             qsl_size,
             max_in_flight: config.max_in_flight,
+            session,
+            epoch: 0,
+            resume: config.resume.is_some(),
         }
     }
 
@@ -334,13 +503,16 @@ impl RemoteSut {
         &self.peer
     }
 
-    /// Whether the connection is still up.
+    /// Whether the link is up (not reconnecting, not dead).
     pub fn is_connected(&self) -> bool {
-        self.shared
-            .state
-            .lock()
-            .expect("wire client state poisoned")
-            .connected
+        matches!(
+            self.shared
+                .state
+                .lock()
+                .expect("wire client state poisoned")
+                .link,
+            Link::Up
+        )
     }
 
     /// Sends `Drain`, closes the socket, and joins the worker threads.
@@ -349,16 +521,25 @@ impl RemoteSut {
         if self.shared.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
-        let still_connected = self.is_connected();
-        if still_connected {
+        if self.is_connected() {
             let _ = self.shared.send(&Message::Drain);
             self.shared.wire_event("drain", 0, "");
         }
-        {
-            let writer = self.shared.writer.lock().expect("wire writer poisoned");
-            let _ = writer.shutdown(Shutdown::Both);
-        }
-        self.shared.fail("client shutdown");
+        self.shared
+            .writer
+            .lock()
+            .expect("wire writer poisoned")
+            .shutdown();
+        self.shared.fail("client shutdown", FailKind::Errored);
+        // A reconnect racing this shutdown may have installed a fresh
+        // transport after the sever above; the reconnect path re-checks
+        // `stopping`/`Dead` before installing, so at most one extra sever
+        // is needed.
+        self.shared
+            .writer
+            .lock()
+            .expect("wire writer poisoned")
+            .shutdown();
         if let Some(handle) = self.reader.lock().expect("reader handle poisoned").take() {
             let _ = handle.join();
         }
@@ -406,14 +587,16 @@ impl RealtimeSut for RemoteSut {
 
         // Backpressure: wait for a slot in the in-flight window, then
         // register ourselves before the frame leaves so a fast reply
-        // cannot race past the routing table.
+        // cannot race past the routing table. A `Down` link still admits
+        // registrations — the reconnect replays them.
         let rx = {
             let mut st = shared.state.lock().expect("wire client state poisoned");
-            while st.connected && st.in_flight >= shared.config.max_in_flight {
-                st = shared.window.wait(st).expect("wire client state poisoned");
-            }
-            if !st.connected {
-                return IssueOutcome::Errored;
+            loop {
+                match st.link {
+                    Link::Dead(kind) => return kind.outcome(),
+                    _ if st.in_flight < shared.config.max_in_flight => break,
+                    _ => st = shared.window.wait(st).expect("wire client state poisoned"),
+                }
             }
             let (tx, rx) = mpsc::channel();
             st.in_flight += 1;
@@ -422,16 +605,16 @@ impl RealtimeSut for RemoteSut {
                 Pending {
                     tx,
                     sent_at: Instant::now(),
+                    query: query.clone(),
                 },
             );
             rx
         };
 
-        if shared.send(&Message::Issue(query.clone())).is_err() {
-            // `fail` already drained our pending entry and released the
-            // window slot.
-            return IssueOutcome::Errored;
-        }
+        // Best-effort: a send failure severs or fails the link. Severed,
+        // our pending entry survives and the resume replay re-sends it;
+        // failed, `fail` already resolved our channel.
+        let _ = shared.send(&Message::Issue(query.clone()));
 
         match rx.recv_timeout(shared.config.response_timeout) {
             Ok(Reply::Completion { error, samples }) => {
@@ -441,7 +624,7 @@ impl RealtimeSut for RemoteSut {
                     IssueOutcome::Completed(samples)
                 }
             }
-            Ok(Reply::Disconnected) => IssueOutcome::Errored,
+            Ok(Reply::Failed(kind)) => kind.outcome(),
             Err(_) => {
                 let mut st = shared.state.lock().expect("wire client state poisoned");
                 if st.pending.remove(&query.id).is_some() {
@@ -464,6 +647,7 @@ impl RealtimeSut for RemoteSut {
                             error: false,
                             samples,
                         }) => IssueOutcome::Completed(samples),
+                        Ok(Reply::Failed(kind)) => kind.outcome(),
                         _ => IssueOutcome::Errored,
                     }
                 }
@@ -472,13 +656,27 @@ impl RealtimeSut for RemoteSut {
     }
 }
 
-/// Reads frames until the socket dies, routing completions to their
-/// blocked issuers and acks to the heartbeat monitor.
-fn reader_loop(shared: &Arc<ClientShared>, mut stream: TcpStream) {
+/// How a read error resolves the link when resume is off (or exhausted).
+fn classify(e: &WireError) -> (String, FailKind) {
+    match e {
+        // An integrity or protocol failure proves the peer (or the path)
+        // is actively garbling the run.
+        WireError::Frame(fe) => (format!("corrupt frame: {fe}"), FailKind::Errored),
+        WireError::Protocol(msg) => (format!("protocol error: {msg}"), FailKind::Errored),
+        // EOF/reset: in-flight completions may or may not have resolved
+        // remotely; their fate is unknown.
+        other => (format!("read failed: {other}"), FailKind::Vanished),
+    }
+}
+
+/// Reads frames until the link terminally dies, routing completions to
+/// their blocked issuers, acks to the heartbeat monitor, and — with resume
+/// armed — owning the reconnect loop.
+fn reader_loop(shared: &Arc<ClientShared>, mut transport: Box<dyn Transport>) {
     loop {
         let decode_started = Instant::now();
-        let message = read_frame(&mut stream).and_then(|payload| {
-            let msg = Message::decode(&payload);
+        let message = transport.recv().and_then(|payload| {
+            let msg = Message::from_wire(&payload);
             shared.observe("wire_decode_ns", decode_started.elapsed().as_nanos() as u64);
             msg
         });
@@ -506,8 +704,11 @@ fn reader_loop(shared: &Arc<ClientShared>, mut stream: TcpStream) {
                         let _ = p.tx.send(Reply::Completion { error, samples });
                     }
                     None => {
-                        // Reply for a query we already timed out on.
-                        shared.wire_event("orphan_completion", query_id, "reply after timeout");
+                        // Reply for a query we already resolved: a timeout,
+                        // or a journal replay whose original made it
+                        // through. Either way it must not count twice.
+                        shared.incr("wire_orphan_completions");
+                        shared.wire_event("orphan_completion", query_id, "already resolved");
                     }
                 }
             }
@@ -516,21 +717,56 @@ fn reader_loop(shared: &Arc<ClientShared>, mut stream: TcpStream) {
             }
             Ok(Message::Goodbye { served }) => {
                 shared.wire_event("goodbye", 0, &format!("served={served}"));
-                shared.fail("server closed after drain");
+                shared.fail("server closed after drain", FailKind::Errored);
                 return;
             }
             Ok(other) => {
-                shared.fail(&format!(
-                    "unexpected message from server: {}",
-                    other.tag_name()
-                ));
+                shared.fail(
+                    &format!("unexpected message from server: {}", other.tag_name()),
+                    FailKind::Errored,
+                );
                 return;
             }
             Err(e) => {
-                if !shared.stopping.load(Ordering::SeqCst) {
-                    shared.fail(&format!("read failed: {e}"));
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
                 }
-                return;
+                let (reason, kind) = classify(&e);
+                if let WireError::Frame(_) = e {
+                    shared.incr("wire_crc_failures");
+                    shared.wire_event("corrupt_frame", 0, &reason);
+                }
+                if matches!(
+                    shared
+                        .state
+                        .lock()
+                        .expect("wire client state poisoned")
+                        .link,
+                    Link::Dead(_)
+                ) {
+                    return; // e.g. heartbeat loss already failed the run
+                }
+                let Some(policy) = shared.config.resume else {
+                    shared.fail(&reason, kind);
+                    return;
+                };
+                shared.sever(&reason);
+                match reconnect(shared, policy) {
+                    Some(new_reader) => {
+                        transport = new_reader;
+                        continue;
+                    }
+                    None => {
+                        shared.fail(
+                            &format!(
+                                "resume failed after {} attempts: {reason}",
+                                policy.max_attempts.max(1)
+                            ),
+                            kind,
+                        );
+                        return;
+                    }
+                }
             }
         }
         if shared.stopping.load(Ordering::SeqCst) {
@@ -539,9 +775,84 @@ fn reader_loop(shared: &Arc<ClientShared>, mut stream: TcpStream) {
     }
 }
 
+/// Redials with bounded backoff, re-handshakes at a bumped epoch, installs
+/// the fresh transport, and replays every in-flight query. Returns the new
+/// reader half, or `None` when the attempts are exhausted.
+fn reconnect(shared: &Arc<ClientShared>, policy: ResumePolicy) -> Option<Box<dyn Transport>> {
+    for attempt in 1..=policy.max_attempts.max(1) {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return None;
+        }
+        std::thread::sleep(policy.backoff.saturating_mul(attempt));
+        if shared.stopping.load(Ordering::SeqCst) {
+            return None;
+        }
+        let hello = {
+            let mut st = shared.state.lock().expect("wire client state poisoned");
+            st.epoch += 1;
+            let mut hello = shared.base_hello.clone();
+            hello.epoch = st.epoch;
+            hello.resume = true;
+            hello
+        };
+        let (writer, reader, _peer, _name) =
+            match dial(&shared.addrs, &hello, shared.chaos.as_ref()) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    shared.wire_event(
+                        "resume_attempt_failed",
+                        0,
+                        &format!("epoch={} attempt={attempt}: {e}", hello.epoch),
+                    );
+                    continue;
+                }
+            };
+
+        // Install atomically against shutdown/fail: once the link is Up
+        // with the new writer in place, a later sever closes *this*
+        // transport and nothing leaks.
+        let replay = {
+            let mut st = shared.state.lock().expect("wire client state poisoned");
+            if shared.stopping.load(Ordering::SeqCst) || matches!(st.link, Link::Dead(_)) {
+                writer.shutdown();
+                reader.shutdown();
+                return None;
+            }
+            st.link = Link::Up;
+            st.reason.clear();
+            let mut queries: Vec<Query> = st.pending.values().map(|p| p.query.clone()).collect();
+            queries.sort_by_key(|q| q.id);
+            *shared.writer.lock().expect("wire writer poisoned") = writer;
+            queries
+        };
+        *shared.last_pong.lock().expect("last pong poisoned") = Instant::now();
+        shared.window.notify_all();
+        shared.incr("wire_resumes");
+        shared.wire_event(
+            "resume",
+            0,
+            &format!(
+                "epoch={} attempt={attempt} replaying {} in-flight",
+                hello.epoch,
+                replay.len()
+            ),
+        );
+        // Replay the in-flight window; the server dedups by wire id, so a
+        // query that also made it out the first time is served once.
+        for query in replay {
+            if shared.send(&Message::Issue(query)).is_err() {
+                break; // the new link died already; the reader will retry
+            }
+        }
+        return Some(reader);
+    }
+    None
+}
+
 /// Pings the server every `heartbeat_interval`; a completion or ack
-/// refreshes `last_pong`, and `heartbeat_grace` of silence kills the
-/// connection so blocked issuers resolve as errored instead of hanging.
+/// refreshes `last_pong`. `heartbeat_grace` of silence severs the link
+/// (resume armed — the reader reconnects) or fails the run as errored, so
+/// blocked issuers resolve instead of hanging.
 fn heartbeat_loop(shared: &Arc<ClientShared>) {
     let mut seq: u64 = 0;
     loop {
@@ -551,13 +862,17 @@ fn heartbeat_loop(shared: &Arc<ClientShared>) {
         }
         {
             let st = shared.state.lock().expect("wire client state poisoned");
-            if !st.connected {
-                return;
+            match st.link {
+                Link::Dead(_) => return,
+                // Reconnecting: silence is expected; the resume resets the
+                // pong clock.
+                Link::Down => continue,
+                Link::Up => {}
             }
         }
         seq += 1;
         if shared.send(&Message::Heartbeat { seq }).is_err() {
-            return;
+            continue; // sever/fail already handled by `send`
         }
         shared.incr("wire_heartbeats");
         let silence = shared
@@ -571,8 +886,14 @@ fn heartbeat_loop(shared: &Arc<ClientShared>) {
                 0,
                 &format!("no ack for {} ms", silence.as_millis()),
             );
-            shared.fail("heartbeat loss");
-            return;
+            if shared.resume_armed() {
+                shared.sever("heartbeat loss");
+            } else {
+                // The peer is alive enough to hold the socket open but
+                // not answering: that is misbehavior, not a vanish.
+                shared.fail("heartbeat loss", FailKind::Errored);
+                return;
+            }
         }
     }
 }

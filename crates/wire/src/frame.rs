@@ -1,28 +1,92 @@
 //! Length-prefixed binary framing and the byte-level codec primitives.
 //!
-//! Every message on a wire connection travels as one *frame*:
+//! Every message on a wire connection travels as one *frame* (format v2):
 //!
 //! ```text
-//! +----------------+----------------------------------+
-//! | length: u32 BE | payload: `length` bytes          |
-//! +----------------+----------------------------------+
+//! +----------------+----------------+---------------------------------+
+//! | length: u32 BE | crc32: u32 BE  | body: `length - 4` bytes        |
+//! +----------------+----------------+---------------------------------+
 //! ```
 //!
-//! The payload is a tagged binary encoding of one [`Message`]; see
-//! [`crate::message`] for the per-message layouts. Integers are big-endian,
-//! strings are a `u32` byte length followed by UTF-8, and floats travel as
-//! their IEEE-754 bit patterns. Everything is hand-rolled on `std::io` —
-//! the workspace is dependency-free by rule.
+//! The CRC32 (IEEE polynomial, hand-rolled below) covers the body; it is
+//! sealed in by [`seal`] and checked by [`open`] *above* the raw transport,
+//! so a byte flipped anywhere in transit — including by a
+//! [`ChaosTransport`](crate::transport::ChaosTransport) — surfaces as a
+//! structured [`FrameError`], never as a plausible message. The body is a
+//! tagged binary encoding of one [`Message`]; see [`crate::message`] for
+//! the per-message layouts. Integers are big-endian, strings are a `u32`
+//! byte length followed by UTF-8, and floats travel as their IEEE-754 bit
+//! patterns. Everything is hand-rolled on `std::io` — the workspace is
+//! dependency-free by rule.
 //!
 //! [`Message`]: crate::message::Message
 
 use std::io::{Read, Write};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) lookup table, generated at
+/// compile time so the hot path is one table index per byte.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`. Detects every single-byte error and all burst
+/// errors up to 32 bits, which is exactly the failure model a chaotic
+/// network presents to a frame.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Hard ceiling on a frame's payload size. An offline query over a
 /// 24,576-sample QSL encodes in ~400 KiB; 64 MiB leaves room for
 /// accuracy-mode payloads while still catching a corrupt length prefix
 /// before it turns into a multi-gigabyte allocation.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// A frame that failed its integrity check: the length prefix arrived, but
+/// the body's CRC32 does not match the checksum sealed in by the sender.
+///
+/// This is deliberately a *structured* error (not a string): the client
+/// maps it to an errored completion feeding `ErrorFractionExceeded`, and
+/// tests assert on it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameError {
+    /// Payload length from the frame header (checksum + body).
+    pub len: usize,
+    /// CRC32 the sender sealed into the frame.
+    pub expected: u32,
+    /// CRC32 computed over the body as received.
+    pub found: u32,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame integrity failure: {}-byte payload, crc {:#010x} != sealed {:#010x}",
+            self.len, self.found, self.expected
+        )
+    }
+}
 
 /// Errors raised by the wire layer.
 #[derive(Debug)]
@@ -31,6 +95,8 @@ pub enum WireError {
     Io(std::io::Error),
     /// The peer sent bytes that do not decode as a valid message.
     Protocol(String),
+    /// A frame's CRC32 check failed: bytes were corrupted in transit.
+    Frame(FrameError),
     /// The peer speaks a different protocol version.
     VersionMismatch {
         /// Our protocol version.
@@ -50,6 +116,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "wire I/O error: {e}"),
             WireError::Protocol(msg) => write!(f, "wire protocol error: {msg}"),
+            WireError::Frame(e) => write!(f, "{e}"),
             WireError::VersionMismatch { ours, theirs } => {
                 write!(f, "wire version mismatch: ours v{ours}, peer v{theirs}")
             }
@@ -104,6 +171,46 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, WireError> {
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// Seals a message body into a frame payload: `crc32(body) || body`.
+///
+/// The checksum travels *inside* the payload, below the length prefix but
+/// above any transport decoration, so corruption injected anywhere between
+/// the two [`seal`]/[`open`] calls is caught.
+pub fn seal(body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(body.len() + 4);
+    payload.extend_from_slice(&crc32(body).to_be_bytes());
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Opens a sealed frame payload, verifying the CRC32 and returning the
+/// message body.
+///
+/// # Errors
+///
+/// Returns [`WireError::Frame`] if the payload is too short to carry a
+/// checksum or the body's CRC32 does not match the sealed one.
+pub fn open(payload: &[u8]) -> Result<&[u8], WireError> {
+    if payload.len() < 4 {
+        return Err(WireError::Frame(FrameError {
+            len: payload.len(),
+            expected: 0,
+            found: 0,
+        }));
+    }
+    let expected = u32::from_be_bytes(payload[..4].try_into().expect("len 4"));
+    let body = &payload[4..];
+    let found = crc32(body);
+    if found != expected {
+        return Err(WireError::Frame(FrameError {
+            len: payload.len(),
+            expected,
+            found,
+        }));
+    }
+    Ok(body)
 }
 
 /// Append-only encoder for frame payloads.
@@ -343,5 +450,50 @@ mod tests {
         bytes.extend_from_slice(&[0xff, 0xfe]);
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(r.get_str(), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Published IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        for body in [&b""[..], b"x", b"a longer message body \x00\xff"] {
+            let payload = seal(body);
+            assert_eq!(payload.len(), body.len() + 4);
+            assert_eq!(open(&payload).unwrap(), body);
+        }
+    }
+
+    #[test]
+    fn undersized_payload_is_frame_error() {
+        for len in 0..4 {
+            let payload = vec![0u8; len];
+            assert!(matches!(open(&payload), Err(WireError::Frame(_))));
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let body = b"completion: query 17, 2 samples, no error";
+        let sealed = seal(body);
+        for pos in 0..sealed.len() {
+            for bit in 0..8u8 {
+                let mut corrupted = sealed.clone();
+                corrupted[pos] ^= 1 << bit;
+                let err = open(&corrupted).expect_err("flip must be caught");
+                assert!(
+                    matches!(err, WireError::Frame(_)),
+                    "byte {pos} bit {bit}: {err:?}"
+                );
+            }
+        }
     }
 }

@@ -11,13 +11,18 @@
 //!
 //! Layering, bottom-up:
 //!
-//! * [`frame`] — length-prefixed frames and the byte codec;
+//! * [`frame`] — length-prefixed frames, the byte codec, and the per-frame
+//!   CRC32 seal that makes corruption a structured [`FrameError`];
 //! * [`message`] — the message vocabulary and binary layouts, behind a
-//!   versioned handshake;
+//!   versioned handshake that now carries a session id and epoch;
+//! * [`transport`] — the [`Transport`] abstraction over a framed byte
+//!   pipe, plus [`WireChaosPlan`] / [`ChaosSession`], the seeded wire
+//!   fault injector that decorates either endpoint;
 //! * [`client`] — [`RemoteSut`], with bounded in-flight backpressure,
-//!   heartbeats, and the disconnect/vanish failure mapping;
-//! * [`server`] — [`serve`] / [`ServerHandle`], one worker pool per
-//!   connection;
+//!   heartbeats, the errored/vanished failure mapping, and
+//!   reconnect-and-resume under a [`ResumePolicy`];
+//! * [`server`] — [`serve`] / [`ServerHandle`], per-session worker pools
+//!   and a completion journal that makes resume replay exactly-once;
 //! * [`host`] — [`SimHost`], bridging event-driven simulated SUTs onto
 //!   the wall clock;
 //! * [`cheat`] — deliberately misbehaving services for audit tests.
@@ -35,14 +40,16 @@ pub mod host;
 pub mod message;
 pub mod server;
 pub mod service;
+pub mod transport;
 
 pub use cheat::SilentDropService;
-pub use client::{RemoteSut, RemoteSutConfig};
-pub use frame::{WireError, MAX_FRAME_LEN};
+pub use client::{RemoteSut, RemoteSutConfig, ResumePolicy};
+pub use frame::{FrameError, WireError, MAX_FRAME_LEN};
 pub use host::SimHost;
 pub use message::{Hello, Message, PROTOCOL_VERSION};
 pub use server::{serve, serve_on, ServeConfig, ServerHandle};
 pub use service::{ServedReply, WireService};
+pub use transport::{ChaosSession, TcpTransport, Transport, WireChaosPlan};
 
 use std::sync::Arc;
 

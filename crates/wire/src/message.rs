@@ -4,7 +4,7 @@
 //!
 //! | tag | message        | payload layout                                              |
 //! |-----|----------------|-------------------------------------------------------------|
-//! | 1   | `Hello`        | version u16, scenario u8, 3× seed u64, qsl_size u64, max_in_flight u32 |
+//! | 1   | `Hello`        | version u16, scenario u8, 3× seed u64, qsl_size u64, max_in_flight u32, session u64, epoch u32, resume u8 |
 //! | 2   | `HelloAck`     | version u16, sut_name str, max_in_flight u32                |
 //! | 3   | `Reject`       | reason str                                                  |
 //! | 4   | `Issue`        | query_id u64, scheduled_at u64, tenant u32, n u32, n× (sample_id u64, index u64) |
@@ -17,8 +17,12 @@
 //! Response payloads are themselves tagged: 0 empty, 1 class (u64),
 //! 2 boxes (n u32, n× class u64 + score f32 + 4× f32), 3 tokens
 //! (n u32, n× u32).
+//!
+//! On the wire every encoded message travels [`seal`]ed — prefixed by its
+//! CRC32 — via [`Message::to_wire`] / [`Message::from_wire`]; see
+//! [`crate::frame`] for the frame format.
 
-use crate::frame::{ByteReader, ByteWriter, WireError};
+use crate::frame::{open, seal, ByteReader, ByteWriter, WireError};
 use mlperf_loadgen::query::{Query, QuerySample, ResponsePayload, SampleCompletion};
 use mlperf_loadgen::scenario::Scenario;
 use mlperf_loadgen::time::Nanos;
@@ -26,7 +30,11 @@ use mlperf_stats::rng::SeedTriple;
 
 /// The protocol version this build speaks. Bumped on any layout change;
 /// the handshake refuses mismatched peers outright (no downgrades).
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v1: length-prefixed frames, no integrity check, no sessions.
+/// v2: per-frame CRC32 ([`crate::frame::seal`]) and session-resume fields
+/// (`session`, `epoch`, `resume`) in [`Hello`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// What the client announces before any query flows: everything the server
 /// needs to pre-load its QSL and sanity-check the run (scenario, the three
@@ -43,6 +51,15 @@ pub struct Hello {
     pub qsl_size: u64,
     /// Maximum queries the client will keep in flight.
     pub max_in_flight: u32,
+    /// Stable id for the run's session; survives reconnects so the server
+    /// can key its completion journal.
+    pub session: u64,
+    /// 0 for a fresh run; incremented on every reconnect of the same
+    /// session. The server resets its service only on epoch 0.
+    pub epoch: u32,
+    /// Whether the client may reconnect and resume after a disconnect (it
+    /// has a resume policy armed).
+    pub resume: bool,
 }
 
 /// One message on the wire.
@@ -201,6 +218,9 @@ impl Message {
                 w.put_u64(h.seeds.accuracy_seed);
                 w.put_u64(h.qsl_size);
                 w.put_u32(h.max_in_flight);
+                w.put_u64(h.session);
+                w.put_u32(h.epoch);
+                w.put_u8(u8::from(h.resume));
             }
             Message::HelloAck {
                 version,
@@ -260,7 +280,23 @@ impl Message {
         w.into_bytes()
     }
 
-    /// Decodes one frame payload.
+    /// Encodes the message and seals it for the wire: `crc32 || body`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        seal(&self.encode())
+    }
+
+    /// Opens a sealed wire payload (verifying the CRC32) and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Frame`] when the checksum does not match —
+    /// corrupted bytes never decode into a message — plus
+    /// [`Message::decode`]'s protocol errors.
+    pub fn from_wire(payload: &[u8]) -> Result<Message, WireError> {
+        Message::decode(open(payload)?)
+    }
+
+    /// Decodes one frame body (already integrity-checked).
     ///
     /// # Errors
     ///
@@ -279,6 +315,9 @@ impl Message {
                 },
                 qsl_size: r.get_u64()?,
                 max_in_flight: r.get_u32()?,
+                session: r.get_u64()?,
+                epoch: r.get_u32()?,
+                resume: r.get_u8()? != 0,
             }),
             2 => Message::HelloAck {
                 version: r.get_u16()?,
@@ -351,6 +390,9 @@ mod tests {
                 seeds: SeedTriple::OFFICIAL,
                 qsl_size: 1_024,
                 max_in_flight: 64,
+                session: 0xD15C0,
+                epoch: 3,
+                resume: true,
             }),
             Message::HelloAck {
                 version: PROTOCOL_VERSION,
@@ -454,5 +496,41 @@ mod tests {
             Message::decode(&bytes),
             Err(WireError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_sealed() {
+        for message in sample_messages() {
+            let payload = message.to_wire();
+            assert_eq!(Message::from_wire(&payload).unwrap(), message);
+        }
+    }
+
+    /// The acceptance sweep: any single flipped payload byte — checksum or
+    /// body, any message — is rejected as a structured [`FrameError`] and
+    /// never decodes into a message, let alone a plausible completion.
+    #[test]
+    fn seeded_corruption_sweep_never_decodes() {
+        use mlperf_stats::rng::Rng64;
+        let messages = sample_messages();
+        let mut rng = Rng64::new(0x0BAD_F00D);
+        let mut corruptions = 0;
+        while corruptions < 256 {
+            let message = &messages[rng.next_below(messages.len() as u64) as usize];
+            let mut payload = message.to_wire();
+            let pos = rng.next_below(payload.len() as u64) as usize;
+            let bit = rng.next_below(8) as u8;
+            payload[pos] ^= 1 << bit;
+            match Message::from_wire(&payload) {
+                Err(WireError::Frame(e)) => {
+                    assert_ne!(e.expected, e.found, "structured mismatch must be real")
+                }
+                Ok(decoded) => panic!(
+                    "corrupted frame decoded into {decoded:?} (byte {pos}, bit {bit}, from {message:?})"
+                ),
+                Err(other) => panic!("expected FrameError, got {other:?}"),
+            }
+            corruptions += 1;
+        }
     }
 }

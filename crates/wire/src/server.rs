@@ -8,24 +8,36 @@
 //! connection's outstanding queries to resolve, then answers `Goodbye`
 //! and closes.
 //!
+//! Connections belong to **sessions** (the `session` id in the `Hello`).
+//! A session outlives its connections: it keeps a journal of every
+//! resolved query and the set still in progress, so a client that loses
+//! its link mid-run can reconnect at a bumped epoch and replay its
+//! in-flight window. Replayed queries that already resolved are answered
+//! straight from the journal — served exactly once, never re-run and
+//! never double-counted. Epoch 0 always starts the session (and the
+//! service) fresh.
+//!
 //! [`ServerHandle::kill`] exists for resilience testing: it severs every
 //! live connection abruptly — the moral equivalent of yanking the
 //! machine's power cord mid-run — so clients exercise their disconnect
-//! path.
+//! path. [`ServerHandle::shutdown`] is the opposite: it stops accepting,
+//! severs what remains, and joins every accept, connection, and worker
+//! thread, so the port is immediately rebindable.
 
+use std::collections::{HashMap, HashSet};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mlperf_loadgen::query::Query;
+use mlperf_loadgen::query::{Query, SampleCompletion};
 use mlperf_trace::event::{TraceEvent, TraceSink};
 
-use crate::frame::{read_frame, write_frame, WireError};
 use crate::message::{Message, PROTOCOL_VERSION};
 use crate::service::WireService;
+use crate::transport::{ChaosSession, TcpTransport, Transport, WireChaosPlan};
 
 /// Tuning knobs for a serving daemon.
 #[derive(Clone, Default)]
@@ -33,8 +45,11 @@ pub struct ServeConfig {
     /// Workers resolving queries per connection. `0` means one.
     pub workers_per_conn: usize,
     /// Optional sink receiving server-side `WireEvent`s
-    /// (connect, reject, drain, disconnect).
+    /// (connect, reject, drain, disconnect, replay).
     pub sink: Option<Arc<dyn TraceSink>>,
+    /// Server-side wire chaos plan, for fault-injection testing. `None`
+    /// (or a disarmed plan) leaves every transport untouched.
+    pub chaos: Option<WireChaosPlan>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -42,6 +57,7 @@ impl std::fmt::Debug for ServeConfig {
         f.debug_struct("ServeConfig")
             .field("workers_per_conn", &self.workers_per_conn)
             .field("sink", &self.sink.is_some())
+            .field("chaos", &self.chaos)
             .finish()
     }
 }
@@ -60,12 +76,75 @@ impl ServeConfig {
         self.sink = Some(sink);
         self
     }
+
+    /// Arms a server-side wire chaos plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: WireChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+}
+
+/// Everything a session remembers across connections, under one lock so a
+/// completion can never fall between "no longer in progress" and "not yet
+/// journaled".
+struct SessionBook {
+    /// wire query id → resolved reply, kept for journal replay.
+    journal: HashMap<u64, (bool, Vec<SampleCompletion>)>,
+    /// Queries handed to workers but not yet resolved.
+    in_progress: HashSet<u64>,
+}
+
+/// One logical client run. Connections come and go (each at a distinct
+/// epoch); the session's journal, worker pool, and outstanding counter
+/// persist until the run drains cleanly or the daemon shuts down.
+struct Session {
+    book: Mutex<SessionBook>,
+    /// Outstanding = queries accepted but not yet resolved; `Drain` waits
+    /// on this.
+    outstanding: (Mutex<usize>, Condvar),
+    /// The live connection's writer half, tagged with its epoch so a dead
+    /// connection's epilogue cannot clear a successor's writer.
+    writer: Mutex<Option<(u32, Box<dyn Transport>)>>,
+    work_tx: Mutex<Option<mpsc::Sender<Query>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Session {
+    /// Sends one frame on the session's current writer, if any. Errors are
+    /// swallowed: the journal preserves the reply for the next epoch.
+    fn send(&self, msg: &Message) {
+        let payload = msg.to_wire();
+        let mut guard = self.writer.lock().expect("session writer poisoned");
+        if let Some((_, transport)) = guard.as_mut() {
+            let _ = transport.send(&payload);
+        }
+    }
+
+    /// Drops the work queue, joins the workers, and closes the writer.
+    fn retire(&self) {
+        self.work_tx
+            .lock()
+            .expect("session work_tx poisoned")
+            .take();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("session workers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some((_, transport)) = self.writer.lock().expect("session writer poisoned").take() {
+            transport.shutdown();
+        }
+    }
 }
 
 struct ServerShared {
     stop: AtomicBool,
     served: AtomicU64,
     conns: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    chaos: Option<Arc<ChaosSession>>,
     sink: Option<Arc<dyn TraceSink>>,
     start: Instant,
 }
@@ -118,7 +197,8 @@ impl ServerHandle {
 
     /// Severs every live connection abruptly, without drain or goodbye —
     /// simulates the serving machine dying mid-run. The listener also
-    /// stops accepting.
+    /// stops accepting. No threads are joined; pair with
+    /// [`ServerHandle::shutdown`] to reap them.
     pub fn kill(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         let conns = self.shared.conns.lock().expect("server conns poisoned");
@@ -129,14 +209,48 @@ impl ServerHandle {
         self.unblock_accept();
     }
 
-    /// Stops accepting new connections and waits for the accept thread.
-    /// Existing connections finish naturally (clients drain and leave).
+    /// Stops accepting, severs any connection still open, and joins the
+    /// accept thread, every connection thread, and every session's worker
+    /// pool. When this returns the daemon holds no threads and no
+    /// sockets — the port can be rebound immediately.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.unblock_accept();
         if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
             let _ = handle.join();
         }
+        {
+            let conns = self.shared.conns.lock().expect("server conns poisoned");
+            for conn in conns.iter() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        let conn_threads: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .conn_threads
+                .lock()
+                .expect("server conn threads poisoned"),
+        );
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+        let sessions: Vec<Arc<Session>> = self
+            .shared
+            .sessions
+            .lock()
+            .expect("server sessions poisoned")
+            .drain()
+            .map(|(_, s)| s)
+            .collect();
+        for session in sessions {
+            session.retire();
+        }
+        self.shared
+            .conns
+            .lock()
+            .expect("server conns poisoned")
+            .clear();
     }
 
     /// The accept loop blocks in `accept()`; poke it with a throwaway
@@ -158,12 +272,19 @@ pub fn serve(
     listener: TcpListener,
     service: Arc<dyn WireService>,
     config: ServeConfig,
-) -> Result<ServerHandle, WireError> {
+) -> Result<ServerHandle, crate::frame::WireError> {
     let addr = listener.local_addr()?;
+    let chaos = config
+        .chaos
+        .clone()
+        .map(|plan| Arc::new(ChaosSession::new(plan, "server", config.sink.clone())));
     let shared = Arc::new(ServerShared {
         stop: AtomicBool::new(false),
         served: AtomicU64::new(0),
         conns: Mutex::new(Vec::new()),
+        conn_threads: Mutex::new(Vec::new()),
+        sessions: Mutex::new(HashMap::new()),
+        chaos,
         sink: config.sink.clone(),
         start: Instant::now(),
     });
@@ -173,7 +294,7 @@ pub fn serve(
         std::thread::Builder::new()
             .name("wire-accept".to_string())
             .spawn(move || accept_loop(&listener, &service, workers, &shared))
-            .map_err(WireError::Io)?
+            .map_err(crate::frame::WireError::Io)?
     };
     Ok(ServerHandle {
         addr,
@@ -192,7 +313,7 @@ pub fn serve_on(
     addr: &str,
     service: Arc<dyn WireService>,
     config: ServeConfig,
-) -> Result<ServerHandle, WireError> {
+) -> Result<ServerHandle, crate::frame::WireError> {
     serve(TcpListener::bind(addr)?, service, config)
 }
 
@@ -221,26 +342,117 @@ fn accept_loop(
         }
         shared.wire_event("connect", 0, &peer.to_string());
         let service = Arc::clone(service);
-        let shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
+        let shared_t = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
             .name(format!("wire-conn-{peer}"))
             .spawn(move || {
-                handle_conn(stream, &service, workers, &shared);
-                shared.wire_event("disconnect", 0, &peer.to_string());
+                handle_conn(stream, &service, workers, &shared_t);
+                shared_t.wire_event("disconnect", 0, &peer.to_string());
             });
+        if let Ok(handle) = handle {
+            shared
+                .conn_threads
+                .lock()
+                .expect("server conn threads poisoned")
+                .push(handle);
+        }
     }
 }
 
-/// Runs one connection: handshake, then the issue/complete loop until the
-/// client drains or the socket dies.
+/// Spawns a fresh session with its worker pool.
+fn spawn_session(
+    service: &Arc<dyn WireService>,
+    workers: usize,
+    shared: &Arc<ServerShared>,
+) -> Arc<Session> {
+    let (work_tx, work_rx) = mpsc::channel::<Query>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let session = Arc::new(Session {
+        book: Mutex::new(SessionBook {
+            journal: HashMap::new(),
+            in_progress: HashSet::new(),
+        }),
+        outstanding: (Mutex::new(0usize), Condvar::new()),
+        writer: Mutex::new(None),
+        work_tx: Mutex::new(Some(work_tx)),
+        workers: Mutex::new(Vec::with_capacity(workers)),
+    });
+    let mut pool = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let work_rx = Arc::clone(&work_rx);
+        let session_t = Arc::clone(&session);
+        let service = Arc::clone(service);
+        let shared = Arc::clone(shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("wire-worker-{i}"))
+            .spawn(move || loop {
+                let query = {
+                    let rx = work_rx.lock().expect("server work queue poisoned");
+                    rx.recv()
+                };
+                let Ok(query) = query else { return };
+                let reply = service.serve(&query);
+                match reply {
+                    Some(reply) => {
+                        // Journal first, then send: if the connection dies
+                        // between the two, the reply survives for replay.
+                        // One critical section retires "in progress" and
+                        // records the journal entry atomically.
+                        {
+                            let mut book = session_t.book.lock().expect("session book poisoned");
+                            book.in_progress.remove(&query.id);
+                            book.journal
+                                .insert(query.id, (reply.error, reply.samples.clone()));
+                        }
+                        session_t.send(&Message::Completion {
+                            query_id: query.id,
+                            error: reply.error,
+                            samples: reply.samples,
+                        });
+                        shared.served.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        // The service swallowed the query: no frame goes
+                        // back, and nothing is journaled — a replay will
+                        // be swallowed again, which is the point.
+                        session_t
+                            .book
+                            .lock()
+                            .expect("session book poisoned")
+                            .in_progress
+                            .remove(&query.id);
+                        shared.wire_event("dropped_reply", query.id, "service returned nothing");
+                    }
+                }
+                let (count, cv) = &session_t.outstanding;
+                let mut n = count.lock().expect("server outstanding poisoned");
+                *n = n.saturating_sub(1);
+                cv.notify_all();
+            });
+        if let Ok(handle) = worker {
+            pool.push(handle);
+        }
+    }
+    *session.workers.lock().expect("session workers poisoned") = pool;
+    session
+}
+
+/// Runs one connection: handshake, session attach, then the
+/// issue/complete loop until the client drains or the socket dies.
 fn handle_conn(
-    mut stream: TcpStream,
+    stream: TcpStream,
     service: &Arc<dyn WireService>,
     workers: usize,
     shared: &Arc<ServerShared>,
 ) {
+    let base: Box<dyn Transport> = Box::new(TcpTransport::new(stream));
+    let mut transport = match &shared.chaos {
+        Some(session) => session.wrap(base),
+        None => base,
+    };
+
     // --- handshake ---
-    let hello = match read_frame(&mut stream).and_then(|p| Message::decode(&p)) {
+    let hello = match transport.recv().and_then(|p| Message::from_wire(&p)) {
         Ok(Message::Hello(h)) => h,
         _ => return, // includes the shutdown poke connection
     };
@@ -256,106 +468,163 @@ fn handle_conn(
                 hello.version
             ),
         };
-        let _ = write_frame(&mut stream, &reject.encode());
+        let _ = transport.send(&reject.to_wire());
         return;
     }
-    // A connection is a run: let stateful services clear between runs.
-    service.reset();
+
+    // --- session attach ---
+    // Epoch 0 is the authoritative start of a run: any stale session with
+    // the same id is retired and the service state cleared. A non-zero
+    // epoch resumes the existing session (or, if the daemon restarted and
+    // forgot it, starts an empty one — the replayed queries simply re-run).
+    let session = if hello.epoch == 0 {
+        let stale = shared
+            .sessions
+            .lock()
+            .expect("server sessions poisoned")
+            .remove(&hello.session);
+        if let Some(stale) = stale {
+            stale.retire();
+        }
+        // A fresh session is a fresh run: let stateful services clear.
+        service.reset();
+        let session = spawn_session(service, workers, shared);
+        shared
+            .sessions
+            .lock()
+            .expect("server sessions poisoned")
+            .insert(hello.session, Arc::clone(&session));
+        session
+    } else {
+        let existing = shared
+            .sessions
+            .lock()
+            .expect("server sessions poisoned")
+            .get(&hello.session)
+            .cloned();
+        match existing {
+            Some(session) => session,
+            None => {
+                let session = spawn_session(service, workers, shared);
+                shared
+                    .sessions
+                    .lock()
+                    .expect("server sessions poisoned")
+                    .insert(hello.session, Arc::clone(&session));
+                session
+            }
+        }
+    };
+
     let ack = Message::HelloAck {
         version: PROTOCOL_VERSION,
         sut_name: service.name().to_string(),
         max_in_flight: hello.max_in_flight,
     };
-    if write_frame(&mut stream, &ack.encode()).is_err() {
+    if transport.send(&ack.to_wire()).is_err() {
         return;
+    }
+    // Install this connection's writer; the epoch tag keeps a dead
+    // predecessor's epilogue from clearing it.
+    {
+        let writer = match transport.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        *session.writer.lock().expect("session writer poisoned") = Some((hello.epoch, writer));
     }
     shared.wire_event(
         "handshake",
         0,
         &format!(
-            "scenario={:?} qsl_size={} window={}",
-            hello.scenario, hello.qsl_size, hello.max_in_flight
+            "scenario={:?} qsl_size={} window={} session={:#x} epoch={}",
+            hello.scenario, hello.qsl_size, hello.max_in_flight, hello.session, hello.epoch
         ),
     );
 
-    // --- worker pool ---
-    let writer = match stream.try_clone() {
-        Ok(clone) => Arc::new(Mutex::new(clone)),
-        Err(_) => return,
-    };
-    let (work_tx, work_rx) = mpsc::channel::<Query>();
-    let work_rx = Arc::new(Mutex::new(work_rx));
-    let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
-    let mut pool = Vec::with_capacity(workers);
-    for i in 0..workers {
-        let work_rx = Arc::clone(&work_rx);
-        let writer = Arc::clone(&writer);
-        let outstanding = Arc::clone(&outstanding);
-        let service = Arc::clone(service);
-        let shared = Arc::clone(shared);
-        let worker = std::thread::Builder::new()
-            .name(format!("wire-worker-{i}"))
-            .spawn(move || loop {
-                let query = {
-                    let rx = work_rx.lock().expect("server work queue poisoned");
-                    rx.recv()
-                };
-                let Ok(query) = query else { return };
-                if let Some(reply) = service.serve(&query) {
-                    let completion = Message::Completion {
-                        query_id: query.id,
-                        error: reply.error,
-                        samples: reply.samples,
-                    };
-                    let payload = completion.encode();
-                    let mut w = writer.lock().expect("server writer poisoned");
-                    let _ = write_frame(&mut *w, &payload);
-                    shared.served.fetch_add(1, Ordering::SeqCst);
-                } else {
-                    // The service swallowed the query: no frame goes back.
-                    shared.wire_event("dropped_reply", query.id, "service returned nothing");
-                }
-                let (count, cv) = &*outstanding;
-                let mut n = count.lock().expect("server outstanding poisoned");
-                *n -= 1;
-                cv.notify_all();
-            });
-        match worker {
-            Ok(handle) => pool.push(handle),
-            Err(_) => break,
-        }
-    }
-
     // --- read loop ---
+    enum IssueAction {
+        Fresh,
+        Replay(bool, Vec<SampleCompletion>),
+        Skip,
+    }
+    let mut clean = false;
     loop {
-        match read_frame(&mut stream).and_then(|p| Message::decode(&p)) {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match transport.recv().and_then(|p| Message::from_wire(&p)) {
             Ok(Message::Issue(query)) => {
-                let (count, _) = &*outstanding;
-                *count.lock().expect("server outstanding poisoned") += 1;
-                if work_tx.send(query).is_err() {
-                    break;
+                let action = {
+                    let mut book = session.book.lock().expect("session book poisoned");
+                    if let Some((error, samples)) = book.journal.get(&query.id) {
+                        IssueAction::Replay(*error, samples.clone())
+                    } else if book.in_progress.contains(&query.id) {
+                        IssueAction::Skip
+                    } else {
+                        book.in_progress.insert(query.id);
+                        IssueAction::Fresh
+                    }
+                };
+                match action {
+                    IssueAction::Fresh => {
+                        {
+                            let (count, _) = &session.outstanding;
+                            *count.lock().expect("server outstanding poisoned") += 1;
+                        }
+                        let sent = {
+                            let tx = session.work_tx.lock().expect("session work_tx poisoned");
+                            match tx.as_ref() {
+                                Some(tx) => tx.send(query).is_ok(),
+                                None => false,
+                            }
+                        };
+                        if !sent {
+                            let (count, cv) = &session.outstanding;
+                            let mut n = count.lock().expect("server outstanding poisoned");
+                            *n = n.saturating_sub(1);
+                            cv.notify_all();
+                            break;
+                        }
+                    }
+                    IssueAction::Replay(error, samples) => {
+                        // Resolved in a previous epoch (or while the link
+                        // was down): answer from the journal, do not re-run.
+                        shared.wire_event("replay", query.id, "journal hit");
+                        session.send(&Message::Completion {
+                            query_id: query.id,
+                            error,
+                            samples,
+                        });
+                    }
+                    IssueAction::Skip => {
+                        // Replayed while the original is still in a worker:
+                        // the worker's completion will answer both.
+                        shared.wire_event("dup_issue", query.id, "already in progress");
+                    }
                 }
             }
+            // A duplicated Hello frame (chaos duplicate-send hits the
+            // handshake) is harmless noise, not a protocol violation.
+            Ok(Message::Hello(_)) => continue,
             Ok(Message::Heartbeat { seq }) => {
-                let ack = Message::HeartbeatAck { seq };
-                let mut w = writer.lock().expect("server writer poisoned");
-                if write_frame(&mut *w, &ack.encode()).is_err() {
-                    break;
-                }
+                session.send(&Message::HeartbeatAck { seq });
             }
             Ok(Message::Drain) => {
-                let (count, cv) = &*outstanding;
+                let (count, cv) = &session.outstanding;
                 let mut n = count.lock().expect("server outstanding poisoned");
-                while *n > 0 {
-                    n = cv.wait(n).expect("server outstanding poisoned");
+                while *n > 0 && !shared.stop.load(Ordering::SeqCst) {
+                    let (guard, _timeout) = cv
+                        .wait_timeout(n, Duration::from_millis(100))
+                        .expect("server outstanding poisoned");
+                    n = guard;
                 }
                 drop(n);
                 shared.wire_event("drain", 0, "flushed outstanding queries");
-                let goodbye = Message::Goodbye {
+                session.send(&Message::Goodbye {
                     served: shared.served.load(Ordering::SeqCst),
-                };
-                let mut w = writer.lock().expect("server writer poisoned");
-                let _ = write_frame(&mut *w, &goodbye.encode());
+                });
+                clean = true;
                 break;
             }
             Ok(Message::Goodbye { .. }) => break,
@@ -364,10 +633,28 @@ fn handle_conn(
         }
     }
 
-    // Unblock any worker mid-write, stop the pool, and close.
-    drop(work_tx);
-    let _ = stream.shutdown(Shutdown::Both);
-    for handle in pool {
-        let _ = handle.join();
+    transport.shutdown();
+    if clean {
+        // The run drained: the session is complete, reap it.
+        let removed = shared
+            .sessions
+            .lock()
+            .expect("server sessions poisoned")
+            .remove(&hello.session);
+        if let Some(session) = removed {
+            session.retire();
+        }
+    } else {
+        // The link died dirty: the session lives on for a resume. Clear
+        // the writer only if it is still ours — a successor epoch may
+        // already have installed a new one.
+        let mut writer = session.writer.lock().expect("session writer poisoned");
+        if let Some((epoch, _)) = writer.as_ref() {
+            if *epoch == hello.epoch {
+                if let Some((_, transport)) = writer.take() {
+                    transport.shutdown();
+                }
+            }
+        }
     }
 }

@@ -19,8 +19,8 @@ use mlperf_trace::RingBufferSink;
 use mlperf_wire::frame::{read_frame, write_frame};
 use mlperf_wire::message::{Hello, Message, PROTOCOL_VERSION};
 use mlperf_wire::{
-    loopback, loopback_instrumented, RemoteSut, RemoteSutConfig, ServeConfig, SilentDropService,
-    SimHost, WireError,
+    loopback, loopback_instrumented, serve_on, RemoteSut, RemoteSutConfig, ServeConfig,
+    SilentDropService, SimHost, WireChaosPlan, WireError,
 };
 
 fn hello_for(settings: &TestSettings, qsl: &MemoryQsl, config: &RemoteSutConfig) -> Hello {
@@ -166,7 +166,7 @@ fn heartbeat_loss_fails_pending_queries_instead_of_hanging() {
             sut_name: "zombie".to_string(),
             max_in_flight: 4,
         };
-        write_frame(&mut stream, &ack.encode()).expect("ack");
+        write_frame(&mut stream, &ack.to_wire()).expect("ack");
         stream.flush().ok();
         while read_frame(&mut stream).is_ok() {}
     });
@@ -195,6 +195,81 @@ fn heartbeat_loss_fails_pending_queries_instead_of_hanging() {
     assert!(!client.is_connected());
     client.shutdown();
     zombie.join().unwrap();
+}
+
+#[test]
+fn heartbeat_loss_run_ends_error_fraction_exceeded_not_a_hang() {
+    // Deterministic heartbeat loss: a one-way recv partition after the
+    // handshake's HelloAck. The server keeps answering — the client's
+    // chaos layer discards every inbound frame, so no completions and no
+    // heartbeat acks arrive. The heartbeat monitor must fail the run as
+    // *errored* (the socket is provably alive, the peer just isn't
+    // answering) well inside the 5 s response timeout.
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(5)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("loop-qsl", 8, 8);
+    let config = RemoteSutConfig::default()
+        .with_heartbeat(Duration::from_millis(10), Duration::from_millis(60))
+        .with_response_timeout(Duration::from_secs(5))
+        .with_chaos(WireChaosPlan::new(0xBEA7).with_partition_recv_after(1));
+    let hello = hello_for(&settings, &qsl, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "muted",
+        Nanos::from_micros(50),
+    )));
+    let (client, server) =
+        loopback(service, ServeConfig::default(), hello, config).expect("loopback");
+
+    let started = std::time::Instant::now();
+    let out = run_realtime(&settings, &mut qsl, Arc::new(client)).expect("run must not hang");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "heartbeat loss must resolve the run well before the response timeout"
+    );
+    assert!(!out.result.is_valid());
+    assert!(
+        out.result
+            .validity
+            .iter()
+            .any(|i| matches!(i, ValidityIssue::ErrorFractionExceeded { .. })),
+        "heartbeat loss must surface as error fraction, got {:?}",
+        out.result.validity
+    );
+    server.shutdown();
+}
+
+#[test]
+fn daemon_shutdown_joins_threads_and_releases_the_port() {
+    let settings = TestSettings::single_stream()
+        .with_min_query_count(5)
+        .with_min_duration(Nanos::from_micros(1));
+    let mut qsl = MemoryQsl::new("loop-qsl", 8, 8);
+    let config = RemoteSutConfig::default();
+    let hello = hello_for(&settings, &qsl, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "short-lived",
+        Nanos::from_micros(5),
+    )));
+    let (client, server) =
+        loopback(service, ServeConfig::default(), hello, config).expect("loopback");
+    let addr = server.addr();
+
+    let out = run_realtime(&settings, &mut qsl, Arc::new(client)).expect("run");
+    assert!(out.result.is_valid(), "{:?}", out.result.validity);
+    // `run_realtime` consumed (and dropped) the client, so its Drain
+    // already closed the connection; shutdown must reap every thread and
+    // the listener so the exact same port binds again.
+    server.shutdown();
+
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "second-tenant",
+        Nanos::from_micros(5),
+    )));
+    let second = serve_on(&addr.to_string(), service, ServeConfig::default())
+        .expect("the port must be rebindable immediately after shutdown");
+    assert_eq!(second.addr(), addr);
+    second.shutdown();
 }
 
 #[test]

@@ -1,0 +1,153 @@
+//! Session-resume integration tests: a mid-run disconnect rescued by
+//! reconnect + journal replay, and the same disconnect left unrescued.
+//!
+//! The contract under test: a resumed run finishes VALID with every query
+//! resolved exactly once (the server's completion journal dedups replayed
+//! issues), while the identical fault without a resume policy leaves the
+//! in-flight window unresolved and the run INVALID with
+//! `IncompleteQueries`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
+use mlperf_loadgen::realtime::{run_realtime, run_realtime_traced};
+use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_loadgen::validate::ValidityIssue;
+use mlperf_trace::metrics::MetricsRegistry;
+use mlperf_trace::{RingBufferSink, TraceEvent};
+use mlperf_wire::{
+    loopback_instrumented, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig, SimHost,
+    WireChaosPlan,
+};
+
+fn settings() -> TestSettings {
+    TestSettings::single_stream()
+        .with_min_query_count(10)
+        .with_min_duration(Nanos::from_micros(1))
+}
+
+/// Client chaos: sever the socket right after the second sent frame
+/// (frame 1 = Hello, frame 2 = the first issue), one-shot — the
+/// reconnected link is healthy.
+fn disconnect_plan() -> WireChaosPlan {
+    WireChaosPlan::new(0xD15C).with_disconnect_after_send(2)
+}
+
+#[test]
+fn disconnect_with_resume_finishes_valid_without_double_counting() {
+    let settings = settings();
+    let mut qsl = MemoryQsl::new("resume-qsl", 8, 8);
+    let config = RemoteSutConfig::default()
+        .with_response_timeout(Duration::from_secs(5))
+        .with_resume(ResumePolicy {
+            max_attempts: 5,
+            // Long enough that the server has resolved the in-flight
+            // query before the redial, so the replay is answered from the
+            // journal, not re-run.
+            backoff: Duration::from_millis(40),
+        })
+        .with_chaos(disconnect_plan());
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "resumable",
+        Nanos::from_micros(100),
+    )));
+
+    let sink = Arc::new(RingBufferSink::unbounded());
+    let metrics = Arc::new(MetricsRegistry::new());
+    let (client, server) = loopback_instrumented(
+        service,
+        ServeConfig::default().with_sink(sink.clone()),
+        hello,
+        config,
+        Some(sink.clone()),
+        Some(metrics.clone()),
+    )
+    .expect("loopback");
+
+    let run_sink = RingBufferSink::unbounded();
+    let out = run_realtime_traced(&settings, &mut qsl, Arc::new(client), &run_sink)
+        .expect("run must not hang");
+    assert!(
+        out.result.is_valid(),
+        "a resumed disconnect must be rescued: {:?}",
+        out.result.validity
+    );
+
+    // Exactly one resume happened, and it replayed the in-flight window.
+    let resumes = metrics
+        .snapshot()
+        .counters
+        .get("wire_resumes")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(resumes, 1, "expected exactly one resume");
+    let wire_events = sink.snapshot();
+    assert!(
+        wire_events.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::WireEvent { endpoint, kind, .. }
+                if endpoint == "client" && kind == "resume"
+        )),
+        "the client must record the resume"
+    );
+    assert!(
+        wire_events.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::WireEvent { endpoint, kind, .. }
+                if endpoint == "server" && kind == "replay"
+        )),
+        "the replayed issue must be answered from the server journal"
+    );
+
+    // Every query resolved exactly once: journal replay must never
+    // double-count.
+    let mut resolutions: HashMap<u64, usize> = HashMap::new();
+    for record in run_sink.snapshot() {
+        match record.event {
+            TraceEvent::QueryCompleted { query_id, .. }
+            | TraceEvent::QueryErrored { query_id, .. } => {
+                *resolutions.entry(query_id).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(resolutions.len() >= 10);
+    for (id, count) in resolutions {
+        assert_eq!(count, 1, "query {id} resolved {count} times");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn same_disconnect_without_resume_ends_incomplete_queries() {
+    let settings = settings();
+    let mut qsl = MemoryQsl::new("resume-qsl", 8, 8);
+    let config = RemoteSutConfig::default()
+        .with_response_timeout(Duration::from_secs(5))
+        .with_chaos(disconnect_plan());
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "unrescued",
+        Nanos::from_micros(100),
+    )));
+    let (client, server) =
+        loopback_instrumented(service, ServeConfig::default(), hello, config, None, None)
+            .expect("loopback");
+
+    let out = run_realtime(&settings, &mut qsl, Arc::new(client)).expect("run must not hang");
+    assert!(!out.result.is_valid());
+    assert!(
+        out.result
+            .validity
+            .iter()
+            .any(|i| matches!(i, ValidityIssue::IncompleteQueries { .. })),
+        "an unresumed disconnect leaves queries outstanding, got {:?}",
+        out.result.validity
+    );
+    server.shutdown();
+}
