@@ -27,12 +27,16 @@ echo "== networked chaos smoke (wire faults: integrity + session resume) =="
 # a logical detail log byte-identical to the fault-free baseline.
 cargo run -q --release -p mlperf-harness --bin chaos -- --wire --check > /dev/null
 
-echo "== netbench loopback smoke (network SUT: VALID + byte-stable detail log) =="
+echo "== netbench loopback smoke (network SUT: tracing + telemetry + interop) =="
 # Single-process wire smoke: a serving daemon and a RemoteSut client on a
 # loopback socket run the scaled-down offline + server pair twice, asserting
-# every run is VALID and the logical detail log (deterministic per-query
-# fields) renders byte-identically across connections under the fixed seed.
-cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --check
+# every run is VALID, the logical detail log (deterministic per-query
+# fields) renders byte-identically across connections under the fixed seed,
+# the merged client+server detail log passes the TEST06 completeness audit
+# with at least one end-to-end trace (client issue -> server compute ->
+# client complete under one trace id), the daemon's live stats snapshot
+# parses, and a v2-pinned client still interoperates with the v3 daemon.
+cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --stats --check
 
 echo "== bench suite (smoke mode, JSON report) =="
 # Fast smoke pass over every bench binary: each one appends its medians to

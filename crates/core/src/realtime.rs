@@ -74,6 +74,31 @@ pub fn run_realtime_traced<Q>(
 where
     Q: QuerySampleLibrary + ?Sized,
 {
+    run_realtime_traced_at(settings, qsl, sut, sink, Instant::now())
+}
+
+/// [`run_realtime_traced`] with an explicit clock origin.
+///
+/// Every timestamp in the detail log is measured from `origin` instead of
+/// "now". Pass the instant another instrumented component (e.g. a wire
+/// client) started its own clock at, and both event streams land on a
+/// single shared time axis — the merged cross-host detail log depends on
+/// this.
+///
+/// # Errors
+///
+/// Returns [`LoadGenError`] for inconsistent settings, an unusable QSL, or
+/// SUT protocol violations.
+pub fn run_realtime_traced_at<Q>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: Arc<dyn RealtimeSut>,
+    sink: &dyn TraceSink,
+    origin: Instant,
+) -> Result<RunOutcome, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+{
     settings.validate()?;
     if qsl.total_sample_count() == 0 || qsl.performance_sample_count() == 0 {
         return Err(LoadGenError::BadQsl(format!(
@@ -97,17 +122,35 @@ where
     }
     let mut recorder = Recorder::new();
     match settings.mode {
-        TestMode::AccuracyOnly => {
-            run_batch(settings, &loaded, sut.as_ref(), &mut recorder, 1.0, sink)?
-        }
+        TestMode::AccuracyOnly => run_batch(
+            settings,
+            &loaded,
+            sut.as_ref(),
+            &mut recorder,
+            1.0,
+            sink,
+            origin,
+        )?,
         TestMode::PerformanceOnly => match settings.scenario {
-            Scenario::SingleStream => {
-                run_single_stream(settings, loaded.len(), sut.as_ref(), &mut recorder, sink)?
+            Scenario::SingleStream => run_single_stream(
+                settings,
+                loaded.len(),
+                sut.as_ref(),
+                &mut recorder,
+                sink,
+                origin,
+            )?,
+            Scenario::MultiStream => run_multi_stream(
+                settings,
+                loaded.len(),
+                sut.as_ref(),
+                &mut recorder,
+                sink,
+                origin,
+            )?,
+            Scenario::Server => {
+                run_server(settings, loaded.len(), &sut, &mut recorder, sink, origin)?
             }
-            Scenario::MultiStream => {
-                run_multi_stream(settings, loaded.len(), sut.as_ref(), &mut recorder, sink)?
-            }
-            Scenario::Server => run_server(settings, loaded.len(), &sut, &mut recorder, sink)?,
             Scenario::Offline => {
                 let mut rng = Rng64::new(settings.seeds.qsl_seed);
                 let indices = rng.sample_with_replacement(
@@ -121,6 +164,7 @@ where
                     &mut recorder,
                     settings.accuracy_log_probability,
                     sink,
+                    origin,
                 )?
             }
         },
@@ -214,8 +258,8 @@ fn run_batch(
     recorder: &mut Recorder,
     log_probability: f64,
     sink: &dyn TraceSink,
+    start: Instant,
 ) -> Result<(), LoadGenError> {
-    let start = Instant::now();
     let mut next_sample_id = 0u64;
     let query = build_query(0, &mut next_sample_id, indices, Nanos::ZERO);
     recorder.record_issue(&query, Nanos::ZERO)?;
@@ -238,8 +282,8 @@ fn run_single_stream(
     sut: &dyn RealtimeSut,
     recorder: &mut Recorder,
     sink: &dyn TraceSink,
+    start: Instant,
 ) -> Result<(), LoadGenError> {
-    let start = Instant::now();
     let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
     let mut log = log_sampler(settings, settings.accuracy_log_probability);
     let mut next_sample_id = 0u64;
@@ -266,8 +310,8 @@ fn run_multi_stream(
     sut: &dyn RealtimeSut,
     recorder: &mut Recorder,
     sink: &dyn TraceSink,
+    start: Instant,
 ) -> Result<(), LoadGenError> {
-    let start = Instant::now();
     let interval = settings.multistream_arrival_interval;
     let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
     let mut log = log_sampler(settings, settings.accuracy_log_probability);
@@ -306,8 +350,8 @@ fn run_server(
     sut: &Arc<dyn RealtimeSut>,
     recorder: &mut Recorder,
     sink: &dyn TraceSink,
+    start: Instant,
 ) -> Result<(), LoadGenError> {
-    let start = Instant::now();
     let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
     let arrivals = PoissonProcess::new(
         settings.server_target_qps,

@@ -3,7 +3,7 @@
 //! and which the resilience policies rescue.
 //!
 //! ```text
-//! chaos [--seed <n>] [--out <path>] [--check] [--wire]
+//! chaos [--seed <n>] [--out <path>] [--check] [--wire] [--flight-dir <dir>]
 //! ```
 //!
 //! Every cell of the matrix runs one scaled-down LoadGen test twice: once
@@ -19,7 +19,10 @@
 //! with a seeded [`WireChaosPlan`] armed on the client transport. The
 //! matrix records structured validity-issue kinds (never wall-clock
 //! counts) plus an FNV-1a hash of the logical detail log for VALID cells,
-//! so both builds of the same seed render byte-identical JSON.
+//! so both builds of the same seed render byte-identical JSON. With
+//! `--flight-dir` every INVALID wire cell additionally leaves a
+//! flight-recorder dump — the freshest trace events of the doomed run —
+//! for post-mortem inspection.
 //!
 //! `--check` is the CI smoke mode: it rebuilds the matrix twice and asserts
 //! (1) both builds render to identical bytes, (2) the fault-free baseline is
@@ -35,7 +38,7 @@
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::des::run_simulated;
 use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
-use mlperf_loadgen::realtime::run_realtime;
+use mlperf_loadgen::realtime::run_realtime_traced_at;
 use mlperf_loadgen::scenario::Scenario;
 use mlperf_loadgen::sut::FixedLatencySut;
 use mlperf_loadgen::time::Nanos;
@@ -47,15 +50,21 @@ use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_sut::faults::FaultPlan;
 use mlperf_sut::resilience::{ResiliencePolicy, ResilientSut};
 use mlperf_sut::FaultySut;
-use mlperf_trace::{JsonValue, ToJson};
+use mlperf_trace::flight::render_flight_dump;
+use mlperf_trace::{JsonValue, RingBufferSink, ToJson};
 use mlperf_wire::{
-    loopback, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig, SimHost, WireChaosPlan,
+    loopback_instrumented, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig, SimHost,
+    WireChaosPlan,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire]";
+const USAGE: &str =
+    "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire] [--flight-dir <dir>]";
+
+/// Events kept in a flight-recorder dump of an INVALID wire cell.
+const FLIGHT_TAIL: usize = 256;
 
 const SCENARIOS: [Scenario; 4] = [
     Scenario::SingleStream,
@@ -242,8 +251,10 @@ const WIRE_FAULT_CASES: [&str; 7] = [
 ];
 
 /// Client-side wire chaos per fault case. Frame 1 outbound is the Hello
-/// and frame 1 inbound the HelloAck, so "frame 2" is the first real
-/// traffic in either direction.
+/// and frame 1 inbound the HelloAck; frame 2 is the post-handshake clock
+/// probe (outbound) or its ack (inbound) on a v3 link, so a frame-2 fault
+/// hits the link before any query traffic and a frame-1 partition
+/// blackholes everything after the handshake.
 fn wire_plan_for(case: &str, seed: u64) -> WireChaosPlan {
     let plan = WireChaosPlan::new(seed);
     match case {
@@ -334,13 +345,17 @@ impl WireCell {
 }
 
 /// One wire run: a fresh loopback daemon, a chaos-armed client, a real
-/// LoadGen run over TCP.
+/// LoadGen run over TCP. The run is traced into a merged sink (client
+/// spans, wire events, and — when the link survives to drain — server
+/// spans); if the run ends INVALID and `flight_dir` is set, the freshest
+/// events are dumped for post-mortem inspection.
 fn run_wire(
     scenario: &'static str,
     settings: &TestSettings,
     fault: &'static str,
     resume: bool,
     seed: u64,
+    flight_dir: Option<&str>,
 ) -> Result<WireRun, String> {
     let mut qsl = MemoryQsl::new("wire-chaos-qsl", 64, 64);
     // The partition is one-way outbound: only heartbeat loss can prove the
@@ -366,11 +381,38 @@ fn run_wire(
         "wire-chaos-dev",
         Nanos::from_micros(200),
     )));
-    let (client, server) = loopback(service, ServeConfig::default(), hello, config)
-        .map_err(|e| format!("{scenario} / {fault}: loopback failed: {e}"))?;
-    let out = run_realtime(settings, &mut qsl, Arc::new(client))
+    let sink = Arc::new(RingBufferSink::unbounded());
+    let (client, server) = loopback_instrumented(
+        service,
+        ServeConfig::default(),
+        hello,
+        config,
+        Some(sink.clone()),
+        None,
+    )
+    .map_err(|e| format!("{scenario} / {fault}: loopback failed: {e}"))?;
+    let origin = client.clock_origin();
+    let out = run_realtime_traced_at(settings, &mut qsl, Arc::new(client), sink.as_ref(), origin)
         .map_err(|e| format!("{scenario} / {fault}: run failed: {e}"))?;
     server.shutdown();
+
+    if !out.result.is_valid() {
+        if let Some(dir) = flight_dir {
+            let records = sink.snapshot();
+            let tail_start = records.len().saturating_sub(FLIGHT_TAIL);
+            let reason = format!(
+                "wire cell INVALID: scenario={scenario} fault={fault} resume={resume}: {:?}",
+                out.result.validity
+            );
+            let dump = render_flight_dump(&reason, &records[tail_start..], tail_start as u64);
+            let suffix = if resume { "_resumed" } else { "" };
+            let path = format!("{dir}/chaos_flight_{scenario}_{fault}{suffix}.jsonl");
+            match std::fs::write(&path, dump) {
+                Ok(()) => eprintln!("flight recorder: dumped {path}"),
+                Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
+            }
+        }
+    }
 
     let mut issues: Vec<String> = out
         .result
@@ -403,12 +445,12 @@ fn run_wire(
     })
 }
 
-fn build_wire_matrix(seed: u64) -> Result<Vec<WireCell>, String> {
+fn build_wire_matrix(seed: u64, flight_dir: Option<&str>) -> Result<Vec<WireCell>, String> {
     let mut cells = Vec::new();
     for (scenario, settings) in wire_settings(seed) {
         for fault in WIRE_FAULT_CASES {
-            let plain = run_wire(scenario, &settings, fault, false, seed)?;
-            let resumed = run_wire(scenario, &settings, fault, true, seed)?;
+            let plain = run_wire(scenario, &settings, fault, false, seed, flight_dir)?;
+            let resumed = run_wire(scenario, &settings, fault, true, seed, flight_dir)?;
             cells.push(WireCell {
                 scenario,
                 fault,
@@ -677,10 +719,18 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut check_mode = false;
     let mut wire_mode = false;
+    let mut flight_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--flight-dir" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--flight-dir needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                flight_dir = Some(v.clone());
+            }
             "--seed" => {
                 let Some(v) = it.next() else {
                     eprintln!("--seed needs a value\n{USAGE}");
@@ -718,7 +768,7 @@ fn main() -> ExitCode {
         }
     };
     let wire_cells = if wire_mode {
-        match build_wire_matrix(seed) {
+        match build_wire_matrix(seed, flight_dir.as_deref()) {
             Ok(cells) => Some(cells),
             Err(e) => {
                 eprintln!("{e}");
@@ -765,8 +815,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // The rebuild skips flight dumps: the first build already wrote
+        // them, and the reproducibility check only compares the JSON.
         let again_wire = if wire_mode {
-            match build_wire_matrix(seed) {
+            match build_wire_matrix(seed, None) {
                 Ok(cells) => Some(cells),
                 Err(e) => {
                     eprintln!("{e}");
@@ -843,8 +895,8 @@ mod tests {
     #[test]
     fn smoke_wire_cell_disconnect_is_rescued_by_resume() {
         let [(scenario, settings), _] = wire_settings(11);
-        let plain = run_wire(scenario, &settings, "disconnect", false, 11).unwrap();
-        let resumed = run_wire(scenario, &settings, "disconnect", true, 11).unwrap();
+        let plain = run_wire(scenario, &settings, "disconnect", false, 11, None).unwrap();
+        let resumed = run_wire(scenario, &settings, "disconnect", true, 11, None).unwrap();
         let cell = WireCell {
             scenario,
             fault: "disconnect",

@@ -6,35 +6,62 @@
 //! netbench --connect <addr> [opts]      drive a remote daemon (offline + server runs)
 //! netbench --loopback [opts]            single-process: daemon + client on 127.0.0.1
 //!
-//! opts: [--seed <n>] [--out <path>] [--check]
+//! opts: [--seed <n>] [--out <path>] [--metrics <path>] [--detail <path>]
+//!       [--chrome <path>] [--flight-dir <dir>] [--stats] [--watch] [--check]
 //! ```
 //!
 //! Every run writes a *logical detail log*: the deterministic slice of the
 //! per-query records (id, scheduled time, sample count, error flag) that is
 //! byte-reproducible under a fixed seed — wall-clock latencies explicitly
-//! excluded. `--check` is the CI smoke mode: it repeats the run pair on
-//! fresh connections and asserts every run is VALID and the two logical
-//! logs render to identical bytes.
+//! excluded. On a v3 link each run also produces a *merged* detail log:
+//! client issue/complete spans, server queue/compute spans (shipped back at
+//! drain and re-stamped onto the client clock by the NTP-style offset
+//! estimator), and wire events, all on one time axis. `--detail` /
+//! `--chrome` export the server-scenario run's merged log as JSONL /
+//! Chrome trace JSON; `--metrics` writes the per-run wire metrics
+//! snapshots; `--stats` asks the daemon for a live [`DaemonStats`]
+//! snapshot; `--watch` polls that snapshot into a live console line while
+//! the runs execute. A run that ends INVALID automatically leaves a
+//! flight-recorder dump of its freshest events under `--flight-dir`.
+//!
+//! `--check` is the CI smoke mode: it repeats the run pair on fresh
+//! connections and asserts every run is VALID, the two logical logs render
+//! to identical bytes, the merged log passes the TEST06 completeness audit
+//! with no accuracy events and at least one end-to-end trace, the stats
+//! snapshot parses (with `--stats`), and a v2-pinned client still
+//! completes a VALID run against the v3 daemon.
 
+use mlperf_audit::tests::completeness_report;
+use mlperf_audit::AuditOutcome;
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
-use mlperf_loadgen::realtime::run_realtime_traced;
+use mlperf_loadgen::realtime::run_realtime_traced_at;
 use mlperf_loadgen::sut::FixedLatencySut;
 use mlperf_loadgen::time::Nanos;
 use mlperf_stats::rng::SeedTriple;
+use mlperf_trace::chrome::chrome_trace_json;
+use mlperf_trace::event::TraceRecord;
+use mlperf_trace::flight::render_flight_dump;
 use mlperf_trace::metrics::MetricsRegistry;
 use mlperf_trace::{JsonValue, RingBufferSink, ToJson, TraceEvent};
-use mlperf_wire::{serve_on, RemoteSut, RemoteSutConfig, ServeConfig, SimHost};
+use mlperf_wire::{fetch_stats, serve_on, RemoteSut, RemoteSutConfig, ServeConfig, SimHost};
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-const USAGE: &str =
-    "usage: netbench (--serve <addr> | --connect <addr> | --loopback) [--seed <n>] [--out <path>] [--check]";
+const USAGE: &str = "usage: netbench (--serve <addr> | --connect <addr> | --loopback) \
+[--seed <n>] [--out <path>] [--metrics <path>] [--detail <path>] [--chrome <path>] \
+[--flight-dir <dir>] [--stats] [--watch] [--check]";
 
 /// Simulated per-sample service time of the benchmark device. The daemon
 /// replays this on the wall clock, so the whole loopback pair stays fast
 /// enough for a CI smoke stage.
 const DEVICE_PER_SAMPLE: Nanos = Nanos::from_micros(40);
+
+/// Events kept in an automatic flight-recorder dump of an INVALID run.
+const FLIGHT_TAIL: usize = 256;
 
 fn benchmark_device() -> SimHost<FixedLatencySut> {
     SimHost::new(FixedLatencySut::new("netbench-dev", DEVICE_PER_SAMPLE))
@@ -71,7 +98,18 @@ struct RunSummary {
     query_count: u64,
     sample_count: u64,
     wire_events: usize,
+    /// Trace ids whose client-issue, server-compute, and client-complete
+    /// spans all made it into the merged log.
+    end_to_end_traces: usize,
+    /// `AccuracyLogged` events in the merged log (must be 0 for a
+    /// performance run — the detail-log compliance rule).
+    accuracy_events: usize,
+    /// TEST06 completeness verdict over the merged log.
+    completeness: AuditOutcome,
     logical_log: JsonValue,
+    /// The merged (client + shipped server) detail log, clock-aligned.
+    records: Vec<TraceRecord>,
+    metrics: mlperf_trace::metrics::MetricsSnapshot,
 }
 
 /// Drives one scenario against the daemon at `addr` over a fresh
@@ -91,7 +129,12 @@ fn run_one(addr: &str, label: &'static str, settings: &TestSettings) -> Result<R
     )
     .map_err(|e| format!("{label}: connect to {addr} failed: {e}"))?;
 
-    let out = run_realtime_traced(settings, &mut qsl, Arc::new(client), sink.as_ref())
+    // Share the wire client's clock origin with the run loop, so run
+    // events, client spans, and (re-stamped) server spans all land on one
+    // time axis. Dropping the client at the end of the run drains the
+    // link, which ships the server's spans into the same sink.
+    let origin = client.clock_origin();
+    let out = run_realtime_traced_at(settings, &mut qsl, Arc::new(client), sink.as_ref(), origin)
         .map_err(|e| format!("{label}: run failed: {e}"))?;
 
     let snapshot = metrics.snapshot();
@@ -110,11 +153,38 @@ fn run_one(addr: &str, label: &'static str, settings: &TestSettings) -> Result<R
         rtt.map_or(0, |h| h.count()),
     );
 
-    let wire_events = sink
-        .snapshot()
+    let records = sink.snapshot();
+    let wire_events = records
         .iter()
         .filter(|r| matches!(r.event, TraceEvent::WireEvent { .. }))
         .count();
+    let accuracy_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::AccuracyLogged { .. }))
+        .count();
+    let completeness = completeness_report(&records).outcome;
+
+    // End-to-end traces: issue (client) + compute (server) + complete
+    // (client) sharing one trace id.
+    let mut by_phase: std::collections::HashMap<u64, [bool; 3]> = std::collections::HashMap::new();
+    for record in &records {
+        if let TraceEvent::SpanEvent {
+            host,
+            trace_id,
+            phase,
+            ..
+        } = &record.event
+        {
+            let slot = match (host.as_str(), phase.as_str()) {
+                ("client", "issue") => 0,
+                ("server", "compute") => 1,
+                ("client", "complete") => 2,
+                _ => continue,
+            };
+            by_phase.entry(*trace_id).or_default()[slot] = true;
+        }
+    }
+    let end_to_end_traces = by_phase.values().filter(|p| p.iter().all(|&b| b)).count();
 
     // The logical detail log: deterministic fields only, in issue order.
     let queries: Vec<JsonValue> = out
@@ -144,16 +214,42 @@ fn run_one(addr: &str, label: &'static str, settings: &TestSettings) -> Result<R
         query_count: out.result.query_count,
         sample_count: out.result.sample_count,
         wire_events,
+        end_to_end_traces,
+        accuracy_events,
+        completeness,
         logical_log,
+        records,
+        metrics: snapshot,
     })
+}
+
+/// Writes a flight-recorder dump (the freshest events of an INVALID run)
+/// and reports where it went.
+fn dump_flight(flight_dir: &str, summary: &RunSummary) {
+    let tail_start = summary.records.len().saturating_sub(FLIGHT_TAIL);
+    let reason = format!(
+        "{} run INVALID: {}",
+        summary.label,
+        summary.issues.join("; ")
+    );
+    let dump = render_flight_dump(&reason, &summary.records[tail_start..], tail_start as u64);
+    let path = format!("{flight_dir}/netbench_flight_{}.jsonl", summary.label);
+    match std::fs::write(&path, dump) {
+        Ok(()) => eprintln!("flight recorder: dumped {path}"),
+        Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
+    }
 }
 
 /// Runs the offline + server pair against `addr`; returns the summaries
 /// and the rendered logical detail log.
-fn drive(addr: &str, seed: u64) -> Result<(Vec<RunSummary>, String), String> {
+fn drive(addr: &str, seed: u64, flight_dir: &str) -> Result<(Vec<RunSummary>, String), String> {
     let mut summaries = Vec::new();
     for (label, settings) in run_pair(seed) {
-        summaries.push(run_one(addr, label, &settings)?);
+        let summary = run_one(addr, label, &settings)?;
+        if !summary.valid {
+            dump_flight(flight_dir, &summary);
+        }
+        summaries.push(summary);
     }
     let doc = JsonValue::object(vec![
         ("seed", seed.to_json_value()),
@@ -186,8 +282,85 @@ fn check_summaries(summaries: &[RunSummary]) -> Vec<String> {
                 s.label
             ));
         }
+        if let AuditOutcome::Fail(reason) = &s.completeness {
+            failures.push(format!(
+                "{}: merged detail log fails the completeness audit: {reason}",
+                s.label
+            ));
+        }
+        if s.accuracy_events != 0 {
+            failures.push(format!(
+                "{}: performance run leaked {} accuracy events into the detail log",
+                s.label, s.accuracy_events
+            ));
+        }
+        if s.end_to_end_traces == 0 {
+            failures.push(format!(
+                "{}: no trace id spans client issue -> server compute -> client complete",
+                s.label
+            ));
+        }
     }
     failures
+}
+
+/// One VALID run with the client pinned to protocol v2 proves the daemon
+/// still interoperates with un-upgraded peers.
+fn check_v2_interop(addr: &str, seed: u64) -> Option<String> {
+    let seeds = SeedTriple::from_master(seed ^ 0x7632); // "v2"
+    let settings = TestSettings::offline()
+        .with_offline_min_sample_count(128)
+        .with_min_duration(Nanos::from_millis(1))
+        .with_seeds(seeds);
+    let mut qsl = MemoryQsl::new("netbench-qsl", 64, 64);
+    let config = RemoteSutConfig::default().with_protocol(2);
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let client = match RemoteSut::connect(addr, hello, config) {
+        Ok(client) => client,
+        Err(e) => return Some(format!("v2 interop: handshake failed: {e}")),
+    };
+    if client.negotiated_version() != 2 {
+        return Some(format!(
+            "v2 interop: negotiated v{} instead of v2",
+            client.negotiated_version()
+        ));
+    }
+    let origin = client.clock_origin();
+    match run_realtime_traced_at(
+        &settings,
+        &mut qsl,
+        Arc::new(client),
+        &mlperf_trace::NoopSink,
+        origin,
+    ) {
+        Ok(out) if out.result.is_valid() => None,
+        Ok(out) => Some(format!(
+            "v2 interop: run INVALID: {:?}",
+            out.result.validity
+        )),
+        Err(e) => Some(format!("v2 interop: run failed: {e}")),
+    }
+}
+
+/// Renders one live stats line from a daemon snapshot.
+fn stats_line(stats: &mlperf_wire::DaemonStats) -> String {
+    let p99_us = stats
+        .snapshot
+        .histograms
+        .get("wire_serve_ns")
+        .map_or(0.0, |h| h.quantile(0.99) as f64 / 1_000.0);
+    format!(
+        "sut={} up {:.1}s served {} ({:.0} qps lifetime) in-flight {} sessions {} \
+replays {} dups {} p99 serve {p99_us:.0} us",
+        stats.sut_name,
+        stats.uptime_ns as f64 / 1e9,
+        stats.served,
+        stats.throughput_qps(),
+        stats.in_flight,
+        stats.sessions,
+        stats.snapshot.counters.get("wire_replays").unwrap_or(&0),
+        stats.snapshot.counters.get("wire_dup_issues").unwrap_or(&0),
+    )
 }
 
 enum Mode {
@@ -200,6 +373,12 @@ fn main() -> ExitCode {
     let mut mode: Option<Mode> = None;
     let mut seed = 0xBE7Cu64;
     let mut out_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut detail_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut flight_dir = ".".to_string();
+    let mut stats_mode = false;
+    let mut watch_mode = false;
     let mut check_mode = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -230,13 +409,21 @@ fn main() -> ExitCode {
                     }
                 };
             }
-            "--out" => {
+            "--out" | "--metrics" | "--detail" | "--chrome" | "--flight-dir" => {
                 let Some(v) = it.next() else {
-                    eprintln!("--out needs a path\n{USAGE}");
+                    eprintln!("{arg} needs a path\n{USAGE}");
                     return ExitCode::FAILURE;
                 };
-                out_path = Some(v.clone());
+                match arg.as_str() {
+                    "--out" => out_path = Some(v.clone()),
+                    "--metrics" => metrics_path = Some(v.clone()),
+                    "--detail" => detail_path = Some(v.clone()),
+                    "--chrome" => chrome_path = Some(v.clone()),
+                    _ => flight_dir = v.clone(),
+                }
             }
+            "--stats" => stats_mode = true,
+            "--watch" => watch_mode = true,
             "--check" => check_mode = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
@@ -250,11 +437,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    // --serve never returns: export the device and wait for clients.
+    // --serve never returns: export the device and wait for clients. The
+    // daemon carries a metrics registry so `Stats` probes answer with
+    // real counters and latency histograms.
     let addr = match mode {
         Mode::Serve(addr) => {
-            let handle = match serve_on(&addr, Arc::new(benchmark_device()), ServeConfig::default())
-            {
+            let registry = Arc::new(MetricsRegistry::new());
+            let config = ServeConfig::default().with_metrics(registry);
+            let handle = match serve_on(&addr, Arc::new(benchmark_device()), config) {
                 Ok(handle) => handle,
                 Err(e) => {
                     eprintln!("cannot serve on {addr}: {e}");
@@ -266,16 +456,14 @@ fn main() -> ExitCode {
                 handle.addr()
             );
             loop {
-                std::thread::sleep(std::time::Duration::from_secs(3600));
+                std::thread::sleep(Duration::from_secs(3600));
             }
         }
         Mode::Connect(addr) => addr,
         Mode::Loopback => {
-            let handle = match serve_on(
-                "127.0.0.1:0",
-                Arc::new(benchmark_device()),
-                ServeConfig::default(),
-            ) {
+            let registry = Arc::new(MetricsRegistry::new());
+            let config = ServeConfig::default().with_metrics(registry);
+            let handle = match serve_on("127.0.0.1:0", Arc::new(benchmark_device()), config) {
                 Ok(handle) => handle,
                 Err(e) => {
                     eprintln!("cannot start loopback daemon: {e}");
@@ -290,7 +478,33 @@ fn main() -> ExitCode {
         }
     };
 
-    let (summaries, rendered) = match drive(&addr, seed) {
+    // --watch: poll the daemon's live stats onto one console line while
+    // the runs execute.
+    let watcher = if watch_mode {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_t = Arc::clone(&stop);
+        let addr_t = addr.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop_t.load(Ordering::SeqCst) {
+                if let Ok(stats) = fetch_stats(&addr_t) {
+                    print!("\rwatch: {}        ", stats_line(&stats));
+                    let _ = std::io::stdout().flush();
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            println!();
+        });
+        Some((stop, handle))
+    } else {
+        None
+    };
+
+    let drive_result = drive(&addr, seed, &flight_dir);
+    if let Some((stop, handle)) = watcher {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
+    let (summaries, rendered) = match drive_result {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -306,11 +520,75 @@ fn main() -> ExitCode {
         println!("wrote logical detail log to {path}");
     }
 
+    // Machine-readable wire metrics, one snapshot per run.
+    if let Some(path) = &metrics_path {
+        let doc = JsonValue::object(vec![
+            ("seed", seed.to_json_value()),
+            ("tool", "netbench".to_json_value()),
+            (
+                "runs",
+                JsonValue::Array(
+                    summaries
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object(vec![
+                                ("scenario", s.label.to_json_value()),
+                                ("metrics", s.metrics.to_json_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics snapshot to {path}");
+    }
+
+    // The merged, clock-aligned detail log of the server-scenario run (the
+    // richer of the pair), as JSONL and/or a Chrome trace.
+    if detail_path.is_some() || chrome_path.is_some() {
+        let merged = &summaries.last().expect("run pair is never empty").records;
+        if let Some(path) = &detail_path {
+            let mut text = String::new();
+            for record in merged {
+                text.push_str(&record.to_json_string());
+                text.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote merged detail log to {path}");
+        }
+        if let Some(path) = &chrome_path {
+            if let Err(e) = std::fs::write(path, chrome_trace_json(merged)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote chrome trace to {path}");
+        }
+    }
+
+    // --stats: one live snapshot from the daemon after the runs.
+    let mut stats_failure: Option<String> = None;
+    if stats_mode {
+        match fetch_stats(&addr) {
+            Ok(stats) => println!("stats: {}", stats_line(&stats)),
+            Err(e) => stats_failure = Some(format!("stats snapshot failed: {e}")),
+        }
+    }
+
     if check_mode {
         let mut failures = check_summaries(&summaries);
+        failures.extend(stats_failure);
         // Reproducibility: the same seed over fresh connections must
         // render a byte-identical logical detail log.
-        match drive(&addr, seed) {
+        match drive(&addr, seed, &flight_dir) {
             Ok((again, rendered_again)) => {
                 failures.extend(check_summaries(&again));
                 if rendered != rendered_again {
@@ -321,14 +599,21 @@ fn main() -> ExitCode {
             }
             Err(e) => failures.push(e),
         }
+        failures.extend(check_v2_interop(&addr, seed));
         if failures.is_empty() {
-            println!("netbench check: OK (both runs VALID, logical detail log byte-stable)");
+            println!(
+                "netbench check: OK (runs VALID, logical log byte-stable, merged log \
+complete with end-to-end traces, v2 interop VALID)"
+            );
         } else {
             for f in &failures {
                 eprintln!("netbench check: {f}");
             }
             return ExitCode::FAILURE;
         }
+    } else if let Some(f) = stats_failure {
+        eprintln!("netbench: {f}");
+        return ExitCode::FAILURE;
     }
 
     ExitCode::SUCCESS

@@ -6,7 +6,7 @@
 //!           [--trace <path>] [--trace-format jsonl|chrome]
 //!           [--tenants <n>] [--profile] [--collapsed <path>]
 //!           [--timeseries <path>] [--timeseries-format jsonl|csv]
-//!           [--interval-ms <n>]
+//!           [--interval-ms <n>] [--metrics <path>]
 //! trace summary <detail.jsonl>
 //! ```
 //!
@@ -21,7 +21,9 @@
 //! turns on the wall-clock span profiler and prints the self-time table;
 //! `--collapsed` additionally writes flamegraph.pl-compatible collapsed
 //! stacks. `--timeseries` attaches a simulated-time sampler and writes one
-//! row of run metrics per `--interval-ms` of simulated time.
+//! row of run metrics per `--interval-ms` of simulated time. `--metrics`
+//! writes the run's full metrics-registry snapshot (counters, gauges, and
+//! log-bucketed latency histograms) as a machine-readable JSON artifact.
 
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::des::run_instrumented;
@@ -33,8 +35,8 @@ use mlperf_models::{TaskId, Workload};
 use mlperf_sut::device::{Architecture, DeviceSpec, ThermalModel};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_trace::{
-    chrome_trace_json, parse_detail_log, profile, LogHistogram, MetricsRegistry, RingBufferSink,
-    TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
+    chrome_trace_json, parse_detail_log, profile, JsonValue, LogHistogram, MetricsRegistry,
+    RingBufferSink, TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,7 +47,7 @@ const USAGE: &str = "usage:
             [--trace <path>] [--trace-format jsonl|chrome] \\
             [--tenants <n>] [--profile] [--collapsed <path>] \\
             [--timeseries <path>] [--timeseries-format jsonl|csv] \\
-            [--interval-ms <n>]
+            [--interval-ms <n>] [--metrics <path>]
   trace summary <detail.jsonl>";
 
 fn main() -> ExitCode {
@@ -89,6 +91,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut timeseries_path: Option<String> = None;
     let mut timeseries_format = "jsonl".to_string();
     let mut interval_ms = 100u64;
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| {
@@ -114,6 +117,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 profile_on = true;
             }
             "--timeseries" => timeseries_path = Some(value_of("--timeseries")?),
+            "--metrics" => metrics_path = Some(value_of("--metrics")?),
             "--timeseries-format" => timeseries_format = value_of("--timeseries-format")?,
             "--interval-ms" => {
                 let v = value_of("--interval-ms")?;
@@ -248,6 +252,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("wrote {} events to {path} ({format})", records.len());
     if format == "chrome" {
         println!("open chrome://tracing or https://ui.perfetto.dev and load the file");
+    }
+
+    if let Some(mpath) = &metrics_path {
+        let doc = JsonValue::object(vec![
+            ("tool", "trace".to_json_value()),
+            ("scenario", scenario.to_json_value()),
+            ("tenants", (tenants as u64).to_json_value()),
+            ("metrics", registry.snapshot().to_json_value()),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        std::fs::write(mpath, text).map_err(|e| format!("cannot write {mpath}: {e}"))?;
+        println!("wrote metrics snapshot to {mpath}");
     }
 
     if let Some(ts_path) = &timeseries_path {

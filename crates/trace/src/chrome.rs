@@ -5,8 +5,13 @@
 //! microsecond timestamps. Query lifecycles become complete (`ph:"X"`)
 //! spans on pid 1 — one row (tid) per concurrent "lane", assigned
 //! greedily so overlapping queries render side by side. Device batches
-//! become spans on pid 2 with tid = device unit. Everything else becomes
-//! instant (`ph:"i"`) events.
+//! become spans on pid 2 with tid = device unit. Distributed
+//! [`TraceEvent::SpanEvent`]s from a merged wire run land on one stable
+//! pid *per host* (pid 3 upward, hosts sorted by name), so a
+//! client+server log renders as two labeled process lanes on one aligned
+//! axis instead of colliding on shared pids. Every used pid gets a
+//! human-readable `process_name` metadata (`ph:"M"`) row. Everything
+//! else becomes instant (`ph:"i"`) events.
 
 use crate::event::{TraceEvent, TraceRecord};
 use crate::json::{JsonValue, ToJson};
@@ -15,6 +20,8 @@ use crate::json::{JsonValue, ToJson};
 const QUERY_PID: i64 = 1;
 /// pid used for device-lane spans.
 const DEVICE_PID: i64 = 2;
+/// First pid used for per-host distributed-span lanes.
+const HOST_PID_BASE: i64 = 3;
 
 fn micros(ts_ns: u64) -> JsonValue {
     JsonValue::Float(ts_ns as f64 / 1000.0)
@@ -28,6 +35,38 @@ fn span(name: String, start_ns: u64, dur_ns: u64, pid: i64, tid: i64) -> JsonVal
         ("dur", micros(dur_ns)),
         ("pid", JsonValue::Int(i128::from(pid))),
         ("tid", JsonValue::Int(i128::from(tid))),
+    ])
+}
+
+fn span_with_args(
+    name: String,
+    start_ns: u64,
+    dur_ns: u64,
+    pid: i64,
+    tid: i64,
+    args: JsonValue,
+) -> JsonValue {
+    JsonValue::object(vec![
+        ("name", JsonValue::Str(name)),
+        ("ph", JsonValue::Str("X".into())),
+        ("ts", micros(start_ns)),
+        ("dur", micros(dur_ns)),
+        ("pid", JsonValue::Int(i128::from(pid))),
+        ("tid", JsonValue::Int(i128::from(tid))),
+        ("args", args),
+    ])
+}
+
+fn process_name(pid: i64, name: String) -> JsonValue {
+    JsonValue::object(vec![
+        ("name", JsonValue::Str("process_name".into())),
+        ("ph", JsonValue::Str("M".into())),
+        ("pid", JsonValue::Int(i128::from(pid))),
+        ("tid", JsonValue::Int(0)),
+        (
+            "args",
+            JsonValue::object(vec![("name", JsonValue::Str(name))]),
+        ),
     ])
 }
 
@@ -202,6 +241,108 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
         }
     }
 
+    // Third pass: distributed wire spans and clock-sync marks, one stable
+    // process lane per host (sorted by name so pids survive re-exports).
+    let mut hosts: Vec<&str> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::SpanEvent { host, .. } | TraceEvent::ClockSync { host, .. } => {
+                Some(host.as_str())
+            }
+            _ => None,
+        })
+        .collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    let host_idx = |host: &str| hosts.binary_search(&host).expect("host indexed");
+
+    // (host index, start, dur, name, args) — lane-assigned per host below.
+    let mut wire_spans: Vec<(usize, u64, u64, String, JsonValue)> = Vec::new();
+    for record in records {
+        match &record.event {
+            TraceEvent::SpanEvent {
+                host,
+                trace_id,
+                query_id,
+                phase,
+                dur_ns,
+            } => {
+                wire_spans.push((
+                    host_idx(host),
+                    record.ts_ns,
+                    *dur_ns,
+                    format!("{phase} q{query_id}"),
+                    JsonValue::object(vec![
+                        ("trace_id", JsonValue::Str(format!("{trace_id:#018x}"))),
+                        ("query_id", query_id.to_json_value()),
+                        ("phase", JsonValue::Str(phase.clone())),
+                    ]),
+                ));
+            }
+            TraceEvent::ClockSync {
+                host,
+                offset_ns,
+                rtt_ns,
+            } => {
+                entries.push(instant(
+                    format!("clock sync: offset {offset_ns} ns (rtt {rtt_ns} ns)"),
+                    record.ts_ns,
+                    HOST_PID_BASE + host_idx(host) as i64,
+                    0,
+                    JsonValue::object(vec![
+                        ("offset_ns", offset_ns.to_json_value()),
+                        ("rtt_ns", rtt_ns.to_json_value()),
+                    ]),
+                ));
+            }
+            _ => {}
+        }
+    }
+    wire_spans.sort_by(|a, b| (a.0, a.1, &a.3).cmp(&(b.0, b.1, &b.3)));
+    let mut host_lanes: Vec<Vec<u64>> = vec![Vec::new(); hosts.len()];
+    for (idx, start_ns, dur_ns, name, args) in wire_spans {
+        let lane_free_at = &mut host_lanes[idx];
+        let lane = lane_free_at
+            .iter()
+            .position(|&free| free <= start_ns)
+            .unwrap_or_else(|| {
+                lane_free_at.push(0);
+                lane_free_at.len() - 1
+            });
+        let end_ns = start_ns.saturating_add(dur_ns);
+        lane_free_at[lane] = end_ns.max(start_ns + 1);
+        let pid = HOST_PID_BASE + idx as i64;
+        if dur_ns == 0 {
+            entries.push(instant(name, start_ns, pid, lane as i64, args));
+        } else {
+            entries.push(span_with_args(
+                name,
+                start_ns,
+                dur_ns,
+                pid,
+                lane as i64,
+                args,
+            ));
+        }
+    }
+
+    // `process_name` metadata for every pid in use, so the viewer shows
+    // labeled lanes instead of bare pid numbers.
+    let mut used_pids: Vec<i64> = entries
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(|p| p.as_i64().ok()))
+        .collect();
+    used_pids.sort_unstable();
+    used_pids.dedup();
+    for pid in used_pids {
+        let label = match pid {
+            QUERY_PID => "loadgen (queries)".to_string(),
+            DEVICE_PID => "device (batches)".to_string(),
+            p => format!("host: {}", hosts[(p - HOST_PID_BASE) as usize]),
+        };
+        entries.push(process_name(pid, label));
+    }
+
     JsonValue::Array(entries).to_compact()
 }
 
@@ -256,7 +397,14 @@ mod tests {
             .collect();
         assert_eq!(spans.len(), 2);
         for entry in entries {
-            for key in ["name", "ph", "ts", "pid", "tid"] {
+            // Metadata (`ph:"M"`) rows are timeless; everything else
+            // carries the full tuple.
+            let keys: &[&str] = if entry.field("ph").unwrap().as_str().unwrap() == "M" {
+                &["name", "ph", "pid", "args"]
+            } else {
+                &["name", "ph", "ts", "pid", "tid"]
+            };
+            for key in keys {
                 assert!(entry.get(key).is_some(), "missing {key} in {json}");
             }
         }
@@ -307,6 +455,7 @@ mod tests {
             .as_array()
             .unwrap()
             .iter()
+            .filter(|s| s.field("ph").unwrap().as_str().unwrap() == "X")
             .map(|s| s.field("tid").unwrap().as_i64().unwrap())
             .collect();
         assert_eq!(tids, vec![0, 0]);
@@ -339,11 +488,103 @@ mod tests {
         ];
         let doc = JsonValue::parse(&chrome_trace_json(&records)).unwrap();
         let entries = doc.as_array().unwrap();
-        assert_eq!(entries.len(), 3);
+        // Three events plus one `process_name` row per used pid (1 and 2).
+        assert_eq!(entries.len(), 5);
         assert_eq!(entries[0].field("ph").unwrap().as_str().unwrap(), "X");
         assert_eq!(entries[0].field("pid").unwrap().as_i64().unwrap(), 2);
         assert_eq!(entries[0].field("tid").unwrap().as_i64().unwrap(), 3);
         assert_eq!(entries[1].field("ph").unwrap().as_str().unwrap(), "i");
+        let meta: Vec<&JsonValue> = entries
+            .iter()
+            .filter(|e| e.field("ph").unwrap().as_str().unwrap() == "M")
+            .collect();
+        assert_eq!(meta.len(), 2);
+    }
+
+    #[test]
+    fn merged_logs_get_stable_per_host_lanes_and_names() {
+        let span_ev = |ts, host: &str, phase: &str, dur| {
+            rec(
+                ts,
+                TraceEvent::SpanEvent {
+                    host: host.into(),
+                    trace_id: 0xABCD,
+                    query_id: 1,
+                    phase: phase.into(),
+                    dur_ns: dur,
+                },
+            )
+        };
+        let records = vec![
+            span_ev(100, "client", "issue", 900),
+            span_ev(300, "server", "queue", 50),
+            span_ev(350, "server", "compute", 400),
+            span_ev(1_000, "client", "complete", 0),
+            rec(
+                500,
+                TraceEvent::ClockSync {
+                    host: "server".into(),
+                    offset_ns: -40,
+                    rtt_ns: 200,
+                },
+            ),
+        ];
+        let doc = JsonValue::parse(&chrome_trace_json(&records)).unwrap();
+        let entries = doc.as_array().unwrap().to_vec();
+        // Hosts sort as [client, server] → pids 3 and 4, regardless of
+        // event order in the log.
+        let pid_of = |name_part: &str| {
+            entries
+                .iter()
+                .find(|e| {
+                    e.field("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .contains(name_part)
+                })
+                .map(|e| e.field("pid").unwrap().as_i64().unwrap())
+                .unwrap_or_else(|| panic!("no entry named *{name_part}*"))
+        };
+        assert_eq!(pid_of("issue q1"), 3);
+        assert_eq!(pid_of("compute q1"), 4);
+        assert_eq!(pid_of("clock sync"), 4);
+        // The zero-duration phase renders as an instant, not a 0-width box.
+        let complete = entries
+            .iter()
+            .find(|e| e.field("name").unwrap().as_str().unwrap() == "complete q1")
+            .unwrap();
+        assert_eq!(complete.field("ph").unwrap().as_str().unwrap(), "i");
+        // Trace ids travel in args as readable hex.
+        let issue = entries
+            .iter()
+            .find(|e| e.field("name").unwrap().as_str().unwrap() == "issue q1")
+            .unwrap();
+        assert_eq!(
+            issue
+                .field("args")
+                .unwrap()
+                .field("trace_id")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "0x000000000000abcd"
+        );
+        // Every used pid is named.
+        let names: Vec<String> = entries
+            .iter()
+            .filter(|e| e.field("ph").unwrap().as_str().unwrap() == "M")
+            .map(|e| {
+                e.field("args")
+                    .unwrap()
+                    .field("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(names, vec!["host: client", "host: server"]);
     }
 
     #[test]

@@ -144,6 +144,35 @@ pub enum TraceEvent {
         /// Free-form context (direction, byte offset, ...).
         detail: String,
     },
+    /// One phase of a distributed query span (wire tracing extension).
+    ///
+    /// `ts_ns` of the enclosing record is the phase *start*; `dur_ns` is
+    /// its length (0 for instantaneous marks). Server-side spans are
+    /// re-stamped onto the client clock via the handshake clock-offset
+    /// estimate before they land in a merged detail log.
+    SpanEvent {
+        /// Host the phase ran on: `client`, `server`, or a daemon name.
+        host: String,
+        /// Trace id shared by every phase of one query across hosts.
+        trace_id: u64,
+        /// Query id the span belongs to.
+        query_id: u64,
+        /// Phase label: `issue`, `queue`, `compute`, or `complete`.
+        phase: String,
+        /// Phase duration in nanoseconds (0 for instants).
+        dur_ns: u64,
+    },
+    /// A clock-offset estimate between this host and a peer (wire tracing
+    /// extension). Recorded whenever a four-timestamp probe improves the
+    /// estimate.
+    ClockSync {
+        /// Peer host label the offset is measured against.
+        host: String,
+        /// Estimated `peer_clock - local_clock` in nanoseconds.
+        offset_ns: i64,
+        /// Round-trip time of the winning probe in nanoseconds.
+        rtt_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -166,6 +195,8 @@ impl TraceEvent {
             TraceEvent::RecoveryAction { .. } => "recovery_action",
             TraceEvent::WireEvent { .. } => "wire_event",
             TraceEvent::WireFault { .. } => "wire_fault",
+            TraceEvent::SpanEvent { .. } => "span",
+            TraceEvent::ClockSync { .. } => "clock_sync",
         }
     }
 }
@@ -323,6 +354,34 @@ impl ToJson for TraceEvent {
                     ("detail", detail.to_json_value()),
                 ]),
             ),
+            TraceEvent::SpanEvent {
+                host,
+                trace_id,
+                query_id,
+                phase,
+                dur_ns,
+            } => (
+                "SpanEvent",
+                JsonValue::object(vec![
+                    ("host", host.to_json_value()),
+                    ("trace_id", trace_id.to_json_value()),
+                    ("query_id", query_id.to_json_value()),
+                    ("phase", phase.to_json_value()),
+                    ("dur_ns", dur_ns.to_json_value()),
+                ]),
+            ),
+            TraceEvent::ClockSync {
+                host,
+                offset_ns,
+                rtt_ns,
+            } => (
+                "ClockSync",
+                JsonValue::object(vec![
+                    ("host", host.to_json_value()),
+                    ("offset_ns", offset_ns.to_json_value()),
+                    ("rtt_ns", rtt_ns.to_json_value()),
+                ]),
+            ),
         };
         JsonValue::object(vec![(name, payload)])
     }
@@ -400,6 +459,18 @@ impl FromJson for TraceEvent {
                 fault: p.field("fault")?.as_str()?.to_string(),
                 frame: p.field("frame")?.as_u64()?,
                 detail: p.field("detail")?.as_str()?.to_string(),
+            }),
+            "SpanEvent" => Ok(TraceEvent::SpanEvent {
+                host: p.field("host")?.as_str()?.to_string(),
+                trace_id: p.field("trace_id")?.as_u64()?,
+                query_id: p.field("query_id")?.as_u64()?,
+                phase: p.field("phase")?.as_str()?.to_string(),
+                dur_ns: p.field("dur_ns")?.as_u64()?,
+            }),
+            "ClockSync" => Ok(TraceEvent::ClockSync {
+                host: p.field("host")?.as_str()?.to_string(),
+                offset_ns: p.field("offset_ns")?.as_i64()?,
+                rtt_ns: p.field("rtt_ns")?.as_u64()?,
             }),
             other => Err(JsonError::new(format!("unknown trace event {other:?}"))),
         }
@@ -661,6 +732,18 @@ mod tests {
                 fault: "corrupt".into(),
                 frame: 4,
                 detail: "recv: flipped byte 17".into(),
+            },
+            TraceEvent::SpanEvent {
+                host: "server".into(),
+                trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                query_id: 7,
+                phase: "compute".into(),
+                dur_ns: 42_000,
+            },
+            TraceEvent::ClockSync {
+                host: "server".into(),
+                offset_ns: -1_250,
+                rtt_ns: 18_000,
             },
         ]
     }

@@ -24,6 +24,8 @@
 //!   [`event::JsonlSink`]).
 //! * [`chrome`] — [`chrome::chrome_trace_json`], converting a recorded
 //!   event stream into a `chrome://tracing` / Perfetto-loadable timeline.
+//! * [`flight`] — [`flight::FlightRecorder`], a bounded ring of recent
+//!   events dumped as a post-mortem when a run ends INVALID or aborts.
 //! * [`metrics`] — [`metrics::MetricsRegistry`] with counters, gauges, and
 //!   the mergeable log-bucketed [`metrics::LogHistogram`].
 //! * [`profile`] — the *wall-clock* side of observability: a hierarchical
@@ -60,6 +62,7 @@
 pub mod bench;
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -70,6 +73,7 @@ pub use chrome::chrome_trace_json;
 pub use event::{
     parse_detail_log, JsonlSink, NoopSink, RingBufferSink, TraceEvent, TraceRecord, TraceSink,
 };
+pub use flight::{parse_flight_dump, FlightDump, FlightRecorder};
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use profile::{SpanGuard, SpanReport, SpanRow};

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -38,12 +38,18 @@ use std::time::{Duration, Instant};
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::query::{Query, SampleCompletion};
 use mlperf_loadgen::sut::{IssueOutcome, RealtimeSut};
-use mlperf_trace::event::{TraceEvent, TraceSink};
+use mlperf_trace::event::{parse_detail_log, TraceEvent, TraceSink};
 use mlperf_trace::metrics::MetricsRegistry;
 
+use crate::clock::{ClockEstimator, ClockSample};
 use crate::frame::WireError;
-use crate::message::{Hello, Message, PROTOCOL_VERSION};
+use crate::message::{Hello, Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::transport::{splitmix64, ChaosSession, TcpTransport, Transport, WireChaosPlan};
+
+/// How long [`RemoteSut::shutdown`] waits for the server's drained
+/// goodbye (and the event shipment that precedes it) before closing the
+/// socket regardless. Only applies on v3 links with a trace sink.
+const GOODBYE_WAIT: Duration = Duration::from_secs(2);
 
 /// How a [`RemoteSut`] reconnects after a severed link.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +89,11 @@ pub struct RemoteSutConfig {
     /// Client-side wire chaos plan, for fault-injection testing. `None`
     /// (or a disarmed plan) leaves the transport untouched.
     pub chaos: Option<WireChaosPlan>,
+    /// Protocol version to offer in the handshake. Defaults to
+    /// [`PROTOCOL_VERSION`]; set to an older supported version (e.g. `2`)
+    /// to interoperate with a daemon that has not been upgraded. Trace
+    /// propagation, clock probes, and event shipping need v3.
+    pub protocol: u16,
 }
 
 impl Default for RemoteSutConfig {
@@ -94,6 +105,7 @@ impl Default for RemoteSutConfig {
             heartbeat_grace: Duration::from_secs(2),
             resume: None,
             chaos: None,
+            protocol: PROTOCOL_VERSION,
         }
     }
 }
@@ -132,6 +144,13 @@ impl RemoteSutConfig {
     #[must_use]
     pub fn with_chaos(mut self, plan: WireChaosPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Offers an older protocol version in the handshake.
+    #[must_use]
+    pub fn with_protocol(mut self, version: u16) -> Self {
+        self.protocol = version;
         self
     }
 }
@@ -177,6 +196,10 @@ struct Pending {
     sent_at: Instant,
     /// Kept for replay: a resumed link re-sends every in-flight query.
     query: Query,
+    /// Trace context carried by the issue frame; `0` on a v2 link. A
+    /// replay re-sends the *same* id, so the merged log stays exactly-once
+    /// per trace.
+    trace_id: u64,
 }
 
 struct ClientState {
@@ -200,11 +223,65 @@ struct ClientShared {
     stopping: AtomicBool,
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Protocol version both ends agreed on at the handshake.
+    negotiated: AtomicU16,
+    /// Client↔server clock offset, tightened by every probe.
+    estimator: ClockEstimator,
+    /// Sequence numbers for clock probes (handshake + heartbeats).
+    probe_seq: AtomicU64,
 }
 
 impl ClientShared {
     fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Whether the negotiated protocol carries trace context (v3+).
+    fn traced(&self) -> bool {
+        self.negotiated.load(Ordering::SeqCst) >= 3
+    }
+
+    /// Deterministic trace id for one wire query: a resumed session
+    /// replays in-flight queries under the *same* ids, so the merged log
+    /// stays exactly-once per trace. Never returns 0 (the untraced
+    /// sentinel).
+    fn trace_id_for(&self, query_id: u64) -> u64 {
+        let id = splitmix64(self.base_hello.session ^ splitmix64(query_id ^ 0x7261_6365)); // "race"
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+
+    /// Records one client-side span into the trace sink (no-op untraced).
+    fn span_event(&self, ts_ns: u64, trace_id: u64, query_id: u64, phase: &str, dur_ns: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            if sink.enabled() {
+                sink.record(
+                    ts_ns,
+                    &TraceEvent::SpanEvent {
+                        host: "client".to_string(),
+                        trace_id,
+                        query_id,
+                        phase: phase.to_string(),
+                        dur_ns,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Fires one clock probe at the server (best-effort).
+    fn send_probe(&self) {
+        let seq = self.probe_seq.fetch_add(1, Ordering::SeqCst);
+        let _ = self.send(&Message::ClockProbe {
+            seq,
+            t0: self.now_ns(),
+        });
     }
 
     fn wire_event(&self, kind: &str, query_id: u64, detail: &str) {
@@ -316,8 +393,8 @@ impl ClientShared {
 }
 
 /// A freshly dialed, handshaken link: writer half, reader half, the peer
-/// address, and the server's SUT name.
-type DialedLink = (Box<dyn Transport>, Box<dyn Transport>, String, String);
+/// address, the server's SUT name, and the negotiated protocol version.
+type DialedLink = (Box<dyn Transport>, Box<dyn Transport>, String, String, u16);
 
 /// Dials `addrs` in order and performs the versioned handshake over the
 /// (optionally chaos-wrapped) transport.
@@ -359,14 +436,16 @@ fn dial(
                 )))
             }
         };
-        if version != PROTOCOL_VERSION {
+        // The server answers at a version no newer than what we offered
+        // and no older than the floor both sides support.
+        if !(MIN_PROTOCOL_VERSION..=hello.version).contains(&version) {
             return Err(WireError::VersionMismatch {
-                ours: PROTOCOL_VERSION,
+                ours: hello.version,
                 theirs: version,
             });
         }
         let reader = transport.try_clone()?;
-        return Ok((transport, reader, peer, sut_name));
+        return Ok((transport, reader, peer, sut_name, version));
     }
     Err(last_err)
 }
@@ -428,7 +507,8 @@ impl RemoteSut {
             .clone()
             .map(|plan| Arc::new(ChaosSession::new(plan, "client", sink.clone())));
 
-        let (writer, reader_transport, peer, sut_name) = dial(&addrs, &hello, chaos.as_ref())?;
+        let (writer, reader_transport, peer, sut_name, negotiated) =
+            dial(&addrs, &hello, chaos.as_ref())?;
 
         let shared = Arc::new(ClientShared {
             config,
@@ -449,8 +529,20 @@ impl RemoteSut {
             stopping: AtomicBool::new(false),
             sink,
             metrics,
+            negotiated: AtomicU16::new(negotiated),
+            estimator: ClockEstimator::new(),
+            probe_seq: AtomicU64::new(0),
         });
-        shared.wire_event("handshake", 0, &format!("peer={peer} sut={sut_name}"));
+        shared.wire_event(
+            "handshake",
+            0,
+            &format!("peer={peer} sut={sut_name} v{negotiated}"),
+        );
+        // First clock sample right away, so even a short run gets an
+        // aligned axis; heartbeats keep tightening it.
+        if shared.traced() {
+            shared.send_probe();
+        }
 
         let reader = {
             let shared = Arc::clone(&shared);
@@ -487,7 +579,7 @@ impl RemoteSut {
                 ^ splitmix64(qsl_size ^ ((settings.scenario as u64) << 56)),
         );
         Hello {
-            version: PROTOCOL_VERSION,
+            version: config.protocol,
             scenario: settings.scenario,
             seeds: settings.seeds,
             qsl_size,
@@ -501,6 +593,35 @@ impl RemoteSut {
     /// The peer address this client connected to.
     pub fn peer(&self) -> &str {
         &self.peer
+    }
+
+    /// The protocol version both ends agreed on at the handshake.
+    pub fn negotiated_version(&self) -> u16 {
+        self.shared.negotiated.load(Ordering::SeqCst)
+    }
+
+    /// The session id identifying this run's journal on the server.
+    pub fn session(&self) -> u64 {
+        self.shared.base_hello.session
+    }
+
+    /// The instant this client's span clock (and wire-event clock) starts
+    /// at. Drive the run loop with the same origin and run events land on
+    /// the same axis as the wire spans.
+    pub fn clock_origin(&self) -> Instant {
+        self.shared.start
+    }
+
+    /// Estimated `server_clock - client_clock` in nanoseconds, if at
+    /// least one clock probe completed.
+    pub fn clock_offset_ns(&self) -> Option<i64> {
+        self.shared.estimator.offset_ns()
+    }
+
+    /// Worst-case error of [`RemoteSut::clock_offset_ns`] (half the best
+    /// probe's RTT). Monotonically non-increasing over a run.
+    pub fn clock_error_bound_ns(&self) -> Option<u64> {
+        self.shared.estimator.error_bound_ns()
     }
 
     /// Whether the link is up (not reconnecting, not dead).
@@ -524,6 +645,25 @@ impl RemoteSut {
         if self.is_connected() {
             let _ = self.shared.send(&Message::Drain);
             self.shared.wire_event("drain", 0, "");
+            // On a traced link with a sink attached, the server ships its
+            // spans and a goodbye after draining; wait (bounded) so the
+            // merged log actually gets them before the socket closes.
+            if self.shared.sink.is_some() && self.shared.traced() {
+                let deadline = Instant::now() + GOODBYE_WAIT;
+                let mut st = self
+                    .shared
+                    .state
+                    .lock()
+                    .expect("wire client state poisoned");
+                while matches!(st.link, Link::Up) && Instant::now() < deadline {
+                    let (guard, _timeout) = self
+                        .shared
+                        .window
+                        .wait_timeout(st, Duration::from_millis(20))
+                        .expect("wire client state poisoned");
+                    st = guard;
+                }
+            }
         }
         self.shared
             .writer
@@ -589,6 +729,11 @@ impl RealtimeSut for RemoteSut {
         // register ourselves before the frame leaves so a fast reply
         // cannot race past the routing table. A `Down` link still admits
         // registrations — the reconnect replays them.
+        let trace_id = if shared.traced() {
+            shared.trace_id_for(query.id)
+        } else {
+            0
+        };
         let rx = {
             let mut st = shared.state.lock().expect("wire client state poisoned");
             loop {
@@ -606,15 +751,17 @@ impl RealtimeSut for RemoteSut {
                     tx,
                     sent_at: Instant::now(),
                     query: query.clone(),
+                    trace_id,
                 },
             );
             rx
         };
 
+        shared.span_event(shared.now_ns(), trace_id, query.id, "issue", 0);
         // Best-effort: a send failure severs or fails the link. Severed,
         // our pending entry survives and the resume replay re-sends it;
         // failed, `fail` already resolved our channel.
-        let _ = shared.send(&Message::Issue(query.clone()));
+        let _ = shared.send(&issue_message(query.clone(), trace_id));
 
         match rx.recv_timeout(shared.config.response_timeout) {
             Ok(Reply::Completion { error, samples }) => {
@@ -653,6 +800,16 @@ impl RealtimeSut for RemoteSut {
                 }
             }
         }
+    }
+}
+
+/// The issue frame for one query: trace context attached when the link
+/// negotiated v3, the plain v2 frame otherwise.
+fn issue_message(query: Query, trace_id: u64) -> Message {
+    if trace_id != 0 {
+        Message::IssueTraced { trace_id, query }
+    } else {
+        Message::Issue(query)
     }
 }
 
@@ -701,6 +858,7 @@ fn reader_loop(shared: &Arc<ClientShared>, mut transport: Box<dyn Transport>) {
                     Some(p) => {
                         shared.window.notify_all();
                         shared.observe("wire_rtt_ns", p.sent_at.elapsed().as_nanos() as u64);
+                        shared.span_event(shared.now_ns(), p.trace_id, query_id, "complete", 0);
                         let _ = p.tx.send(Reply::Completion { error, samples });
                     }
                     None => {
@@ -714,6 +872,55 @@ fn reader_loop(shared: &Arc<ClientShared>, mut transport: Box<dyn Transport>) {
             }
             Ok(Message::HeartbeatAck { .. }) => {
                 *shared.last_pong.lock().expect("last pong poisoned") = Instant::now();
+            }
+            Ok(Message::ClockProbeAck { seq: _, t0, t1, t2 }) => {
+                // A probe ack is as good as a heartbeat ack for liveness.
+                *shared.last_pong.lock().expect("last pong poisoned") = Instant::now();
+                let sample = ClockSample {
+                    t0,
+                    t1,
+                    t2,
+                    t3: shared.now_ns(),
+                };
+                shared.incr("wire_clock_probes");
+                if shared.estimator.observe(sample) {
+                    shared.observe("wire_clock_rtt_ns", sample.rtt_ns());
+                    if let Some(sink) = &shared.sink {
+                        if sink.enabled() {
+                            sink.record(
+                                shared.now_ns(),
+                                &TraceEvent::ClockSync {
+                                    host: "server".to_string(),
+                                    offset_ns: sample.offset_ns(),
+                                    rtt_ns: sample.rtt_ns(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(Message::Events { jsonl }) => {
+                // The server shipping its spans at drain. Re-stamp each
+                // record from the server clock onto ours using the offset
+                // estimate, then merge into the local sink.
+                match parse_detail_log(&jsonl) {
+                    Ok(records) => {
+                        shared.incr("wire_event_frames");
+                        if let Some(sink) = &shared.sink {
+                            for record in records {
+                                if sink.enabled() {
+                                    sink.record(
+                                        shared.estimator.align_to_client(record.ts_ns),
+                                        &record.event,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        shared.wire_event("bad_events_frame", 0, &format!("{e}"));
+                    }
+                }
             }
             Ok(Message::Goodbye { served }) => {
                 shared.wire_event("goodbye", 0, &format!("served={served}"));
@@ -769,7 +976,19 @@ fn reader_loop(shared: &Arc<ClientShared>, mut transport: Box<dyn Transport>) {
                 }
             }
         }
-        if shared.stopping.load(Ordering::SeqCst) {
+        // During a shutdown drain the reader must keep going long enough
+        // to absorb the server's shipped events and goodbye — those paths
+        // return on their own. Bail here only once the link is settled.
+        if shared.stopping.load(Ordering::SeqCst)
+            && matches!(
+                shared
+                    .state
+                    .lock()
+                    .expect("wire client state poisoned")
+                    .link,
+                Link::Dead(_)
+            )
+        {
             return;
         }
     }
@@ -795,7 +1014,7 @@ fn reconnect(shared: &Arc<ClientShared>, policy: ResumePolicy) -> Option<Box<dyn
             hello.resume = true;
             hello
         };
-        let (writer, reader, _peer, _name) =
+        let (writer, reader, _peer, _name, _version) =
             match dial(&shared.addrs, &hello, shared.chaos.as_ref()) {
                 Ok(parts) => parts,
                 Err(e) => {
@@ -820,8 +1039,12 @@ fn reconnect(shared: &Arc<ClientShared>, policy: ResumePolicy) -> Option<Box<dyn
             }
             st.link = Link::Up;
             st.reason.clear();
-            let mut queries: Vec<Query> = st.pending.values().map(|p| p.query.clone()).collect();
-            queries.sort_by_key(|q| q.id);
+            let mut queries: Vec<(Query, u64)> = st
+                .pending
+                .values()
+                .map(|p| (p.query.clone(), p.trace_id))
+                .collect();
+            queries.sort_by_key(|(q, _)| q.id);
             *shared.writer.lock().expect("wire writer poisoned") = writer;
             queries
         };
@@ -837,10 +1060,16 @@ fn reconnect(shared: &Arc<ClientShared>, policy: ResumePolicy) -> Option<Box<dyn
                 replay.len()
             ),
         );
-        // Replay the in-flight window; the server dedups by wire id, so a
-        // query that also made it out the first time is served once.
-        for query in replay {
-            if shared.send(&Message::Issue(query)).is_err() {
+        // A fresh link means a fresh network path: re-probe the clock so
+        // the estimate reflects it.
+        if shared.traced() {
+            shared.send_probe();
+        }
+        // Replay the in-flight window under the *same* trace ids; the
+        // server dedups by wire id, so a query that also made it out the
+        // first time is served once and traced once.
+        for (query, trace_id) in replay {
+            if shared.send(&issue_message(query, trace_id)).is_err() {
                 break; // the new link died already; the reader will retry
             }
         }
@@ -871,7 +1100,17 @@ fn heartbeat_loop(shared: &Arc<ClientShared>) {
             }
         }
         seq += 1;
-        if shared.send(&Message::Heartbeat { seq }).is_err() {
+        // On a traced link every heartbeat doubles as a clock probe: the
+        // ack refreshes liveness *and* can tighten the offset estimate.
+        let ping = if shared.traced() {
+            Message::ClockProbe {
+                seq,
+                t0: shared.now_ns(),
+            }
+        } else {
+            Message::Heartbeat { seq }
+        };
+        if shared.send(&ping).is_err() {
             continue; // sever/fail already handled by `send`
         }
         shared.incr("wire_heartbeats");

@@ -14,7 +14,12 @@
 //! * [`frame`] — length-prefixed frames, the byte codec, and the per-frame
 //!   CRC32 seal that makes corruption a structured [`FrameError`];
 //! * [`message`] — the message vocabulary and binary layouts, behind a
-//!   versioned handshake that now carries a session id and epoch;
+//!   versioned handshake that now carries a session id and epoch and
+//!   negotiates a protocol version range (v2 peers still interoperate);
+//! * [`clock`] — NTP-style four-timestamp offset estimation, so spans
+//!   from both hosts merge onto one aligned time axis;
+//! * [`stats`] — [`DaemonStats`] and [`fetch_stats`], the one-shot live
+//!   telemetry probe a running daemon answers without a handshake;
 //! * [`transport`] — the [`Transport`] abstraction over a framed byte
 //!   pipe, plus [`WireChaosPlan`] / [`ChaosSession`], the seeded wire
 //!   fault injector that decorates either endpoint;
@@ -35,20 +40,24 @@
 
 pub mod cheat;
 pub mod client;
+pub mod clock;
 pub mod frame;
 pub mod host;
 pub mod message;
 pub mod server;
 pub mod service;
+pub mod stats;
 pub mod transport;
 
 pub use cheat::SilentDropService;
 pub use client::{RemoteSut, RemoteSutConfig, ResumePolicy};
+pub use clock::{ClockEstimator, ClockSample};
 pub use frame::{FrameError, WireError, MAX_FRAME_LEN};
 pub use host::SimHost;
-pub use message::{Hello, Message, PROTOCOL_VERSION};
+pub use message::{Hello, Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use server::{serve, serve_on, ServeConfig, ServerHandle};
 pub use service::{ServedReply, WireService};
+pub use stats::{fetch_stats, DaemonStats};
 pub use transport::{ChaosSession, TcpTransport, Transport, WireChaosPlan};
 
 use std::sync::Arc;

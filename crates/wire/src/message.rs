@@ -13,6 +13,12 @@
 //! | 7   | `HeartbeatAck` | seq u64                                                     |
 //! | 8   | `Drain`        | (empty)                                                     |
 //! | 9   | `Goodbye`      | served u64                                                  |
+//! | 10  | `IssueTraced`  | trace_id u64, then the `Issue` body (v3)                    |
+//! | 11  | `Events`       | jsonl str — server-side detail-log rows (v3)                |
+//! | 12  | `StatsRequest` | (empty) (v3)                                                |
+//! | 13  | `Stats`        | json str — daemon stats snapshot (v3)                       |
+//! | 14  | `ClockProbe`   | seq u64, t0 u64 (v3)                                        |
+//! | 15  | `ClockProbeAck`| seq u64, t0 u64, t1 u64, t2 u64 (v3)                        |
 //!
 //! Response payloads are themselves tagged: 0 empty, 1 class (u64),
 //! 2 boxes (n u32, n× class u64 + score f32 + 4× f32), 3 tokens
@@ -28,13 +34,24 @@ use mlperf_loadgen::scenario::Scenario;
 use mlperf_loadgen::time::Nanos;
 use mlperf_stats::rng::SeedTriple;
 
-/// The protocol version this build speaks. Bumped on any layout change;
-/// the handshake refuses mismatched peers outright (no downgrades).
+/// The newest protocol version this build speaks. The handshake
+/// *negotiates* within `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`: the
+/// server acks the client's offered version when it falls in that range
+/// and rejects anything outside it (never a silent downgrade from an
+/// unknown future version).
 ///
 /// v1: length-prefixed frames, no integrity check, no sessions.
 /// v2: per-frame CRC32 ([`crate::frame::seal`]) and session-resume fields
 /// (`session`, `epoch`, `resume`) in [`Hello`].
-pub const PROTOCOL_VERSION: u16 = 2;
+/// v3: distributed tracing and telemetry — trace-id-carrying issues
+/// (`IssueTraced`), server event shipping at drain (`Events`), daemon
+/// stats (`StatsRequest`/`Stats`), and NTP-style clock probes
+/// (`ClockProbe`/`ClockProbeAck`).
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// The oldest protocol version still accepted in the handshake. v2 peers
+/// interoperate: they simply never send the v3 messages.
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// What the client announces before any query flows: everything the server
 /// needs to pre-load its QSL and sanity-check the run (scenario, the three
@@ -109,6 +126,54 @@ pub enum Message {
     Goodbye {
         /// Queries the server resolved over the connection's lifetime.
         served: u64,
+    },
+    /// Client → server (v3): run inference on a query, carrying the trace
+    /// id the server must tag its side of the work with.
+    IssueTraced {
+        /// Trace id shared by every span of this query, on both hosts.
+        trace_id: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Server → client (v3): a batch of server-side detail-log rows,
+    /// JSONL-encoded `TraceRecord`s on the *server* clock. Shipped at
+    /// drain, before `Goodbye`; the client re-stamps them onto its own
+    /// clock via the negotiated offset estimate.
+    Events {
+        /// JSON Lines, one `TraceRecord` per line.
+        jsonl: String,
+    },
+    /// Client → server (v3): one-shot stats query. May open a dedicated
+    /// connection: a `StatsRequest` as the first frame (instead of
+    /// `Hello`) gets a `Stats` reply and the connection closes.
+    StatsRequest,
+    /// Server → client (v3): daemon stats snapshot as JSON (see
+    /// `DaemonStats` in the stats module).
+    Stats {
+        /// JSON-encoded `DaemonStats`.
+        json: String,
+    },
+    /// Client → server (v3): NTP-style clock probe. Doubles as a liveness
+    /// probe (the ack refreshes the heartbeat clock).
+    ClockProbe {
+        /// Monotonic probe sequence number.
+        seq: u64,
+        /// Client clock at send, in nanoseconds.
+        t0: u64,
+    },
+    /// Reply to a [`Message::ClockProbe`]: echoes `t0` and adds the
+    /// server-clock receive (`t1`) and transmit (`t2`) stamps. The client
+    /// supplies `t3` (its receive time) to complete the four-timestamp
+    /// offset estimate.
+    ClockProbeAck {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Echoed client send time.
+        t0: u64,
+        /// Server clock when the probe arrived.
+        t1: u64,
+        /// Server clock when the ack left.
+        t2: u64,
     },
 }
 
@@ -189,6 +254,37 @@ fn get_payload(r: &mut ByteReader<'_>) -> Result<ResponsePayload, WireError> {
     }
 }
 
+fn put_query(w: &mut ByteWriter, query: &Query) {
+    w.put_u64(query.id);
+    w.put_u64(query.scheduled_at.as_nanos());
+    w.put_u32(query.tenant);
+    w.put_u32(query.samples.len() as u32);
+    for s in &query.samples {
+        w.put_u64(s.id);
+        w.put_u64(s.index as u64);
+    }
+}
+
+fn get_query(r: &mut ByteReader<'_>) -> Result<Query, WireError> {
+    let id = r.get_u64()?;
+    let scheduled_at = Nanos::from_nanos(r.get_u64()?);
+    let tenant = r.get_u32()?;
+    let n = r.get_u32()? as usize;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push(QuerySample {
+            id: r.get_u64()?,
+            index: r.get_u64()? as usize,
+        });
+    }
+    Ok(Query {
+        id,
+        samples,
+        scheduled_at,
+        tenant,
+    })
+}
+
 impl Message {
     /// Human-readable message name, for diagnostics.
     pub fn tag_name(&self) -> &'static str {
@@ -202,6 +298,12 @@ impl Message {
             Message::HeartbeatAck { .. } => "HeartbeatAck",
             Message::Drain => "Drain",
             Message::Goodbye { .. } => "Goodbye",
+            Message::IssueTraced { .. } => "IssueTraced",
+            Message::Events { .. } => "Events",
+            Message::StatsRequest => "StatsRequest",
+            Message::Stats { .. } => "Stats",
+            Message::ClockProbe { .. } => "ClockProbe",
+            Message::ClockProbeAck { .. } => "ClockProbeAck",
         }
     }
 
@@ -238,14 +340,7 @@ impl Message {
             }
             Message::Issue(query) => {
                 w.put_u8(4);
-                w.put_u64(query.id);
-                w.put_u64(query.scheduled_at.as_nanos());
-                w.put_u32(query.tenant);
-                w.put_u32(query.samples.len() as u32);
-                for s in &query.samples {
-                    w.put_u64(s.id);
-                    w.put_u64(s.index as u64);
-                }
+                put_query(&mut w, query);
             }
             Message::Completion {
                 query_id,
@@ -275,6 +370,34 @@ impl Message {
             Message::Goodbye { served } => {
                 w.put_u8(9);
                 w.put_u64(*served);
+            }
+            Message::IssueTraced { trace_id, query } => {
+                w.put_u8(10);
+                w.put_u64(*trace_id);
+                put_query(&mut w, query);
+            }
+            Message::Events { jsonl } => {
+                w.put_u8(11);
+                w.put_str(jsonl);
+            }
+            Message::StatsRequest => {
+                w.put_u8(12);
+            }
+            Message::Stats { json } => {
+                w.put_u8(13);
+                w.put_str(json);
+            }
+            Message::ClockProbe { seq, t0 } => {
+                w.put_u8(14);
+                w.put_u64(*seq);
+                w.put_u64(*t0);
+            }
+            Message::ClockProbeAck { seq, t0, t1, t2 } => {
+                w.put_u8(15);
+                w.put_u64(*seq);
+                w.put_u64(*t0);
+                w.put_u64(*t1);
+                w.put_u64(*t2);
             }
         }
         w.into_bytes()
@@ -327,25 +450,7 @@ impl Message {
             3 => Message::Reject {
                 reason: r.get_str()?,
             },
-            4 => {
-                let id = r.get_u64()?;
-                let scheduled_at = Nanos::from_nanos(r.get_u64()?);
-                let tenant = r.get_u32()?;
-                let n = r.get_u32()? as usize;
-                let mut samples = Vec::with_capacity(n);
-                for _ in 0..n {
-                    samples.push(QuerySample {
-                        id: r.get_u64()?,
-                        index: r.get_u64()? as usize,
-                    });
-                }
-                Message::Issue(Query {
-                    id,
-                    samples,
-                    scheduled_at,
-                    tenant,
-                })
-            }
+            4 => Message::Issue(get_query(&mut r)?),
             5 => {
                 let query_id = r.get_u64()?;
                 let error = r.get_u8()? != 0;
@@ -368,6 +473,25 @@ impl Message {
             8 => Message::Drain,
             9 => Message::Goodbye {
                 served: r.get_u64()?,
+            },
+            10 => Message::IssueTraced {
+                trace_id: r.get_u64()?,
+                query: get_query(&mut r)?,
+            },
+            11 => Message::Events {
+                jsonl: r.get_str()?,
+            },
+            12 => Message::StatsRequest,
+            13 => Message::Stats { json: r.get_str()? },
+            14 => Message::ClockProbe {
+                seq: r.get_u64()?,
+                t0: r.get_u64()?,
+            },
+            15 => Message::ClockProbeAck {
+                seq: r.get_u64()?,
+                t0: r.get_u64()?,
+                t1: r.get_u64()?,
+                t2: r.get_u64()?,
             },
             other => {
                 return Err(WireError::Protocol(format!("unknown message tag {other}")));
@@ -448,6 +572,32 @@ mod tests {
             Message::HeartbeatAck { seq: 41 },
             Message::Drain,
             Message::Goodbye { served: 270_336 },
+            Message::IssueTraced {
+                trace_id: 0x7AC3_1D00_DEAD_BEEF,
+                query: Query {
+                    id: 18,
+                    samples: vec![QuerySample { id: 180, index: 5 }],
+                    scheduled_at: Nanos::from_micros(300),
+                    tenant: 0,
+                },
+            },
+            Message::Events {
+                jsonl: "{\"ts_ns\":1,\"event\":{\"QuerySent\":{\"query_id\":4}}}\n".into(),
+            },
+            Message::StatsRequest,
+            Message::Stats {
+                json: "{\"served\":12,\"uptime_ns\":99}".into(),
+            },
+            Message::ClockProbe {
+                seq: 7,
+                t0: 1_000_000,
+            },
+            Message::ClockProbeAck {
+                seq: 7,
+                t0: 1_000_000,
+                t1: 1_000_420,
+                t2: 1_000_690,
+            },
         ]
     }
 

@@ -33,11 +33,23 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mlperf_loadgen::query::{Query, SampleCompletion};
-use mlperf_trace::event::{TraceEvent, TraceSink};
+use mlperf_trace::event::{RingBufferSink, TraceEvent, TraceSink};
+use mlperf_trace::json::ToJson;
+use mlperf_trace::metrics::MetricsRegistry;
 
-use crate::message::{Message, PROTOCOL_VERSION};
+use crate::message::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::service::WireService;
+use crate::stats::DaemonStats;
 use crate::transport::{ChaosSession, TcpTransport, Transport, WireChaosPlan};
+
+/// Server-side spans retained per session for shipping at drain. Bounded:
+/// a pathological run keeps the freshest tail, which is what a post-mortem
+/// wants anyway.
+const SESSION_EVENT_CAPACITY: usize = 65_536;
+
+/// `TraceRecord` rows per `Events` frame at drain. Keeps every frame far
+/// under the 64 MiB frame ceiling.
+const EVENTS_CHUNK: usize = 256;
 
 /// Tuning knobs for a serving daemon.
 #[derive(Clone, Default)]
@@ -50,6 +62,9 @@ pub struct ServeConfig {
     /// Server-side wire chaos plan, for fault-injection testing. `None`
     /// (or a disarmed plan) leaves every transport untouched.
     pub chaos: Option<WireChaosPlan>,
+    /// Metrics registry backing the daemon's `Stats` snapshots. A default
+    /// registry is created when not provided, so stats always work.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -58,6 +73,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("workers_per_conn", &self.workers_per_conn)
             .field("sink", &self.sink.is_some())
             .field("chaos", &self.chaos)
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -83,6 +99,13 @@ impl ServeConfig {
         self.chaos = Some(plan);
         self
     }
+
+    /// Shares a metrics registry with the daemon (exposed via `Stats`).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
 }
 
 /// Everything a session remembers across connections, under one lock so a
@@ -106,8 +129,20 @@ struct Session {
     /// The live connection's writer half, tagged with its epoch so a dead
     /// connection's epilogue cannot clear a successor's writer.
     writer: Mutex<Option<(u32, Box<dyn Transport>)>>,
-    work_tx: Mutex<Option<mpsc::Sender<Query>>>,
+    work_tx: Mutex<Option<mpsc::Sender<WorkItem>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Server-side queue/compute spans for traced (v3) queries, shipped to
+    /// the client at drain so one run yields one merged detail log.
+    events: Arc<RingBufferSink>,
+}
+
+/// One query handed to the worker pool, with its trace context and the
+/// server-clock instant it entered the queue.
+struct WorkItem {
+    query: Query,
+    /// `0` means untraced (a v2 `Issue` frame).
+    trace_id: u64,
+    enqueued_ns: u64,
 }
 
 impl Session {
@@ -146,15 +181,21 @@ struct ServerShared {
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
     chaos: Option<Arc<ChaosSession>>,
     sink: Option<Arc<dyn TraceSink>>,
+    metrics: Arc<MetricsRegistry>,
     start: Instant,
 }
 
 impl ServerShared {
+    /// Nanoseconds since the daemon started — the server's span clock.
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
     fn wire_event(&self, kind: &str, query_id: u64, detail: &str) {
         if let Some(sink) = &self.sink {
             if sink.enabled() {
                 sink.record(
-                    self.start.elapsed().as_nanos() as u64,
+                    self.now_ns(),
                     &TraceEvent::WireEvent {
                         endpoint: "server".to_string(),
                         kind: kind.to_string(),
@@ -286,6 +327,10 @@ pub fn serve(
         sessions: Mutex::new(HashMap::new()),
         chaos,
         sink: config.sink.clone(),
+        metrics: config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new())),
         start: Instant::now(),
     });
     let accept = {
@@ -365,7 +410,7 @@ fn spawn_session(
     workers: usize,
     shared: &Arc<ServerShared>,
 ) -> Arc<Session> {
-    let (work_tx, work_rx) = mpsc::channel::<Query>();
+    let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
     let work_rx = Arc::new(Mutex::new(work_rx));
     let session = Arc::new(Session {
         book: Mutex::new(SessionBook {
@@ -376,6 +421,7 @@ fn spawn_session(
         writer: Mutex::new(None),
         work_tx: Mutex::new(Some(work_tx)),
         workers: Mutex::new(Vec::with_capacity(workers)),
+        events: Arc::new(RingBufferSink::new(SESSION_EVENT_CAPACITY)),
     });
     let mut pool = Vec::with_capacity(workers);
     for i in 0..workers {
@@ -386,12 +432,51 @@ fn spawn_session(
         let worker = std::thread::Builder::new()
             .name(format!("wire-worker-{i}"))
             .spawn(move || loop {
-                let query = {
+                let item = {
                     let rx = work_rx.lock().expect("server work queue poisoned");
                     rx.recv()
                 };
-                let Ok(query) = query else { return };
+                let Ok(WorkItem {
+                    query,
+                    trace_id,
+                    enqueued_ns,
+                }) = item
+                else {
+                    return;
+                };
+                let dequeued_ns = shared.now_ns();
+                shared
+                    .metrics
+                    .observe("wire_queue_ns", dequeued_ns.saturating_sub(enqueued_ns));
+                if trace_id != 0 {
+                    session_t.events.record(
+                        enqueued_ns,
+                        &TraceEvent::SpanEvent {
+                            host: "server".to_string(),
+                            trace_id,
+                            query_id: query.id,
+                            phase: "queue".to_string(),
+                            dur_ns: dequeued_ns.saturating_sub(enqueued_ns),
+                        },
+                    );
+                }
                 let reply = service.serve(&query);
+                let served_ns = shared.now_ns();
+                shared
+                    .metrics
+                    .observe("wire_serve_ns", served_ns.saturating_sub(dequeued_ns));
+                if trace_id != 0 {
+                    session_t.events.record(
+                        dequeued_ns,
+                        &TraceEvent::SpanEvent {
+                            host: "server".to_string(),
+                            trace_id,
+                            query_id: query.id,
+                            phase: "compute".to_string(),
+                            dur_ns: served_ns.saturating_sub(dequeued_ns),
+                        },
+                    );
+                }
                 match reply {
                     Some(reply) => {
                         // Journal first, then send: if the connection dies
@@ -410,6 +495,7 @@ fn spawn_session(
                             samples: reply.samples,
                         });
                         shared.served.fetch_add(1, Ordering::SeqCst);
+                        shared.metrics.incr("wire_served", 1);
                     }
                     None => {
                         // The service swallowed the query: no frame goes
@@ -437,6 +523,110 @@ fn spawn_session(
     session
 }
 
+/// Routes one issued query (traced or not) through the session's journal
+/// discipline: fresh queries go to the worker pool, journaled ones are
+/// answered by replay, in-progress duplicates are skipped. Returns `false`
+/// when the connection must drop (the work queue is gone).
+fn handle_issue(
+    session: &Arc<Session>,
+    shared: &Arc<ServerShared>,
+    query: Query,
+    trace_id: u64,
+) -> bool {
+    enum IssueAction {
+        Fresh,
+        Replay(bool, Vec<SampleCompletion>),
+        Skip,
+    }
+    let action = {
+        let mut book = session.book.lock().expect("session book poisoned");
+        if let Some((error, samples)) = book.journal.get(&query.id) {
+            IssueAction::Replay(*error, samples.clone())
+        } else if book.in_progress.contains(&query.id) {
+            IssueAction::Skip
+        } else {
+            book.in_progress.insert(query.id);
+            IssueAction::Fresh
+        }
+    };
+    match action {
+        IssueAction::Fresh => {
+            {
+                let (count, _) = &session.outstanding;
+                *count.lock().expect("server outstanding poisoned") += 1;
+            }
+            let item = WorkItem {
+                query,
+                trace_id,
+                enqueued_ns: shared.now_ns(),
+            };
+            let sent = {
+                let tx = session.work_tx.lock().expect("session work_tx poisoned");
+                match tx.as_ref() {
+                    Some(tx) => tx.send(item).is_ok(),
+                    None => false,
+                }
+            };
+            if !sent {
+                let (count, cv) = &session.outstanding;
+                let mut n = count.lock().expect("server outstanding poisoned");
+                *n = n.saturating_sub(1);
+                cv.notify_all();
+                return false;
+            }
+        }
+        IssueAction::Replay(error, samples) => {
+            // Resolved in a previous epoch (or while the link
+            // was down): answer from the journal, do not re-run.
+            shared.wire_event("replay", query.id, "journal hit");
+            shared.metrics.incr("wire_replays", 1);
+            session.send(&Message::Completion {
+                query_id: query.id,
+                error,
+                samples,
+            });
+        }
+        IssueAction::Skip => {
+            // Replayed while the original is still in a worker:
+            // the worker's completion will answer both.
+            shared.wire_event("dup_issue", query.id, "already in progress");
+            shared.metrics.incr("wire_dup_issues", 1);
+        }
+    }
+    true
+}
+
+/// Answers a `StatsRequest` probe connection with one `Stats` frame.
+fn answer_stats(
+    transport: &mut Box<dyn Transport>,
+    service: &Arc<dyn WireService>,
+    shared: &Arc<ServerShared>,
+) {
+    shared.metrics.incr("wire_stats_requests", 1);
+    let (sessions, in_flight) = {
+        let sessions = shared.sessions.lock().expect("server sessions poisoned");
+        let in_flight: usize = sessions
+            .values()
+            .map(|s| *s.outstanding.0.lock().expect("server outstanding poisoned"))
+            .sum();
+        (sessions.len() as u64, in_flight as u64)
+    };
+    let stats = DaemonStats {
+        sut_name: service.name().to_string(),
+        uptime_ns: shared.now_ns(),
+        served: shared.served.load(Ordering::SeqCst),
+        sessions,
+        in_flight,
+        snapshot: shared.metrics.snapshot(),
+    };
+    let _ = transport.send(
+        &Message::Stats {
+            json: stats.to_json_string(),
+        }
+        .to_wire(),
+    );
+}
+
 /// Runs one connection: handshake, session attach, then the
 /// issue/complete loop until the client drains or the socket dies.
 fn handle_conn(
@@ -451,12 +641,22 @@ fn handle_conn(
         None => base,
     };
 
-    // --- handshake ---
+    // --- handshake (or a one-shot stats probe) ---
     let hello = match transport.recv().and_then(|p| Message::from_wire(&p)) {
         Ok(Message::Hello(h)) => h,
+        Ok(Message::StatsRequest) => {
+            // A telemetry poll, not a run: answer and close. It never
+            // touches the serving path's sessions.
+            answer_stats(&mut transport, service, shared);
+            return;
+        }
         _ => return, // includes the shutdown poke connection
     };
-    if hello.version != PROTOCOL_VERSION {
+    // Negotiate: the server speaks every version in the supported range
+    // and answers at the client's offered version. Anything outside the
+    // range — including a *newer* client — is rejected rather than
+    // silently downgraded.
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&hello.version) {
         shared.wire_event(
             "reject",
             0,
@@ -464,7 +664,7 @@ fn handle_conn(
         );
         let reject = Message::Reject {
             reason: format!(
-                "protocol version mismatch: server v{PROTOCOL_VERSION}, client v{}",
+                "protocol version mismatch: server v{MIN_PROTOCOL_VERSION}..v{PROTOCOL_VERSION}, client v{}",
                 hello.version
             ),
         };
@@ -517,7 +717,7 @@ fn handle_conn(
     };
 
     let ack = Message::HelloAck {
-        version: PROTOCOL_VERSION,
+        version: hello.version,
         sut_name: service.name().to_string(),
         max_in_flight: hello.max_in_flight,
     };
@@ -543,11 +743,6 @@ fn handle_conn(
     );
 
     // --- read loop ---
-    enum IssueAction {
-        Fresh,
-        Replay(bool, Vec<SampleCompletion>),
-        Skip,
-    }
     let mut clean = false;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -555,53 +750,13 @@ fn handle_conn(
         }
         match transport.recv().and_then(|p| Message::from_wire(&p)) {
             Ok(Message::Issue(query)) => {
-                let action = {
-                    let mut book = session.book.lock().expect("session book poisoned");
-                    if let Some((error, samples)) = book.journal.get(&query.id) {
-                        IssueAction::Replay(*error, samples.clone())
-                    } else if book.in_progress.contains(&query.id) {
-                        IssueAction::Skip
-                    } else {
-                        book.in_progress.insert(query.id);
-                        IssueAction::Fresh
-                    }
-                };
-                match action {
-                    IssueAction::Fresh => {
-                        {
-                            let (count, _) = &session.outstanding;
-                            *count.lock().expect("server outstanding poisoned") += 1;
-                        }
-                        let sent = {
-                            let tx = session.work_tx.lock().expect("session work_tx poisoned");
-                            match tx.as_ref() {
-                                Some(tx) => tx.send(query).is_ok(),
-                                None => false,
-                            }
-                        };
-                        if !sent {
-                            let (count, cv) = &session.outstanding;
-                            let mut n = count.lock().expect("server outstanding poisoned");
-                            *n = n.saturating_sub(1);
-                            cv.notify_all();
-                            break;
-                        }
-                    }
-                    IssueAction::Replay(error, samples) => {
-                        // Resolved in a previous epoch (or while the link
-                        // was down): answer from the journal, do not re-run.
-                        shared.wire_event("replay", query.id, "journal hit");
-                        session.send(&Message::Completion {
-                            query_id: query.id,
-                            error,
-                            samples,
-                        });
-                    }
-                    IssueAction::Skip => {
-                        // Replayed while the original is still in a worker:
-                        // the worker's completion will answer both.
-                        shared.wire_event("dup_issue", query.id, "already in progress");
-                    }
+                if !handle_issue(&session, shared, query, 0) {
+                    break;
+                }
+            }
+            Ok(Message::IssueTraced { trace_id, query }) => {
+                if !handle_issue(&session, shared, query, trace_id) {
+                    break;
                 }
             }
             // A duplicated Hello frame (chaos duplicate-send hits the
@@ -609,6 +764,13 @@ fn handle_conn(
             Ok(Message::Hello(_)) => continue,
             Ok(Message::Heartbeat { seq }) => {
                 session.send(&Message::HeartbeatAck { seq });
+            }
+            Ok(Message::ClockProbe { seq, t0 }) => {
+                // Stamp receive and transmit on the server's clock; the
+                // client turns the four timestamps into an offset sample.
+                let t1 = shared.now_ns();
+                let t2 = shared.now_ns();
+                session.send(&Message::ClockProbeAck { seq, t0, t1, t2 });
             }
             Ok(Message::Drain) => {
                 let (count, cv) = &session.outstanding;
@@ -621,6 +783,20 @@ fn handle_conn(
                 }
                 drop(n);
                 shared.wire_event("drain", 0, "flushed outstanding queries");
+                // A v3 client gets the session's server-side spans shipped
+                // back before the goodbye, so its detail log covers both
+                // hosts. Chunked: each frame stays far below the cap.
+                if hello.version >= 3 {
+                    let records = session.events.snapshot();
+                    for chunk in records.chunks(EVENTS_CHUNK) {
+                        let mut jsonl = String::new();
+                        for record in chunk {
+                            jsonl.push_str(&record.to_json_string());
+                            jsonl.push('\n');
+                        }
+                        session.send(&Message::Events { jsonl });
+                    }
+                }
                 session.send(&Message::Goodbye {
                     served: shared.served.load(Ordering::SeqCst),
                 });

@@ -1,0 +1,135 @@
+//! Clock-offset estimation over a live loopback link.
+//!
+//! Unit tests in `wire::clock` cover the arithmetic; these tests cover
+//! the protocol: the handshake probe yields an estimate immediately,
+//! heartbeat re-probes only ever tighten the error bound, and an
+//! asymmetric-delay path (injected by the wire chaos layer) stays within
+//! the bound the estimator reports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlperf_loadgen::config::TestSettings;
+use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::time::Nanos;
+use mlperf_wire::{loopback, RemoteSut, RemoteSutConfig, ServeConfig, SimHost, WireChaosPlan};
+
+fn service() -> Arc<SimHost<FixedLatencySut>> {
+    Arc::new(SimHost::new(FixedLatencySut::new(
+        "clock-sut",
+        Nanos::from_micros(50),
+    )))
+}
+
+fn settings() -> TestSettings {
+    TestSettings::single_stream()
+        .with_min_query_count(1)
+        .with_min_duration(Nanos::from_micros(1))
+}
+
+/// Waits (bounded) until at least one probe has completed.
+fn wait_for_estimate(client: &RemoteSut) -> (i64, u64) {
+    for _ in 0..200 {
+        if let (Some(offset), Some(bound)) =
+            (client.clock_offset_ns(), client.clock_error_bound_ns())
+        {
+            return (offset, bound);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("no clock estimate after 1 s of probing");
+}
+
+#[test]
+fn handshake_probe_yields_a_tight_loopback_estimate() {
+    let config = RemoteSutConfig::default();
+    let hello = RemoteSut::hello_for(&settings(), 8, &config);
+    let (client, server) =
+        loopback(service(), ServeConfig::default(), hello, config).expect("loopback");
+    let (offset, bound) = wait_for_estimate(&client);
+    // Loopback RTT is far under 100 ms even on a loaded CI box.
+    assert!(bound < 100_000_000, "loopback bound {bound} ns is absurd");
+    // The server's clock started first, so its offset relative to the
+    // client's (later) origin is positive, up to the error bound.
+    assert!(
+        offset >= -(bound as i64),
+        "offset {offset} ns below -bound {bound} ns"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn heartbeat_reestimation_never_widens_the_bound() {
+    let config = RemoteSutConfig::default()
+        .with_heartbeat(Duration::from_millis(10), Duration::from_secs(2));
+    let hello = RemoteSut::hello_for(&settings(), 8, &config);
+    let (client, server) =
+        loopback(service(), ServeConfig::default(), hello, config).expect("loopback");
+    wait_for_estimate(&client);
+    let mut bounds = Vec::new();
+    for _ in 0..20 {
+        if let Some(bound) = client.clock_error_bound_ns() {
+            bounds.push(bound);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(bounds.len() >= 2, "expected repeated estimates");
+    for pair in bounds.windows(2) {
+        assert!(
+            pair[1] <= pair[0],
+            "error bound widened across heartbeats: {} -> {} ns",
+            pair[0],
+            pair[1]
+        );
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn asymmetric_delay_stays_within_the_reported_bound() {
+    // Reference client: clean path, tight estimate of the server clock.
+    let config_a = RemoteSutConfig::default();
+    let hello_a = RemoteSut::hello_for(&settings(), 8, &config_a);
+    let (client_a, server) =
+        loopback(service(), ServeConfig::default(), hello_a, config_a).expect("loopback");
+    let (offset_a, bound_a) = wait_for_estimate(&client_a);
+
+    // Probe client: every inbound frame (including probe acks) is delayed
+    // by the chaos layer, so its path is strongly asymmetric.
+    let delay = Duration::from_millis(5);
+    let config_b =
+        RemoteSutConfig::default().with_chaos(WireChaosPlan::new(0xC10C).with_delay_recv(delay));
+    let mut hello_b = RemoteSut::hello_for(&settings(), 8, &config_b);
+    hello_b.session ^= 1; // a distinct session: this is a second run
+    let client_b = RemoteSut::connect(server.addr(), hello_b, config_b).expect("delayed connect");
+    let (offset_b, bound_b) = wait_for_estimate(&client_b);
+
+    // The injected delay rides entirely on the return path, so the
+    // estimator must report a bound at least half of it.
+    assert!(
+        bound_b >= delay.as_nanos() as u64 / 2,
+        "bound {bound_b} ns ignores the {delay:?} injected delay"
+    );
+
+    // Both clients estimate the same server clock against their own
+    // origins, which differ by a measurable amount; the two estimates
+    // must agree within their combined error bounds (plus scheduler
+    // slack).
+    let origin_delta = client_b
+        .clock_origin()
+        .duration_since(client_a.clock_origin())
+        .as_nanos() as i64;
+    let expected_b = offset_a + origin_delta;
+    let error = (offset_b - expected_b).unsigned_abs();
+    let budget = bound_a + bound_b + 20_000_000; // 20 ms slack for CI jitter
+    assert!(
+        error <= budget,
+        "asymmetric-path estimate off by {error} ns, budget {budget} ns"
+    );
+
+    drop(client_b);
+    drop(client_a);
+    server.shutdown();
+}

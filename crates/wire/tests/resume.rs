@@ -11,9 +11,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use mlperf_audit::tests::completeness_report;
+use mlperf_audit::AuditOutcome;
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
-use mlperf_loadgen::realtime::{run_realtime, run_realtime_traced};
+use mlperf_loadgen::realtime::{run_realtime, run_realtime_traced, run_realtime_traced_at};
 use mlperf_loadgen::sut::FixedLatencySut;
 use mlperf_loadgen::time::Nanos;
 use mlperf_loadgen::validate::ValidityIssue;
@@ -30,11 +32,11 @@ fn settings() -> TestSettings {
         .with_min_duration(Nanos::from_micros(1))
 }
 
-/// Client chaos: sever the socket right after the second sent frame
-/// (frame 1 = Hello, frame 2 = the first issue), one-shot — the
-/// reconnected link is healthy.
+/// Client chaos: sever the socket right after the third sent frame
+/// (frame 1 = Hello, frame 2 = the clock probe, frame 3 = the first
+/// issue), one-shot — the reconnected link is healthy.
 fn disconnect_plan() -> WireChaosPlan {
-    WireChaosPlan::new(0xD15C).with_disconnect_after_send(2)
+    WireChaosPlan::new(0xD15C).with_disconnect_after_send(3)
 }
 
 #[test]
@@ -121,6 +123,105 @@ fn disconnect_with_resume_finishes_valid_without_double_counting() {
         assert_eq!(count, 1, "query {id} resolved {count} times");
     }
     server.shutdown();
+}
+
+/// Tentpole contract under chaos: a resumed session replays its in-flight
+/// window under the *same* trace ids, so the merged (client + shipped
+/// server) detail log stays exactly-once per trace and passes the TEST06
+/// completeness audit.
+#[test]
+fn resume_replays_under_the_same_trace_ids_exactly_once() {
+    let settings = settings();
+    let mut qsl = MemoryQsl::new("resume-qsl", 8, 8);
+    let config = RemoteSutConfig::default()
+        .with_response_timeout(Duration::from_secs(5))
+        .with_resume(ResumePolicy {
+            max_attempts: 5,
+            backoff: Duration::from_millis(40),
+        })
+        .with_chaos(disconnect_plan());
+    let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+    let service = Arc::new(SimHost::new(FixedLatencySut::new(
+        "traced-resume",
+        Nanos::from_micros(100),
+    )));
+
+    // ONE sink for everything: run events, client wire events and spans,
+    // and the server spans shipped back at drain.
+    let merged = Arc::new(RingBufferSink::unbounded());
+    let metrics = Arc::new(MetricsRegistry::new());
+    let (client, server) = loopback_instrumented(
+        service,
+        ServeConfig::default(),
+        hello,
+        config,
+        Some(merged.clone()),
+        Some(metrics.clone()),
+    )
+    .expect("loopback");
+
+    let origin = client.clock_origin();
+    let out = run_realtime_traced_at(
+        &settings,
+        &mut qsl,
+        Arc::new(client),
+        merged.as_ref(),
+        origin,
+    )
+    .expect("run must not hang");
+    assert!(out.result.is_valid(), "{:?}", out.result.validity);
+    server.shutdown();
+
+    let records = merged.snapshot();
+    let resumes = metrics
+        .snapshot()
+        .counters
+        .get("wire_resumes")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(resumes, 1, "the chaos plan must force exactly one resume");
+
+    // The merged log passes the completeness audit: every issued query
+    // resolved exactly once despite the replay.
+    let report = completeness_report(&records);
+    assert_eq!(
+        report.outcome,
+        AuditOutcome::Pass,
+        "TEST06 on the merged log: {report:?}"
+    );
+
+    // Per trace id, each phase appears exactly once — the replayed issue
+    // reused its original id and the journal answered without re-running.
+    let mut phases: HashMap<(u64, String), usize> = HashMap::new();
+    for record in &records {
+        if let TraceEvent::SpanEvent {
+            trace_id, phase, ..
+        } = &record.event
+        {
+            *phases.entry((*trace_id, phase.clone())).or_insert(0) += 1;
+        }
+    }
+    assert!(!phases.is_empty(), "the merged log must contain spans");
+    for ((trace_id, phase), count) in &phases {
+        assert_eq!(
+            *count, 1,
+            "trace {trace_id:#x} phase {phase} appeared {count} times"
+        );
+    }
+    // And at least one trace spans both hosts end to end.
+    let complete_traces = phases
+        .keys()
+        .filter(|(id, phase)| {
+            phase == "issue" && {
+                phases.contains_key(&(*id, "compute".to_string()))
+                    && phases.contains_key(&(*id, "complete".to_string()))
+            }
+        })
+        .count();
+    assert!(
+        complete_traces > 0,
+        "no trace covers client issue -> server compute -> client complete"
+    );
 }
 
 #[test]

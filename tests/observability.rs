@@ -81,8 +81,11 @@ fn chrome_export_of_device_run_round_trips() {
     for entry in entries {
         let pid = entry.field("pid").unwrap().as_i64().unwrap();
         let tid = entry.field("tid").unwrap().as_i64().unwrap();
-        let ts = entry.field("ts").unwrap().as_f64().unwrap();
         let ph = entry.field("ph").unwrap().as_str().unwrap();
+        if ph == "M" {
+            continue; // process_name metadata rows carry no timestamp
+        }
+        let ts = entry.field("ts").unwrap().as_f64().unwrap();
         if pid == 2 && ph == "X" {
             device_lanes.insert(tid);
         }
