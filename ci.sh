@@ -38,6 +38,16 @@ echo "== netbench loopback smoke (network SUT: tracing + telemetry + interop) ==
 # parses, and a v2-pinned client still interoperates with the v3 daemon.
 cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --stats --check
 
+echo "== tail-latency forensics (committed artifacts regenerate byte-identically) =="
+# Re-analyzes the committed log fixtures under results/fixtures/ and
+# asserts: results/analysis.{md,json} reproduce byte-for-byte, the
+# per-query segment decomposition sums to the end-to-end latency exactly
+# (residual 0ns), and the chaos flight-dump fixture yields a root cause
+# naming every constraint its reason line records. After an intentional
+# report change, re-bless with:
+#   cargo run --release -p mlperf-harness --bin analyze -- --check --bless
+cargo run -q --release -p mlperf-harness --bin analyze -- --check
+
 echo "== bench suite (smoke mode, JSON report) =="
 # Fast smoke pass over every bench binary: each one appends its medians to
 # one machine-readable report. MLPERF_TRACE_OVERHEAD_MAX_PCT makes the
@@ -62,15 +72,24 @@ MLPERF_WIRE_CHAOS_OVERHEAD_MAX_PCT=25 \
 cargo bench -p mlperf-bench
 
 if [[ -f BENCH_PR2.json ]]; then
-  echo "== bench-compare vs committed baseline (warn-only) =="
-  # Soft gate: shared CI machines are noisy, so a regression here warns
-  # instead of failing. Investigate genuine slowdowns; refresh the
-  # baseline (copy target/bench-current.json over BENCH_PR2.json) when a
-  # slowdown is intentional.
-  if ! cargo run -q -p mlperf-harness --bin bench-compare -- \
-      "$(pwd)/BENCH_PR2.json" "$BENCH_JSON" --tolerance 50; then
-    echo "WARNING: bench medians regressed vs BENCH_PR2.json (warn-only)"
-  fi
+  echo "== bench-compare vs committed baseline (hot-path + trace-overhead gates fail) =="
+  # The loadgen hot path (des_*, poisson_schedule, sample_indices) and the
+  # trace-overhead trio (run_simulated_*) are HARD gates: a median
+  # regression beyond the tolerance fails CI. Every other population stays
+  # advisory (bench-compare prints WARNING lines) — shared CI machines are
+  # noisy and those benches exist for trend-watching, not gating.
+  #
+  # Tolerance: 50%. Recorded headroom: the worst gated delta observed on
+  # the CI container when this gate was flipped to failing was +15.4%
+  # (des_single_stream_10000_queries), so 50% absorbs runner noise while
+  # still catching an accidental O(n) slip (those show up as >2x).
+  # Refresh the baseline (copy target/bench-current.json over
+  # BENCH_PR2.json) when a slowdown is intentional.
+  cargo run -q -p mlperf-harness --bin bench-compare -- \
+      "$(pwd)/BENCH_PR2.json" "$BENCH_JSON" --tolerance 50 \
+      --fail-on des_server --fail-on des_single_stream \
+      --fail-on poisson_schedule --fail-on sample_indices \
+      --fail-on run_simulated
 fi
 
 echo "CI green."

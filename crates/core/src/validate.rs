@@ -67,6 +67,23 @@ pub enum ValidityIssue {
     },
 }
 
+impl ValidityIssue {
+    /// Stable snake_case kind label — never the `Display` string, which
+    /// carries run-dependent counts and durations. These labels are the
+    /// constraint names the analysis subsystem and the chaos matrix key on.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ValidityIssue::TooFewQueries { .. } => "too_few_queries",
+            ValidityIssue::RunTooShort { .. } => "run_too_short",
+            ValidityIssue::LatencyBoundExceeded { .. } => "latency_bound_exceeded",
+            ValidityIssue::TooManySkippedIntervals { .. } => "too_many_skipped_intervals",
+            ValidityIssue::TooFewSamples { .. } => "too_few_samples",
+            ValidityIssue::IncompleteQueries { .. } => "incomplete_queries",
+            ValidityIssue::ErrorFractionExceeded { .. } => "error_fraction_exceeded",
+        }
+    }
+}
+
 impl ToJson for ValidityIssue {
     fn to_json_value(&self) -> JsonValue {
         let (name, payload) = match self {

@@ -3,7 +3,7 @@
 //! and which the resilience policies rescue.
 //!
 //! ```text
-//! chaos [--seed <n>] [--out <path>] [--check] [--wire] [--flight-dir <dir>]
+//! chaos [--seed <n>] [--out <path>] [--check] [--wire] [--flight-dir <dir>] [--analyze]
 //! ```
 //!
 //! Every cell of the matrix runs one scaled-down LoadGen test twice: once
@@ -22,7 +22,9 @@
 //! so both builds of the same seed render byte-identical JSON. With
 //! `--flight-dir` every INVALID wire cell additionally leaves a
 //! flight-recorder dump — the freshest trace events of the doomed run —
-//! for post-mortem inspection.
+//! for post-mortem inspection, and `--analyze` runs the forensics layer
+//! over each dump, leaving a `<dump>.analysis.md` root-cause report
+//! beside it.
 //!
 //! `--check` is the CI smoke mode: it rebuilds the matrix twice and asserts
 //! (1) both builds render to identical bytes, (2) the fault-free baseline is
@@ -42,7 +44,6 @@ use mlperf_loadgen::realtime::run_realtime_traced_at;
 use mlperf_loadgen::scenario::Scenario;
 use mlperf_loadgen::sut::FixedLatencySut;
 use mlperf_loadgen::time::Nanos;
-use mlperf_loadgen::validate::ValidityIssue;
 use mlperf_models::{TaskId, Workload};
 use mlperf_stats::rng::SeedTriple;
 use mlperf_sut::device::{Architecture, DeviceSpec};
@@ -60,8 +61,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str =
-    "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire] [--flight-dir <dir>]";
+const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire] \
+     [--flight-dir <dir>] [--analyze]";
 
 /// Events kept in a flight-recorder dump of an INVALID wire cell.
 const FLIGHT_TAIL: usize = 256;
@@ -296,20 +297,6 @@ fn wire_settings(seed: u64) -> [(&'static str, TestSettings); 2] {
     ]
 }
 
-/// Stable kind label for a validity issue — never its Display string,
-/// which carries run-dependent counts and durations.
-fn issue_kind(issue: &ValidityIssue) -> &'static str {
-    match issue {
-        ValidityIssue::TooFewQueries { .. } => "too_few_queries",
-        ValidityIssue::RunTooShort { .. } => "run_too_short",
-        ValidityIssue::LatencyBoundExceeded { .. } => "latency_bound_exceeded",
-        ValidityIssue::TooManySkippedIntervals { .. } => "too_many_skipped_intervals",
-        ValidityIssue::TooFewSamples { .. } => "too_few_samples",
-        ValidityIssue::IncompleteQueries { .. } => "incomplete_queries",
-        ValidityIssue::ErrorFractionExceeded { .. } => "error_fraction_exceeded",
-    }
-}
-
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in bytes {
@@ -324,6 +311,11 @@ struct WireRun {
     valid: bool,
     /// Sorted, deduplicated issue kinds.
     issues: Vec<String>,
+    /// Constraint kinds the analysis subsystem recovered from the trace
+    /// alone (sorted, deduplicated); empty for VALID runs. `--check`
+    /// asserts these match `issues` — a seeded INVALID cell must yield a
+    /// root cause naming the actual injected fault's constraint.
+    root_constraints: Vec<String>,
     /// FNV-1a of the logical detail log; only for VALID runs, where the
     /// log is deterministic (id, scheduled time, sample count, error flag
     /// per query, in issue order).
@@ -356,6 +348,7 @@ fn run_wire(
     resume: bool,
     seed: u64,
     flight_dir: Option<&str>,
+    analyze: bool,
 ) -> Result<WireRun, String> {
     let mut qsl = MemoryQsl::new("wire-chaos-qsl", 64, 64);
     // The partition is one-way outbound: only heartbeat loss can prove the
@@ -396,20 +389,46 @@ fn run_wire(
         .map_err(|e| format!("{scenario} / {fault}: run failed: {e}"))?;
     server.shutdown();
 
-    if !out.result.is_valid() {
+    let valid = out.result.is_valid();
+    let mut root_constraints = Vec::new();
+    if !valid {
+        let records = sink.snapshot();
+        // The forensics layer must recover the violated constraints from
+        // the trace alone (the ValidityCheckFailed events the finalizer
+        // recorded), with no peek at the structured outcome.
+        let texts = mlperf_analysis::issue_texts(&records);
+        root_constraints = mlperf_analysis::root_causes(&records, &texts)
+            .iter()
+            .map(|c| c.constraint.to_string())
+            .collect();
+        root_constraints.sort();
+        root_constraints.dedup();
         if let Some(dir) = flight_dir {
-            let records = sink.snapshot();
             let tail_start = records.len().saturating_sub(FLIGHT_TAIL);
             let reason = format!(
                 "wire cell INVALID: scenario={scenario} fault={fault} resume={resume}: {:?}",
                 out.result.validity
             );
-            let dump = render_flight_dump(&reason, &records[tail_start..], tail_start as u64);
+            let tail = &records[tail_start..];
+            let dump = render_flight_dump(&reason, tail, tail_start as u64);
             let suffix = if resume { "_resumed" } else { "" };
             let path = format!("{dir}/chaos_flight_{scenario}_{fault}{suffix}.jsonl");
             match std::fs::write(&path, dump) {
                 Ok(()) => eprintln!("flight recorder: dumped {path}"),
                 Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
+            }
+            if analyze {
+                let analysis = mlperf_analysis::analyze_records(
+                    &path,
+                    tail,
+                    std::slice::from_ref(&reason),
+                    None,
+                );
+                let md_path = format!("{path}.analysis.md");
+                match std::fs::write(&md_path, mlperf_analysis::render_markdown(&analysis)) {
+                    Ok(()) => eprintln!("analyze: wrote {md_path}"),
+                    Err(e) => eprintln!("analyze: cannot write {md_path}: {e}"),
+                }
             }
         }
     }
@@ -418,11 +437,10 @@ fn run_wire(
         .result
         .validity
         .iter()
-        .map(|i| issue_kind(i).to_string())
+        .map(|i| i.kind().to_string())
         .collect();
     issues.sort();
     issues.dedup();
-    let valid = out.result.is_valid();
     let log_hash = valid.then(|| {
         let mut text = String::new();
         for r in &out.records {
@@ -441,16 +459,21 @@ fn run_wire(
     Ok(WireRun {
         valid,
         issues,
+        root_constraints,
         log_hash,
     })
 }
 
-fn build_wire_matrix(seed: u64, flight_dir: Option<&str>) -> Result<Vec<WireCell>, String> {
+fn build_wire_matrix(
+    seed: u64,
+    flight_dir: Option<&str>,
+    analyze: bool,
+) -> Result<Vec<WireCell>, String> {
     let mut cells = Vec::new();
     for (scenario, settings) in wire_settings(seed) {
         for fault in WIRE_FAULT_CASES {
-            let plain = run_wire(scenario, &settings, fault, false, seed, flight_dir)?;
-            let resumed = run_wire(scenario, &settings, fault, true, seed, flight_dir)?;
+            let plain = run_wire(scenario, &settings, fault, false, seed, flight_dir, analyze)?;
+            let resumed = run_wire(scenario, &settings, fault, true, seed, flight_dir, analyze)?;
             cells.push(WireCell {
                 scenario,
                 fault,
@@ -486,6 +509,15 @@ fn wire_run_json(run: &WireRun) -> JsonValue {
         (
             "issues",
             JsonValue::Array(run.issues.iter().map(|i| i.to_json_value()).collect()),
+        ),
+        (
+            "root_constraints",
+            JsonValue::Array(
+                run.root_constraints
+                    .iter()
+                    .map(|i| i.to_json_value())
+                    .collect(),
+            ),
         ),
         (
             "log_hash",
@@ -708,6 +740,19 @@ fn check_wire(cells: &[WireCell]) -> Vec<String> {
             }
         }
     }
+    // Forensics: every INVALID cell's root-cause analysis must recover
+    // exactly the violated constraints from the trace alone.
+    for c in cells {
+        for (label, run) in [("plain", &c.plain), ("resumed", &c.resumed)] {
+            if !run.valid && run.root_constraints != run.issues {
+                failures.push(format!(
+                    "{}/{} ({label}): analysis named constraints {:?} but the run's \
+                     validity issues are {:?}",
+                    c.scenario, c.fault, run.root_constraints, run.issues
+                ));
+            }
+        }
+    }
     if !cells.iter().any(WireCell::rescued) {
         failures.push("no INVALID wire cell was rescued by reconnect+resume".to_string());
     }
@@ -719,6 +764,7 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut check_mode = false;
     let mut wire_mode = false;
+    let mut analyze_mode = false;
     let mut flight_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -753,6 +799,7 @@ fn main() -> ExitCode {
             }
             "--check" => check_mode = true,
             "--wire" => wire_mode = true,
+            "--analyze" => analyze_mode = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -768,7 +815,7 @@ fn main() -> ExitCode {
         }
     };
     let wire_cells = if wire_mode {
-        match build_wire_matrix(seed, flight_dir.as_deref()) {
+        match build_wire_matrix(seed, flight_dir.as_deref(), analyze_mode) {
             Ok(cells) => Some(cells),
             Err(e) => {
                 eprintln!("{e}");
@@ -818,7 +865,7 @@ fn main() -> ExitCode {
         // The rebuild skips flight dumps: the first build already wrote
         // them, and the reproducibility check only compares the JSON.
         let again_wire = if wire_mode {
-            match build_wire_matrix(seed, None) {
+            match build_wire_matrix(seed, None, false) {
                 Ok(cells) => Some(cells),
                 Err(e) => {
                     eprintln!("{e}");
@@ -848,6 +895,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlperf_loadgen::validate::ValidityIssue;
 
     #[test]
     fn every_scenario_has_settings_and_plans() {
@@ -878,12 +926,12 @@ mod tests {
     #[test]
     fn issue_kinds_are_stable_snake_case_labels() {
         let issue = ValidityIssue::IncompleteQueries { outstanding: 3 };
-        assert_eq!(issue_kind(&issue), "incomplete_queries");
+        assert_eq!(issue.kind(), "incomplete_queries");
         let issue = ValidityIssue::ErrorFractionExceeded {
             max_fraction: 0.02,
             observed: 0.5,
         };
-        assert_eq!(issue_kind(&issue), "error_fraction_exceeded");
+        assert_eq!(issue.kind(), "error_fraction_exceeded");
     }
 
     #[test]
@@ -895,8 +943,8 @@ mod tests {
     #[test]
     fn smoke_wire_cell_disconnect_is_rescued_by_resume() {
         let [(scenario, settings), _] = wire_settings(11);
-        let plain = run_wire(scenario, &settings, "disconnect", false, 11, None).unwrap();
-        let resumed = run_wire(scenario, &settings, "disconnect", true, 11, None).unwrap();
+        let plain = run_wire(scenario, &settings, "disconnect", false, 11, None, false).unwrap();
+        let resumed = run_wire(scenario, &settings, "disconnect", true, 11, None, false).unwrap();
         let cell = WireCell {
             scenario,
             fault: "disconnect",

@@ -7,7 +7,8 @@
 //! netbench --loopback [opts]            single-process: daemon + client on 127.0.0.1
 //!
 //! opts: [--seed <n>] [--out <path>] [--metrics <path>] [--detail <path>]
-//!       [--chrome <path>] [--flight-dir <dir>] [--stats] [--watch] [--check]
+//!       [--chrome <path>] [--flight-dir <dir>] [--analyze] [--stats]
+//!       [--watch] [--check]
 //! ```
 //!
 //! Every run writes a *logical detail log*: the deterministic slice of the
@@ -22,7 +23,9 @@
 //! snapshots; `--stats` asks the daemon for a live [`DaemonStats`]
 //! snapshot; `--watch` polls that snapshot into a live console line while
 //! the runs execute. A run that ends INVALID automatically leaves a
-//! flight-recorder dump of its freshest events under `--flight-dir`.
+//! flight-recorder dump of its freshest events under `--flight-dir`;
+//! `--analyze` additionally runs tail-latency forensics over the dumped
+//! tail and writes a `<dump>.analysis.md` root-cause report beside it.
 //!
 //! `--check` is the CI smoke mode: it repeats the run pair on fresh
 //! connections and asserts every run is VALID, the two logical logs render
@@ -53,7 +56,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: netbench (--serve <addr> | --connect <addr> | --loopback) \
 [--seed <n>] [--out <path>] [--metrics <path>] [--detail <path>] [--chrome <path>] \
-[--flight-dir <dir>] [--stats] [--watch] [--check]";
+[--flight-dir <dir>] [--analyze] [--stats] [--watch] [--check]";
 
 /// Simulated per-sample service time of the benchmark device. The daemon
 /// replays this on the wall clock, so the whole loopback pair stays fast
@@ -224,30 +227,46 @@ fn run_one(addr: &str, label: &'static str, settings: &TestSettings) -> Result<R
 }
 
 /// Writes a flight-recorder dump (the freshest events of an INVALID run)
-/// and reports where it went.
-fn dump_flight(flight_dir: &str, summary: &RunSummary) {
+/// and reports where it went. With `analyze` set, the forensics layer
+/// runs over the dumped tail and leaves a root-cause report beside it.
+fn dump_flight(flight_dir: &str, summary: &RunSummary, analyze: bool) {
     let tail_start = summary.records.len().saturating_sub(FLIGHT_TAIL);
     let reason = format!(
         "{} run INVALID: {}",
         summary.label,
         summary.issues.join("; ")
     );
-    let dump = render_flight_dump(&reason, &summary.records[tail_start..], tail_start as u64);
+    let tail = &summary.records[tail_start..];
+    let dump = render_flight_dump(&reason, tail, tail_start as u64);
     let path = format!("{flight_dir}/netbench_flight_{}.jsonl", summary.label);
     match std::fs::write(&path, dump) {
         Ok(()) => eprintln!("flight recorder: dumped {path}"),
         Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
     }
+    if analyze {
+        let reasons = vec![reason];
+        let analysis = mlperf_analysis::analyze_records(&path, tail, &reasons, None);
+        let report_path = format!("{path}.analysis.md");
+        match std::fs::write(&report_path, mlperf_analysis::render_markdown(&analysis)) {
+            Ok(()) => eprintln!("forensics: wrote {report_path}"),
+            Err(e) => eprintln!("forensics: cannot write {report_path}: {e}"),
+        }
+    }
 }
 
 /// Runs the offline + server pair against `addr`; returns the summaries
 /// and the rendered logical detail log.
-fn drive(addr: &str, seed: u64, flight_dir: &str) -> Result<(Vec<RunSummary>, String), String> {
+fn drive(
+    addr: &str,
+    seed: u64,
+    flight_dir: &str,
+    analyze: bool,
+) -> Result<(Vec<RunSummary>, String), String> {
     let mut summaries = Vec::new();
     for (label, settings) in run_pair(seed) {
         let summary = run_one(addr, label, &settings)?;
         if !summary.valid {
-            dump_flight(flight_dir, &summary);
+            dump_flight(flight_dir, &summary, analyze);
         }
         summaries.push(summary);
     }
@@ -377,6 +396,7 @@ fn main() -> ExitCode {
     let mut detail_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
     let mut flight_dir = ".".to_string();
+    let mut analyze_mode = false;
     let mut stats_mode = false;
     let mut watch_mode = false;
     let mut check_mode = false;
@@ -422,6 +442,7 @@ fn main() -> ExitCode {
                     _ => flight_dir = v.clone(),
                 }
             }
+            "--analyze" => analyze_mode = true,
             "--stats" => stats_mode = true,
             "--watch" => watch_mode = true,
             "--check" => check_mode = true,
@@ -499,7 +520,7 @@ fn main() -> ExitCode {
         None
     };
 
-    let drive_result = drive(&addr, seed, &flight_dir);
+    let drive_result = drive(&addr, seed, &flight_dir, analyze_mode);
     if let Some((stop, handle)) = watcher {
         stop.store(true, Ordering::SeqCst);
         let _ = handle.join();
@@ -588,7 +609,7 @@ fn main() -> ExitCode {
         failures.extend(stats_failure);
         // Reproducibility: the same seed over fresh connections must
         // render a byte-identical logical detail log.
-        match drive(&addr, seed, &flight_dir) {
+        match drive(&addr, seed, &flight_dir, analyze_mode) {
             Ok((again, rendered_again)) => {
                 failures.extend(check_summaries(&again));
                 if rendered != rendered_again {

@@ -10,8 +10,10 @@
 //! pid *per host* (pid 3 upward, hosts sorted by name), so a
 //! client+server log renders as two labeled process lanes on one aligned
 //! axis instead of colliding on shared pids. Every used pid gets a
-//! human-readable `process_name` metadata (`ph:"M"`) row. Everything
-//! else becomes instant (`ph:"i"`) events.
+//! human-readable `process_name` metadata (`ph:"M"`) row, and every used
+//! (pid, tid) lane gets a matching `thread_name` row — so a merged-log
+//! server span reads as "server / lane 0", not a bare pid/tid pair.
+//! Everything else becomes instant (`ph:"i"`) events.
 
 use crate::event::{TraceEvent, TraceRecord};
 use crate::json::{JsonValue, ToJson};
@@ -63,6 +65,19 @@ fn process_name(pid: i64, name: String) -> JsonValue {
         ("ph", JsonValue::Str("M".into())),
         ("pid", JsonValue::Int(i128::from(pid))),
         ("tid", JsonValue::Int(0)),
+        (
+            "args",
+            JsonValue::object(vec![("name", JsonValue::Str(name))]),
+        ),
+    ])
+}
+
+fn thread_name(pid: i64, tid: i64, name: String) -> JsonValue {
+    JsonValue::object(vec![
+        ("name", JsonValue::Str("thread_name".into())),
+        ("ph", JsonValue::Str("M".into())),
+        ("pid", JsonValue::Int(i128::from(pid))),
+        ("tid", JsonValue::Int(i128::from(tid))),
         (
             "args",
             JsonValue::object(vec![("name", JsonValue::Str(name))]),
@@ -326,14 +341,25 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
         }
     }
 
-    // `process_name` metadata for every pid in use, so the viewer shows
-    // labeled lanes instead of bare pid numbers.
+    // `process_name` metadata for every pid in use and `thread_name`
+    // metadata for every (pid, tid) lane, so the viewer shows labeled
+    // processes *and* labeled rows instead of bare numbers.
     let mut used_pids: Vec<i64> = entries
         .iter()
         .filter_map(|e| e.get("pid").and_then(|p| p.as_i64().ok()))
         .collect();
     used_pids.sort_unstable();
     used_pids.dedup();
+    let mut used_lanes: Vec<(i64, i64)> = entries
+        .iter()
+        .filter_map(|e| {
+            let pid = e.get("pid")?.as_i64().ok()?;
+            let tid = e.get("tid")?.as_i64().ok()?;
+            Some((pid, tid))
+        })
+        .collect();
+    used_lanes.sort_unstable();
+    used_lanes.dedup();
     for pid in used_pids {
         let label = match pid {
             QUERY_PID => "loadgen (queries)".to_string(),
@@ -341,6 +367,13 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
             p => format!("host: {}", hosts[(p - HOST_PID_BASE) as usize]),
         };
         entries.push(process_name(pid, label));
+    }
+    for (pid, tid) in used_lanes {
+        let label = match pid {
+            DEVICE_PID => format!("unit {tid}"),
+            _ => format!("lane {tid}"),
+        };
+        entries.push(thread_name(pid, tid, label));
     }
 
     JsonValue::Array(entries).to_compact()
@@ -488,17 +521,40 @@ mod tests {
         ];
         let doc = JsonValue::parse(&chrome_trace_json(&records)).unwrap();
         let entries = doc.as_array().unwrap();
-        // Three events plus one `process_name` row per used pid (1 and 2).
-        assert_eq!(entries.len(), 5);
+        // Three events, one `process_name` row per used pid (1 and 2),
+        // and one `thread_name` row per used lane ((1,0) and (2,3)).
+        assert_eq!(entries.len(), 7);
         assert_eq!(entries[0].field("ph").unwrap().as_str().unwrap(), "X");
         assert_eq!(entries[0].field("pid").unwrap().as_i64().unwrap(), 2);
         assert_eq!(entries[0].field("tid").unwrap().as_i64().unwrap(), 3);
         assert_eq!(entries[1].field("ph").unwrap().as_str().unwrap(), "i");
-        let meta: Vec<&JsonValue> = entries
-            .iter()
-            .filter(|e| e.field("ph").unwrap().as_str().unwrap() == "M")
-            .collect();
-        assert_eq!(meta.len(), 2);
+        let meta_named = |kind: &str| -> Vec<&JsonValue> {
+            entries
+                .iter()
+                .filter(|e| e.field("name").unwrap().as_str().unwrap() == kind)
+                .collect()
+        };
+        assert_eq!(meta_named("process_name").len(), 2);
+        let threads = meta_named("thread_name");
+        assert_eq!(threads.len(), 2);
+        // The device lane is labeled as a unit, the query lane as a lane.
+        let thread_label = |pid: i64| {
+            threads
+                .iter()
+                .find(|e| e.field("pid").unwrap().as_i64().unwrap() == pid)
+                .map(|e| {
+                    e.field("args")
+                        .unwrap()
+                        .field("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string()
+                })
+                .unwrap()
+        };
+        assert_eq!(thread_label(1), "lane 0");
+        assert_eq!(thread_label(2), "unit 3");
     }
 
     #[test]
@@ -571,20 +627,40 @@ mod tests {
             "0x000000000000abcd"
         );
         // Every used pid is named.
-        let names: Vec<String> = entries
+        let meta_names = |kind: &str| -> Vec<String> {
+            entries
+                .iter()
+                .filter(|e| e.field("name").unwrap().as_str().unwrap() == kind)
+                .map(|e| {
+                    e.field("args")
+                        .unwrap()
+                        .field("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string()
+                })
+                .collect()
+        };
+        assert_eq!(
+            meta_names("process_name"),
+            vec!["host: client", "host: server"]
+        );
+        // ... and every used (pid, tid) lane is named, so merged-log
+        // server spans render as labeled rows inside the host process.
+        let lanes: Vec<(i64, i64)> = entries
             .iter()
-            .filter(|e| e.field("ph").unwrap().as_str().unwrap() == "M")
+            .filter(|e| e.field("name").unwrap().as_str().unwrap() == "thread_name")
             .map(|e| {
-                e.field("args")
-                    .unwrap()
-                    .field("name")
-                    .unwrap()
-                    .as_str()
-                    .unwrap()
-                    .to_string()
+                (
+                    e.field("pid").unwrap().as_i64().unwrap(),
+                    e.field("tid").unwrap().as_i64().unwrap(),
+                )
             })
             .collect();
-        assert_eq!(names, vec!["host: client", "host: server"]);
+        assert!(lanes.contains(&(3, 0)), "client lane unnamed: {lanes:?}");
+        assert!(lanes.contains(&(4, 0)), "server lane unnamed: {lanes:?}");
+        assert!(meta_names("thread_name").contains(&"lane 0".to_string()));
     }
 
     #[test]
