@@ -38,6 +38,15 @@ echo "== netbench loopback smoke (network SUT: tracing + telemetry + interop) ==
 # parses, and a v2-pinned client still interoperates with the v3 daemon.
 cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --stats --check
 
+echo "== netbench fleet smoke (sharded serving survives losing a shard) =="
+# Fleet mode: three heterogeneous loopback daemons behind one weighted
+# ShardedSut router. A seeded victim daemon is killed mid-server-run while
+# it has a query in flight; the check asserts the router rescues the
+# in-flight work (the run stays VALID, the merged sharded log passes the
+# completeness audit, and the victim's down + failover rows are present),
+# and that a second fresh fleet renders a byte-identical logical log.
+cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --shards 3 --check
+
 echo "== tail-latency forensics (committed artifacts regenerate byte-identically) =="
 # Re-analyzes the committed log fixtures under results/fixtures/ and
 # asserts: results/analysis.{md,json} reproduce byte-for-byte, the

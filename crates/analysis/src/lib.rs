@@ -22,6 +22,9 @@
 //!   timeseries sampler's interval grid for latency-over-time rendering.
 //! * [`diff`] — [`diff::diff_paths`] / [`diff::diff_metrics`] compare two
 //!   runs at nearest-rank quantiles and name the segment that regressed.
+//! * [`shards`] — [`shards::shard_reports`] folds a fleet run's
+//!   `ShardEvent` rows and per-shard server spans into one attribution
+//!   row per shard, naming each dead shard's failover window.
 //! * [`report`] — [`report::analyze_records`] runs the whole pipeline and
 //!   [`report::render_markdown`] emits a deterministic, self-contained
 //!   report (the committed `results/analysis.{md,json}` artifacts).
@@ -53,6 +56,7 @@ pub mod heatmap;
 pub mod report;
 pub mod rootcause;
 pub mod segment;
+pub mod shards;
 
 pub use breakdown::{breakdown, Breakdown, PercentileRow, SegmentTotals};
 pub use diff::{diff_metrics, diff_paths, DiffRow, QuantileSet, RunDiff};
@@ -60,3 +64,4 @@ pub use heatmap::{auto_interval, heatmap, heatmap_jsonl, HeatmapRow};
 pub use report::{analyze_records, fmt_ns, render_markdown, Analysis, ClockInfo};
 pub use rootcause::{detect_constraints, issue_texts, root_causes, Culprit, RootCause, Window};
 pub use segment::{query_paths, QueryPath, Segment};
+pub use shards::{shard_reports, ShardReport};

@@ -16,6 +16,7 @@ use crate::breakdown::{breakdown, Breakdown};
 use crate::heatmap::{auto_interval, heatmap, HeatmapRow};
 use crate::rootcause::{issue_texts, root_causes, RootCause};
 use crate::segment::{query_paths, QueryPath};
+use crate::shards::{shard_reports, ShardReport};
 
 /// The best clock-offset estimate seen for one peer host.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,8 @@ pub struct Analysis {
     pub root_causes: Vec<RootCause>,
     /// Final clock-sync estimate per peer host (merged logs only).
     pub clock: Vec<ClockInfo>,
+    /// Per-shard attribution (fleet runs only; empty otherwise).
+    pub shards: Vec<ShardReport>,
 }
 
 impl ToJson for Analysis {
@@ -64,6 +67,7 @@ impl ToJson for Analysis {
             ("heatmap", self.heatmap.to_json_value()),
             ("root_causes", self.root_causes.to_json_value()),
             ("clock", self.clock.to_json_value()),
+            ("shards", self.shards.to_json_value()),
         ])
     }
 }
@@ -115,6 +119,7 @@ pub fn analyze_records(
         heatmap: heatmap(&paths, interval_ns),
         root_causes: root_causes(records, &texts),
         clock: clock_info(records),
+        shards: shard_reports(records),
     }
 }
 
@@ -191,6 +196,47 @@ pub fn render_markdown(analysis: &Analysis) -> String {
                     fmt_ns(c.offset_ns),
                     fmt_ns(c.rtt_ns as i64),
                     fmt_ns((c.rtt_ns / 2) as i64),
+                ],
+            );
+        }
+        out.push('\n');
+    }
+
+    if !analysis.shards.is_empty() {
+        out.push_str("## Per-shard attribution\n\n");
+        md_header(
+            &mut out,
+            &[
+                "shard",
+                "routed",
+                "failovers",
+                "spans",
+                "queue",
+                "compute",
+                "downs",
+                "rejoins",
+                "failover window",
+            ],
+        );
+        for s in &analysis.shards {
+            let window = match (s.window_start_ns, s.window_end_ns) {
+                (Some(start), Some(end)) => {
+                    format!("{} – {}", fmt_ns(start as i64), fmt_ns(end as i64))
+                }
+                _ => "-".to_string(),
+            };
+            md_row(
+                &mut out,
+                &[
+                    s.shard.clone(),
+                    format!("{}", s.routed),
+                    format!("{}", s.failovers),
+                    format!("{}", s.spans),
+                    fmt_ns(s.queue_ns as i64),
+                    fmt_ns(s.compute_ns as i64),
+                    format!("{}", s.downs),
+                    format!("{}", s.rejoins),
+                    window,
                 ],
             );
         }
@@ -400,6 +446,38 @@ mod tests {
         let md = render_markdown(&a);
         assert!(md.contains("`run_too_short`"));
         assert!(!md.contains("Run is VALID"));
+    }
+
+    #[test]
+    fn fleet_logs_render_the_per_shard_section() {
+        let mut records = sample_records();
+        records.push(rec(
+            5_000,
+            TraceEvent::ShardEvent {
+                shard: "shard-1".into(),
+                kind: "route".into(),
+                query_id: 5,
+                detail: "weighted".into(),
+            },
+        ));
+        records.push(rec(
+            6_000,
+            TraceEvent::ShardEvent {
+                shard: "shard-1".into(),
+                kind: "failover".into(),
+                query_id: 5,
+                detail: "vanished; rerouting".into(),
+            },
+        ));
+        let a = analyze_records("fleet.jsonl", &records, &[], None);
+        assert_eq!(a.shards.len(), 1);
+        let md = render_markdown(&a);
+        assert!(md.contains("## Per-shard attribution"));
+        assert!(md.contains("shard-1"));
+        assert!(md.contains("6.000us – 6.000us"), "{md}");
+        // Non-fleet logs skip the section entirely.
+        let plain = analyze_records("plain.jsonl", &sample_records(), &[], None);
+        assert!(!render_markdown(&plain).contains("Per-shard attribution"));
     }
 
     #[test]

@@ -612,6 +612,89 @@ mod unit {
     }
 
     #[test]
+    fn merged_sharded_failover_log_passes_completeness() {
+        // TEST06 over a *fleet* run: a two-shard router whose first shard
+        // dies mid-run. The dying shard's queries fail over to the
+        // survivor, and the merged detail log — LoadGen rows interleaved
+        // with the router's ShardEvent rows — must still show every
+        // issued query resolved exactly once.
+        use mlperf_loadgen::query::SampleCompletion;
+        use mlperf_loadgen::sut::IssueOutcome;
+        use mlperf_sut::{BalancePolicy, ShardEndpoint, ShardedSut};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Completes its first `threshold` queries, then every later one
+        /// vanishes — the client-side shape of a shard daemon killed
+        /// mid-run.
+        struct DieAfter {
+            served: AtomicU64,
+            threshold: u64,
+        }
+        impl RealtimeSut for DieAfter {
+            fn name(&self) -> &str {
+                "die-after"
+            }
+            fn issue(&self, query: &Query) -> Vec<SampleCompletion> {
+                match self.issue_outcome(query) {
+                    IssueOutcome::Completed(samples) => samples,
+                    _ => Vec::new(),
+                }
+            }
+            fn issue_outcome(&self, query: &Query) -> IssueOutcome {
+                if self.served.fetch_add(1, Ordering::SeqCst) >= self.threshold {
+                    return IssueOutcome::Vanished;
+                }
+                IssueOutcome::Completed(
+                    query
+                        .samples
+                        .iter()
+                        .map(|s| SampleCompletion {
+                            sample_id: s.id,
+                            payload: ResponsePayload::Empty,
+                        })
+                        .collect(),
+                )
+            }
+        }
+        let shard = |threshold| {
+            Arc::new(DieAfter {
+                served: AtomicU64::new(0),
+                threshold,
+            }) as Arc<dyn RealtimeSut>
+        };
+
+        let sink = Arc::new(RingBufferSink::unbounded());
+        let router = Arc::new(
+            ShardedSut::new("audit-fleet", BalancePolicy::RoundRobin)
+                .with_endpoint(ShardEndpoint::new("shard-0", shard(2)))
+                .with_endpoint(ShardEndpoint::new("shard-1", shard(u64::MAX)))
+                .with_sink(sink.clone()),
+        );
+        let settings = TestSettings::server(2_000.0, Nanos::from_millis(50))
+            .with_min_query_count(16)
+            .with_min_duration(Nanos::from_millis(1))
+            .with_mode(TestMode::PerformanceOnly);
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        run_realtime_traced(&settings, &mut qsl, router, sink.as_ref()).unwrap();
+
+        let records = sink.snapshot();
+        let shard_kind = |kind: &str| {
+            records.iter().any(|r| {
+                matches!(&r.event, TraceEvent::ShardEvent { kind: k, shard, .. }
+                    if k == kind && shard == "shard-0")
+            })
+        };
+        assert!(
+            shard_kind("failover"),
+            "the dying shard's in-flight queries must fail over"
+        );
+        assert!(shard_kind("down"), "the dying shard must be declared down");
+        let report = completeness_report(&records);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
     fn report_display() {
         let r = AuditReport {
             test: "TEST04-caching-detection",

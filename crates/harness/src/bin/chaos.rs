@@ -26,6 +26,17 @@
 //! over each dump, leaving a `<dump>.analysis.md` root-cause report
 //! beside it.
 //!
+//! `--wire` also sweeps the *fleet* fault rows: a server-scenario run over
+//! three heterogeneous loopback shards behind a weighted [`ShardedSut`]
+//! router, once per shard fault — `none`, `shard-kill` (the victim daemon
+//! dies mid-query and the router's failover rescues its in-flight work),
+//! `shard-degrade` (one shard's wire delayed, no health transition), and
+//! `shard-rejoin` (the killed daemon rebinds its port, the victim link
+//! resumes, and the router drains traffic back in under a warm-up cap).
+//! Each row records the verdict, the victim's observed health
+//! transitions, and the logical-log hash; every fault row's hash must
+//! equal the fault-free row's, proving the rescue lossless.
+//!
 //! `--check` is the CI smoke mode: it rebuilds the matrix twice and asserts
 //! (1) both builds render to identical bytes, (2) the fault-free baseline is
 //! VALID in every scenario, (3) every scenario has at least one fault that
@@ -50,14 +61,15 @@ use mlperf_sut::device::{Architecture, DeviceSpec};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_sut::faults::FaultPlan;
 use mlperf_sut::resilience::{ResiliencePolicy, ResilientSut};
-use mlperf_sut::FaultySut;
+use mlperf_sut::{BalancePolicy, FaultySut, ShardEndpoint, ShardedSut};
 use mlperf_trace::flight::render_flight_dump;
-use mlperf_trace::{JsonValue, RingBufferSink, ToJson};
+use mlperf_trace::{JsonValue, RingBufferSink, ToJson, TraceEvent};
 use mlperf_wire::{
-    loopback_instrumented, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig, SimHost,
-    WireChaosPlan,
+    loopback_instrumented, serve_on, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig,
+    ServerHandle, SimHost, WireChaosPlan,
 };
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -306,6 +318,25 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// FNV-1a over a run's logical per-query records (id, scheduled time,
+/// sample count, error flag — the deterministic slice). Two VALID runs
+/// of the same seed hash identically, whatever the wire did.
+fn logical_hash(records: &[mlperf_loadgen::record::QueryRecord]) -> String {
+    let mut text = String::new();
+    for r in records {
+        use std::fmt::Write as _;
+        let _ = write!(
+            text,
+            "{},{},{},{};",
+            r.id,
+            r.scheduled_at.as_nanos(),
+            r.sample_count,
+            r.error
+        );
+    }
+    format!("{:016x}", fnv1a64(text.as_bytes()))
+}
+
 #[derive(Debug, Clone)]
 struct WireRun {
     valid: bool,
@@ -441,21 +472,7 @@ fn run_wire(
         .collect();
     issues.sort();
     issues.dedup();
-    let log_hash = valid.then(|| {
-        let mut text = String::new();
-        for r in &out.records {
-            use std::fmt::Write as _;
-            let _ = write!(
-                text,
-                "{},{},{},{};",
-                r.id,
-                r.scheduled_at.as_nanos(),
-                r.sample_count,
-                r.error
-            );
-        }
-        format!("{:016x}", fnv1a64(text.as_bytes()))
-    });
+    let log_hash = valid.then(|| logical_hash(&out.records));
     Ok(WireRun {
         valid,
         issues,
@@ -483,6 +500,215 @@ fn build_wire_matrix(
         }
     }
     Ok(cells)
+}
+
+/// The fleet fault taxonomy swept over the sharded-router run.
+const SHARD_FAULT_CASES: [&str; 4] = ["none", "shard-kill", "shard-degrade", "shard-rejoin"];
+
+/// Heterogeneous per-sample service times for the three fleet shards.
+/// The weighted policy balances by the reciprocal, so the fastest shard
+/// carries most of the traffic.
+const SHARD_PER_SAMPLE: [Nanos; 3] = [
+    Nanos::from_micros(100),
+    Nanos::from_micros(200),
+    Nanos::from_micros(400),
+];
+
+/// One row of the fleet fault matrix. Every field is deterministic under
+/// a fixed seed: the health transitions are forced (the watcher kills the
+/// victim only while it has a query in flight, and the rejoin rebind
+/// happens well inside the run), and the logical-log hash covers only
+/// the seeded schedule.
+#[derive(Debug, Clone)]
+struct ShardCell {
+    scenario: &'static str,
+    fault: &'static str,
+    valid: bool,
+    issues: Vec<String>,
+    log_hash: Option<String>,
+    /// The victim shard transitioned to `down` in the router's log.
+    down_seen: bool,
+    /// The victim transitioned back through `rejoin` (rebind faults only).
+    rejoined: bool,
+}
+
+/// One fleet run: three heterogeneous loopback daemons behind a weighted
+/// [`ShardedSut`] router, with the cell's shard fault injected mid-run.
+fn run_shard_cell(fault: &'static str, seed: u64) -> Result<ShardCell, String> {
+    let [_, (scenario, settings)] = wire_settings(seed);
+    let mut qsl = MemoryQsl::new("shard-chaos-qsl", 64, 64);
+    let sink = Arc::new(RingBufferSink::unbounded());
+    let victim = seed as usize % SHARD_PER_SAMPLE.len();
+
+    let mut labels = Vec::new();
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for (i, per_sample) in SHARD_PER_SAMPLE.iter().enumerate() {
+        let label = format!("shard-{i}");
+        let service = Arc::new(SimHost::new(FixedLatencySut::new(
+            "shard-chaos-dev",
+            *per_sample,
+        )));
+        let config = ServeConfig::default().with_shard_label(&label);
+        let handle = serve_on("127.0.0.1:0", service, config)
+            .map_err(|e| format!("{scenario} / {fault}: cannot start {label}: {e}"))?;
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+        labels.push(label);
+    }
+
+    // The kill cell wants fast link-death detection so in-flight queries
+    // vanish and fail over; the rejoin cell instead retries long enough
+    // to outlive the victim's down window and resume onto the rebound
+    // daemon (which replays the held queries).
+    let resume = if fault == "shard-rejoin" {
+        ResumePolicy {
+            max_attempts: 8,
+            backoff: Duration::from_millis(20),
+        }
+    } else {
+        ResumePolicy {
+            max_attempts: 2,
+            backoff: Duration::from_millis(10),
+        }
+    };
+    let mut clients: Vec<Arc<RemoteSut>> = Vec::new();
+    for (i, addr) in addrs.iter().enumerate() {
+        let mut config = RemoteSutConfig::default().with_resume(resume);
+        if fault == "shard-degrade" && i == victim {
+            config = config
+                .with_chaos(WireChaosPlan::new(seed).with_delay_recv(Duration::from_millis(3)));
+        }
+        let hello = RemoteSut::hello_for(&settings, qsl.total_sample_count() as u64, &config);
+        let client = RemoteSut::connect_instrumented(addr, hello, config, Some(sink.clone()), None)
+            .map_err(|e| {
+                format!(
+                    "{scenario} / {fault}: connect to {} at {addr} failed: {e}",
+                    labels[i]
+                )
+            })?;
+        clients.push(Arc::new(client));
+    }
+
+    let origin = clients[0].clock_origin();
+    let mut router = ShardedSut::new("shard-chaos-fleet", BalancePolicy::WeightedThroughput)
+        .with_sink(sink.clone())
+        .with_origin(origin);
+    for (i, client) in clients.iter().enumerate() {
+        let probe = Arc::clone(client);
+        let weight = 1e9 / SHARD_PER_SAMPLE[i].as_nanos() as f64;
+        router = router.with_endpoint(
+            ShardEndpoint::new(&labels[i], Arc::clone(client) as _)
+                .with_weight(weight)
+                .with_probe(Arc::new(move || probe.is_connected())),
+        );
+    }
+    let router = Arc::new(router);
+
+    let wants_kill = matches!(fault, "shard-kill" | "shard-rejoin");
+    let stop = AtomicBool::new(false);
+    let (run, respawned) = std::thread::scope(|scope| {
+        let watcher = wants_kill.then(|| {
+            let router = Arc::clone(&router);
+            let handle = &handles[victim];
+            let addr = addrs[victim].clone();
+            let victim_label = labels[victim].clone();
+            let per_sample = SHARD_PER_SAMPLE[victim];
+            let stop = &stop;
+            let rejoin = fault == "shard-rejoin";
+            scope.spawn(move || -> Option<ServerHandle> {
+                // Kill while the victim has a query in flight: routing
+                // increments `outstanding` before issuing on the wire,
+                // and service time dwarfs this poll interval, so the
+                // query is mid-flight when the daemon dies.
+                while !stop.load(Ordering::SeqCst) {
+                    let status = &router.status()[victim];
+                    if status.routed >= 1 && status.outstanding > 0 {
+                        handle.kill();
+                        if !rejoin {
+                            return None;
+                        }
+                        // Rebind the same port with a fresh daemon after
+                        // a down window long enough for the router to
+                        // notice. `shutdown` joins the dead daemon's
+                        // threads so the port is immediately free.
+                        handle.shutdown();
+                        std::thread::sleep(Duration::from_millis(60));
+                        let service = Arc::new(SimHost::new(FixedLatencySut::new(
+                            "shard-chaos-dev",
+                            per_sample,
+                        )));
+                        let config = ServeConfig::default().with_shard_label(&victim_label);
+                        return serve_on(&addr, service, config).ok();
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                None
+            })
+        });
+        let run = run_realtime_traced_at(
+            &settings,
+            &mut qsl,
+            Arc::clone(&router) as _,
+            sink.as_ref(),
+            origin,
+        );
+        stop.store(true, Ordering::SeqCst);
+        let respawned = watcher.and_then(|w| w.join().expect("shard watcher panicked"));
+        (run, respawned)
+    });
+    let out = run.map_err(|e| format!("{scenario} / {fault}: fleet run failed: {e}"))?;
+
+    for client in &clients {
+        client.shutdown();
+    }
+    for handle in &handles {
+        handle.shutdown();
+    }
+    if let Some(handle) = respawned {
+        handle.shutdown();
+    }
+
+    let victim_label = &labels[victim];
+    let mut down_seen = false;
+    let mut rejoined = false;
+    for record in sink.snapshot() {
+        if let TraceEvent::ShardEvent { shard, kind, .. } = &record.event {
+            if shard == victim_label {
+                match kind.as_str() {
+                    "down" => down_seen = true,
+                    "rejoin" => rejoined = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let valid = out.result.is_valid();
+    let mut issues: Vec<String> = out
+        .result
+        .validity
+        .iter()
+        .map(|i| i.kind().to_string())
+        .collect();
+    issues.sort();
+    issues.dedup();
+    Ok(ShardCell {
+        scenario,
+        fault,
+        valid,
+        issues,
+        log_hash: valid.then(|| logical_hash(&out.records)),
+        down_seen,
+        rejoined,
+    })
+}
+
+fn build_shard_matrix(seed: u64) -> Result<Vec<ShardCell>, String> {
+    SHARD_FAULT_CASES
+        .iter()
+        .map(|fault| run_shard_cell(fault, seed))
+        .collect()
 }
 
 fn build_matrix(seed: u64) -> Result<Vec<Cell>, String> {
@@ -529,7 +755,33 @@ fn wire_run_json(run: &WireRun) -> JsonValue {
     ])
 }
 
-fn render_json(seed: u64, cells: &[Cell], wire: Option<&[WireCell]>) -> String {
+fn shard_cell_json(c: &ShardCell) -> JsonValue {
+    JsonValue::object(vec![
+        ("scenario", c.scenario.to_json_value()),
+        ("fault", c.fault.to_json_value()),
+        ("valid", c.valid.to_json_value()),
+        (
+            "issues",
+            JsonValue::Array(c.issues.iter().map(|i| i.to_json_value()).collect()),
+        ),
+        (
+            "log_hash",
+            match &c.log_hash {
+                Some(h) => h.to_json_value(),
+                None => JsonValue::Null,
+            },
+        ),
+        ("down_seen", c.down_seen.to_json_value()),
+        ("rejoined", c.rejoined.to_json_value()),
+    ])
+}
+
+fn render_json(
+    seed: u64,
+    cells: &[Cell],
+    wire: Option<&[WireCell]>,
+    shard: Option<&[ShardCell]>,
+) -> String {
     let rows = cells
         .iter()
         .map(|c| {
@@ -575,6 +827,12 @@ fn render_json(seed: u64, cells: &[Cell], wire: Option<&[WireCell]>) -> String {
             .collect();
         fields.push(("wire_rows", JsonValue::Array(wire_rows)));
     }
+    if let Some(shard_cells) = shard {
+        fields.push((
+            "shard_rows",
+            JsonValue::Array(shard_cells.iter().map(shard_cell_json).collect()),
+        ));
+    }
     let doc = JsonValue::object(fields);
     let mut text = doc.to_pretty();
     text.push('\n');
@@ -607,6 +865,99 @@ fn render_wire_table(cells: &[WireCell]) -> String {
         );
     }
     out
+}
+
+fn render_shard_table(cells: &[ShardCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "\n{:<10} {:<14} {:<10} {:<6} {:<8} NOTES\n",
+        "SCENARIO", "SHARD FAULT", "VERDICT", "DOWN", "REJOIN"
+    );
+    for c in cells {
+        let note = match c.fault {
+            "shard-kill" if c.valid && c.down_seen => "in-flight queries failed over",
+            "shard-rejoin" if c.valid && c.rejoined => "drained back under warm-up cap",
+            "shard-degrade" if c.valid => "absorbed by the fleet",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:<14} {:<10} {:<6} {:<8} {}",
+            c.scenario,
+            c.fault,
+            if c.valid { "VALID" } else { "INVALID" },
+            if c.down_seen { "yes" } else { "no" },
+            if c.rejoined { "yes" } else { "no" },
+            note
+        );
+    }
+    out
+}
+
+/// The fleet-matrix CI assertions, cell by cell: every fault row must
+/// stay VALID with a logical log byte-identical to the fault-free row's
+/// (the hashes match), and the victim's health transitions must land
+/// exactly as the fault dictates.
+fn check_shard(cells: &[ShardCell]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let cell = |fault: &str| {
+        cells
+            .iter()
+            .find(|c| c.fault == fault)
+            .expect("shard matrix covers every fault case")
+    };
+    let none = cell("none");
+    if !none.valid {
+        failures.push(format!(
+            "fleet/none: fault-free sharded baseline is INVALID ({:?})",
+            none.issues
+        ));
+    }
+    if none.down_seen || none.rejoined {
+        failures.push("fleet/none: health transitions fired with no fault injected".to_string());
+    }
+    for fault in ["shard-kill", "shard-degrade", "shard-rejoin"] {
+        let c = cell(fault);
+        if !c.valid {
+            failures.push(format!(
+                "fleet/{fault}: run is INVALID — the router failed to absorb the fault \
+                 ({:?})",
+                c.issues
+            ));
+        }
+        if c.valid && c.log_hash != none.log_hash {
+            failures.push(format!(
+                "fleet/{fault}: logical log diverged from the fault-free row \
+                 ({:?} vs {:?}) — the rescue lost or duplicated queries",
+                c.log_hash, none.log_hash
+            ));
+        }
+    }
+    let kill = cell("shard-kill");
+    if !kill.down_seen {
+        failures.push("fleet/shard-kill: the killed shard never transitioned to down".to_string());
+    }
+    if kill.rejoined {
+        failures.push("fleet/shard-kill: a permanently dead shard rejoined".to_string());
+    }
+    let degrade = cell("shard-degrade");
+    if degrade.down_seen || degrade.rejoined {
+        failures.push(
+            "fleet/shard-degrade: a slow-but-alive shard triggered a health transition".to_string(),
+        );
+    }
+    let rejoin = cell("shard-rejoin");
+    if !rejoin.down_seen {
+        failures.push(
+            "fleet/shard-rejoin: the victim never transitioned to down before the rebind"
+                .to_string(),
+        );
+    }
+    if !rejoin.rejoined {
+        failures
+            .push("fleet/shard-rejoin: the rebound daemon never rejoined the rotation".to_string());
+    }
+    failures
 }
 
 fn render_table(cells: &[Cell]) -> String {
@@ -825,7 +1176,18 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let rendered = render_json(seed, &cells, wire_cells.as_deref());
+    let shard_cells = if wire_mode {
+        match build_shard_matrix(seed) {
+            Ok(cells) => Some(cells),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let rendered = render_json(seed, &cells, wire_cells.as_deref(), shard_cells.as_deref());
     print!("{}", render_table(&cells));
     let invalid = cells.iter().filter(|c| !c.faulty_valid).count();
     let recovered = cells
@@ -843,6 +1205,17 @@ fn main() -> ExitCode {
         println!(
             "\n{} wire cells, {invalid} INVALID without resume, {rescued} rescued by reconnect+resume",
             wire_cells.len()
+        );
+    }
+    if let Some(shard_cells) = &shard_cells {
+        print!("{}", render_shard_table(shard_cells));
+        let survived = shard_cells
+            .iter()
+            .filter(|c| c.fault != "none" && c.valid)
+            .count();
+        println!(
+            "\n{} fleet cells, {survived} shard faults absorbed by the router",
+            shard_cells.len()
         );
     }
 
@@ -875,10 +1248,29 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        let again = render_json(seed, &again_cells, again_wire.as_deref());
+        let again_shard = if wire_mode {
+            match build_shard_matrix(seed) {
+                Ok(cells) => Some(cells),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
+        let again = render_json(
+            seed,
+            &again_cells,
+            again_wire.as_deref(),
+            again_shard.as_deref(),
+        );
         let mut failures = check(seed, &cells, &rendered, &again);
         if let Some(wire_cells) = &wire_cells {
             failures.extend(check_wire(wire_cells));
+        }
+        if let Some(shard_cells) = &shard_cells {
+            failures.extend(check_shard(shard_cells));
         }
         if failures.is_empty() {
             println!("chaos check: all expectations hold");
@@ -938,6 +1330,16 @@ mod tests {
     fn fnv_hash_is_deterministic_and_input_sensitive() {
         assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
         assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+
+    #[test]
+    fn smoke_shard_kill_cell_fails_over_and_stays_valid() {
+        let cell = run_shard_cell("shard-kill", 5).unwrap();
+        assert!(cell.valid, "kill cell INVALID: {:?}", cell.issues);
+        assert!(cell.down_seen, "victim never went down");
+        assert!(!cell.rejoined, "a dead shard cannot rejoin");
+        let none = run_shard_cell("none", 5).unwrap();
+        assert_eq!(cell.log_hash, none.log_hash, "rescue was not lossless");
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`resilience`] — recovery policies ([`resilience::ResilientSut`]):
 //!   per-query timeout, bounded retry with backoff, failover to a sibling
 //!   device, and priority-ordered load shedding.
+//! * [`shard`] — fleet-scale routing ([`shard::ShardedSut`]): one
+//!   scenario's traffic fanned across N wall-clock endpoints under
+//!   pluggable balancing policies, with per-shard health tracking
+//!   (Up → Suspect → Down → Draining) and cross-shard failover.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,9 +44,13 @@ pub mod faults;
 pub mod fleet;
 pub mod proxy_sut;
 pub mod resilience;
+pub mod shard;
 
 pub use device::{Architecture, DeviceSpec, ThermalModel};
 pub use engine::{BatchPolicy, DeviceSut};
 pub use faults::{FaultPlan, FaultySut, StallWindow, ThrottleEpisode};
 pub use fleet::{fleet, FleetSystem};
 pub use resilience::{ResiliencePolicy, ResilientSut};
+pub use shard::{
+    BalancePolicy, ShardConfig, ShardEndpoint, ShardHealth, ShardProbe, ShardStatus, ShardedSut,
+};

@@ -29,6 +29,52 @@ fn micros(ts_ns: u64) -> JsonValue {
     JsonValue::Float(ts_ns as f64 / 1000.0)
 }
 
+/// Orders host names *naturally*: digit runs compare by value, so
+/// `shard-2` sorts before `shard-10` and per-host pids stay stable and
+/// collision-free as a merged fleet log grows past nine shards (plain
+/// lexicographic order would renumber every pid when `shard-10` joined).
+/// Numerically equal but textually distinct runs (`01` vs `1`) fall back
+/// to full lexicographic order so the comparison stays total.
+fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn digit_run(s: &[u8]) -> usize {
+        s.iter()
+            .position(|c| !c.is_ascii_digit())
+            .unwrap_or(s.len())
+    }
+    let (mut ia, mut ib) = (a.as_bytes(), b.as_bytes());
+    let key = loop {
+        match (ia.first().copied(), ib.first().copied()) {
+            (None, None) => break Ordering::Equal,
+            (None, Some(_)) => break Ordering::Less,
+            (Some(_), None) => break Ordering::Greater,
+            (Some(ca), Some(cb)) => {
+                if ca.is_ascii_digit() && cb.is_ascii_digit() {
+                    let (ea, eb) = (digit_run(ia), digit_run(ib));
+                    // Strip leading zeros; compare magnitudes by length
+                    // first, then digit bytes — no overflow at any width.
+                    let ta = &ia[ia[..ea].iter().position(|&c| c != b'0').unwrap_or(ea)..ea];
+                    let tb = &ib[ib[..eb].iter().position(|&c| c != b'0').unwrap_or(eb)..eb];
+                    let ord = ta.len().cmp(&tb.len()).then_with(|| ta.cmp(tb));
+                    if ord != Ordering::Equal {
+                        break ord;
+                    }
+                    ia = &ia[ea..];
+                    ib = &ib[eb..];
+                } else {
+                    let ord = ca.cmp(&cb);
+                    if ord != Ordering::Equal {
+                        break ord;
+                    }
+                    ia = &ia[1..];
+                    ib = &ib[1..];
+                }
+            }
+        }
+    };
+    key.then_with(|| a.cmp(b))
+}
+
 fn span(name: String, start_ns: u64, dur_ns: u64, pid: i64, tid: i64) -> JsonValue {
     JsonValue::object(vec![
         ("name", JsonValue::Str(name)),
@@ -264,12 +310,17 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
             TraceEvent::SpanEvent { host, .. } | TraceEvent::ClockSync { host, .. } => {
                 Some(host.as_str())
             }
+            TraceEvent::ShardEvent { shard, .. } => Some(shard.as_str()),
             _ => None,
         })
         .collect();
-    hosts.sort_unstable();
+    hosts.sort_unstable_by(|a, b| natural_cmp(a, b));
     hosts.dedup();
-    let host_idx = |host: &str| hosts.binary_search(&host).expect("host indexed");
+    let host_idx = |host: &str| {
+        hosts
+            .binary_search_by(|h| natural_cmp(h, host))
+            .expect("host indexed")
+    };
 
     // (host index, start, dur, name, args) — lane-assigned per host below.
     let mut wire_spans: Vec<(usize, u64, u64, String, JsonValue)> = Vec::new();
@@ -307,6 +358,24 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     JsonValue::object(vec![
                         ("offset_ns", offset_ns.to_json_value()),
                         ("rtt_ns", rtt_ns.to_json_value()),
+                    ]),
+                ));
+            }
+            TraceEvent::ShardEvent {
+                shard,
+                kind,
+                query_id,
+                detail,
+            } => {
+                entries.push(instant(
+                    format!("shard {kind} q{query_id}"),
+                    record.ts_ns,
+                    HOST_PID_BASE + host_idx(shard) as i64,
+                    0,
+                    JsonValue::object(vec![
+                        ("kind", JsonValue::Str(kind.clone())),
+                        ("query_id", query_id.to_json_value()),
+                        ("detail", JsonValue::Str(detail.clone())),
                     ]),
                 ));
             }
@@ -661,6 +730,85 @@ mod tests {
         assert!(lanes.contains(&(3, 0)), "client lane unnamed: {lanes:?}");
         assert!(lanes.contains(&(4, 0)), "server lane unnamed: {lanes:?}");
         assert!(meta_names("thread_name").contains(&"lane 0".to_string()));
+    }
+
+    #[test]
+    fn fleet_hosts_get_natural_order_pids_past_nine_shards() {
+        // A merged fleet log with >2 hosts: lexicographic sorting would
+        // put shard-10 before shard-2 and renumber every pid; natural
+        // order keeps client < shard-1 < shard-2 < shard-10 stable.
+        let span_ev = |ts, host: &str| {
+            rec(
+                ts,
+                TraceEvent::SpanEvent {
+                    host: host.into(),
+                    trace_id: 0xABCD,
+                    query_id: 1,
+                    phase: "compute".into(),
+                    dur_ns: 10,
+                },
+            )
+        };
+        let records = vec![
+            span_ev(10, "shard-10"),
+            span_ev(20, "shard-2"),
+            span_ev(30, "client"),
+            span_ev(40, "shard-1"),
+            rec(
+                50,
+                TraceEvent::ShardEvent {
+                    shard: "shard-10".into(),
+                    kind: "failover".into(),
+                    query_id: 1,
+                    detail: "vanished; rerouting".into(),
+                },
+            ),
+        ];
+        let doc = JsonValue::parse(&chrome_trace_json(&records)).unwrap();
+        let entries = doc.as_array().unwrap().to_vec();
+        let names: Vec<(String, i64)> = entries
+            .iter()
+            .filter(|e| e.field("name").unwrap().as_str().unwrap() == "process_name")
+            .map(|e| {
+                (
+                    e.field("args")
+                        .unwrap()
+                        .field("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string(),
+                    e.field("pid").unwrap().as_i64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("host: client".to_string(), 3),
+                ("host: shard-1".to_string(), 4),
+                ("host: shard-2".to_string(), 5),
+                ("host: shard-10".to_string(), 6),
+            ]
+        );
+        // Shard health/routing rows render as instants on their shard's
+        // own process lane.
+        let failover = entries
+            .iter()
+            .find(|e| e.field("name").unwrap().as_str().unwrap() == "shard failover q1")
+            .expect("shard event rendered");
+        assert_eq!(failover.field("ph").unwrap().as_str().unwrap(), "i");
+        assert_eq!(failover.field("pid").unwrap().as_i64().unwrap(), 6);
+    }
+
+    #[test]
+    fn natural_order_is_total_and_numeric() {
+        let mut hosts = vec!["shard-10", "shard-2", "b", "a10c", "a2b", "a02b", "a"];
+        hosts.sort_unstable_by(|x, y| natural_cmp(x, y));
+        assert_eq!(
+            hosts,
+            vec!["a", "a02b", "a2b", "a10c", "b", "shard-2", "shard-10"]
+        );
     }
 
     #[test]

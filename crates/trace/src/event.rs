@@ -173,6 +173,21 @@ pub enum TraceEvent {
         /// Round-trip time of the winning probe in nanoseconds.
         rtt_ns: u64,
     },
+    /// A sharded-SUT router decision or shard health transition (fleet
+    /// extension). Routing rows (`route`, `failover`) are query-scoped;
+    /// health rows (`suspect`, `down`, `rejoin`, `drained`, `up`) carry
+    /// `query_id` 0.
+    ShardEvent {
+        /// Label of the shard the event concerns (e.g. `shard-2`).
+        shard: String,
+        /// Event label: `route`, `failover`, `suspect`, `down`, `rejoin`,
+        /// `drained`, or `up`.
+        kind: String,
+        /// Query id the event concerned; 0 where not query-scoped.
+        query_id: u64,
+        /// Free-form context (policy name, failure reason, drain count).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -197,6 +212,7 @@ impl TraceEvent {
             TraceEvent::WireFault { .. } => "wire_fault",
             TraceEvent::SpanEvent { .. } => "span",
             TraceEvent::ClockSync { .. } => "clock_sync",
+            TraceEvent::ShardEvent { .. } => "shard_event",
         }
     }
 }
@@ -382,6 +398,20 @@ impl ToJson for TraceEvent {
                     ("rtt_ns", rtt_ns.to_json_value()),
                 ]),
             ),
+            TraceEvent::ShardEvent {
+                shard,
+                kind,
+                query_id,
+                detail,
+            } => (
+                "ShardEvent",
+                JsonValue::object(vec![
+                    ("shard", shard.to_json_value()),
+                    ("kind", kind.to_json_value()),
+                    ("query_id", query_id.to_json_value()),
+                    ("detail", detail.to_json_value()),
+                ]),
+            ),
         };
         JsonValue::object(vec![(name, payload)])
     }
@@ -471,6 +501,12 @@ impl FromJson for TraceEvent {
                 host: p.field("host")?.as_str()?.to_string(),
                 offset_ns: p.field("offset_ns")?.as_i64()?,
                 rtt_ns: p.field("rtt_ns")?.as_u64()?,
+            }),
+            "ShardEvent" => Ok(TraceEvent::ShardEvent {
+                shard: p.field("shard")?.as_str()?.to_string(),
+                kind: p.field("kind")?.as_str()?.to_string(),
+                query_id: p.field("query_id")?.as_u64()?,
+                detail: p.field("detail")?.as_str()?.to_string(),
             }),
             other => Err(JsonError::new(format!("unknown trace event {other:?}"))),
         }
@@ -744,6 +780,12 @@ mod tests {
                 host: "server".into(),
                 offset_ns: -1_250,
                 rtt_ns: 18_000,
+            },
+            TraceEvent::ShardEvent {
+                shard: "shard-2".into(),
+                kind: "failover".into(),
+                query_id: 7,
+                detail: "shard-0 vanished".into(),
             },
         ]
     }

@@ -65,6 +65,11 @@ pub struct ServeConfig {
     /// Metrics registry backing the daemon's `Stats` snapshots. A default
     /// registry is created when not provided, so stats always work.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Daemon-assigned shard label. When set, server-side spans carry it
+    /// as their `host` (so a merged fleet log attributes work per shard)
+    /// and `Stats` snapshots report it; when `None` the daemon is a
+    /// plain single host named `server`.
+    pub shard_label: Option<String>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -74,6 +79,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("sink", &self.sink.is_some())
             .field("chaos", &self.chaos)
             .field("metrics", &self.metrics.is_some())
+            .field("shard_label", &self.shard_label)
             .finish()
     }
 }
@@ -104,6 +110,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Names this daemon's shard within a fleet (span host + `Stats`).
+    #[must_use]
+    pub fn with_shard_label(mut self, label: &str) -> Self {
+        self.shard_label = Some(label.to_string());
         self
     }
 }
@@ -183,6 +196,11 @@ struct ServerShared {
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Arc<MetricsRegistry>,
     start: Instant,
+    /// `host` label stamped on server-side spans: the shard label when
+    /// this daemon is part of a fleet, else `server`.
+    host_label: String,
+    /// Daemon-assigned shard label for `Stats` (empty = not sharded).
+    shard: String,
 }
 
 impl ServerShared {
@@ -332,6 +350,11 @@ pub fn serve(
             .clone()
             .unwrap_or_else(|| Arc::new(MetricsRegistry::new())),
         start: Instant::now(),
+        host_label: config
+            .shard_label
+            .clone()
+            .unwrap_or_else(|| "server".to_string()),
+        shard: config.shard_label.clone().unwrap_or_default(),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -452,7 +475,7 @@ fn spawn_session(
                     session_t.events.record(
                         enqueued_ns,
                         &TraceEvent::SpanEvent {
-                            host: "server".to_string(),
+                            host: shared.host_label.clone(),
                             trace_id,
                             query_id: query.id,
                             phase: "queue".to_string(),
@@ -469,7 +492,7 @@ fn spawn_session(
                     session_t.events.record(
                         dequeued_ns,
                         &TraceEvent::SpanEvent {
-                            host: "server".to_string(),
+                            host: shared.host_label.clone(),
                             trace_id,
                             query_id: query.id,
                             phase: "compute".to_string(),
@@ -603,20 +626,28 @@ fn answer_stats(
     shared: &Arc<ServerShared>,
 ) {
     shared.metrics.incr("wire_stats_requests", 1);
-    let (sessions, in_flight) = {
+    let (sessions, in_flight, session_outstanding) = {
         let sessions = shared.sessions.lock().expect("server sessions poisoned");
-        let in_flight: usize = sessions
-            .values()
-            .map(|s| *s.outstanding.0.lock().expect("server outstanding poisoned"))
-            .sum();
-        (sessions.len() as u64, in_flight as u64)
+        let mut per_session: Vec<(u64, u64)> = sessions
+            .iter()
+            .map(|(id, s)| {
+                let outstanding =
+                    *s.outstanding.0.lock().expect("server outstanding poisoned") as u64;
+                (*id, outstanding)
+            })
+            .collect();
+        per_session.sort_unstable();
+        let in_flight: u64 = per_session.iter().map(|(_, n)| n).sum();
+        (sessions.len() as u64, in_flight, per_session)
     };
     let stats = DaemonStats {
         sut_name: service.name().to_string(),
+        shard: shared.shard.clone(),
         uptime_ns: shared.now_ns(),
         served: shared.served.load(Ordering::SeqCst),
         sessions,
         in_flight,
+        session_outstanding,
         snapshot: shared.metrics.snapshot(),
     };
     let _ = transport.send(

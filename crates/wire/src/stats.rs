@@ -26,6 +26,9 @@ use crate::transport::{TcpTransport, Transport};
 pub struct DaemonStats {
     /// Name of the SUT the daemon exports.
     pub sut_name: String,
+    /// Daemon-assigned shard label (empty when the daemon is not part of
+    /// a sharded fleet). `netbench --watch` keys its fleet table on it.
+    pub shard: String,
     /// Nanoseconds since the daemon started serving.
     pub uptime_ns: u64,
     /// Queries resolved over the daemon's lifetime.
@@ -34,6 +37,9 @@ pub struct DaemonStats {
     pub sessions: u64,
     /// Queries currently being served across all sessions.
     pub in_flight: u64,
+    /// Per-session in-flight counts `(session id, outstanding)`, sorted
+    /// by session id so the rendering is deterministic.
+    pub session_outstanding: Vec<(u64, u64)>,
     /// The daemon's metrics registry: wire counters and latency
     /// histograms (`wire_serve_ns`, `wire_queue_ns`, ...).
     pub snapshot: MetricsSnapshot,
@@ -51,12 +57,24 @@ impl DaemonStats {
 
 impl ToJson for DaemonStats {
     fn to_json_value(&self) -> JsonValue {
+        let sessions = self
+            .session_outstanding
+            .iter()
+            .map(|(session, outstanding)| {
+                JsonValue::object(vec![
+                    ("session", session.to_json_value()),
+                    ("outstanding", outstanding.to_json_value()),
+                ])
+            })
+            .collect::<Vec<_>>();
         JsonValue::object(vec![
             ("sut_name", self.sut_name.to_json_value()),
+            ("shard", self.shard.to_json_value()),
             ("uptime_ns", self.uptime_ns.to_json_value()),
             ("served", self.served.to_json_value()),
             ("sessions", self.sessions.to_json_value()),
             ("in_flight", self.in_flight.to_json_value()),
+            ("session_outstanding", JsonValue::Array(sessions)),
             ("snapshot", self.snapshot.to_json_value()),
         ])
     }
@@ -64,12 +82,25 @@ impl ToJson for DaemonStats {
 
 impl FromJson for DaemonStats {
     fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let session_outstanding = value
+            .field("session_outstanding")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                Ok((
+                    row.field("session")?.as_u64()?,
+                    row.field("outstanding")?.as_u64()?,
+                ))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
         Ok(DaemonStats {
             sut_name: value.field("sut_name")?.as_str()?.to_string(),
+            shard: value.field("shard")?.as_str()?.to_string(),
             uptime_ns: value.field("uptime_ns")?.as_u64()?,
             served: value.field("served")?.as_u64()?,
             sessions: value.field("sessions")?.as_u64()?,
             in_flight: value.field("in_flight")?.as_u64()?,
+            session_outstanding,
             snapshot: MetricsSnapshot::from_json_value(value.field("snapshot")?)?,
         })
     }
@@ -121,10 +152,12 @@ mod tests {
         registry.observe("wire_serve_ns", 42_000);
         let stats = DaemonStats {
             sut_name: "rack-7".into(),
+            shard: "shard-3".into(),
             uptime_ns: 2_000_000_000,
             served: 512,
             sessions: 2,
             in_flight: 9,
+            session_outstanding: vec![(41, 4), (97, 5)],
             snapshot: registry.snapshot(),
         };
         let back = DaemonStats::from_json_str(&stats.to_json_string()).expect("roundtrip");
@@ -136,10 +169,12 @@ mod tests {
     fn zero_uptime_reports_zero_throughput() {
         let stats = DaemonStats {
             sut_name: String::new(),
+            shard: String::new(),
             uptime_ns: 0,
             served: 10,
             sessions: 0,
             in_flight: 0,
+            session_outstanding: Vec::new(),
             snapshot: MetricsSnapshot::default(),
         };
         assert_eq!(stats.throughput_qps(), 0.0);
