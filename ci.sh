@@ -47,6 +47,17 @@ echo "== netbench fleet smoke (sharded serving survives losing a shard) =="
 # and that a second fresh fleet renders a byte-identical logical log.
 cargo run -q --release -p mlperf-harness --bin netbench -- --loopback --shards 3 --check
 
+echo "== replay roundtrip smoke (record -> reduce -> replay, three legs) =="
+# The record-reduce-replay audit: a simulated server run is recorded,
+# reduced 20x, and replayed through the DES (same verdict, fingerprint
+# within bound, recording and reduction byte-reproducible, reduced trace
+# byte-identical to the committed results/fixtures/replay_reduced.mlpr —
+# re-bless with `replay roundtrip --bless` after an intentional format or
+# reducer change); a realtime loopback run is recorded, reduced 10x, and
+# replayed over a fresh connection to the same verdict; and the same
+# reduced trace drives a 3-shard fleet to a VALID run.
+cargo run -q --release -p mlperf-harness --bin replay -- roundtrip --check
+
 echo "== tail-latency forensics (committed artifacts regenerate byte-identically) =="
 # Re-analyzes the committed log fixtures under results/fixtures/ and
 # asserts: results/analysis.{md,json} reproduce byte-for-byte, the
@@ -67,7 +78,11 @@ echo "== bench suite (smoke mode, JSON report) =="
 # MLPERF_WIRE_OVERHEAD_MAX_PCT bounds the loopback wire tax in the
 # wire_overhead bench (warn-only: loopback latency is kernel-dependent);
 # MLPERF_WIRE_CHAOS_OVERHEAD_MAX_PCT bounds the disarmed chaos-decorator
-# tax in wire_chaos_overhead (also warn-only, same noise caveat).
+# tax in wire_chaos_overhead (also warn-only, same noise caveat);
+# MLPERF_REPLAY_OVERHEAD_MAX_PCT bounds the DES replay-vs-native gap in
+# replay_reduce (warn-only — replay has historically been *faster* than
+# the native scheduler, so a warning here means the replay path grew a
+# hot-loop cost).
 BENCH_JSON="$(pwd)/target/bench-current.json"
 rm -f "$BENCH_JSON"
 MLPERF_BENCH_JSON="$BENCH_JSON" \
@@ -78,9 +93,10 @@ MLPERF_TRACE_OVERHEAD_MAX_PCT=10 \
 MLPERF_FAULT_OVERHEAD_MAX_PCT=10 \
 MLPERF_WIRE_OVERHEAD_MAX_PCT=150 \
 MLPERF_WIRE_CHAOS_OVERHEAD_MAX_PCT=25 \
+MLPERF_REPLAY_OVERHEAD_MAX_PCT=25 \
 cargo bench -p mlperf-bench
 
-if [[ -f BENCH_PR2.json ]]; then
+if [[ -f BENCH_PR9.json ]]; then
   echo "== bench-compare vs committed baseline (hot-path + trace-overhead gates fail) =="
   # The loadgen hot path (des_*, poisson_schedule, sample_indices) and the
   # trace-overhead trio (run_simulated_*) are HARD gates: a median
@@ -93,9 +109,9 @@ if [[ -f BENCH_PR2.json ]]; then
   # (des_single_stream_10000_queries), so 50% absorbs runner noise while
   # still catching an accidental O(n) slip (those show up as >2x).
   # Refresh the baseline (copy target/bench-current.json over
-  # BENCH_PR2.json) when a slowdown is intentional.
+  # BENCH_PR9.json) when a slowdown is intentional.
   cargo run -q -p mlperf-harness --bin bench-compare -- \
-      "$(pwd)/BENCH_PR2.json" "$BENCH_JSON" --tolerance 50 \
+      "$(pwd)/BENCH_PR9.json" "$BENCH_JSON" --tolerance 50 \
       --fail-on des_server --fail-on des_single_stream \
       --fail-on poisson_schedule --fail-on sample_indices \
       --fail-on run_simulated

@@ -11,6 +11,7 @@ use crate::instrument::Instruments;
 use crate::qsl::QuerySampleLibrary;
 use crate::query::{Query, QueryCompletion};
 use crate::record::{LoggedResponse, QueryRecord, Recorder};
+use crate::replay::ReplaySchedule;
 use crate::results::{LatencyStats, ScenarioMetric, TestResult};
 use crate::scenario::Scenario;
 use crate::schedule::build_query;
@@ -331,6 +332,24 @@ where
     Q: QuerySampleLibrary + ?Sized,
     S: SimSut + ?Sized,
 {
+    run_sim(settings, qsl, sut, instruments, None)
+}
+
+/// The shared simulated run body. `replay` switches the performance-mode
+/// issue loop from the scenario's generative arrival process to an
+/// explicit recorded schedule (`crate::replay`); everything else —
+/// seeding, recording, validation, scoring — is identical.
+pub(crate) fn run_sim<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    instruments: &Instruments<'_>,
+    replay: Option<&ReplaySchedule>,
+) -> Result<RunOutcome, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
     profile_span!("loadgen/run");
     let sink = instruments.sink;
     settings.validate()?;
@@ -366,9 +385,12 @@ where
     let mut sim = Sim::new(settings, sut, sink, registry, instruments.sampler);
     {
         profile_span!("loadgen/event_loop");
-        match settings.mode {
-            TestMode::AccuracyOnly => run_accuracy(settings, &loaded, &mut sim)?,
-            TestMode::PerformanceOnly => match settings.scenario {
+        match (settings.mode, replay) {
+            (TestMode::AccuracyOnly, _) => run_accuracy(settings, &loaded, &mut sim)?,
+            (TestMode::PerformanceOnly, Some(schedule)) => {
+                run_replay(schedule, loaded.len(), &mut sim)?
+            }
+            (TestMode::PerformanceOnly, None) => match settings.scenario {
                 Scenario::SingleStream => run_single_stream(settings, loaded.len(), &mut sim)?,
                 Scenario::MultiStream => run_multi_stream(settings, loaded.len(), &mut sim)?,
                 Scenario::Server => run_server(settings, loaded.len(), &mut sim)?,
@@ -694,6 +716,47 @@ fn run_offline<S: SimSut + ?Sized>(
     let query = build_query(0, &mut next_sample_id, &indices, Nanos::ZERO);
     sim.issue(query)?;
     drain(sim)
+}
+
+/// Re-issues a recorded schedule: explicit arrival times and explicit
+/// per-query sample indices, open loop. The scenario's generative rules
+/// are bypassed — the schedule *is* the run — but recording, validity
+/// checks, and scoring still follow `settings.scenario`.
+fn run_replay<S: SimSut + ?Sized>(
+    schedule: &ReplaySchedule,
+    population: usize,
+    sim: &mut Sim<'_, S>,
+) -> Result<(), LoadGenError> {
+    let mut next_sample_id = 0u64;
+    let mut next = 0usize;
+    if schedule.arrivals.is_empty() {
+        return Ok(());
+    }
+    sim.schedule_arrival(schedule.arrivals[0]);
+    while let Some(event) = sim.pop()? {
+        match event.kind {
+            EventKind::Arrival => {
+                let at = schedule.arrivals[next];
+                debug_assert_eq!(at, event.at);
+                // A recorded trace may index a larger QSL than the one it
+                // replays against; fold indices into the population rather
+                // than rejecting the run.
+                let indices: Vec<usize> = schedule.indices[next]
+                    .iter()
+                    .map(|&i| i % population)
+                    .collect();
+                let query = build_query(next as u64, &mut next_sample_id, &indices, at);
+                next += 1;
+                sim.issue(query)?;
+                if next < schedule.arrivals.len() {
+                    sim.schedule_arrival(schedule.arrivals[next]);
+                }
+            }
+            EventKind::Wakeup => sim.wakeup(event.at)?,
+            EventKind::Completion(c) => sim.complete(&c)?,
+        }
+    }
+    Ok(())
 }
 
 fn run_accuracy<S: SimSut + ?Sized>(

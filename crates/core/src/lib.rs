@@ -25,6 +25,9 @@
 //!   accepted by the `*_instrumented` runners.
 //! * [`realtime`] — a thread-based wall-clock issue loop mirroring the C++
 //!   LoadGen's operation, used by the quickstart example and tests.
+//! * [`replay`] — a recorded schedule as a first-class arrival process:
+//!   [`replay::ReplaySchedule`] re-issued through the simulated or
+//!   wall-clock loop with the recorded scenario's validity rules intact.
 //! * [`record`] / [`results`] / [`validate`] — latency bookkeeping, metric
 //!   computation, and the validity rules of Tables III–V.
 //! * [`requirements`] — Table V minimum query/sample counts.
@@ -69,6 +72,7 @@ pub mod qsl;
 pub mod query;
 pub mod realtime;
 pub mod record;
+pub mod replay;
 pub mod requirements;
 pub mod results;
 pub mod scenario;
@@ -80,6 +84,7 @@ pub mod validate;
 pub use config::{TestMode, TestSettings};
 pub use instrument::Instruments;
 pub use query::{Query, QueryId, QuerySample, ResponsePayload, SampleIndex};
+pub use replay::ReplaySchedule;
 pub use results::{ScenarioMetric, TestResult};
 pub use scenario::Scenario;
 pub use time::Nanos;

@@ -180,12 +180,12 @@ where
     ))
 }
 
-fn log_sampler(settings: &TestSettings, probability: f64) -> impl FnMut(u64) -> bool {
+pub(crate) fn log_sampler(settings: &TestSettings, probability: f64) -> impl FnMut(u64) -> bool {
     let mut rng = Rng64::new(settings.seeds.accuracy_seed);
     move |_| probability > 0.0 && rng.next_bool(probability)
 }
 
-fn record_issue_event(sink: &dyn TraceSink, query: &Query, issued_at: Nanos) {
+pub(crate) fn record_issue_event(sink: &dyn TraceSink, query: &Query, issued_at: Nanos) {
     if sink.enabled() {
         sink.record(
             issued_at.as_nanos(),
@@ -221,7 +221,7 @@ fn record_outcome<F: FnMut(u64) -> bool>(
 
 /// Records a ready-made completion (server scenario builds them on worker
 /// threads) plus its trace event.
-fn record_completion<F: FnMut(u64) -> bool>(
+pub(crate) fn record_completion<F: FnMut(u64) -> bool>(
     recorder: &mut Recorder,
     completion: &QueryCompletion,
     scheduled_at: Nanos,

@@ -22,10 +22,14 @@
 //!
 //! `--compare` sniffs its two arguments: BENCH suite JSONs diff via the
 //! bench comparator, metrics snapshots (raw or `netbench --metrics`
-//! documents) diff their shared latency histograms, and anything else is
-//! treated as a pair of detail logs and diffed segment-by-segment at the
-//! nearest-rank quantiles. A regression beyond `--tolerance` (percent at
-//! p99, default 10) exits non-zero with a verdict naming the segment.
+//! documents) diff their shared latency histograms, recorded `MLPR`
+//! traces (alone, together, or against a detail log — the
+//! recorded-vs-replayed audit) diff by workload fingerprint against the
+//! equivalence bound, and anything else is treated as a pair
+//! of detail logs and diffed segment-by-segment at the nearest-rank
+//! quantiles (with the fingerprint rows appended for context). A
+//! regression beyond `--tolerance` (percent at p99, default 10) exits
+//! non-zero with a verdict naming the segment.
 //!
 //! `--check` is the CI stage: it re-analyzes the committed log fixtures
 //! under `results/fixtures/` and asserts the committed
@@ -36,9 +40,10 @@
 
 use mlperf_analysis::{analyze_records, heatmap_jsonl, render_markdown, Analysis};
 use mlperf_loadgen::results::TestResult;
+use mlperf_replay::{fingerprint_of_records, EquivalenceBound, RecordedTrace, TraceFingerprint};
 use mlperf_trace::bench::{self, BenchReport};
-use mlperf_trace::event::parse_detail_log;
 use mlperf_trace::flight::parse_flight_dump;
+use mlperf_trace::reader::read_detail_log_str;
 use mlperf_trace::{FromJson, JsonValue, MetricsSnapshot, ToJson, TraceRecord};
 use std::process::ExitCode;
 
@@ -61,19 +66,13 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-/// Loads a detail log or flight dump; returns the records plus any extra
-/// issue texts recovered from the artifact itself (the dump reason).
+/// Loads a detail log or flight dump via the shared `mlperf-trace` reader;
+/// returns the records plus any extra issue texts recovered from the
+/// artifact itself (the dump reason).
 fn load_records(path: &str) -> Result<(Vec<TraceRecord>, Vec<String>), String> {
     let text = read(path)?;
-    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-    if first.contains("\"flight_dump\"") {
-        let dump = parse_flight_dump(&text).map_err(|e| format!("{path}: bad flight dump: {e}"))?;
-        Ok((dump.records, vec![dump.reason]))
-    } else {
-        let records =
-            parse_detail_log(&text).map_err(|e| format!("{path}: bad detail log: {e}"))?;
-        Ok((records, Vec::new()))
-    }
+    let log = read_detail_log_str(&text).map_err(|e| format!("{path}: bad detail log: {e}"))?;
+    Ok((log.records, log.issues))
 }
 
 /// Validity issue texts from a saved `TestResult` JSON (`--outcome`).
@@ -102,11 +101,21 @@ enum Comparable {
     Bench(BenchReport),
     Metrics(MetricsSnapshot),
     Log(Vec<TraceRecord>),
+    Trace(RecordedTrace),
 }
 
 /// Sniffs one `--compare` argument by shape, not extension.
 fn load_comparable(path: &str) -> Result<Comparable, String> {
-    let text = read(path)?;
+    // Recorded traces are the one binary artifact; sniff the magic before
+    // asking for UTF-8.
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(&mlperf_replay::MAGIC) {
+        let trace = RecordedTrace::decode(&bytes)
+            .map_err(|e| format!("{path}: bad recorded trace: {e}"))?;
+        return Ok(Comparable::Trace(trace));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|e| format!("{path}: not UTF-8 or a recorded trace: {e}"))?;
     if let Ok(doc) = JsonValue::parse(&text) {
         if doc.get("benches").is_some() {
             let report = BenchReport::from_json_value(&doc)
@@ -146,6 +155,26 @@ fn load_comparable(path: &str) -> Result<Comparable, String> {
     Ok(Comparable::Log(records))
 }
 
+/// Prints the workload-fingerprint distance between two artifacts and
+/// judges it against the equivalence bound. Returns true when every axis
+/// is within bound.
+fn fingerprint_diff(base: &TraceFingerprint, cand: &TraceFingerprint) -> bool {
+    let d = base.distance(cand);
+    println!("workload fingerprint distance:");
+    for (name, value) in d.rows() {
+        println!("  {name:<18} {value:.4}");
+    }
+    match EquivalenceBound::default().check(&d) {
+        Ok(()) => true,
+        Err(violations) => {
+            for v in violations {
+                println!("  out of bound: {v}");
+            }
+            false
+        }
+    }
+}
+
 /// Cross-run diff; returns false when a regression beyond the tolerance
 /// was flagged.
 fn run_compare(base_path: &str, cand_path: &str, tolerance_pct: f64) -> Result<bool, String> {
@@ -160,6 +189,31 @@ fn run_compare(base_path: &str, cand_path: &str, tolerance_pct: f64) -> Result<b
         (Comparable::Metrics(old), Comparable::Metrics(new)) => {
             mlperf_analysis::diff_metrics(old, new, tolerance_pct)
         }
+        // A recorded trace against a recorded trace (e.g. full vs
+        // reduced), or against a detail log (recorded vs replayed): the
+        // diff is the workload fingerprint itself.
+        (Comparable::Trace(old), Comparable::Trace(new)) => {
+            println!(
+                "compare: {} vs {} ({} vs {} recorded queries)",
+                base_path,
+                cand_path,
+                old.queries.len(),
+                new.queries.len()
+            );
+            return Ok(fingerprint_diff(&old.fingerprint(), &new.fingerprint()));
+        }
+        (Comparable::Trace(trace), Comparable::Log(records)) => {
+            println!("compare: {base_path} (recorded trace) vs {cand_path} (detail log)");
+            let fp = fingerprint_of_records(records)
+                .ok_or_else(|| format!("{cand_path}: no issued queries to fingerprint"))?;
+            return Ok(fingerprint_diff(&trace.fingerprint(), &fp));
+        }
+        (Comparable::Log(records), Comparable::Trace(trace)) => {
+            println!("compare: {base_path} (detail log) vs {cand_path} (recorded trace)");
+            let fp = fingerprint_of_records(records)
+                .ok_or_else(|| format!("{base_path}: no issued queries to fingerprint"))?;
+            return Ok(fingerprint_diff(&fp, &trace.fingerprint()));
+        }
         (Comparable::Log(old), Comparable::Log(new)) => {
             let base_paths = mlperf_analysis::query_paths(old);
             let cand_paths = mlperf_analysis::query_paths(new);
@@ -168,7 +222,7 @@ fn run_compare(base_path: &str, cand_path: &str, tolerance_pct: f64) -> Result<b
         _ => {
             return Err(format!(
                 "--compare needs two artifacts of the same kind \
-(bench JSON, metrics JSON, or detail log): {base_path} vs {cand_path}"
+(bench JSON, metrics JSON, recorded trace, or detail log): {base_path} vs {cand_path}"
             ))
         }
     };
@@ -185,6 +239,16 @@ fn run_compare(base_path: &str, cand_path: &str, tolerance_pct: f64) -> Result<b
             if row.delta_p99_ns >= 0 { "+" } else { "" },
             row.delta_p99_pct,
         );
+    }
+    // The segment diff answers "where did the time go"; the fingerprint
+    // rows answer "is it even the same workload". Informational here —
+    // the verdict stays with the segment tolerance.
+    if let (Comparable::Log(old), Comparable::Log(new)) = (&base, &cand) {
+        if let (Some(old_fp), Some(new_fp)) =
+            (fingerprint_of_records(old), fingerprint_of_records(new))
+        {
+            fingerprint_diff(&old_fp, &new_fp);
+        }
     }
     println!("verdict: {}", diff.verdict);
     Ok(diff.regressed.is_empty())

@@ -4,17 +4,19 @@
 //! ```text
 //! trace run [--scenario single-stream|multistream|server|offline]
 //!           [--trace <path>] [--trace-format jsonl|chrome]
-//!           [--tenants <n>] [--profile] [--collapsed <path>]
+//!           [--tenants <n>] [--queries <n>] [--profile] [--collapsed <path>]
 //!           [--timeseries <path>] [--timeseries-format jsonl|csv]
 //!           [--interval-ms <n>] [--metrics <path>]
 //! trace summary <detail.jsonl>
 //! ```
 //!
 //! `run` records every LoadGen and device event (issue, batch, DVFS,
-//! completion, validity) of one smoke run. With `--trace-format chrome` the
+//! completion, validity) of one smoke run; `--queries` overrides the
+//! scenario's smoke-scale minimum query count (e.g. a 100k-query detail
+//! log as a record–reduce–replay corpus). With `--trace-format chrome` the
 //! output loads directly into `chrome://tracing` or Perfetto; `jsonl` writes
 //! the `mlperf_log_detail` analog that `summary` (and
-//! `mlperf_trace::parse_detail_log`) read back.
+//! `mlperf_trace::read_detail_log`) read back.
 //!
 //! `--tenants N` (server scenario only) runs N concurrent server streams
 //! against one shared device via the multitenancy extension. `--profile`
@@ -35,8 +37,8 @@ use mlperf_models::{TaskId, Workload};
 use mlperf_sut::device::{Architecture, DeviceSpec, ThermalModel};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_trace::{
-    chrome_trace_json, parse_detail_log, profile, JsonValue, LogHistogram, MetricsRegistry,
-    RingBufferSink, TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
+    chrome_trace_json, profile, JsonValue, LogHistogram, MetricsRegistry, RingBufferSink,
+    TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,7 +47,7 @@ use std::time::Instant;
 const USAGE: &str = "usage:
   trace run [--scenario single-stream|multistream|server|offline] \\
             [--trace <path>] [--trace-format jsonl|chrome] \\
-            [--tenants <n>] [--profile] [--collapsed <path>] \\
+            [--tenants <n>] [--queries <n>] [--profile] [--collapsed <path>] \\
             [--timeseries <path>] [--timeseries-format jsonl|csv] \\
             [--interval-ms <n>] [--metrics <path>]
   trace summary <detail.jsonl>";
@@ -66,7 +68,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn settings_for(scenario: &str) -> Result<TestSettings, String> {
+fn settings_for(scenario: &str, queries: Option<u64>) -> Result<TestSettings, String> {
     let settings = match scenario {
         "single-stream" => TestSettings::single_stream().with_min_query_count(256),
         "multistream" => {
@@ -77,6 +79,10 @@ fn settings_for(scenario: &str) -> Result<TestSettings, String> {
         }
         "offline" => TestSettings::offline(),
         other => return Err(format!("unknown scenario `{other}`\n{USAGE}")),
+    };
+    let settings = match queries {
+        Some(n) => settings.with_min_query_count(n),
+        None => settings,
     };
     Ok(settings.with_min_duration(Nanos::from_millis(1)))
 }
@@ -92,6 +98,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut timeseries_format = "jsonl".to_string();
     let mut interval_ms = 100u64;
     let mut metrics_path: Option<String> = None;
+    let mut queries: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| {
@@ -126,6 +133,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         format!("--interval-ms needs a positive integer, got `{v}`")
                     })?;
             }
+            "--queries" => {
+                let v = value_of("--queries")?;
+                queries = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--queries needs a positive integer, got `{v}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -141,7 +157,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Err("--tenants requires --scenario server".to_string());
     }
 
-    let settings = settings_for(&scenario)?;
+    let settings = settings_for(&scenario, queries)?;
     let sink = Arc::new(RingBufferSink::unbounded());
     let registry = Arc::new(MetricsRegistry::new());
     let sampler = TimeSeriesSampler::new(interval_ms.saturating_mul(1_000_000));
@@ -306,9 +322,8 @@ fn cmd_summary(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err(USAGE.to_string());
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let records = parse_detail_log(&text).map_err(|e| format!("malformed detail log: {e}"))?;
-    print!("{}", summarize(&records));
+    let log = mlperf_trace::read_detail_log(path).map_err(|e| e.to_string())?;
+    print!("{}", summarize(&log.records));
     Ok(())
 }
 
@@ -382,8 +397,10 @@ mod tests {
     #[test]
     fn every_scenario_has_settings() {
         for scenario in ["single-stream", "multistream", "server", "offline"] {
-            settings_for(scenario).expect("known scenario");
+            settings_for(scenario, None).expect("known scenario");
         }
-        assert!(settings_for("bogus").is_err());
+        assert!(settings_for("bogus", None).is_err());
+        let bumped = settings_for("server", Some(123_456)).expect("known scenario");
+        assert_eq!(bumped.min_query_count, 123_456);
     }
 }

@@ -1,0 +1,530 @@
+//! The recorded trace: model and on-disk codec.
+//!
+//! A [`RecordedTrace`] is a standalone benchmark: the arrival process
+//! (per-query inter-arrival deltas), the per-query batch shapes and
+//! sample indices, the observed outcome (latency or error) as the
+//! reference fingerprint, and enough of the original run's settings to
+//! rebuild a [`TestSettings`] whose validity rules match the recording.
+//!
+//! The on-disk format is hand-rolled the way the wire codec is: a `MLPR`
+//! magic, a version, big-endian fixed-width integers, IEEE-754 bit
+//! patterns for floats, length-prefixed UTF-8 strings, and a trailing
+//! CRC-32 over everything before it. Encoding is a pure function of the
+//! struct — byte-reproducibility of the whole record→reduce pipeline
+//! rests on that, so nothing here consults clocks, hashes maps, or pads.
+
+use crate::fingerprint::TraceFingerprint;
+use mlperf_loadgen::replay::ReplaySchedule;
+use mlperf_loadgen::{Nanos, Scenario, TestSettings};
+use mlperf_stats::Percentile;
+use std::fmt;
+
+/// File magic: the first four bytes of every recorded trace.
+pub const MAGIC: [u8; 4] = *b"MLPR";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Sanity cap on the decoded query count (1 billion queries ≈ 30 GB —
+/// anything larger is a corrupt length, not a workload).
+const MAX_QUERIES: u32 = 1_000_000_000;
+
+/// One recorded query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedQuery {
+    /// Nanoseconds since the previous query's arrival (0 for the first).
+    pub delta_ns: u64,
+    /// Observed latency; `None` when the query never resolved.
+    pub latency_ns: Option<u64>,
+    /// Whether the query resolved as an error.
+    pub error: bool,
+    /// The sample indices the query drew.
+    pub indices: Vec<u32>,
+}
+
+/// A recorded workload, standalone and replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    /// The scenario the run was recorded under.
+    pub scenario: Scenario,
+    /// Where the trace came from (a path, a run label); free-form.
+    pub source: String,
+    /// QSL population the sample indices refer to.
+    pub population: u64,
+    /// Samples per query of the recorded settings (max observed batch).
+    pub samples_per_query: u32,
+    /// The recorded run's per-query latency bound.
+    pub target_latency_ns: u64,
+    /// The percentile that bound applies to (e.g. 99.0).
+    pub target_percentile: f64,
+    /// Mean arrival rate over the recording, queries/second.
+    pub server_target_qps: f64,
+    /// The recorded run's error-fraction tolerance.
+    pub max_error_fraction: f64,
+    /// Median inter-arrival gap (the multistream interval analog).
+    pub interval_ns: u64,
+    /// True when the recorder had no QSL seed and drew indices from a
+    /// fallback seed instead of reconstructing the original draw.
+    pub synthetic_indices: bool,
+    /// The queries, in arrival order.
+    pub queries: Vec<RecordedQuery>,
+}
+
+/// Why a byte stream is not a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The magic bytes are wrong — not a recorded trace at all.
+    BadMagic,
+    /// A version this build does not speak.
+    BadVersion(u16),
+    /// The buffer ended before the structure did.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// The trailing checksum does not match the content.
+    BadCrc {
+        /// Checksum recorded in the file.
+        expect: u32,
+        /// Checksum of the actual bytes.
+        got: u32,
+    },
+    /// A structurally impossible value (bad scenario code, oversized
+    /// count, non-UTF-8 string).
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a recorded trace (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated trace: needed {need} bytes, {have} left")
+            }
+            CodecError::BadCrc { expect, got } => {
+                write!(
+                    f,
+                    "trace checksum mismatch: file says {expect:#010x}, content is {got:#010x}"
+                )
+            }
+            CodecError::Malformed(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3), table generated at compile time. Same polynomial
+/// as the wire frame codec; duplicated here so the trace format does not
+/// drag in the transport layer.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn scenario_code(s: Scenario) -> u8 {
+    match s {
+        Scenario::SingleStream => 0,
+        Scenario::MultiStream => 1,
+        Scenario::Server => 2,
+        Scenario::Offline => 3,
+    }
+}
+
+fn scenario_from_code(code: u8) -> Result<Scenario, CodecError> {
+    match code {
+        0 => Ok(Scenario::SingleStream),
+        1 => Ok(Scenario::MultiStream),
+        2 => Ok(Scenario::Server),
+        3 => Ok(Scenario::Offline),
+        other => Err(CodecError::Malformed(format!("scenario code {other}"))),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated {
+                need: n,
+                have: self.buf.len() - self.pos,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Malformed("non-UTF-8 string".into()))
+    }
+}
+
+impl RecordedTrace {
+    /// Encodes the trace to its canonical byte form.
+    ///
+    /// The same struct always encodes to the same bytes; the round-trip
+    /// audit's byte-reproducibility checks compare these directly.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.queries.len() * 24);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.push(scenario_code(self.scenario));
+        out.push(u8::from(self.synthetic_indices));
+        out.extend_from_slice(&self.population.to_be_bytes());
+        out.extend_from_slice(&self.samples_per_query.to_be_bytes());
+        out.extend_from_slice(&self.target_latency_ns.to_be_bytes());
+        out.extend_from_slice(&self.target_percentile.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.server_target_qps.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.max_error_fraction.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.interval_ns.to_be_bytes());
+        out.extend_from_slice(&(self.source.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.source.as_bytes());
+        out.extend_from_slice(&(self.queries.len() as u32).to_be_bytes());
+        for q in &self.queries {
+            out.extend_from_slice(&q.delta_ns.to_be_bytes());
+            out.extend_from_slice(&q.latency_ns.unwrap_or(u64::MAX).to_be_bytes());
+            out.push(u8::from(q.error));
+            out.extend_from_slice(&(q.indices.len() as u32).to_be_bytes());
+            for &i in &q.indices {
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Decodes a trace from bytes, verifying magic, version, structure,
+    /// and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] naming exactly what is wrong; a trace
+    /// that decodes is structurally sound.
+    pub fn decode(bytes: &[u8]) -> Result<RecordedTrace, CodecError> {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if bytes.len() < MAGIC.len() + 2 + 4 {
+            return Err(CodecError::Truncated {
+                need: MAGIC.len() + 6,
+                have: bytes.len(),
+            });
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let expect = u32::from_be_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let got = crc32(body);
+        if expect != got {
+            return Err(CodecError::BadCrc { expect, got });
+        }
+        let mut r = Reader {
+            buf: body,
+            pos: MAGIC.len(),
+        };
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let scenario = scenario_from_code(r.u8()?)?;
+        let synthetic_indices = r.u8()? != 0;
+        let population = r.u64()?;
+        let samples_per_query = r.u32()?;
+        let target_latency_ns = r.u64()?;
+        let target_percentile = r.f64()?;
+        let server_target_qps = r.f64()?;
+        let max_error_fraction = r.f64()?;
+        let interval_ns = r.u64()?;
+        let source = r.string()?;
+        let count = r.u32()?;
+        if count > MAX_QUERIES {
+            return Err(CodecError::Malformed(format!("query count {count}")));
+        }
+        let mut queries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let delta_ns = r.u64()?;
+            let latency = r.u64()?;
+            let error = r.u8()? != 0;
+            let index_count = r.u32()? as usize;
+            let mut indices = Vec::with_capacity(index_count);
+            for _ in 0..index_count {
+                indices.push(r.u32()?);
+            }
+            queries.push(RecordedQuery {
+                delta_ns,
+                latency_ns: (latency != u64::MAX).then_some(latency),
+                error,
+                indices,
+            });
+        }
+        if r.pos != body.len() {
+            return Err(CodecError::Malformed(format!(
+                "{} trailing bytes after the last query",
+                body.len() - r.pos
+            )));
+        }
+        Ok(RecordedTrace {
+            scenario,
+            source,
+            population,
+            samples_per_query,
+            target_latency_ns,
+            target_percentile,
+            server_target_qps,
+            max_error_fraction,
+            interval_ns,
+            synthetic_indices,
+            queries,
+        })
+    }
+
+    /// Arrival times (nanoseconds since the first arrival), the
+    /// cumulative sum of the deltas.
+    #[must_use]
+    pub fn arrivals(&self) -> Vec<u64> {
+        let mut at = 0u64;
+        self.queries
+            .iter()
+            .map(|q| {
+                at = at.saturating_add(q.delta_ns);
+                at
+            })
+            .collect()
+    }
+
+    /// Span from first to last arrival.
+    #[must_use]
+    pub fn duration(&self) -> Nanos {
+        Nanos::from_nanos(self.arrivals().last().copied().unwrap_or(0))
+    }
+
+    /// The trace's statistical identity (arrival process + observed
+    /// latency distribution + index profile).
+    #[must_use]
+    pub fn fingerprint(&self) -> TraceFingerprint {
+        let arrivals = self.arrivals();
+        let ok_latencies: Vec<u64> = self
+            .queries
+            .iter()
+            .filter(|q| !q.error)
+            .filter_map(|q| q.latency_ns)
+            .collect();
+        let errors = self.queries.iter().filter(|q| q.error).count() as u64;
+        let indices: Vec<u32> = self
+            .queries
+            .iter()
+            .flat_map(|q| q.indices.iter().copied())
+            .collect();
+        TraceFingerprint::from_parts(&arrivals, &ok_latencies, errors, &indices, self.population)
+    }
+
+    /// The schedule a replay runner re-issues.
+    #[must_use]
+    pub fn replay_schedule(&self) -> ReplaySchedule {
+        ReplaySchedule {
+            scenario: self.scenario,
+            arrivals: self.arrivals().into_iter().map(Nanos::from_nanos).collect(),
+            indices: self
+                .queries
+                .iter()
+                .map(|q| q.indices.iter().map(|&i| i as usize).collect())
+                .collect(),
+        }
+    }
+
+    /// Settings under which a replay of this trace is judged: the
+    /// recorded scenario's rules, sized to the trace (a complete replay
+    /// is never `TooFewQueries`/`RunTooShort`, an incomplete one is).
+    #[must_use]
+    pub fn replay_settings(&self) -> TestSettings {
+        let qps = if self.server_target_qps.is_finite() && self.server_target_qps > 0.0 {
+            self.server_target_qps
+        } else {
+            1.0
+        };
+        let interval = if self.interval_ns > 0 {
+            Nanos::from_nanos(self.interval_ns)
+        } else {
+            Nanos::from_millis(50)
+        };
+        let bound = Nanos::from_nanos(self.target_latency_ns.max(1));
+        let base = match self.scenario {
+            Scenario::SingleStream => TestSettings::single_stream(),
+            Scenario::MultiStream => {
+                TestSettings::multi_stream(self.samples_per_query.max(1) as usize, interval)
+            }
+            Scenario::Server => TestSettings::server(qps, bound),
+            Scenario::Offline => {
+                let samples: u64 = self.queries.iter().map(|q| q.indices.len() as u64).sum();
+                TestSettings::offline().with_offline_min_sample_count(samples.max(1))
+            }
+        };
+        let mut settings = base
+            .with_min_query_count(self.queries.len() as u64)
+            .with_min_duration(self.duration())
+            .with_max_error_fraction(self.max_error_fraction);
+        if matches!(self.scenario, Scenario::Server) {
+            settings = settings.with_target_latency(bound).with_latency_percentile(
+                Percentile::new(self.target_percentile).unwrap_or(Percentile::P99),
+            );
+        }
+        settings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_trace(n: usize) -> RecordedTrace {
+        RecordedTrace {
+            scenario: Scenario::Server,
+            source: "test".into(),
+            population: 64,
+            samples_per_query: 1,
+            target_latency_ns: 50_000_000,
+            target_percentile: 99.0,
+            server_target_qps: 1_000.0,
+            max_error_fraction: 0.0,
+            interval_ns: 1_000_000,
+            synthetic_indices: false,
+            queries: (0..n)
+                .map(|i| RecordedQuery {
+                    delta_ns: if i == 0 {
+                        0
+                    } else {
+                        1_000_000 + (i as u64 % 7) * 1_000
+                    },
+                    latency_ns: Some(300_000 + (i as u64 % 13) * 10_000),
+                    error: i % 50 == 49,
+                    indices: vec![(i % 64) as u32],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let trace = sample_trace(200);
+        let bytes = trace.encode();
+        let back = RecordedTrace::decode(&bytes).expect("decodes");
+        assert_eq!(back, trace);
+        // Canonical: re-encoding is byte-identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let trace = sample_trace(20);
+        let bytes = trace.encode();
+
+        assert_eq!(RecordedTrace::decode(b"nope"), Err(CodecError::BadMagic));
+
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() / 2);
+        assert!(matches!(
+            RecordedTrace::decode(&truncated),
+            Err(CodecError::BadCrc { .. }) | Err(CodecError::Truncated { .. })
+        ));
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            RecordedTrace::decode(&flipped),
+            Err(CodecError::BadCrc { .. })
+        ));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[5] = 99; // version low byte
+        let body_len = wrong_version.len() - 4;
+        let crc = crc32(&wrong_version[..body_len]).to_be_bytes();
+        wrong_version[body_len..].copy_from_slice(&crc);
+        assert_eq!(
+            RecordedTrace::decode(&wrong_version),
+            Err(CodecError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn arrivals_are_cumulative() {
+        let trace = sample_trace(5);
+        let arrivals = trace.arrivals();
+        assert_eq!(arrivals.len(), 5);
+        assert_eq!(arrivals[0], 0);
+        assert!(arrivals.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(trace.duration().as_nanos(), *arrivals.last().unwrap());
+    }
+
+    #[test]
+    fn replay_settings_validate_for_every_scenario() {
+        for scenario in Scenario::ALL {
+            let mut trace = sample_trace(100);
+            trace.scenario = scenario;
+            if matches!(scenario, Scenario::Offline) {
+                // Offline records as one big query.
+                trace.queries.truncate(1);
+                trace.queries[0].indices = (0..256).collect();
+            }
+            let settings = trace.replay_settings();
+            settings.validate().unwrap_or_else(|e| {
+                panic!("replay settings for {scenario:?} do not validate: {e}")
+            });
+            let schedule = trace.replay_schedule();
+            schedule.validate().expect("schedule validates");
+            assert_eq!(schedule.scenario, scenario);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! KS-style equivalence testing on nearest-rank quantile grids.
+//!
+//! The record–reduce–replay subsystem needs a yes/no answer to "are these
+//! two distributions the same workload?" that uses the *same* percentile
+//! rule as the validity checks — nearest rank, never interpolation — so a
+//! reduced trace that passes the equivalence bound cannot flip a verdict
+//! purely through percentile-convention mismatch.
+//!
+//! Everything here is a pure function over already-collected samples:
+//!
+//! * [`grid_quantiles`] — one nearest-rank quantile per grid point.
+//! * [`max_rel_gap`] — worst relative gap between two quantile vectors
+//!   (the KS statistic restricted to the grid, measured horizontally).
+//! * [`cdf_distance`] — classic KS max-CDF-gap between two histograms on
+//!   a shared bucket grid (rate shape, sample-index profile).
+//! * [`cv_squared`] — squared coefficient of variation, the
+//!   index-of-dispersion-style burstiness of an inter-arrival process
+//!   (1.0 for Poisson, 0 for a metronome, >1 for bursty).
+
+use crate::percentile::Percentile;
+
+/// The fixed percentile grid fingerprints are evaluated on. Chosen to
+/// bracket both tails without reaching past what a few hundred samples
+/// can estimate (p99 is the highest rank validation itself uses).
+pub const QUANTILE_GRID: [f64; 9] = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
+
+/// Nearest-rank quantiles of `samples` at each percentile in `grid`.
+///
+/// Sorting happens here; pass raw samples. Returns an empty vector for an
+/// empty sample set (the caller decides what "no data" means).
+#[must_use]
+pub fn grid_quantiles(samples: &[u64], grid: &[f64]) -> Vec<u64> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    grid.iter()
+        .map(|&p| {
+            Percentile::new(p)
+                .expect("quantile grid percentiles are in (0, 100]")
+                .of_sorted(&sorted)
+        })
+        .collect()
+}
+
+/// Relative gap between two scalars: `|a - b| / max(|a|, |b|)`.
+///
+/// Symmetric, and 0 when both are 0 (two empty signals agree).
+#[must_use]
+pub fn rel_gap(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Worst per-point relative gap between two quantile vectors.
+///
+/// Both empty → 0 (vacuously equivalent); mismatched lengths or exactly
+/// one empty → 1.0, the maximum distance (different grids are never
+/// equivalent).
+#[must_use]
+pub fn max_rel_gap(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.len() != b.len() {
+        return 1.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| rel_gap(x as f64, y as f64))
+        .fold(0.0, f64::max)
+}
+
+/// KS distance between two histograms sharing one bucket grid: the
+/// maximum absolute gap between their normalized CDFs, in `[0, 1]`.
+///
+/// Both empty (or both all-zero) → 0; mismatched lengths or exactly one
+/// all-zero → 1.0.
+#[must_use]
+pub fn cdf_distance(a: &[f64], b: &[f64]) -> f64 {
+    let (sa, sb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+    if sa == 0.0 && sb == 0.0 {
+        return 0.0;
+    }
+    if a.len() != b.len() || sa == 0.0 || sb == 0.0 {
+        return 1.0;
+    }
+    let (mut ca, mut cb, mut worst) = (0.0_f64, 0.0_f64, 0.0_f64);
+    for (&x, &y) in a.iter().zip(b) {
+        ca += x / sa;
+        cb += y / sb;
+        worst = worst.max((ca - cb).abs());
+    }
+    worst
+}
+
+/// KS-style probability distance between two distributions summarised by
+/// their nearest-rank quantiles on a shared percentile grid.
+///
+/// For each grid point, asks *where the other distribution would place
+/// this quantile value*: if `a`'s p-th quantile falls inside `b`'s
+/// bracketing grid band around p, the point contributes 0; otherwise it
+/// contributes the probability-mass distance (as a fraction of 1) from p
+/// to the nearest band edge. Symmetric; the maximum over all grid points
+/// of both directions is returned.
+///
+/// This is the vertical (probability-axis) reading of the KS statistic,
+/// where [`max_rel_gap`] is the horizontal (value-axis) one. It is the
+/// right rule for heavy-tailed positive data such as inter-arrival gaps:
+/// a reduced trace whose p1 gap is 4 µs instead of 2 µs is probabilistically
+/// adjacent (the value sits at the original's p5) even though the relative
+/// value gap is 0.5.
+///
+/// Both empty → 0; mismatched lengths (or one empty) → 1.0.
+#[must_use]
+pub fn quantile_band_distance(a: &[u64], b: &[u64], grid: &[f64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.len() != b.len() || a.len() != grid.len() {
+        return 1.0;
+    }
+    fn one_way(a: &[u64], b: &[u64], grid: &[f64]) -> f64 {
+        let mut worst = 0.0_f64;
+        for (&v, &p) in a.iter().zip(grid) {
+            // The probability band v occupies in b: from the largest grid
+            // point whose b-quantile is <= v (0 if none) to the smallest
+            // whose b-quantile is >= v (100 if none). Quantiles are
+            // non-decreasing, so the band brackets P_b(v).
+            let lower = b
+                .iter()
+                .zip(grid)
+                .rev()
+                .find(|&(&q, _)| q <= v)
+                .map_or(0.0, |(_, &g)| g);
+            let upper = b
+                .iter()
+                .zip(grid)
+                .find(|&(&q, _)| q >= v)
+                .map_or(100.0, |(_, &g)| g);
+            // Ties in b's quantiles can put `lower` past `upper`; the band
+            // is their envelope either way.
+            let (band_lo, band_hi) = (lower.min(upper), lower.max(upper));
+            let gap = if p < band_lo {
+                band_lo - p
+            } else if p > band_hi {
+                p - band_hi
+            } else {
+                0.0
+            };
+            worst = worst.max(gap / 100.0);
+        }
+        worst
+    }
+    one_way(a, b, grid).max(one_way(b, a, grid))
+}
+
+/// Squared coefficient of variation of a sample set: `var / mean^2`.
+///
+/// On inter-arrival deltas this is the standard burstiness index — an
+/// exponential (Poisson process) scores 1, a fixed interval scores 0,
+/// heavy-tailed gaps score above 1. Fewer than two samples → 0.
+#[must_use]
+pub fn cv_squared(samples: &[u64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = samples
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var / (mean * mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_quantiles_match_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let q = grid_quantiles(&samples, &QUANTILE_GRID);
+        // rank = ceil(p/100 * 100) = p for integer percentiles.
+        let expect: Vec<u64> = QUANTILE_GRID.iter().map(|&p| p as u64).collect();
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn grid_quantiles_empty() {
+        assert!(grid_quantiles(&[], &QUANTILE_GRID).is_empty());
+    }
+
+    #[test]
+    fn rel_gap_symmetric_and_zero_safe() {
+        assert_eq!(rel_gap(0.0, 0.0), 0.0);
+        assert!((rel_gap(100.0, 150.0) - rel_gap(150.0, 100.0)).abs() < 1e-12);
+        assert!((rel_gap(100.0, 150.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rel_gap_rules() {
+        assert_eq!(max_rel_gap(&[], &[]), 0.0);
+        assert_eq!(max_rel_gap(&[1], &[]), 1.0);
+        assert_eq!(max_rel_gap(&[1, 2], &[1]), 1.0);
+        assert_eq!(max_rel_gap(&[100, 200], &[100, 200]), 0.0);
+        assert!((max_rel_gap(&[100, 200], &[100, 100]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_distance_identical_and_disjoint() {
+        assert_eq!(cdf_distance(&[], &[]), 0.0);
+        assert_eq!(cdf_distance(&[1.0, 2.0], &[2.0, 4.0]), 0.0);
+        // All mass in opposite buckets: maximum distance.
+        assert!((cdf_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf_distance(&[1.0], &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn quantile_band_distance_rules() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let q = grid_quantiles(&samples, &QUANTILE_GRID);
+        // Identical quantiles: zero distance.
+        assert_eq!(quantile_band_distance(&q, &q, &QUANTILE_GRID), 0.0);
+        assert_eq!(quantile_band_distance(&[], &[], &QUANTILE_GRID), 0.0);
+        assert_eq!(quantile_band_distance(&q, &[], &QUANTILE_GRID), 1.0);
+
+        // A thinned re-sample whose p1 lands at the original's p5 value:
+        // huge relative gap, but probabilistically adjacent.
+        let mut shifted = q.clone();
+        shifted[0] = q[1]; // p1 slot holds the p5 value
+        let d = quantile_band_distance(&q, &shifted, &QUANTILE_GRID);
+        assert!(d <= 0.05, "adjacent-band shift should be small, got {d}");
+
+        // A 10x scale shift pushes mid quantiles past the other tail.
+        let scaled: Vec<u64> = q.iter().map(|&v| v * 10).collect();
+        let d = quantile_band_distance(&q, &scaled, &QUANTILE_GRID);
+        assert!(d > 0.4, "scale shift should be far, got {d}");
+    }
+
+    #[test]
+    fn cv_squared_poisson_like_vs_metronome() {
+        // Fixed interval: zero burstiness.
+        assert_eq!(cv_squared(&[50, 50, 50, 50]), 0.0);
+        // Exponential-ish samples land near 1. Use a deterministic
+        // geometric-flavoured set and just assert "clearly bursty".
+        let bursty = [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 91];
+        assert!(cv_squared(&bursty) > 1.0);
+        assert_eq!(cv_squared(&[7]), 0.0);
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`confidence`] — the query-count mathematics of the paper's Table IV:
 //!   Equation 1 (margin) and Equation 2 (number of queries), the inverse
 //!   normal CDF they require, and the rounding rule to multiples of `2^13`.
+//! * [`equiv`] — KS-style distribution-equivalence distances on
+//!   nearest-rank quantile grids, the rule the record–reduce–replay
+//!   subsystem uses to certify that a reduced trace still *is* the
+//!   recorded workload.
 //!
 //! # Examples
 //!
@@ -33,9 +37,13 @@
 
 pub mod confidence;
 pub mod dist;
+pub mod equiv;
 pub mod percentile;
 pub mod rng;
 
 pub use confidence::{Confidence, QueryCountPlan, TailLatency};
+pub use equiv::{
+    cdf_distance, cv_squared, grid_quantiles, max_rel_gap, quantile_band_distance, QUANTILE_GRID,
+};
 pub use percentile::Percentile;
 pub use rng::Rng64;

@@ -26,6 +26,9 @@
 //!   event stream into a `chrome://tracing` / Perfetto-loadable timeline.
 //! * [`flight`] — [`flight::FlightRecorder`], a bounded ring of recent
 //!   events dumped as a post-mortem when a run ends INVALID or aborts.
+//! * [`reader`] — [`reader::read_detail_log`], the one place that sniffs
+//!   a detail-log artifact's shape (plain JSONL vs flight dump) for every
+//!   consumer of recorded runs.
 //! * [`metrics`] — [`metrics::MetricsRegistry`] with counters, gauges, and
 //!   the mergeable log-bucketed [`metrics::LogHistogram`].
 //! * [`profile`] — the *wall-clock* side of observability: a hierarchical
@@ -66,6 +69,7 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod reader;
 pub mod timeseries;
 
 pub use bench::{BenchComparison, BenchEntry, BenchReport};
@@ -77,4 +81,5 @@ pub use flight::{parse_flight_dump, FlightDump, FlightRecorder};
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use profile::{SpanGuard, SpanReport, SpanRow};
+pub use reader::{read_detail_log, read_detail_log_str, DetailLog};
 pub use timeseries::{TimeSeriesRow, TimeSeriesSampler};

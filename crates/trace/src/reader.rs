@@ -1,0 +1,173 @@
+//! The one detail-log reader.
+//!
+//! Detail logs reach disk in two shapes: plain JSONL (one
+//! [`TraceRecord`] per line, the `JsonlSink` / logical-log format) and
+//! flight-recorder dumps (the same JSONL body behind a one-line
+//! `{"flight_dump":...}` header carrying the dump reason). Every consumer
+//! — the forensics CLI, the trace recorder, ad-hoc tooling — wants the
+//! same behaviour: sniff the shape, parse the body, and surface whatever
+//! diagnostic context the artifact itself recovered (the dump reason).
+//!
+//! This module is that reader, so the sniffing logic lives in exactly one
+//! place instead of being copy-pasted into each binary.
+
+use crate::event::{parse_detail_log, TraceRecord};
+use crate::flight::parse_flight_dump;
+use crate::json::JsonError;
+use std::fmt;
+use std::path::Path;
+
+/// A parsed detail-log artifact: the records plus any issue texts the
+/// artifact itself carried (a flight dump's reason line; empty for plain
+/// JSONL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailLog {
+    /// Every trace record, in file order.
+    pub records: Vec<TraceRecord>,
+    /// Diagnostic context recovered from the artifact (dump reasons).
+    pub issues: Vec<String>,
+}
+
+/// Why a detail-log artifact could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The file could not be read at all.
+    Io {
+        /// The offending path, as given.
+        path: String,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The contents were not a parseable detail log or flight dump.
+    Parse {
+        /// The offending path (or source label), as given.
+        path: String,
+        /// The underlying JSON error.
+        error: JsonError,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io { path, error } => write!(f, "cannot read {path}: {error}"),
+            ReadError::Parse { path, error } => write!(f, "{path}: bad detail log: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Parses detail-log text, auto-detecting flight-recorder dumps.
+///
+/// The first non-blank line decides: a `{"flight_dump":...}` header makes
+/// the artifact a dump (its reason line lands in [`DetailLog::issues`]);
+/// anything else parses as plain JSONL of trace records.
+///
+/// # Errors
+///
+/// Returns the underlying [`JsonError`] when neither shape parses.
+pub fn read_detail_log_str(text: &str) -> Result<DetailLog, JsonError> {
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    if first.contains("\"flight_dump\"") {
+        let dump = parse_flight_dump(text)?;
+        Ok(DetailLog {
+            records: dump.records,
+            issues: vec![dump.reason],
+        })
+    } else {
+        Ok(DetailLog {
+            records: parse_detail_log(text)?,
+            issues: Vec::new(),
+        })
+    }
+}
+
+/// Reads and parses a detail-log artifact from disk.
+///
+/// # Errors
+///
+/// Returns [`ReadError::Io`] when the file cannot be read and
+/// [`ReadError::Parse`] when its contents are neither a plain detail log
+/// nor a flight dump.
+pub fn read_detail_log(path: impl AsRef<Path>) -> Result<DetailLog, ReadError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|error| ReadError::Io {
+        path: path.display().to_string(),
+        error,
+    })?;
+    read_detail_log_str(&text).map_err(|error| ReadError::Parse {
+        path: path.display().to_string(),
+        error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, TraceSink};
+    use crate::flight::{render_flight_dump, FlightRecorder};
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                ts_ns: 1_000,
+                event: TraceEvent::QueryIssued {
+                    query_id: 7,
+                    sample_count: 1,
+                    delay_ns: 0,
+                },
+            },
+            TraceRecord {
+                ts_ns: 51_000,
+                event: TraceEvent::QueryCompleted {
+                    query_id: 7,
+                    latency_ns: 50_000,
+                },
+            },
+        ]
+    }
+
+    fn render_jsonl(records: &[TraceRecord]) -> String {
+        use crate::json::ToJson;
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&r.to_json_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn reads_plain_jsonl() {
+        let records = sample_records();
+        let log = read_detail_log_str(&render_jsonl(&records)).expect("plain log parses");
+        assert_eq!(log.records, records);
+        assert!(log.issues.is_empty());
+    }
+
+    #[test]
+    fn reads_flight_dump_and_recovers_reason() {
+        let recorder = FlightRecorder::new(8);
+        for r in sample_records() {
+            recorder.record(r.ts_ns, &r.event);
+        }
+        let dump = render_flight_dump("latency bound exceeded", &recorder.snapshot(), 0);
+        let log = read_detail_log_str(&dump).expect("dump parses");
+        assert_eq!(log.records, sample_records());
+        assert_eq!(log.issues, vec!["latency bound exceeded".to_string()]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_detail_log_str("not json at all").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_detail_log("/nonexistent/definitely-not-here.jsonl") {
+            Err(ReadError::Io { .. }) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}
