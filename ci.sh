@@ -27,6 +27,17 @@ echo "== networked chaos smoke (wire faults: integrity + session resume) =="
 # a logical detail log byte-identical to the fault-free baseline.
 cargo run -q --release -p mlperf-harness --bin chaos -- --wire --check > /dev/null
 
+echo "== crash chaos smoke (process-kill quadrant: journal resume is lossless) =="
+# The crash quadrant: four cells, each a real SIGKILL against a journaled
+# wire run halted at a deterministic checkpoint boundary — client killed,
+# daemon killed, both killed, and client killed mid-checkpoint-write (a
+# genuinely torn frame). Each cell restarts the dead processes and resumes
+# from the MLPJ journals; the check asserts every rescued run is VALID
+# with a logical detail-log hash equal to the uninterrupted baseline's,
+# the torn frame is detected exactly where it was inflicted, and the
+# whole matrix renders byte-identically across two builds.
+cargo run -q --release -p mlperf-harness --bin chaos -- --crash --check > /dev/null
+
 echo "== netbench loopback smoke (network SUT: tracing + telemetry + interop) =="
 # Single-process wire smoke: a serving daemon and a RemoteSut client on a
 # loopback socket run the scaled-down offline + server pair twice, asserting
@@ -82,7 +93,12 @@ echo "== bench suite (smoke mode, JSON report) =="
 # MLPERF_REPLAY_OVERHEAD_MAX_PCT bounds the DES replay-vs-native gap in
 # replay_reduce (warn-only — replay has historically been *faster* than
 # the native scheduler, so a warning here means the replay path grew a
-# hot-loop cost).
+# hot-loop cost);
+# MLPERF_JOURNAL_OVERHEAD_MAX_PCT bounds the fsync-free checkpoint
+# serialization tax in journal_overhead (warn-only: the plain DES
+# baseline is ~300 ns/query, so the ratio is noisy by construction —
+# the gate exists to flag a return of the quadratic full-snapshot
+# serialization, which showed up as >16000% before delta frames).
 BENCH_JSON="$(pwd)/target/bench-current.json"
 rm -f "$BENCH_JSON"
 MLPERF_BENCH_JSON="$BENCH_JSON" \
@@ -94,9 +110,10 @@ MLPERF_FAULT_OVERHEAD_MAX_PCT=10 \
 MLPERF_WIRE_OVERHEAD_MAX_PCT=150 \
 MLPERF_WIRE_CHAOS_OVERHEAD_MAX_PCT=25 \
 MLPERF_REPLAY_OVERHEAD_MAX_PCT=25 \
+MLPERF_JOURNAL_OVERHEAD_MAX_PCT=2000 \
 cargo bench -p mlperf-bench
 
-if [[ -f BENCH_PR9.json ]]; then
+if [[ -f BENCH_PR10.json ]]; then
   echo "== bench-compare vs committed baseline (hot-path + trace-overhead gates fail) =="
   # The loadgen hot path (des_*, poisson_schedule, sample_indices) and the
   # trace-overhead trio (run_simulated_*) are HARD gates: a median
@@ -109,9 +126,9 @@ if [[ -f BENCH_PR9.json ]]; then
   # (des_single_stream_10000_queries), so 50% absorbs runner noise while
   # still catching an accidental O(n) slip (those show up as >2x).
   # Refresh the baseline (copy target/bench-current.json over
-  # BENCH_PR9.json) when a slowdown is intentional.
+  # BENCH_PR10.json) when a slowdown is intentional.
   cargo run -q -p mlperf-harness --bin bench-compare -- \
-      "$(pwd)/BENCH_PR9.json" "$BENCH_JSON" --tolerance 50 \
+      "$(pwd)/BENCH_PR10.json" "$BENCH_JSON" --tolerance 50 \
       --fail-on des_server --fail-on des_single_stream \
       --fail-on poisson_schedule --fail-on sample_indices \
       --fail-on run_simulated

@@ -8,6 +8,9 @@
 
 use crate::config::{TestMode, TestSettings};
 use crate::instrument::Instruments;
+use crate::journal::{
+    settings_digest, Checkpoint, JournalConfig, JournaledRun, RunJournal, RunMeta,
+};
 use crate::qsl::QuerySampleLibrary;
 use crate::query::{Query, QueryCompletion};
 use crate::record::{LoggedResponse, QueryRecord, Recorder};
@@ -210,6 +213,44 @@ impl<'a, S: SimSut + ?Sized> Sim<'a, S> {
         profile_span!("loadgen/wakeup");
         let reaction = self.sut.on_wakeup(now);
         self.apply(now, reaction)
+    }
+
+    /// Re-sends a checkpoint's outstanding query to the (reset) SUT
+    /// without touching the recorder or the detail log: the issue already
+    /// happened before the crash and is already recorded; only the SUT's
+    /// side of it needs to run again.
+    fn reissue(&mut self, query: Query) -> Result<(), LoadGenError> {
+        let now = query.scheduled_at;
+        // The resumed process's detail log starts empty, so the re-issue
+        // is re-stamped: every completion the log will carry then has a
+        // matching issue, keeping the TEST06 completeness audit green on
+        // resumed logs.
+        if self.sink.enabled() {
+            self.sink.record(
+                now.as_nanos(),
+                &TraceEvent::QueryIssued {
+                    query_id: query.id,
+                    sample_count: query.sample_count(),
+                    delay_ns: 0,
+                },
+            );
+        }
+        let reaction = self.sut.on_query(now, &query);
+        self.apply(now, reaction)
+    }
+
+    /// Restores the checkpointed recorder and accuracy RNG, then
+    /// re-issues every outstanding query (id order) so their completions
+    /// re-enter the event heap.
+    fn restore(&mut self, cp: &Checkpoint) -> Result<(), LoadGenError> {
+        self.acc_rng = Rng64::from_state(cp.acc_rng);
+        let snapshot = cp.recorder.clone();
+        let outstanding = snapshot.outstanding_queries();
+        self.recorder = Recorder::restore(snapshot);
+        for query in outstanding {
+            self.reissue(query)?;
+        }
+        Ok(())
     }
 
     fn complete(&mut self, completion: &QueryCompletion) -> Result<(), LoadGenError> {
@@ -574,50 +615,121 @@ fn run_single_stream<S: SimSut + ?Sized>(
     Ok(())
 }
 
+/// The server scenario's resumable issue cursor: everything the arrival
+/// loop mutates, in a shape a [`Checkpoint`] can capture and restore.
+pub(crate) struct ServerCursor {
+    pub(crate) qsl_rng: Rng64,
+    pub(crate) arrivals: PoissonProcess,
+    pub(crate) next_sample_id: u64,
+    pub(crate) issued: u64,
+    pub(crate) pending_arrival: Option<Nanos>,
+}
+
+impl ServerCursor {
+    pub(crate) fn fresh(settings: &TestSettings) -> Result<Self, LoadGenError> {
+        let mut arrivals = PoissonProcess::new(
+            settings.server_target_qps,
+            Rng64::new(settings.seeds.schedule_seed),
+        )
+        .map_err(|e| LoadGenError::BadSettings(e.to_string()))?;
+        let first = Nanos::from_secs_f64(arrivals.next().expect("poisson process is infinite"));
+        Ok(Self {
+            qsl_rng: Rng64::new(settings.seeds.qsl_seed),
+            arrivals,
+            next_sample_id: 0,
+            issued: 0,
+            pending_arrival: Some(first),
+        })
+    }
+
+    pub(crate) fn restore(settings: &TestSettings, cp: &Checkpoint) -> Result<Self, LoadGenError> {
+        let arrivals = PoissonProcess::resume(
+            settings.server_target_qps,
+            cp.sched_rng,
+            f64::from_bits(cp.sched_now_bits),
+        )
+        .map_err(|e| LoadGenError::BadSettings(e.to_string()))?;
+        Ok(Self {
+            qsl_rng: Rng64::from_state(cp.qsl_rng),
+            arrivals,
+            next_sample_id: cp.next_sample_id,
+            issued: cp.issued,
+            pending_arrival: cp.pending_arrival,
+        })
+    }
+
+    pub(crate) fn next_arrival(&mut self) -> Nanos {
+        Nanos::from_secs_f64(self.arrivals.next().expect("poisson process is infinite"))
+    }
+}
+
 fn run_server<S: SimSut + ?Sized>(
     settings: &TestSettings,
     population: usize,
     sim: &mut Sim<'_, S>,
 ) -> Result<(), LoadGenError> {
-    let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
-    let mut arrivals = PoissonProcess::new(
-        settings.server_target_qps,
-        Rng64::new(settings.seeds.schedule_seed),
-    )
-    .map_err(|e| LoadGenError::BadSettings(e.to_string()))?
-    .map(Nanos::from_secs_f64);
-    let mut next_sample_id = 0u64;
-    let mut issued = 0u64;
-    let mut pending_arrival: Option<Nanos> =
-        Some(arrivals.next().expect("poisson process is infinite"));
-    if let Some(at) = pending_arrival {
+    let mut cursor = ServerCursor::fresh(settings)?;
+    run_server_loop(settings, population, sim, &mut cursor, &mut None).map(|_| ())
+}
+
+/// The one server-scenario event loop, shared by plain and journaled runs.
+/// With a journal tap attached, a checkpoint is captured every
+/// `checkpoint_every` issued queries; returns `true` when the tap's armed
+/// halt fired (the run stops at that boundary, as a killed process would).
+fn run_server_loop<S: SimSut + ?Sized>(
+    settings: &TestSettings,
+    population: usize,
+    sim: &mut Sim<'_, S>,
+    cursor: &mut ServerCursor,
+    journal: &mut Option<JournalTap<'_>>,
+) -> Result<bool, LoadGenError> {
+    if let Some(at) = cursor.pending_arrival {
         sim.schedule_arrival(at);
     }
     while let Some(event) = sim.pop()? {
         match event.kind {
             EventKind::Arrival => {
-                let at = pending_arrival
+                let at = cursor
+                    .pending_arrival
                     .take()
                     .expect("arrival event without pending arrival");
                 debug_assert_eq!(at, event.at);
-                let indices =
-                    qsl_rng.sample_with_replacement(population, settings.samples_per_query);
-                let query = build_query(issued, &mut next_sample_id, &indices, at);
-                issued += 1;
+                let indices = cursor
+                    .qsl_rng
+                    .sample_with_replacement(population, settings.samples_per_query);
+                let query = build_query(cursor.issued, &mut cursor.next_sample_id, &indices, at);
+                cursor.issued += 1;
                 sim.issue(query)?;
-                let next = arrivals.next().expect("poisson process is infinite");
+                let next = cursor.next_arrival();
                 // Stop issuing once both Table V count and 60-s duration are
                 // satisfied.
-                if issued < settings.min_query_count || next < settings.min_duration {
-                    pending_arrival = Some(next);
+                if cursor.issued < settings.min_query_count || next < settings.min_duration {
+                    cursor.pending_arrival = Some(next);
                     sim.schedule_arrival(next);
+                }
+                if let Some(tap) = journal.as_mut() {
+                    if cursor.issued.is_multiple_of(tap.cfg.checkpoint_every) {
+                        let sched = cursor.arrivals.state();
+                        let halted = tap.capture(
+                            sim,
+                            cursor.issued,
+                            cursor.next_sample_id,
+                            at,
+                            cursor.pending_arrival,
+                            cursor.qsl_rng.state(),
+                            sched,
+                        )?;
+                        if halted {
+                            return Ok(true);
+                        }
+                    }
                 }
             }
             EventKind::Wakeup => sim.wakeup(event.at)?,
             EventKind::Completion(c) => sim.complete(&c)?,
         }
     }
-    Ok(())
+    Ok(false)
 }
 
 fn run_multi_stream<S: SimSut + ?Sized>(
@@ -716,6 +828,249 @@ fn run_offline<S: SimSut + ?Sized>(
     let query = build_query(0, &mut next_sample_id, &indices, Nanos::ZERO);
     sim.issue(query)?;
     drain(sim)
+}
+
+/// The journal attachment a journaled run threads through its issue loop.
+struct JournalTap<'a> {
+    journal: RunJournal,
+    cfg: &'a JournalConfig,
+}
+
+impl JournalTap<'_> {
+    /// Captures one checkpoint; returns `true` when the config's armed
+    /// halt fired at this boundary (clean or torn, per `torn_halt`).
+    #[allow(clippy::too_many_arguments)]
+    fn capture<S: SimSut + ?Sized>(
+        &mut self,
+        sim: &Sim<'_, S>,
+        issued: u64,
+        next_sample_id: u64,
+        wall: Nanos,
+        pending_arrival: Option<Nanos>,
+        qsl_rng: [u64; 4],
+        sched: ([u64; 4], f64),
+    ) -> Result<bool, LoadGenError> {
+        let seq = self.journal.checkpoints;
+        let epoch = self
+            .cfg
+            .epoch_source
+            .as_ref()
+            .map_or(0, |e| e.load(std::sync::atomic::Ordering::SeqCst));
+        let (records_from, accuracy_from) = self.journal.flushed_marks();
+        let cp = Checkpoint {
+            seq,
+            issued,
+            next_sample_id,
+            wall,
+            pending_arrival,
+            qsl_rng,
+            sched_rng: sched.0,
+            sched_now_bits: sched.1.to_bits(),
+            acc_rng: sim.acc_rng.state(),
+            epoch,
+            recorder: sim.recorder.snapshot_suffix(records_from, accuracy_from),
+        };
+        self.journal.append_checkpoint(self.cfg, &cp)
+    }
+}
+
+/// Offline journaled body: one query, one checkpoint right after its
+/// issue, then the completion drain. Resume with a restored recorder
+/// skips the issue entirely (the query is outstanding and was re-issued
+/// during restore) and goes straight to the drain.
+fn run_offline_journaled<S: SimSut + ?Sized>(
+    settings: &TestSettings,
+    population: usize,
+    sim: &mut Sim<'_, S>,
+    tap: &mut JournalTap<'_>,
+    resumed: bool,
+) -> Result<bool, LoadGenError> {
+    if !resumed {
+        let mut qsl_rng = Rng64::new(settings.seeds.qsl_seed);
+        let count = settings.offline_min_sample_count as usize;
+        let indices = qsl_rng.sample_with_replacement(population, count);
+        let mut next_sample_id = 0u64;
+        let query = build_query(0, &mut next_sample_id, &indices, Nanos::ZERO);
+        sim.issue(query)?;
+        let sched_state = ([0u64; 4], 0.0);
+        let halted = tap.capture(
+            sim,
+            1,
+            next_sample_id,
+            Nanos::ZERO,
+            None,
+            qsl_rng.state(),
+            sched_state,
+        )?;
+        if halted {
+            return Ok(true);
+        }
+    }
+    drain(sim)?;
+    Ok(false)
+}
+
+/// Runs a fresh crash-safe benchmark: identical to [`run_instrumented`],
+/// plus a durable run journal at `cfg.path` capturing a [`Checkpoint`]
+/// every `cfg.checkpoint_every` issued queries. A process killed mid-run
+/// leaves a journal [`resume_journaled`] can continue from.
+///
+/// Journaled runs support the server and offline scenarios in performance
+/// mode — the completion-driven scenarios (single-/multi-stream) have no
+/// issue boundary independent of the SUT to checkpoint at.
+///
+/// # Errors
+///
+/// [`LoadGenError::Journal`] on journal I/O failure, plus the
+/// [`run_simulated`] contract.
+pub fn run_journaled<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    instruments: &Instruments<'_>,
+    cfg: &JournalConfig,
+) -> Result<JournaledRun, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    run_journaled_sim(settings, qsl, sut, instruments, cfg, false)
+}
+
+/// Resumes a crash-interrupted run from its journal: rolls back to the
+/// last complete checkpoint (a torn tail is truncated), restores the
+/// scenario cursor, RNG streams, and recorder, re-issues the queries that
+/// were outstanding at the checkpoint, and continues the run — appending
+/// further checkpoints to the same journal.
+///
+/// The resumed run's *logical* detail log (ids, schedule, sample counts,
+/// error flags) is identical to an uninterrupted run's whenever the SUT's
+/// per-query outcome is a function of the query alone; post-crash
+/// latencies are re-derived against the reset SUT and may differ for
+/// stateful (queueing) SUTs.
+///
+/// # Errors
+///
+/// [`LoadGenError::Journal`] when the journal is unreadable or belongs to
+/// a different run (settings/QSL digest mismatch), plus the
+/// [`run_simulated`] contract.
+pub fn resume_journaled<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    instruments: &Instruments<'_>,
+    cfg: &JournalConfig,
+) -> Result<JournaledRun, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    run_journaled_sim(settings, qsl, sut, instruments, cfg, true)
+}
+
+fn run_journaled_sim<Q, S>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: &mut S,
+    instruments: &Instruments<'_>,
+    cfg: &JournalConfig,
+    resume: bool,
+) -> Result<JournaledRun, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+    S: SimSut + ?Sized,
+{
+    profile_span!("loadgen/run_journaled");
+    let sink = instruments.sink;
+    settings.validate()?;
+    if !matches!(settings.mode, TestMode::PerformanceOnly) {
+        return Err(LoadGenError::BadSettings(
+            "journaled runs are performance-mode only".into(),
+        ));
+    }
+    if !matches!(settings.scenario, Scenario::Server | Scenario::Offline) {
+        return Err(LoadGenError::BadSettings(format!(
+            "journaled runs support the server and offline scenarios, not {}",
+            settings.scenario
+        )));
+    }
+    if qsl.total_sample_count() == 0 || qsl.performance_sample_count() == 0 {
+        return Err(LoadGenError::BadQsl(format!(
+            "QSL {} has no samples",
+            qsl.name()
+        )));
+    }
+    sut.reset();
+    let loaded: Vec<usize> = (0..qsl.performance_sample_count()).collect();
+    qsl.load_samples(&loaded);
+    let population = loaded.len();
+
+    let meta = RunMeta {
+        scenario: settings.scenario.to_string(),
+        digest: settings_digest(settings, population as u64),
+        qsl_size: population as u64,
+    };
+    let (journal, restored) = RunJournal::attach(cfg, &meta, resume)?;
+
+    let own_registry =
+        (instruments.metrics.is_none() && instruments.wants_metrics()).then(MetricsRegistry::new);
+    let registry = instruments.metrics.or(own_registry.as_ref());
+    if sink.enabled() {
+        sink.record(
+            0,
+            &TraceEvent::RunPhase {
+                phase: if restored.is_some() {
+                    "resume".into()
+                } else {
+                    "issue".into()
+                },
+                scenario: settings.scenario.to_string(),
+            },
+        );
+    }
+    let mut sim = Sim::new(settings, sut, sink, registry, instruments.sampler);
+    let resumed = restored.is_some();
+    if let Some(cp) = &restored {
+        sim.restore(cp)?;
+    }
+    let mut tap = JournalTap { journal, cfg };
+    let halted = match settings.scenario {
+        Scenario::Server => {
+            let mut cursor = match &restored {
+                Some(cp) => ServerCursor::restore(settings, cp)?,
+                None => ServerCursor::fresh(settings)?,
+            };
+            let mut journal = Some(tap);
+            let halted =
+                run_server_loop(settings, population, &mut sim, &mut cursor, &mut journal)?;
+            tap = journal.expect("journal tap survives the loop");
+            halted
+        }
+        Scenario::Offline => {
+            run_offline_journaled(settings, population, &mut sim, &mut tap, resumed)?
+        }
+        _ => unreachable!("scenario gate above"),
+    };
+    qsl.unload_samples(&loaded);
+    if halted {
+        sink.flush();
+        return Ok(JournaledRun::Halted {
+            // A torn halt's frame is not counted (it is not a complete
+            // checkpoint), so the boundary seq is `checkpoints` itself.
+            checkpoint: tap
+                .journal
+                .checkpoints
+                .saturating_sub(if cfg.torn_halt { 0 } else { 1 }),
+        });
+    }
+    tap.journal.sync()?;
+    let recorder = std::mem::take(&mut sim.recorder);
+    let outcome = finish_run(settings, sut.name(), qsl.name(), recorder, sink, registry);
+    if let (Some(sampler), Some(registry)) = (instruments.sampler, registry) {
+        sampler.finish(outcome.result.duration.as_nanos(), registry);
+    }
+    sink.flush();
+    Ok(JournaledRun::Finished(Box::new(outcome)))
 }
 
 /// Re-issues a recorded schedule: explicit arrival times and explicit
@@ -964,6 +1319,201 @@ mod tests {
         let out = run_simulated(&settings, &mut qsl, &mut sut).unwrap();
         let logged = out.accuracy_log.len();
         assert!((20..120).contains(&logged), "logged={logged}");
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "mlperf_des_journal_{}_{name}.mlpj",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn journaled_run_without_halt_matches_plain_run() {
+        let settings =
+            small(TestSettings::server(2_000.0, Nanos::from_millis(10))).with_min_query_count(60);
+        let plain = {
+            let mut qsl = MemoryQsl::new("q", 32, 32);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            run_simulated(&settings, &mut qsl, &mut sut).unwrap()
+        };
+        let path = journal_path("no_halt");
+        let cfg = JournalConfig::new(&path).with_checkpoint_every(8);
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+        let out = run_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg)
+            .unwrap()
+            .finished()
+            .expect("no halt armed");
+        assert_eq!(out.records, plain.records);
+        assert_eq!(out.result, plain.result);
+        let loaded = crate::journal::load_run_journal(&path).unwrap();
+        assert!(
+            loaded.checkpoints >= 3,
+            "{} checkpoints",
+            loaded.checkpoints
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn server_resume_at_every_checkpoint_matches_uninterrupted() {
+        let settings =
+            small(TestSettings::server(2_000.0, Nanos::from_millis(10))).with_min_query_count(60);
+        let baseline = {
+            let mut qsl = MemoryQsl::new("q", 32, 32);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            run_simulated(&settings, &mut qsl, &mut sut).unwrap()
+        };
+        // Discover how many checkpoints a full run writes.
+        let path = journal_path("server_sweep");
+        let cfg = JournalConfig::new(&path).with_checkpoint_every(8);
+        {
+            let mut qsl = MemoryQsl::new("q", 32, 32);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            run_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg).unwrap();
+        }
+        let total = crate::journal::load_run_journal(&path).unwrap().checkpoints;
+        assert!(total >= 3, "need a real sweep, got {total} checkpoints");
+        // Kill at every checkpoint boundary, resume, and demand the exact
+        // uninterrupted records (the stateless SUT re-derives identical
+        // latencies too).
+        for kill_at in 0..total {
+            let halt_cfg = cfg.clone().with_halt_after(kill_at);
+            let mut qsl = MemoryQsl::new("q", 32, 32);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            match run_journaled(
+                &settings,
+                &mut qsl,
+                &mut sut,
+                &Instruments::none(),
+                &halt_cfg,
+            )
+            .unwrap()
+            {
+                JournaledRun::Halted { checkpoint } => assert_eq!(checkpoint, kill_at),
+                JournaledRun::Finished(_) => panic!("halt {kill_at} did not fire"),
+            }
+            let mut qsl = MemoryQsl::new("q", 32, 32);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            let out = resume_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg)
+                .unwrap()
+                .finished()
+                .expect("resume runs to completion");
+            assert_eq!(
+                out.records, baseline.records,
+                "kill at checkpoint {kill_at}"
+            );
+            assert_eq!(out.result, baseline.result, "kill at checkpoint {kill_at}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn server_resume_survives_torn_checkpoint() {
+        let settings =
+            small(TestSettings::server(2_000.0, Nanos::from_millis(10))).with_min_query_count(60);
+        let baseline = {
+            let mut qsl = MemoryQsl::new("q", 32, 32);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+            run_simulated(&settings, &mut qsl, &mut sut).unwrap()
+        };
+        let path = journal_path("torn");
+        let cfg = JournalConfig::new(&path).with_checkpoint_every(8);
+        // Kill *during* the write of checkpoint 2: the frame tears, resume
+        // must roll back to checkpoint 1 and still converge.
+        let halt_cfg = cfg.clone().with_halt_after(2).with_torn_halt();
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+        run_journaled(
+            &settings,
+            &mut qsl,
+            &mut sut,
+            &Instruments::none(),
+            &halt_cfg,
+        )
+        .unwrap();
+        let loaded = crate::journal::load_run_journal(&path).unwrap();
+        assert!(loaded.torn.is_some(), "torn halt must leave a torn tail");
+        assert_eq!(loaded.checkpoints, 2);
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+        let out = resume_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg)
+            .unwrap()
+            .finished()
+            .expect("resume after tear");
+        assert_eq!(out.records, baseline.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn offline_resume_after_checkpoint_matches() {
+        let settings = TestSettings::offline()
+            .with_min_duration(Nanos::from_millis(1))
+            .with_offline_min_sample_count(500);
+        let baseline = {
+            let mut qsl = MemoryQsl::new("q", 64, 64);
+            let mut sut = FixedLatencySut::new("s", Nanos::from_micros(10));
+            run_simulated(&settings, &mut qsl, &mut sut).unwrap()
+        };
+        let path = journal_path("offline");
+        let cfg = JournalConfig::new(&path);
+        let halt_cfg = cfg.clone().with_halt_after(0);
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(10));
+        match run_journaled(
+            &settings,
+            &mut qsl,
+            &mut sut,
+            &Instruments::none(),
+            &halt_cfg,
+        )
+        .unwrap()
+        {
+            JournaledRun::Halted { checkpoint } => assert_eq!(checkpoint, 0),
+            JournaledRun::Finished(_) => panic!("halt did not fire"),
+        }
+        let mut qsl = MemoryQsl::new("q", 64, 64);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(10));
+        let out = resume_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg)
+            .unwrap()
+            .finished()
+            .expect("offline resume");
+        assert_eq!(out.records, baseline.records);
+        assert_eq!(out.result, baseline.result);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let settings =
+            small(TestSettings::server(2_000.0, Nanos::from_millis(10))).with_min_query_count(40);
+        let path = journal_path("foreign");
+        let cfg = JournalConfig::new(&path).with_checkpoint_every(8);
+        let mut qsl = MemoryQsl::new("q", 32, 32);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(100));
+        run_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg).unwrap();
+        // Same journal, different run parameters: digest mismatch.
+        let other = settings.clone().with_min_query_count(41);
+        let err =
+            resume_journaled(&other, &mut qsl, &mut sut, &Instruments::none(), &cfg).unwrap_err();
+        assert!(matches!(err, LoadGenError::Journal(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journaled_rejects_completion_driven_scenarios() {
+        let settings = small(TestSettings::single_stream());
+        let path = journal_path("reject");
+        let cfg = JournalConfig::new(&path);
+        let mut qsl = MemoryQsl::new("q", 8, 8);
+        let mut sut = FixedLatencySut::new("s", Nanos::from_micros(10));
+        let err =
+            run_journaled(&settings, &mut qsl, &mut sut, &Instruments::none(), &cfg).unwrap_err();
+        assert!(matches!(err, LoadGenError::BadSettings(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   interval for multistream, sequential and batch for the rest).
 //! * [`des`] — the discrete-event issue loop used by the experiments; a
 //!   270,336-query server run finishes in well under a second of wall time.
+//! * [`journal`] — crash safety: run checkpoints (scenario cursor, RNG
+//!   states, recorder image, wire epoch) appended to a durable `MLPJ`
+//!   write-ahead journal at deterministic boundaries, and the
+//!   roll-back-and-re-execute resume semantics built on them.
 //! * [`instrument`] — [`instrument::Instruments`], the observability
 //!   bundle (trace sink, time-series sampler, shared metrics registry)
 //!   accepted by the `*_instrumented` runners.
@@ -66,6 +70,7 @@ pub mod config;
 pub mod des;
 pub mod find_peak;
 pub mod instrument;
+pub mod journal;
 pub mod log;
 pub mod multitenant;
 pub mod qsl;
@@ -83,6 +88,7 @@ pub mod validate;
 
 pub use config::{TestMode, TestSettings};
 pub use instrument::Instruments;
+pub use journal::{Checkpoint, JournalConfig, JournaledRun, RunJournal, RunMeta};
 pub use query::{Query, QueryId, QuerySample, ResponsePayload, SampleIndex};
 pub use replay::ReplaySchedule;
 pub use results::{ScenarioMetric, TestResult};
@@ -99,6 +105,9 @@ pub enum LoadGenError {
     /// The SUT violated the protocol (wrong query id, duplicate completion,
     /// completion before issue, missing response).
     SutProtocol(String),
+    /// The run journal could not be written, read, or matched to the run
+    /// being resumed.
+    Journal(String),
 }
 
 impl std::fmt::Display for LoadGenError {
@@ -107,6 +116,7 @@ impl std::fmt::Display for LoadGenError {
             LoadGenError::BadSettings(m) => write!(f, "bad test settings: {m}"),
             LoadGenError::BadQsl(m) => write!(f, "bad query sample library: {m}"),
             LoadGenError::SutProtocol(m) => write!(f, "SUT protocol violation: {m}"),
+            LoadGenError::Journal(m) => write!(f, "run journal error: {m}"),
         }
     }
 }

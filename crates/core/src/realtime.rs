@@ -21,7 +21,10 @@
 //! engine of the network SUT benchmark (`netbench`).
 
 use crate::config::{TestMode, TestSettings};
-use crate::des::{finish_run, RunOutcome};
+use crate::des::{finish_run, RunOutcome, ServerCursor};
+use crate::journal::{
+    settings_digest, Checkpoint, JournalConfig, JournaledRun, RunJournal, RunMeta,
+};
 use crate::qsl::QuerySampleLibrary;
 use crate::query::{Query, QueryCompletion};
 use crate::record::Recorder;
@@ -436,6 +439,233 @@ fn run_server(
     Ok(())
 }
 
+/// Runs a wall-clock server benchmark under a crash-safe run journal.
+///
+/// The checkpoint cadence, resume semantics, and journal format are shared
+/// with the simulated runner (`des::run_journaled`): every
+/// `checkpoint_every` issued queries the scenario cursor, RNG states,
+/// recorder image, and wire-session epoch are appended to the `MLPJ`
+/// journal at `cfg.path`. With `resume = true` the run rolls back to the
+/// last complete checkpoint and re-executes from there: the restored RNG
+/// states re-draw the identical schedule and sample indices, outstanding
+/// queries are re-sent to the SUT (with re-stamped `QueryIssued` events but
+/// no duplicate recorder entries, keeping the TEST06 ledger balanced), and
+/// the clock origin is shifted into the past by the checkpointed wall time
+/// so arrival deadlines stay on the original time axis — queries whose
+/// arrivals passed while the process was down issue immediately.
+///
+/// Only the server scenario in performance mode is supported; the other
+/// scenarios are completion-driven and have no mid-run state worth saving
+/// (a crashed single-stream run restarts from zero at no cost).
+///
+/// # Errors
+///
+/// Returns [`LoadGenError`] for inconsistent settings, an unusable QSL,
+/// SUT protocol violations, or a journal that cannot be written — or, on
+/// resume, one whose recorded settings digest does not match this run.
+pub fn run_realtime_journaled<Q>(
+    settings: &TestSettings,
+    qsl: &mut Q,
+    sut: Arc<dyn RealtimeSut>,
+    sink: &dyn TraceSink,
+    cfg: &JournalConfig,
+    resume: bool,
+) -> Result<JournaledRun, LoadGenError>
+where
+    Q: QuerySampleLibrary + ?Sized,
+{
+    settings.validate()?;
+    if settings.mode != TestMode::PerformanceOnly || settings.scenario != Scenario::Server {
+        return Err(LoadGenError::BadSettings(
+            "journaled realtime runs support the server scenario in performance mode".into(),
+        ));
+    }
+    if qsl.total_sample_count() == 0 || qsl.performance_sample_count() == 0 {
+        return Err(LoadGenError::BadQsl(format!(
+            "QSL {} has no samples",
+            qsl.name()
+        )));
+    }
+    let loaded: Vec<usize> = (0..qsl.performance_sample_count()).collect();
+    qsl.load_samples(&loaded);
+    let population = loaded.len();
+    let meta = RunMeta {
+        scenario: settings.scenario.to_string(),
+        digest: settings_digest(settings, population as u64),
+        qsl_size: population as u64,
+    };
+    let (mut journal, restored) = RunJournal::attach(cfg, &meta, resume)?;
+    if sink.enabled() {
+        sink.record(
+            0,
+            &TraceEvent::RunPhase {
+                phase: if restored.is_some() {
+                    "resume"
+                } else {
+                    "issue"
+                }
+                .into(),
+                scenario: settings.scenario.to_string(),
+            },
+        );
+    }
+    let (mut recorder, mut cursor, origin) = match &restored {
+        Some(cp) => (
+            Recorder::restore(cp.recorder.clone()),
+            ServerCursor::restore(settings, cp)?,
+            // Shift the clock origin into the past so `elapsed()` resumes
+            // the interrupted run's time axis instead of restarting at 0.
+            Instant::now()
+                .checked_sub(cp.wall.to_duration())
+                .unwrap_or_else(Instant::now),
+        ),
+        None => (
+            Recorder::new(),
+            ServerCursor::fresh(settings)?,
+            Instant::now(),
+        ),
+    };
+    let start = origin;
+    let (work_tx, work_rx) = mpsc::channel::<Query>();
+    let (done_tx, done_rx) = mpsc::channel::<(Nanos, Option<QueryCompletion>)>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let mut workers = Vec::new();
+    for _ in 0..settings.server_workers {
+        let rx = Arc::clone(&work_rx);
+        let tx = done_tx.clone();
+        let sut = Arc::clone(&sut);
+        workers.push(std::thread::spawn(move || loop {
+            let query = match rx.lock().expect("work queue poisoned").recv() {
+                Ok(query) => query,
+                Err(_) => break,
+            };
+            let outcome = sut.issue_outcome(&query);
+            let finished = Nanos::from(start.elapsed());
+            let completion = match outcome {
+                IssueOutcome::Completed(samples) => {
+                    Some(QueryCompletion::ok(query.id, finished, samples))
+                }
+                IssueOutcome::Errored => Some(QueryCompletion::errored(&query, finished)),
+                IssueOutcome::Vanished => None,
+            };
+            if tx.send((query.scheduled_at, completion)).is_err() {
+                break;
+            }
+        }));
+    }
+    drop(work_rx);
+    drop(done_tx);
+    // Re-issue the checkpoint's outstanding queries: the recorder already
+    // carries their issue records, so only the trace event is re-stamped
+    // (TEST06 needs an issue event ahead of each completion in the resumed
+    // log). The remote end dedups re-executions via its completion journal.
+    if let Some(cp) = &restored {
+        for query in cp.recorder.outstanding_queries() {
+            record_issue_event(sink, &query, query.scheduled_at);
+            work_tx
+                .send(query)
+                .map_err(|_| LoadGenError::SutProtocol("server worker pool died".into()))?;
+        }
+    }
+    let mut halted = false;
+    while let Some(arrival) = cursor.pending_arrival.take() {
+        let now = Nanos::from(start.elapsed());
+        if arrival > now {
+            std::thread::sleep(arrival.saturating_sub(now).to_duration());
+        }
+        let indices = cursor
+            .qsl_rng
+            .sample_with_replacement(population, settings.samples_per_query);
+        let query = build_query(cursor.issued, &mut cursor.next_sample_id, &indices, arrival);
+        cursor.issued += 1;
+        recorder.record_issue(&query, arrival)?;
+        record_issue_event(sink, &query, arrival);
+        work_tx
+            .send(query)
+            .map_err(|_| LoadGenError::SutProtocol("server worker pool died".into()))?;
+        // Draw the next arrival only when the run continues, mirroring the
+        // plain loop's lazy iterator so both consume the schedule RNG
+        // identically — the settings digest pins the seeds, this pins the
+        // draw count.
+        if !(cursor.issued >= settings.min_query_count && arrival >= settings.min_duration) {
+            cursor.pending_arrival = Some(cursor.next_arrival());
+        }
+        if cursor.issued.is_multiple_of(cfg.checkpoint_every) {
+            let (sched_rng, sched_now) = cursor.arrivals.state();
+            let (records_from, accuracy_from) = journal.flushed_marks();
+            let cp = Checkpoint {
+                seq: journal.checkpoints,
+                issued: cursor.issued,
+                next_sample_id: cursor.next_sample_id,
+                wall: Nanos::from(start.elapsed()),
+                pending_arrival: cursor.pending_arrival,
+                qsl_rng: cursor.qsl_rng.state(),
+                sched_rng,
+                sched_now_bits: sched_now.to_bits(),
+                // The realtime drain rebuilds its accuracy-log sampler from
+                // the seed, so the checkpoint pins the seed-fresh state.
+                acc_rng: Rng64::new(settings.seeds.accuracy_seed).state(),
+                epoch: cfg
+                    .epoch_source
+                    .as_ref()
+                    .map_or(0, |e| e.load(std::sync::atomic::Ordering::SeqCst)),
+                recorder: recorder.snapshot_suffix(records_from, accuracy_from),
+            };
+            if journal.append_checkpoint(cfg, &cp)? {
+                halted = true;
+                break;
+            }
+        }
+    }
+    drop(work_tx);
+    if halted {
+        // Simulated process death: drain and discard in-flight completions
+        // (they were never recorded, so the checkpoint still lists their
+        // queries as outstanding), then tear the pool down.
+        for _ in done_rx.iter() {}
+        for worker in workers {
+            let _ = worker.join();
+        }
+        qsl.unload_samples(&loaded);
+        sink.flush();
+        return Ok(JournaledRun::Halted {
+            checkpoint: journal
+                .checkpoints
+                .saturating_sub(if cfg.torn_halt { 0 } else { 1 }),
+        });
+    }
+    if sink.enabled() {
+        sink.record(
+            Nanos::from(start.elapsed()).as_nanos(),
+            &TraceEvent::RunPhase {
+                phase: "drain".into(),
+                scenario: settings.scenario.to_string(),
+            },
+        );
+    }
+    let mut log = log_sampler(settings, settings.accuracy_log_probability);
+    for (scheduled_at, completion) in done_rx.iter() {
+        if let Some(completion) = completion {
+            record_completion(&mut recorder, &completion, scheduled_at, &mut log, sink)?;
+        }
+    }
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| LoadGenError::SutProtocol("server worker panicked".into()))?;
+    }
+    journal.sync()?;
+    qsl.unload_samples(&loaded);
+    Ok(JournaledRun::Finished(Box::new(finish_run(
+        settings,
+        sut.name(),
+        qsl.name(),
+        recorder,
+        sink,
+        None,
+    ))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,5 +862,127 @@ mod tests {
         assert!(records
             .iter()
             .any(|r| matches!(&r.event, TraceEvent::RunPhase { phase, .. } if phase == "report")));
+    }
+
+    /// Logical identity of a run: the fields a crash + resume must
+    /// preserve exactly (ids, schedule, sample counts, error flags) —
+    /// wall-clock latencies legitimately differ between executions.
+    fn logical(records: &[crate::record::QueryRecord]) -> Vec<(u64, u64, usize, bool)> {
+        records
+            .iter()
+            .map(|r| (r.id, r.scheduled_at.as_nanos(), r.sample_count, r.error))
+            .collect()
+    }
+
+    fn crashy_settings() -> TestSettings {
+        TestSettings::server(4_000.0, Nanos::from_millis(50))
+            .with_min_query_count(40)
+            .with_min_duration(Nanos::from_millis(1))
+    }
+
+    #[test]
+    fn realtime_journaled_without_halt_matches_plain_run() {
+        let settings = crashy_settings();
+        let dir = std::env::temp_dir().join(format!("mlpj-rt-plain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.mlpj");
+        let _ = std::fs::remove_file(&path);
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let cfg = crate::journal::JournalConfig::new(&path).with_checkpoint_every(8);
+        let journaled =
+            run_realtime_journaled(&settings, &mut qsl, sleepy(20), &NoopSink, &cfg, false)
+                .unwrap()
+                .finished()
+                .expect("no halt armed");
+        let plain = run_realtime(&settings, &mut qsl, sleepy(20)).unwrap();
+        assert_eq!(logical(&journaled.records), logical(&plain.records));
+        assert!(journaled.result.is_valid());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn realtime_resume_at_every_checkpoint_matches_uninterrupted() {
+        let settings = crashy_settings();
+        let dir = std::env::temp_dir().join(format!("mlpj-rt-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut qsl = MemoryQsl::new("q", 16, 16);
+        let baseline = {
+            let path = dir.join("baseline.mlpj");
+            let _ = std::fs::remove_file(&path);
+            let cfg = crate::journal::JournalConfig::new(&path).with_checkpoint_every(8);
+            run_realtime_journaled(&settings, &mut qsl, sleepy(20), &NoopSink, &cfg, false)
+                .unwrap()
+                .finished()
+                .expect("no halt armed")
+        };
+        // 40 queries / checkpoint every 8 = checkpoints seq 0..=4.
+        for halt_at in 0..5u64 {
+            for torn in [false, true] {
+                let path = dir.join(format!("halt{halt_at}-torn{torn}.mlpj"));
+                let _ = std::fs::remove_file(&path);
+                let mut cfg = crate::journal::JournalConfig::new(&path)
+                    .with_checkpoint_every(8)
+                    .with_halt_after(halt_at);
+                if torn {
+                    cfg = cfg.with_torn_halt();
+                }
+                let halted =
+                    run_realtime_journaled(&settings, &mut qsl, sleepy(20), &NoopSink, &cfg, false)
+                        .unwrap();
+                match halted {
+                    JournaledRun::Halted { checkpoint } => assert_eq!(checkpoint, halt_at),
+                    JournaledRun::Finished(_) => panic!("halt_after({halt_at}) did not fire"),
+                }
+                let resume_cfg = crate::journal::JournalConfig::new(&path).with_checkpoint_every(8);
+                let sink = RingBufferSink::unbounded();
+                let rescued = run_realtime_journaled(
+                    &settings,
+                    &mut qsl,
+                    sleepy(20),
+                    &sink,
+                    &resume_cfg,
+                    true,
+                )
+                .unwrap()
+                .finished()
+                .expect("resume runs to completion");
+                assert_eq!(
+                    logical(&rescued.records),
+                    logical(&baseline.records),
+                    "halt_at={halt_at} torn={torn}"
+                );
+                assert!(rescued.result.is_valid());
+                // TEST06 shape on the resumed log: every completion has an
+                // issue event ahead of it (re-stamped for re-sent queries).
+                let records = sink.snapshot();
+                let mut open = std::collections::HashSet::new();
+                for r in &records {
+                    match &r.event {
+                        TraceEvent::QueryIssued { query_id, .. } => {
+                            assert!(open.insert(*query_id), "duplicate issue {query_id}");
+                        }
+                        TraceEvent::QueryCompleted { query_id, .. }
+                        | TraceEvent::QueryErrored { query_id, .. } => {
+                            assert!(open.remove(query_id), "completion without issue");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(open.is_empty(), "unresolved issues in resumed log");
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+        let _ = std::fs::remove_file(dir.join("baseline.mlpj"));
+    }
+
+    #[test]
+    fn realtime_journaled_rejects_other_scenarios() {
+        let settings = TestSettings::single_stream().with_min_query_count(4);
+        let dir = std::env::temp_dir();
+        let cfg = crate::journal::JournalConfig::new(dir.join("mlpj-rt-reject.mlpj"));
+        let mut qsl = MemoryQsl::new("q", 8, 8);
+        let err = run_realtime_journaled(&settings, &mut qsl, sleepy(10), &NoopSink, &cfg, false)
+            .unwrap_err();
+        assert!(matches!(err, LoadGenError::BadSettings(_)));
     }
 }

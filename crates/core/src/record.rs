@@ -117,6 +117,133 @@ impl FromJson for LoggedResponse {
     }
 }
 
+/// One still-outstanding query inside a [`RecorderSnapshot`]: enough to
+/// both restore the recorder's bookkeeping and re-issue the query itself
+/// after a resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutstandingEntry {
+    /// The query id.
+    pub id: QueryId,
+    /// Position of the query's record in [`RecorderSnapshot::records`].
+    pub pos: usize,
+    /// Sample `(response id, data-set index)` pairs, in issue order.
+    pub samples: Vec<(u64, SampleIndex)>,
+}
+
+impl ToJson for OutstandingEntry {
+    fn to_json_value(&self) -> JsonValue {
+        let samples: Vec<JsonValue> = self
+            .samples
+            .iter()
+            .map(|(sid, sindex)| {
+                JsonValue::object(vec![
+                    ("id", sid.to_json_value()),
+                    ("index", sindex.to_json_value()),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("id", self.id.to_json_value()),
+            ("pos", self.pos.to_json_value()),
+            ("samples", JsonValue::Array(samples)),
+        ])
+    }
+}
+
+impl FromJson for OutstandingEntry {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let samples = value
+            .field("samples")?
+            .as_array()?
+            .iter()
+            .map(|s| Ok((s.field("id")?.as_u64()?, s.field("index")?.as_usize()?)))
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(OutstandingEntry {
+            id: value.field("id")?.as_u64()?,
+            pos: value.field("pos")?.as_usize()?,
+            samples,
+        })
+    }
+}
+
+/// A serializable image of a [`Recorder`]'s complete state.
+///
+/// This is what a run checkpoint carries: restoring it with
+/// [`Recorder::restore`] yields a recorder indistinguishable from the one
+/// snapshotted, and [`RecorderSnapshot::outstanding_queries`] rebuilds the
+/// in-flight [`Query`] values a resumed run must re-issue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecorderSnapshot {
+    /// Every query record, in issue order.
+    pub records: Vec<QueryRecord>,
+    /// Outstanding queries, sorted by id (canonical byte order).
+    pub outstanding: Vec<OutstandingEntry>,
+    /// The accuracy log accumulated so far.
+    pub accuracy_log: Vec<LoggedResponse>,
+    /// Samples completed successfully.
+    pub samples_completed: u64,
+    /// Latest completion timestamp seen.
+    pub last_completion: Nanos,
+    /// Queries resolved as errors.
+    pub errored: u64,
+}
+
+impl RecorderSnapshot {
+    /// Rebuilds the still-in-flight queries (id order) for re-issue after
+    /// a resume. Journaled scenarios are single-tenant, so the tenant tag
+    /// is always 0.
+    pub fn outstanding_queries(&self) -> Vec<Query> {
+        self.outstanding
+            .iter()
+            .map(|e| Query {
+                id: e.id,
+                samples: self
+                    .samples_of(e)
+                    .map(|(sid, sindex)| crate::query::QuerySample {
+                        id: sid,
+                        index: sindex,
+                    })
+                    .collect(),
+                scheduled_at: self.records[e.pos].scheduled_at,
+                tenant: 0,
+            })
+            .collect()
+    }
+
+    fn samples_of<'a>(
+        &self,
+        e: &'a OutstandingEntry,
+    ) -> impl Iterator<Item = (u64, SampleIndex)> + 'a {
+        e.samples.iter().copied()
+    }
+}
+
+impl ToJson for RecorderSnapshot {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("records", self.records.to_json_value()),
+            ("outstanding", self.outstanding.to_json_value()),
+            ("accuracy_log", self.accuracy_log.to_json_value()),
+            ("samples_completed", self.samples_completed.to_json_value()),
+            ("last_completion", self.last_completion.to_json_value()),
+            ("errored", self.errored.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for RecorderSnapshot {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(RecorderSnapshot {
+            records: Vec::from_json_value(value.field("records")?)?,
+            outstanding: Vec::from_json_value(value.field("outstanding")?)?,
+            accuracy_log: Vec::from_json_value(value.field("accuracy_log")?)?,
+            samples_completed: value.field("samples_completed")?.as_u64()?,
+            last_completion: Nanos::from_json_value(value.field("last_completion")?)?,
+            errored: value.field("errored")?.as_u64()?,
+        })
+    }
+}
+
 /// Records issues and completions, enforcing the SUT protocol.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -288,6 +415,58 @@ impl Recorder {
         self.last_completion
     }
 
+    /// Captures the recorder's complete state for a checkpoint.
+    pub fn snapshot(&self) -> RecorderSnapshot {
+        self.snapshot_suffix(0, 0)
+    }
+
+    /// Captures the recorder's state past the given journal high-water
+    /// marks: the same shape as [`snapshot`](Recorder::snapshot), but
+    /// `records` starts at `records_from` and `accuracy_log` at
+    /// `accuracy_from`, so a delta checkpoint clones only what the last
+    /// frame has not already made durable. Outstanding entries keep their
+    /// absolute positions. `records_from` must be a stable prefix — no
+    /// outstanding entry below it — which is exactly what
+    /// `RunJournal::flushed_marks` hands out.
+    pub fn snapshot_suffix(&self, records_from: usize, accuracy_from: usize) -> RecorderSnapshot {
+        let mut outstanding: Vec<OutstandingEntry> = self
+            .outstanding
+            .iter()
+            .map(|(id, (pos, samples))| OutstandingEntry {
+                id: *id,
+                pos: *pos,
+                samples: samples.clone(),
+            })
+            .collect();
+        outstanding.sort_by_key(|e| e.id);
+        RecorderSnapshot {
+            records: self.records[records_from.min(self.records.len())..].to_vec(),
+            outstanding,
+            accuracy_log: self.accuracy_log[accuracy_from.min(self.accuracy_log.len())..].to_vec(),
+            samples_completed: self.samples_completed,
+            last_completion: self.last_completion,
+            errored: self.errored,
+        }
+    }
+
+    /// Rebuilds a recorder from a checkpoint snapshot. The result accepts
+    /// completions for the snapshot's outstanding queries exactly as the
+    /// original would have.
+    pub fn restore(snapshot: RecorderSnapshot) -> Self {
+        Self {
+            records: snapshot.records,
+            outstanding: snapshot
+                .outstanding
+                .into_iter()
+                .map(|e| (e.id, (e.pos, e.samples)))
+                .collect(),
+            accuracy_log: snapshot.accuracy_log,
+            samples_completed: snapshot.samples_completed,
+            last_completion: snapshot.last_completion,
+            errored: snapshot.errored,
+        }
+    }
+
     /// Completed-query latencies (scheduled → finished).
     pub fn latencies(&self) -> Vec<Nanos> {
         self.records
@@ -403,6 +582,47 @@ mod tests {
         assert_eq!(r.accuracy_log().len(), 1);
         assert_eq!(r.accuracy_log()[0].sample_index, 3);
         assert_eq!(r.accuracy_log()[0].payload, ResponsePayload::Class(1));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_through_json() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(1), Nanos::from_micros(5)).unwrap();
+        r.record_issue(&query(2), Nanos::from_micros(7)).unwrap();
+        r.record_issue(&query(3), Nanos::from_micros(9)).unwrap();
+        r.record_completion(&completion(2, Nanos::from_micros(30)), |_| true)
+            .unwrap();
+        let snap = r.snapshot();
+        assert_eq!(snap.outstanding.len(), 2);
+        assert_eq!(snap.outstanding[0].id, 1);
+        let json = snap.to_json_string();
+        let back = RecorderSnapshot::from_json_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        // The restored recorder behaves exactly like the original: known
+        // outstanding queries complete, completed ones reject.
+        let mut restored = Recorder::restore(back);
+        assert_eq!(restored.issued(), 3);
+        assert_eq!(restored.outstanding(), 2);
+        assert_eq!(restored.samples_completed(), 1);
+        assert!(restored
+            .record_completion(&completion(2, Nanos::SECOND), |_| false)
+            .is_err());
+        restored
+            .record_completion(&completion(1, Nanos::from_micros(40)), |_| false)
+            .unwrap();
+        assert_eq!(restored.outstanding(), 1);
+    }
+
+    #[test]
+    fn snapshot_rebuilds_outstanding_queries() {
+        let mut r = Recorder::new();
+        r.record_issue(&query(4), Nanos::from_micros(5)).unwrap();
+        let qs = r.snapshot().outstanding_queries();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].id, 4);
+        assert_eq!(qs[0].scheduled_at, Nanos::from_micros(5));
+        assert_eq!(qs[0].samples, query(4).samples);
     }
 
     #[test]

@@ -328,6 +328,7 @@ fn run_check(bless: bool) -> Result<Vec<String>, String> {
 }
 
 fn main() -> ExitCode {
+    let _flight = mlperf_harness::panic_guard::install("analyze");
     let mut log_path: Option<String> = None;
     let mut compare: Option<(String, String)> = None;
     let mut outcome_path: Option<String> = None;

@@ -3,7 +3,8 @@
 //! and which the resilience policies rescue.
 //!
 //! ```text
-//! chaos [--seed <n>] [--out <path>] [--check] [--wire] [--flight-dir <dir>] [--analyze]
+//! chaos [--seed <n>] [--out <path>] [--check] [--wire] [--crash] \
+//!       [--flight-dir <dir>] [--analyze]
 //! ```
 //!
 //! Every cell of the matrix runs one scaled-down LoadGen test twice: once
@@ -37,6 +38,20 @@
 //! transitions, and the logical-log hash; every fault row's hash must
 //! equal the fault-free row's, proving the rescue lossless.
 //!
+//! `--crash` sweeps the *process-kill* quadrant: a journaled wall-clock
+//! run over a loopback daemon is halted at a checkpoint boundary and the
+//! involved processes are `SIGKILL`ed — (a) the client, (b) the daemon,
+//! (c) both, (d) the client mid-checkpoint-write, leaving a torn journal
+//! frame. Client and daemon casualties run as real child processes of
+//! this binary (hidden `__crash-client` / `__crash-daemon` subcommands)
+//! so the kill severs live sockets exactly like a production crash. Each
+//! cell is then rescued: a fresh client resumes from the durable run
+//! journal (rolling back the torn frame in cell d) against the surviving
+//! or restarted daemon, which re-adopts the session's completion journal
+//! from disk. Every rescued run must end VALID with a logical detail log
+//! identical to an uninterrupted baseline's — the row records only
+//! kill-timing-invariant fields, so the matrix stays byte-reproducible.
+//!
 //! `--check` is the CI smoke mode: it rebuilds the matrix twice and asserts
 //! (1) both builds render to identical bytes, (2) the fault-free baseline is
 //! VALID in every scenario, (3) every scenario has at least one fault that
@@ -50,11 +65,13 @@
 
 use mlperf_loadgen::config::TestSettings;
 use mlperf_loadgen::des::run_simulated;
+use mlperf_loadgen::journal::{load_run_journal, JournalConfig};
 use mlperf_loadgen::qsl::{MemoryQsl, QuerySampleLibrary};
-use mlperf_loadgen::realtime::run_realtime_traced_at;
+use mlperf_loadgen::realtime::{run_realtime_journaled, run_realtime_traced_at};
 use mlperf_loadgen::scenario::Scenario;
-use mlperf_loadgen::sut::FixedLatencySut;
+use mlperf_loadgen::sut::{FixedLatencySut, RealtimeSut};
 use mlperf_loadgen::time::Nanos;
+use mlperf_loadgen::JournaledRun;
 use mlperf_models::{TaskId, Workload};
 use mlperf_stats::rng::SeedTriple;
 use mlperf_sut::device::{Architecture, DeviceSpec};
@@ -63,17 +80,19 @@ use mlperf_sut::faults::FaultPlan;
 use mlperf_sut::resilience::{ResiliencePolicy, ResilientSut};
 use mlperf_sut::{BalancePolicy, FaultySut, ShardEndpoint, ShardedSut};
 use mlperf_trace::flight::render_flight_dump;
-use mlperf_trace::{JsonValue, RingBufferSink, ToJson, TraceEvent};
+use mlperf_trace::{JsonValue, NoopSink, RingBufferSink, ToJson, TraceEvent};
 use mlperf_wire::{
     loopback_instrumented, serve_on, RemoteSut, RemoteSutConfig, ResumePolicy, ServeConfig,
     ServerHandle, SimHost, WireChaosPlan,
 };
-use std::process::ExitCode;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::Path;
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire] \
+const USAGE: &str = "usage: chaos [--seed <n>] [--out <path>] [--check] [--wire] [--crash] \
      [--flight-dir <dir>] [--analyze]";
 
 /// Events kept in a flight-recorder dump of an INVALID wire cell.
@@ -781,6 +800,7 @@ fn render_json(
     cells: &[Cell],
     wire: Option<&[WireCell]>,
     shard: Option<&[ShardCell]>,
+    crash: Option<&[CrashCell]>,
 ) -> String {
     let rows = cells
         .iter()
@@ -831,6 +851,12 @@ fn render_json(
         fields.push((
             "shard_rows",
             JsonValue::Array(shard_cells.iter().map(shard_cell_json).collect()),
+        ));
+    }
+    if let Some(crash_cells) = crash {
+        fields.push((
+            "crash_rows",
+            JsonValue::Array(crash_cells.iter().map(crash_cell_json).collect()),
         ));
     }
     let doc = JsonValue::object(fields);
@@ -1110,14 +1136,480 @@ fn check_wire(cells: &[WireCell]) -> Vec<String> {
     failures
 }
 
+/// The process-kill quadrant: which process dies after the run's journal
+/// reaches checkpoint [`CRASH_HALT_AT`].
+const CRASH_CASES: [&str; 4] = ["client-kill", "daemon-kill", "both-kill", "torn-checkpoint"];
+
+/// Queries per checkpoint frame in the crash quadrant.
+const CRASH_CHECKPOINT_EVERY: u64 = 8;
+
+/// Checkpoint seq the victim halts at before the kill: mid-run, with
+/// queries both recorded and outstanding.
+const CRASH_HALT_AT: u64 = 1;
+
+/// Settings every crash cell (and the uninterrupted baseline) shares; the
+/// issue stream stops on schedule-derived conditions, so the logical
+/// detail log is a pure function of the seed.
+fn crash_settings(seed: u64) -> TestSettings {
+    TestSettings::server(400.0, Nanos::from_millis(250))
+        .with_min_query_count(32)
+        .with_min_duration(Nanos::from_millis(10))
+        .with_max_error_fraction(0.02)
+        .with_seeds(SeedTriple::from_master(seed ^ 0xC8A5))
+}
+
+fn crash_qsl() -> MemoryQsl {
+    MemoryQsl::new("crash-qsl", 64, 64)
+}
+
+fn crash_service() -> Arc<SimHost<FixedLatencySut>> {
+    Arc::new(SimHost::new(FixedLatencySut::new(
+        "crash-dev",
+        Nanos::from_micros(200),
+    )))
+}
+
+fn crash_connect(
+    addr: &str,
+    settings: &TestSettings,
+    config: RemoteSutConfig,
+) -> Result<Arc<RemoteSut>, String> {
+    let hello = RemoteSut::hello_for(settings, 64, &config);
+    RemoteSut::connect(addr, hello, config)
+        .map(Arc::new)
+        .map_err(|e| format!("crash client cannot connect to {addr}: {e}"))
+}
+
+/// One row of the crash matrix. Only kill-timing-invariant facts are
+/// recorded — verdicts, hashes, journal forensics — never wall-clock
+/// counts, so two builds of the same seed render identically.
+#[derive(Debug, Clone)]
+struct CrashCell {
+    cell: &'static str,
+    /// Which processes the quadrant killed.
+    killed: &'static str,
+    /// Checkpoint seq the journal had reached when the kill landed.
+    halt_checkpoint: u64,
+    /// The resume found a torn frame at the journal tail and rolled back.
+    torn_detected: bool,
+    /// The rescued run's verdict.
+    valid: bool,
+    /// FNV-1a of the rescued run's logical detail log.
+    log_hash: Option<String>,
+    /// The rescued log equals the uninterrupted baseline's.
+    hash_equal: bool,
+}
+
+/// Hidden subcommand: a crash-quadrant daemon child. Serves on an
+/// ephemeral port with a disk session journal, reports the address on
+/// stdout, then parks until the parent SIGKILLs it.
+fn crash_daemon_child(args: &[String]) -> ExitCode {
+    let [journal_dir] = args else {
+        eprintln!("__crash-daemon <journal-dir>");
+        return ExitCode::FAILURE;
+    };
+    let server = match serve_on(
+        "127.0.0.1:0",
+        crash_service(),
+        ServeConfig::default().with_journal_dir(journal_dir),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("crash daemon cannot serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ADDR {}", server.addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(Duration::from_secs(3_600));
+    }
+}
+
+/// Hidden subcommand: a crash-quadrant client child. Runs a fresh
+/// journaled run halted at [`CRASH_HALT_AT`] (tearing the final frame
+/// when asked), reports the halt on stdout, then parks — sockets open,
+/// no drain — until the parent SIGKILLs it.
+fn crash_client_child(args: &[String]) -> ExitCode {
+    let [addr, journal, torn, seed] = args else {
+        eprintln!("__crash-client <addr> <journal> <torn 0|1> <seed>");
+        return ExitCode::FAILURE;
+    };
+    let Ok(seed) = seed.parse::<u64>() else {
+        eprintln!("bad seed `{seed}`");
+        return ExitCode::FAILURE;
+    };
+    let settings = crash_settings(seed);
+    let mut qsl = crash_qsl();
+    let client = match crash_connect(addr, &settings, RemoteSutConfig::default()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = JournalConfig::new(journal)
+        .with_checkpoint_every(CRASH_CHECKPOINT_EVERY)
+        .with_halt_after(CRASH_HALT_AT)
+        .with_epoch_source(client.epoch_source());
+    if torn == "1" {
+        cfg = cfg.with_torn_halt();
+    }
+    let sut: Arc<dyn RealtimeSut> = client.clone();
+    match run_realtime_journaled(&settings, &mut qsl, sut, &NoopSink, &cfg, false) {
+        Ok(JournaledRun::Halted { checkpoint }) => {
+            println!("HALTED {checkpoint}");
+            let _ = std::io::stdout().flush();
+            loop {
+                std::thread::sleep(Duration::from_secs(3_600));
+            }
+        }
+        Ok(JournaledRun::Finished(_)) => {
+            eprintln!("crash client finished instead of halting");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("crash client run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Spawns a chaos child process running the hidden `subcommand`, returning
+/// it plus the first word-suffixed line it prints (`ADDR <addr>` /
+/// `HALTED <seq>`).
+fn spawn_crash_child(
+    subcommand: &str,
+    args: &[&str],
+    expect: &str,
+) -> Result<(Child, String), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .arg(subcommand)
+        .args(args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {subcommand}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("{subcommand} produced no status line: {e}"))?;
+    let Some(value) = line.trim().strip_prefix(expect).map(str::trim) else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(format!(
+            "{subcommand}: expected `{expect} ...`, got `{}`",
+            line.trim()
+        ));
+    };
+    Ok((child, value.to_string()))
+}
+
+/// SIGKILLs and reaps a crash child — the unceremonious death the
+/// quadrant is about.
+fn kill_crash_child(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Halts a journaled run at [`CRASH_HALT_AT`] inside this process, then
+/// severs the connection without drain (the daemon keeps the session).
+/// Used by the daemon-kill cell, where the client survives as a process
+/// but its run is interrupted by the daemon's death.
+fn halt_in_parent(addr: &str, journal: &Path, seed: u64) -> Result<u64, String> {
+    let settings = crash_settings(seed);
+    let mut qsl = crash_qsl();
+    let client = crash_connect(addr, &settings, RemoteSutConfig::default())?;
+    let cfg = JournalConfig::new(journal)
+        .with_checkpoint_every(CRASH_CHECKPOINT_EVERY)
+        .with_halt_after(CRASH_HALT_AT)
+        .with_epoch_source(client.epoch_source());
+    let sut: Arc<dyn RealtimeSut> = client.clone();
+    let run = run_realtime_journaled(&settings, &mut qsl, sut, &NoopSink, &cfg, false)
+        .map_err(|e| format!("crash halt run failed: {e}"))?;
+    client.abandon();
+    match run {
+        JournaledRun::Halted { checkpoint } => Ok(checkpoint),
+        JournaledRun::Finished(_) => Err("crash halt run finished instead of halting".into()),
+    }
+}
+
+/// Resumes the journaled run at `journal` against the daemon at `addr`,
+/// returning the journal's pre-resume forensics plus the rescued verdict
+/// and logical hash.
+fn resume_crash_run(
+    addr: &str,
+    journal: &Path,
+    seed: u64,
+) -> Result<(bool, bool, Option<String>), String> {
+    let settings = crash_settings(seed);
+    let mut qsl = crash_qsl();
+    let loaded = load_run_journal(journal).map_err(|e| format!("load crash journal: {e}"))?;
+    let torn_detected = loaded.torn.is_some();
+    let epoch = loaded.last.as_ref().map_or(0, |cp| cp.epoch);
+    let client = crash_connect(
+        addr,
+        &settings,
+        RemoteSutConfig::default().with_initial_epoch(epoch + 1),
+    )?;
+    let cfg = JournalConfig::new(journal)
+        .with_checkpoint_every(CRASH_CHECKPOINT_EVERY)
+        .with_epoch_source(client.epoch_source());
+    let sut: Arc<dyn RealtimeSut> = client.clone();
+    let out = run_realtime_journaled(&settings, &mut qsl, sut, &NoopSink, &cfg, true)
+        .map_err(|e| format!("crash resume failed: {e}"))?
+        .finished()
+        .ok_or("crash resume halted instead of finishing")?;
+    let valid = out.result.is_valid();
+    let hash = valid.then(|| logical_hash(&out.records));
+    Ok((torn_detected, valid, hash))
+}
+
+/// The uninterrupted baseline every rescued cell must hash-match.
+fn crash_baseline(seed: u64, dir: &Path) -> Result<String, String> {
+    let settings = crash_settings(seed);
+    let mut qsl = crash_qsl();
+    let server = serve_on(
+        "127.0.0.1:0",
+        crash_service(),
+        ServeConfig::default().with_journal_dir(dir.join("baseline-daemon")),
+    )
+    .map_err(|e| format!("crash baseline daemon: {e}"))?;
+    let client = crash_connect(
+        &server.addr().to_string(),
+        &settings,
+        RemoteSutConfig::default(),
+    )?;
+    let cfg = JournalConfig::new(dir.join("baseline.mlpj"))
+        .with_checkpoint_every(CRASH_CHECKPOINT_EVERY)
+        .with_epoch_source(client.epoch_source());
+    let sut: Arc<dyn RealtimeSut> = client.clone();
+    let out = run_realtime_journaled(&settings, &mut qsl, sut, &NoopSink, &cfg, false)
+        .map_err(|e| format!("crash baseline run failed: {e}"))?
+        .finished()
+        .ok_or("crash baseline halted")?;
+    server.shutdown();
+    if !out.result.is_valid() {
+        return Err(format!(
+            "crash baseline is INVALID: {:?}",
+            out.result.validity
+        ));
+    }
+    Ok(logical_hash(&out.records))
+}
+
+/// Runs one crash cell: interrupt at the checkpoint, kill the quadrant's
+/// victims, restart what died, resume, compare against the baseline.
+fn run_crash_cell(
+    cell: &'static str,
+    seed: u64,
+    dir: &Path,
+    baseline_hash: &str,
+) -> Result<CrashCell, String> {
+    let journal = dir.join(format!("{cell}.mlpj"));
+    let journal_text = journal.display().to_string();
+    let daemon_dir = dir.join(format!("{cell}-daemon"));
+    let daemon_dir_text = daemon_dir.display().to_string();
+    let seed_text = seed.to_string();
+    let (killed, halt_checkpoint, resume_addr, survivor, successor) = match cell {
+        // The client dies holding live sockets; the daemon survives with
+        // the session in memory.
+        "client-kill" | "torn-checkpoint" => {
+            let torn = cell == "torn-checkpoint";
+            let server = serve_on(
+                "127.0.0.1:0",
+                crash_service(),
+                ServeConfig::default().with_journal_dir(&daemon_dir),
+            )
+            .map_err(|e| format!("{cell}: daemon: {e}"))?;
+            let addr = server.addr().to_string();
+            let (client_child, halted) = spawn_crash_child(
+                "__crash-client",
+                &[
+                    &addr,
+                    &journal_text,
+                    if torn { "1" } else { "0" },
+                    &seed_text,
+                ],
+                "HALTED",
+            )?;
+            let halt_checkpoint: u64 = halted
+                .parse()
+                .map_err(|_| format!("{cell}: bad HALTED line `{halted}`"))?;
+            kill_crash_child(client_child);
+            let killed = if torn {
+                "client (mid-checkpoint-write)"
+            } else {
+                "client"
+            };
+            (killed, halt_checkpoint, addr, Some(server), None)
+        }
+        // The daemon dies (alone or with the client); its successor
+        // re-adopts the session's completion journal from disk.
+        "daemon-kill" | "both-kill" => {
+            let (daemon_child, addr) =
+                spawn_crash_child("__crash-daemon", &[&daemon_dir_text], "ADDR")?;
+            let halt_checkpoint = if cell == "both-kill" {
+                let (client_child, halted) = spawn_crash_child(
+                    "__crash-client",
+                    &[&addr, &journal_text, "0", &seed_text],
+                    "HALTED",
+                )?;
+                let halt: u64 = halted
+                    .parse()
+                    .map_err(|_| format!("{cell}: bad HALTED line `{halted}`"))?;
+                kill_crash_child(client_child);
+                halt
+            } else {
+                halt_in_parent(&addr, &journal, seed)?
+            };
+            kill_crash_child(daemon_child);
+            let (successor, addr) =
+                spawn_crash_child("__crash-daemon", &[&daemon_dir_text], "ADDR")?;
+            let killed = if cell == "both-kill" {
+                "client + daemon"
+            } else {
+                "daemon"
+            };
+            (killed, halt_checkpoint, addr, None, Some(successor))
+        }
+        other => unreachable!("unknown crash cell {other}"),
+    };
+    let resumed = resume_crash_run(&resume_addr, &journal, seed);
+    if let Some(server) = survivor {
+        server.shutdown();
+    }
+    if let Some(child) = successor {
+        kill_crash_child(child);
+    }
+    let (torn_detected, valid, log_hash) = resumed?;
+    let hash_equal = log_hash.as_deref() == Some(baseline_hash);
+    Ok(CrashCell {
+        cell,
+        killed,
+        halt_checkpoint,
+        torn_detected,
+        valid,
+        log_hash,
+        hash_equal,
+    })
+}
+
+fn build_crash_matrix(seed: u64, tag: &str) -> Result<Vec<CrashCell>, String> {
+    let dir = std::env::temp_dir().join(format!("mlperf-chaos-crash-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("crash dir {}: {e}", dir.display()))?;
+    let result = (|| {
+        let baseline = crash_baseline(seed, &dir)?;
+        CRASH_CASES
+            .iter()
+            .map(|cell| run_crash_cell(cell, seed, &dir, &baseline))
+            .collect::<Result<Vec<_>, _>>()
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn render_crash_table(cells: &[CrashCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "\n{:<17} {:<28} {:<5} {:<6} {:<9} HASH\n",
+        "CRASH CELL", "KILLED", "CKPT", "TORN", "VERDICT"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:<17} {:<28} {:<5} {:<6} {:<9} {}",
+            c.cell,
+            c.killed,
+            c.halt_checkpoint,
+            if c.torn_detected { "yes" } else { "no" },
+            if c.valid { "VALID" } else { "INVALID" },
+            if c.hash_equal {
+                "= baseline"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    out
+}
+
+fn crash_cell_json(c: &CrashCell) -> JsonValue {
+    JsonValue::object(vec![
+        ("cell", c.cell.to_json_value()),
+        ("killed", c.killed.to_json_value()),
+        ("halt_checkpoint", c.halt_checkpoint.to_json_value()),
+        ("torn_detected", c.torn_detected.to_json_value()),
+        ("valid", c.valid.to_json_value()),
+        (
+            "log_hash",
+            match &c.log_hash {
+                Some(h) => h.to_json_value(),
+                None => JsonValue::Null,
+            },
+        ),
+        ("hash_equal", c.hash_equal.to_json_value()),
+    ])
+}
+
+/// The crash-matrix CI assertions: every kill is rescued losslessly, and
+/// the torn cell actually exercised torn-tail rollback.
+fn check_crash(cells: &[CrashCell]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for c in cells {
+        if !c.valid {
+            failures.push(format!("crash/{}: the rescued run is INVALID", c.cell));
+        }
+        if !c.hash_equal {
+            failures.push(format!(
+                "crash/{}: the rescued logical log diverged from the uninterrupted \
+                 baseline ({:?})",
+                c.cell, c.log_hash
+            ));
+        }
+        let expect_torn = c.cell == "torn-checkpoint";
+        if c.torn_detected != expect_torn {
+            failures.push(format!(
+                "crash/{}: torn_detected={} (the kill-during-checkpoint cell, and only \
+                 it, must leave a torn journal tail)",
+                c.cell, c.torn_detected
+            ));
+        }
+        if c.halt_checkpoint != CRASH_HALT_AT {
+            failures.push(format!(
+                "crash/{}: halted at checkpoint {} instead of {CRASH_HALT_AT}",
+                c.cell, c.halt_checkpoint
+            ));
+        }
+    }
+    if cells.len() != CRASH_CASES.len() {
+        failures.push(format!(
+            "crash matrix has {} rows, expected {}",
+            cells.len(),
+            CRASH_CASES.len()
+        ));
+    }
+    failures
+}
+
 fn main() -> ExitCode {
+    let _flight = mlperf_harness::panic_guard::install("chaos");
     let mut seed = 0xC4A05u64;
     let mut out_path: Option<String> = None;
     let mut check_mode = false;
     let mut wire_mode = false;
     let mut analyze_mode = false;
+    let mut crash_mode = false;
     let mut flight_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden crash-quadrant worker subcommands: these processes exist to
+    // be SIGKILLed by the parent sweep.
+    match args.first().map(String::as_str) {
+        Some("__crash-daemon") => return crash_daemon_child(&args[1..]),
+        Some("__crash-client") => return crash_client_child(&args[1..]),
+        _ => {}
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -1150,6 +1642,7 @@ fn main() -> ExitCode {
             }
             "--check" => check_mode = true,
             "--wire" => wire_mode = true,
+            "--crash" => crash_mode = true,
             "--analyze" => analyze_mode = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
@@ -1187,7 +1680,24 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let rendered = render_json(seed, &cells, wire_cells.as_deref(), shard_cells.as_deref());
+    let crash_cells = if crash_mode {
+        match build_crash_matrix(seed, "a") {
+            Ok(cells) => Some(cells),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let rendered = render_json(
+        seed,
+        &cells,
+        wire_cells.as_deref(),
+        shard_cells.as_deref(),
+        crash_cells.as_deref(),
+    );
     print!("{}", render_table(&cells));
     let invalid = cells.iter().filter(|c| !c.faulty_valid).count();
     let recovered = cells
@@ -1216,6 +1726,17 @@ fn main() -> ExitCode {
         println!(
             "\n{} fleet cells, {survived} shard faults absorbed by the router",
             shard_cells.len()
+        );
+    }
+    if let Some(crash_cells) = &crash_cells {
+        print!("{}", render_crash_table(crash_cells));
+        let rescued = crash_cells
+            .iter()
+            .filter(|c| c.valid && c.hash_equal)
+            .count();
+        println!(
+            "\n{} crash cells, {rescued} rescued losslessly from the run journal",
+            crash_cells.len()
         );
     }
 
@@ -1259,11 +1780,23 @@ fn main() -> ExitCode {
         } else {
             None
         };
+        let again_crash = if crash_mode {
+            match build_crash_matrix(seed, "b") {
+                Ok(cells) => Some(cells),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
         let again = render_json(
             seed,
             &again_cells,
             again_wire.as_deref(),
             again_shard.as_deref(),
+            again_crash.as_deref(),
         );
         let mut failures = check(seed, &cells, &rendered, &again);
         if let Some(wire_cells) = &wire_cells {
@@ -1271,6 +1804,9 @@ fn main() -> ExitCode {
         }
         if let Some(shard_cells) = &shard_cells {
             failures.extend(check_shard(shard_cells));
+        }
+        if let Some(crash_cells) = &crash_cells {
+            failures.extend(check_crash(crash_cells));
         }
         if failures.is_empty() {
             println!("chaos check: all expectations hold");

@@ -919,6 +919,7 @@ enum Mode {
 }
 
 fn main() -> ExitCode {
+    let _flight = mlperf_harness::panic_guard::install("netbench");
     let mut mode: Option<Mode> = None;
     let mut shards: Option<usize> = None;
     let mut seed = 0xBE7Cu64;

@@ -758,6 +758,7 @@ fn parse_u64(v: &str, flag: &str) -> Result<u64, String> {
 }
 
 fn main() -> ExitCode {
+    let _flight = mlperf_harness::panic_guard::install("replay");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");

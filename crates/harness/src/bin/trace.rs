@@ -18,6 +18,15 @@
 //! the `mlperf_log_detail` analog that `summary` (and
 //! `mlperf_trace::read_detail_log`) read back.
 //!
+//! `run` can also be made **crash-safe**: `--journal <path>` appends
+//! seeded checkpoints (scenario cursor, RNG states, recorder image) to a
+//! durable `MLPJ` run journal every `--checkpoint-every` issued queries
+//! (server/offline scenarios), `--halt-after <seq>` stops the run right
+//! after checkpoint `seq` as if the process died there, and
+//! `--resume-from <path>` rolls back to the journal's last complete
+//! checkpoint and re-executes the run to completion — the resumed detail
+//! log is logically identical to an uninterrupted run's.
+//!
 //! `--tenants N` (server scenario only) runs N concurrent server streams
 //! against one shared device via the multitenancy extension. `--profile`
 //! turns on the wall-clock span profiler and prints the self-time table;
@@ -27,18 +36,21 @@
 //! writes the run's full metrics-registry snapshot (counters, gauges, and
 //! log-bucketed latency histograms) as a machine-readable JSON artifact.
 
+use mlperf_harness::panic_guard;
 use mlperf_loadgen::config::TestSettings;
-use mlperf_loadgen::des::run_instrumented;
+use mlperf_loadgen::des::{resume_journaled, run_instrumented, run_journaled};
+use mlperf_loadgen::journal::JournalConfig;
 use mlperf_loadgen::multitenant::run_multitenant_server_instrumented;
 use mlperf_loadgen::qsl::MemoryQsl;
 use mlperf_loadgen::time::Nanos;
 use mlperf_loadgen::Instruments;
+use mlperf_loadgen::JournaledRun;
 use mlperf_models::{TaskId, Workload};
 use mlperf_sut::device::{Architecture, DeviceSpec, ThermalModel};
 use mlperf_sut::engine::{BatchPolicy, DeviceSut};
 use mlperf_trace::{
-    chrome_trace_json, profile, JsonValue, LogHistogram, MetricsRegistry, RingBufferSink,
-    TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
+    chrome_trace_json, profile, FanoutSink, JsonValue, LogHistogram, MetricsRegistry,
+    RingBufferSink, TimeSeriesSampler, ToJson, TraceEvent, TraceRecord,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -49,13 +61,16 @@ const USAGE: &str = "usage:
             [--trace <path>] [--trace-format jsonl|chrome] \\
             [--tenants <n>] [--queries <n>] [--profile] [--collapsed <path>] \\
             [--timeseries <path>] [--timeseries-format jsonl|csv] \\
-            [--interval-ms <n>] [--metrics <path>]
+            [--interval-ms <n>] [--metrics <path>] \\
+            [--journal <path>] [--resume-from <path>] \\
+            [--checkpoint-every <n>] [--halt-after <seq>]
   trace summary <detail.jsonl>";
 
 fn main() -> ExitCode {
+    let flight = panic_guard::install("trace");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
+        Some("run") => cmd_run(&args[1..], &flight),
         Some("summary") => cmd_summary(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
@@ -87,7 +102,7 @@ fn settings_for(scenario: &str, queries: Option<u64>) -> Result<TestSettings, St
     Ok(settings.with_min_duration(Nanos::from_millis(1)))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String], flight: &mlperf_trace::FlightRecorder) -> Result<(), String> {
     let mut scenario = "server".to_string();
     let mut path = "trace-out.json".to_string();
     let mut format = "chrome".to_string();
@@ -99,6 +114,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut interval_ms = 100u64;
     let mut metrics_path: Option<String> = None;
     let mut queries: Option<u64> = None;
+    let mut journal_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut checkpoint_every = 16u64;
+    let mut halt_after: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| {
@@ -142,6 +161,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         .ok_or_else(|| format!("--queries needs a positive integer, got `{v}`"))?,
                 );
             }
+            "--journal" => journal_path = Some(value_of("--journal")?),
+            "--resume-from" => resume_path = Some(value_of("--resume-from")?),
+            "--checkpoint-every" => {
+                let v = value_of("--checkpoint-every")?;
+                checkpoint_every = v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    format!("--checkpoint-every needs a positive integer, got `{v}`")
+                })?;
+            }
+            "--halt-after" => {
+                let v = value_of("--halt-after")?;
+                halt_after = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--halt-after needs a checkpoint seq, got `{v}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -156,9 +190,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if tenants > 1 && scenario != "server" {
         return Err("--tenants requires --scenario server".to_string());
     }
+    if journal_path.is_some() && resume_path.is_some() {
+        return Err("--journal and --resume-from are mutually exclusive".to_string());
+    }
+    let journaling = journal_path.is_some() || resume_path.is_some();
+    if journaling && tenants > 1 {
+        return Err("journaled runs support a single tenant".to_string());
+    }
+    if journaling && scenario != "server" && scenario != "offline" {
+        return Err(
+            "--journal/--resume-from require --scenario server or offline (the \
+             completion-driven scenarios have no issue boundary to checkpoint at)"
+                .to_string(),
+        );
+    }
 
     let settings = settings_for(&scenario, queries)?;
     let sink = Arc::new(RingBufferSink::unbounded());
+    // Tee the run's events into the panic guard's flight recorder so a
+    // crash dumps the freshest tail next to the artifacts.
+    let fan = FanoutSink::new(vec![
+        sink.clone() as Arc<dyn mlperf_trace::TraceSink>,
+        Arc::new(flight.clone()),
+    ]);
     let registry = Arc::new(MetricsRegistry::new());
     let sampler = TimeSeriesSampler::new(interval_ms.saturating_mul(1_000_000));
     let device = DeviceSpec::new(
@@ -186,13 +240,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Workload::new(TaskId::ImageClassificationLight),
         policy,
     )
-    .with_trace(sink.clone())
+    .with_trace(Arc::new(fan.clone()))
     .with_metrics(registry.clone());
     for _ in 1..tenants {
         sut = sut.with_tenant_workload(Workload::new(TaskId::ImageClassificationLight));
     }
 
-    let mut instruments = Instruments::traced(sink.as_ref()).with_metrics(&registry);
+    let mut instruments = Instruments::traced(&fan).with_metrics(&registry);
     if timeseries_path.is_some() {
         instruments = instruments.with_sampler(&sampler);
     }
@@ -227,6 +281,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .into_iter()
             .next()
             .expect("at least one tenant outcome")
+    } else if journaling {
+        let mut qsl = MemoryQsl::new("trace-demo-qsl", 1_024, 1_024);
+        let resuming = resume_path.is_some();
+        let jpath = journal_path
+            .clone()
+            .or_else(|| resume_path.clone())
+            .expect("journaling implies a path");
+        let mut cfg = JournalConfig::new(&jpath).with_checkpoint_every(checkpoint_every);
+        if let Some(seq) = halt_after {
+            cfg = cfg.with_halt_after(seq);
+        }
+        // The panic hook fsyncs this journal before the process unwinds.
+        panic_guard::guard_journal(&jpath);
+        let run = if resuming {
+            resume_journaled(&settings, &mut qsl, &mut sut, &instruments, &cfg)
+        } else {
+            run_journaled(&settings, &mut qsl, &mut sut, &instruments, &cfg)
+        }
+        .map_err(|e| format!("journaled run failed: {e}"))?;
+        match run {
+            JournaledRun::Halted { checkpoint } => {
+                println!(
+                    "halted after checkpoint {checkpoint}; journal {jpath} is durable — \
+                     continue with `trace run --scenario {scenario} --resume-from {jpath}`"
+                );
+                return Ok(());
+            }
+            JournaledRun::Finished(outcome) => {
+                let verb = if resuming { "resumed" } else { "journaled" };
+                println!("{verb}: {}", outcome.result.summary_line());
+                *outcome
+            }
+        }
     } else {
         let mut qsl = MemoryQsl::new("trace-demo-qsl", 1_024, 1_024);
         let outcome = run_instrumented(&settings, &mut qsl, &mut sut, &instruments)
@@ -323,6 +410,9 @@ fn cmd_summary(args: &[String]) -> Result<(), String> {
         return Err(USAGE.to_string());
     };
     let log = mlperf_trace::read_detail_log(path).map_err(|e| e.to_string())?;
+    for issue in &log.issues {
+        eprintln!("warning: {issue}");
+    }
     print!("{}", summarize(&log.records));
     Ok(())
 }

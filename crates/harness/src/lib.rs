@@ -14,6 +14,7 @@
 pub mod ablations;
 pub mod fig6;
 pub mod fig8;
+pub mod panic_guard;
 pub mod profile;
 pub mod roundio;
 pub mod tables;

@@ -156,6 +156,27 @@ impl PoissonProcess {
             now: 0.0,
         })
     }
+
+    /// Freezes the process for a checkpoint: the generator state and the
+    /// absolute time of the last arrival yielded.
+    pub fn state(&self) -> ([u64; 4], f64) {
+        (self.rng.state(), self.now)
+    }
+
+    /// Rebuilds a process mid-stream from a [`PoissonProcess::state`]
+    /// capture. The resumed iterator yields exactly the arrivals the
+    /// original would have yielded next.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositiveRate`] if `qps` is not positive.
+    pub fn resume(qps: f64, rng_state: [u64; 4], now: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            exp: Exponential::new(qps)?,
+            rng: Rng64::from_state(rng_state),
+            now,
+        })
+    }
 }
 
 impl Iterator for PoissonProcess {
@@ -302,6 +323,19 @@ mod tests {
         let p = PoissonProcess::new(100.0, Rng64::new(4)).unwrap();
         let events = p.take_while(|t| *t < 50.0).count();
         assert!((4_600..5_400).contains(&events), "events={events}");
+    }
+
+    #[test]
+    fn poisson_process_resumes_from_state() {
+        let mut original = PoissonProcess::new(100.0, Rng64::new(9)).unwrap();
+        for _ in 0..500 {
+            original.next();
+        }
+        let (rng_state, now) = original.state();
+        let mut resumed = PoissonProcess::resume(100.0, rng_state, now).unwrap();
+        for _ in 0..500 {
+            assert_eq!(resumed.next(), original.next());
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::json::{FromJson, JsonError, JsonValue, ToJson};
 
@@ -641,6 +641,51 @@ impl TraceSink for RingBufferSink {
             ts_ns,
             event: event.clone(),
         });
+    }
+}
+
+/// A sink that broadcasts every event to several downstream sinks — e.g.
+/// an unbounded detail-log ring plus a bounded panic-time flight recorder.
+///
+/// Enabled iff any downstream sink is; disabled downstreams are skipped
+/// per event, so a fanout with one live member costs one extra branch.
+#[derive(Clone)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// A fanout over the given downstream sinks.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, ts_ns: u64, event: &TraceEvent) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record(ts_ns, event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
     }
 }
 

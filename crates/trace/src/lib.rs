@@ -26,6 +26,9 @@
 //!   event stream into a `chrome://tracing` / Perfetto-loadable timeline.
 //! * [`flight`] — [`flight::FlightRecorder`], a bounded ring of recent
 //!   events dumped as a post-mortem when a run ends INVALID or aborts.
+//! * [`journal`] — [`journal::JournalWriter`] / [`journal::read_journal`],
+//!   the `MLPJ` append-only write-ahead journal (CRC-framed, batched
+//!   `fsync`, torn-tail salvage) that crash-safe runs checkpoint into.
 //! * [`reader`] — [`reader::read_detail_log`], the one place that sniffs
 //!   a detail-log artifact's shape (plain JSONL vs flight dump) for every
 //!   consumer of recorded runs.
@@ -66,6 +69,7 @@ pub mod bench;
 pub mod chrome;
 pub mod event;
 pub mod flight;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -75,9 +79,11 @@ pub mod timeseries;
 pub use bench::{BenchComparison, BenchEntry, BenchReport};
 pub use chrome::chrome_trace_json;
 pub use event::{
-    parse_detail_log, JsonlSink, NoopSink, RingBufferSink, TraceEvent, TraceRecord, TraceSink,
+    parse_detail_log, FanoutSink, JsonlSink, NoopSink, RingBufferSink, TraceEvent, TraceRecord,
+    TraceSink,
 };
 pub use flight::{parse_flight_dump, FlightDump, FlightRecorder};
+pub use journal::{read_journal, JournalError, JournalScan, JournalWriter, TornTail};
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use profile::{SpanGuard, SpanReport, SpanRow};

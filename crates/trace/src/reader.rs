@@ -11,9 +11,10 @@
 //! This module is that reader, so the sniffing logic lives in exactly one
 //! place instead of being copy-pasted into each binary.
 
-use crate::event::{parse_detail_log, TraceRecord};
+use crate::event::TraceRecord;
 use crate::flight::parse_flight_dump;
-use crate::json::JsonError;
+use crate::journal::TornTail;
+use crate::json::{FromJson, JsonError};
 use std::fmt;
 use std::path::Path;
 
@@ -24,8 +25,12 @@ use std::path::Path;
 pub struct DetailLog {
     /// Every trace record, in file order.
     pub records: Vec<TraceRecord>,
-    /// Diagnostic context recovered from the artifact (dump reasons).
+    /// Diagnostic context recovered from the artifact (dump reasons,
+    /// torn-tail warnings).
     pub issues: Vec<String>,
+    /// Present when the log's final line was cut mid-write (a crash
+    /// landed here); [`DetailLog::records`] holds the salvaged prefix.
+    pub torn: Option<TornTail>,
 }
 
 /// Why a detail-log artifact could not be read.
@@ -58,11 +63,53 @@ impl fmt::Display for ReadError {
 
 impl std::error::Error for ReadError {}
 
+/// Parses JSONL trace records, salvaging a torn final line.
+///
+/// A process killed mid-`write` leaves the last line of the detail log
+/// incomplete. That tear is recoverable — every earlier line is intact —
+/// so a parse failure on the *final* non-blank line salvages the prefix
+/// and reports a [`TornTail`] (with the tear's byte offset) instead of
+/// failing the whole artifact. A bad line anywhere else is corruption,
+/// not a tear, and still errors.
+fn parse_jsonl_salvaging(text: &str) -> Result<(Vec<TraceRecord>, Option<TornTail>), JsonError> {
+    // Walk lines with their byte offsets so the tear can be located.
+    let mut lines: Vec<(usize, &str)> = Vec::new();
+    let mut at = 0usize;
+    for line in text.split_inclusive('\n') {
+        if !line.trim().is_empty() {
+            lines.push((at, line.trim_end_matches(['\n', '\r'])));
+        }
+        at += line.len();
+    }
+    let mut records = Vec::new();
+    let last = lines.len().saturating_sub(1);
+    for (i, (line_start, line)) in lines.iter().enumerate() {
+        match TraceRecord::from_json_str(line) {
+            Ok(r) => records.push(r),
+            // Only a *tail* can tear: salvage needs at least one valid
+            // record ahead of it, else the file is garbage, not a log.
+            Err(e) if i == last && !records.is_empty() => {
+                let torn = TornTail {
+                    valid_records: records.len(),
+                    byte_offset: *line_start as u64,
+                    reason: format!("final line cut mid-write: {e}"),
+                };
+                return Ok((records, Some(torn)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((records, None))
+}
+
 /// Parses detail-log text, auto-detecting flight-recorder dumps.
 ///
 /// The first non-blank line decides: a `{"flight_dump":...}` header makes
 /// the artifact a dump (its reason line lands in [`DetailLog::issues`]);
-/// anything else parses as plain JSONL of trace records.
+/// anything else parses as plain JSONL of trace records. A plain log
+/// whose final line was cut mid-write (a crash landed during the write)
+/// is salvaged up to the last complete record, with the tear described in
+/// [`DetailLog::torn`] and echoed into [`DetailLog::issues`].
 ///
 /// # Errors
 ///
@@ -74,11 +121,15 @@ pub fn read_detail_log_str(text: &str) -> Result<DetailLog, JsonError> {
         Ok(DetailLog {
             records: dump.records,
             issues: vec![dump.reason],
+            torn: None,
         })
     } else {
+        let (records, torn) = parse_jsonl_salvaging(text)?;
+        let issues = torn.iter().map(|t| t.to_string()).collect();
         Ok(DetailLog {
-            records: parse_detail_log(text)?,
-            issues: Vec::new(),
+            records,
+            issues,
+            torn,
         })
     }
 }
@@ -161,6 +212,46 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(read_detail_log_str("not json at all").is_err());
+    }
+
+    #[test]
+    fn salvages_torn_final_line() {
+        let records = sample_records();
+        let full = render_jsonl(&records);
+        // Cut the artifact mid-way through its final line.
+        let cut = full.len() - 17;
+        let torn_text = &full[..cut];
+        let log = read_detail_log_str(torn_text).expect("torn log salvages");
+        assert_eq!(log.records, records[..1]);
+        let torn = log.torn.expect("tear reported");
+        assert_eq!(torn.valid_records, 1);
+        let second_line_start = full.find('\n').unwrap() + 1;
+        assert_eq!(torn.byte_offset, second_line_start as u64);
+        assert_eq!(log.issues.len(), 1);
+        assert!(log.issues[0].contains("torn tail"), "{}", log.issues[0]);
+    }
+
+    #[test]
+    fn salvage_sweeps_every_cut_of_the_final_line() {
+        let records = sample_records();
+        let full = render_jsonl(&records);
+        let second_line_start = full.find('\n').unwrap() + 1;
+        for cut in second_line_start + 1..full.len() - 1 {
+            let log = read_detail_log_str(&full[..cut])
+                .unwrap_or_else(|e| panic!("cut={cut} must salvage: {e}"));
+            assert_eq!(log.records, records[..1], "cut={cut}");
+            assert!(log.torn.is_some(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_in_the_middle_still_errors() {
+        let records = sample_records();
+        let mut text = String::new();
+        text.push_str(&render_jsonl(&records[..1]));
+        text.push_str("{\"ts_ns\": torn-garbage\n");
+        text.push_str(&render_jsonl(&records[1..]));
+        assert!(read_detail_log_str(&text).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -94,6 +94,12 @@ pub struct RemoteSutConfig {
     /// to interoperate with a daemon that has not been upgraded. Trace
     /// propagation, clock probes, and event shipping need v3.
     pub protocol: u16,
+    /// Wire epoch to open the session at. `0` (the default) starts a
+    /// fresh session; a nonzero value re-adopts the session's server-side
+    /// completion journal, exactly as an in-process reconnect would —
+    /// this is how a run resumed from a crash-safe journal reclaims its
+    /// wire session after the client process died.
+    pub initial_epoch: u32,
 }
 
 impl Default for RemoteSutConfig {
@@ -106,6 +112,7 @@ impl Default for RemoteSutConfig {
             resume: None,
             chaos: None,
             protocol: PROTOCOL_VERSION,
+            initial_epoch: 0,
         }
     }
 }
@@ -151,6 +158,14 @@ impl RemoteSutConfig {
     #[must_use]
     pub fn with_protocol(mut self, version: u16) -> Self {
         self.protocol = version;
+        self
+    }
+
+    /// Opens the session at a nonzero epoch, re-adopting its server-side
+    /// completion journal (crash-resume handshake).
+    #[must_use]
+    pub fn with_initial_epoch(mut self, epoch: u32) -> Self {
+        self.initial_epoch = epoch;
         self
     }
 }
@@ -225,6 +240,9 @@ struct ClientShared {
     metrics: Option<Arc<MetricsRegistry>>,
     /// Protocol version both ends agreed on at the handshake.
     negotiated: AtomicU16,
+    /// Live wire epoch, mirrored for journal checkpoints: bumped on every
+    /// reconnect, read (lock-free) each time a checkpoint is captured.
+    epoch_watch: Arc<AtomicU32>,
     /// Client↔server clock offset, tightened by every probe.
     estimator: ClockEstimator,
     /// Sequence numbers for clock probes (handshake + heartbeats).
@@ -501,7 +519,8 @@ impl RemoteSut {
     ) -> Result<Self, WireError> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let mut hello = hello;
-        hello.resume = config.resume.is_some();
+        hello.resume = config.resume.is_some() || config.initial_epoch > 0;
+        hello.epoch = config.initial_epoch;
         let chaos = config
             .chaos
             .clone()
@@ -509,6 +528,7 @@ impl RemoteSut {
 
         let (writer, reader_transport, peer, sut_name, negotiated) =
             dial(&addrs, &hello, chaos.as_ref())?;
+        let epoch0 = hello.epoch;
 
         let shared = Arc::new(ClientShared {
             config,
@@ -519,11 +539,12 @@ impl RemoteSut {
             state: Mutex::new(ClientState {
                 link: Link::Up,
                 reason: String::new(),
-                epoch: 0,
+                epoch: epoch0,
                 in_flight: 0,
                 pending: HashMap::new(),
             }),
             window: Condvar::new(),
+            epoch_watch: Arc::new(AtomicU32::new(epoch0)),
             start: Instant::now(),
             last_pong: Mutex::new(Instant::now()),
             stopping: AtomicBool::new(false),
@@ -605,6 +626,13 @@ impl RemoteSut {
         self.shared.base_hello.session
     }
 
+    /// Live view of the wire epoch: starts at the handshake epoch and is
+    /// bumped on every reconnect. Hand it to the run journal's
+    /// `epoch_source` so each checkpoint records which epoch to resume at.
+    pub fn epoch_source(&self) -> Arc<AtomicU32> {
+        Arc::clone(&self.shared.epoch_watch)
+    }
+
     /// The instant this client's span clock (and wire-event clock) starts
     /// at. Drive the run loop with the same origin and run events land on
     /// the same axis as the wire spans.
@@ -675,6 +703,42 @@ impl RemoteSut {
         // transport after the sever above; the reconnect path re-checks
         // `stopping`/`Dead` before installing, so at most one extra sever
         // is needed.
+        self.shared
+            .writer
+            .lock()
+            .expect("wire writer poisoned")
+            .shutdown();
+        if let Some(handle) = self.reader.lock().expect("reader handle poisoned").take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self
+            .heartbeat
+            .lock()
+            .expect("heartbeat handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+
+    /// Severs the link *without* draining — the client-side analog of
+    /// [`ServerHandle::kill`](crate::server::ServerHandle::kill),
+    /// simulating this process dying mid-run. The server sees a dirty
+    /// disconnect and keeps the session (and its durable journal, when
+    /// configured) alive for a successor client to resume at a bumped
+    /// epoch. Safe to call more than once; a later `Drop` is a no-op.
+    pub fn abandon(&self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared
+            .wire_event("abandon", 0, "severed without drain");
+        self.shared
+            .writer
+            .lock()
+            .expect("wire writer poisoned")
+            .shutdown();
+        self.shared.fail("client abandoned", FailKind::Vanished);
         self.shared
             .writer
             .lock()
@@ -1009,6 +1073,7 @@ fn reconnect(shared: &Arc<ClientShared>, policy: ResumePolicy) -> Option<Box<dyn
         let hello = {
             let mut st = shared.state.lock().expect("wire client state poisoned");
             st.epoch += 1;
+            shared.epoch_watch.store(st.epoch, Ordering::SeqCst);
             let mut hello = shared.base_hello.clone();
             hello.epoch = st.epoch;
             hello.resume = true;

@@ -26,6 +26,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -36,6 +37,7 @@ use mlperf_loadgen::query::{Query, SampleCompletion};
 use mlperf_trace::event::{RingBufferSink, TraceEvent, TraceSink};
 use mlperf_trace::json::ToJson;
 use mlperf_trace::metrics::MetricsRegistry;
+use mlperf_trace::JournalWriter;
 
 use crate::message::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::service::WireService;
@@ -50,6 +52,12 @@ const SESSION_EVENT_CAPACITY: usize = 65_536;
 /// `TraceRecord` rows per `Events` frame at drain. Keeps every frame far
 /// under the 64 MiB frame ceiling.
 const EVENTS_CHUNK: usize = 256;
+
+/// `fsync` batching window for session journals. Completions lost in the
+/// unsynced tail of a killed daemon simply re-run on resume (the service
+/// is deterministic per query), so batching trades a bounded amount of
+/// re-execution for not paying an `fsync` per completion.
+const JOURNAL_FSYNC_BATCH: u32 = 8;
 
 /// Tuning knobs for a serving daemon.
 #[derive(Clone, Default)]
@@ -70,6 +78,14 @@ pub struct ServeConfig {
     /// and `Stats` snapshots report it; when `None` the daemon is a
     /// plain single host named `server`.
     pub shard_label: Option<String>,
+    /// Directory for durable per-session completion journals. When set,
+    /// every resolved query is appended (wire-codec bytes in an `MLPJ`
+    /// frame) to `session_<id>.mlpj` before its completion frame is sent,
+    /// and a restarted daemon re-adopts a session's journal when a client
+    /// reconnects at a nonzero epoch — completions recorded before the
+    /// crash are answered from disk, never re-run. `None` (the default)
+    /// keeps session journals in memory only, as before.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -80,6 +96,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("chaos", &self.chaos)
             .field("metrics", &self.metrics.is_some())
             .field("shard_label", &self.shard_label)
+            .field("journal_dir", &self.journal_dir)
             .finish()
     }
 }
@@ -119,16 +136,33 @@ impl ServeConfig {
         self.shard_label = Some(label.to_string());
         self
     }
+
+    /// Persists per-session completion journals under `dir`, making the
+    /// daemon's exactly-once replay guarantee survive a daemon restart.
+    #[must_use]
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
 }
+
+/// wire query id → resolved reply `(error, samples)`, kept for journal
+/// replay within a session and recovered from disk across daemon restarts.
+type CompletionMap = HashMap<u64, (bool, Vec<SampleCompletion>)>;
 
 /// Everything a session remembers across connections, under one lock so a
 /// completion can never fall between "no longer in progress" and "not yet
 /// journaled".
 struct SessionBook {
     /// wire query id → resolved reply, kept for journal replay.
-    journal: HashMap<u64, (bool, Vec<SampleCompletion>)>,
+    journal: CompletionMap,
     /// Queries handed to workers but not yet resolved.
     in_progress: HashSet<u64>,
+    /// Durable mirror of `journal`, when the daemon has a journal dir:
+    /// completions are appended (as wire-codec `Completion` frames) under
+    /// the same lock that updates the map, so the disk image can never
+    /// miss an entry the memory image has acknowledged.
+    disk: Option<JournalWriter>,
 }
 
 /// One logical client run. Connections come and go (each at a distinct
@@ -147,6 +181,9 @@ struct Session {
     /// Server-side queue/compute spans for traced (v3) queries, shipped to
     /// the client at drain so one run yields one merged detail log.
     events: Arc<RingBufferSink>,
+    /// The on-disk journal path, kept so a cleanly drained session can
+    /// delete its file (the run is over; nothing is left to resume).
+    disk_path: Option<PathBuf>,
 }
 
 /// One query handed to the worker pool, with its trace context and the
@@ -201,6 +238,8 @@ struct ServerShared {
     host_label: String,
     /// Daemon-assigned shard label for `Stats` (empty = not sharded).
     shard: String,
+    /// Directory for durable session journals (`None` = memory only).
+    journal_dir: Option<PathBuf>,
 }
 
 impl ServerShared {
@@ -355,6 +394,7 @@ pub fn serve(
             .clone()
             .unwrap_or_else(|| "server".to_string()),
         shard: config.shard_label.clone().unwrap_or_default(),
+        journal_dir: config.journal_dir.clone(),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -427,24 +467,83 @@ fn accept_loop(
     }
 }
 
-/// Spawns a fresh session with its worker pool.
+/// Opens (or, on resume, re-adopts) a session's durable journal. Returns
+/// the writer, the path, and the completion map recovered from disk —
+/// empty unless `resume` found a journal left by a previous daemon
+/// process. Disk failures degrade to a memory-only session: the run
+/// proceeds, it just cannot survive another daemon death.
+fn open_session_disk(
+    shared: &ServerShared,
+    session_id: u64,
+    resume: bool,
+) -> (Option<JournalWriter>, Option<PathBuf>, CompletionMap) {
+    let mut recovered = HashMap::new();
+    let Some(dir) = &shared.journal_dir else {
+        return (None, None, recovered);
+    };
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("session_{session_id:016x}.mlpj"));
+    let writer = if resume && path.exists() {
+        match JournalWriter::open_append(&path, JOURNAL_FSYNC_BATCH) {
+            Ok((writer, scan)) => {
+                for frame in &scan.records {
+                    if let Ok(Message::Completion {
+                        query_id,
+                        error,
+                        samples,
+                    }) = Message::from_wire(frame)
+                    {
+                        recovered.insert(query_id, (error, samples));
+                    }
+                }
+                if let Some(torn) = &scan.torn {
+                    shared.wire_event("journal_salvage", 0, &torn.to_string());
+                }
+                shared.wire_event(
+                    "journal_recover",
+                    0,
+                    &format!("session={session_id:#x} completions={}", recovered.len()),
+                );
+                Some(writer)
+            }
+            Err(e) => {
+                shared.wire_event("journal_error", 0, &format!("open: {e}"));
+                None
+            }
+        }
+    } else {
+        // Epoch 0 (or no surviving file): a fresh run truncates whatever
+        // a same-id predecessor left behind.
+        JournalWriter::create(&path, JOURNAL_FSYNC_BATCH).ok()
+    };
+    (writer, Some(path), recovered)
+}
+
+/// Spawns a fresh session with its worker pool. With a journal dir
+/// configured, the session's completion book is mirrored to (and, at a
+/// nonzero epoch, recovered from) `session_<id>.mlpj` in that dir.
 fn spawn_session(
     service: &Arc<dyn WireService>,
     workers: usize,
     shared: &Arc<ServerShared>,
+    session_id: u64,
+    resume: bool,
 ) -> Arc<Session> {
     let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
     let work_rx = Arc::new(Mutex::new(work_rx));
+    let (disk, disk_path, recovered) = open_session_disk(shared, session_id, resume);
     let session = Arc::new(Session {
         book: Mutex::new(SessionBook {
-            journal: HashMap::new(),
+            journal: recovered,
             in_progress: HashSet::new(),
+            disk,
         }),
         outstanding: (Mutex::new(0usize), Condvar::new()),
         writer: Mutex::new(None),
         work_tx: Mutex::new(Some(work_tx)),
         workers: Mutex::new(Vec::with_capacity(workers)),
         events: Arc::new(RingBufferSink::new(SESSION_EVENT_CAPACITY)),
+        disk_path,
     });
     let mut pool = Vec::with_capacity(workers);
     for i in 0..workers {
@@ -506,17 +605,27 @@ fn spawn_session(
                         // between the two, the reply survives for replay.
                         // One critical section retires "in progress" and
                         // records the journal entry atomically.
-                        {
-                            let mut book = session_t.book.lock().expect("session book poisoned");
-                            book.in_progress.remove(&query.id);
-                            book.journal
-                                .insert(query.id, (reply.error, reply.samples.clone()));
-                        }
-                        session_t.send(&Message::Completion {
+                        let completion = Message::Completion {
                             query_id: query.id,
                             error: reply.error,
                             samples: reply.samples,
-                        });
+                        };
+                        {
+                            let mut book = session_t.book.lock().expect("session book poisoned");
+                            book.in_progress.remove(&query.id);
+                            if let Some(disk) = book.disk.as_mut() {
+                                // Durable mirror first: the wire-codec
+                                // bytes are the journal payload, so replay
+                                // after a daemon restart parses them back
+                                // with the same decoder the socket uses.
+                                let _ = disk.append(&completion.to_wire());
+                            }
+                            let Message::Completion { error, samples, .. } = &completion else {
+                                unreachable!("constructed above");
+                            };
+                            book.journal.insert(query.id, (*error, samples.clone()));
+                        }
+                        session_t.send(&completion);
                         shared.served.fetch_add(1, Ordering::SeqCst);
                         shared.metrics.incr("wire_served", 1);
                     }
@@ -719,7 +828,7 @@ fn handle_conn(
         }
         // A fresh session is a fresh run: let stateful services clear.
         service.reset();
-        let session = spawn_session(service, workers, shared);
+        let session = spawn_session(service, workers, shared, hello.session, false);
         shared
             .sessions
             .lock()
@@ -736,7 +845,11 @@ fn handle_conn(
         match existing {
             Some(session) => session,
             None => {
-                let session = spawn_session(service, workers, shared);
+                // The daemon forgot this session (it restarted). With a
+                // journal dir the session book is rebuilt from disk and
+                // replayed queries answer without re-running; without one
+                // the book starts empty and they simply re-run.
+                let session = spawn_session(service, workers, shared, hello.session, true);
                 shared
                     .sessions
                     .lock()
@@ -842,7 +955,8 @@ fn handle_conn(
 
     transport.shutdown();
     if clean {
-        // The run drained: the session is complete, reap it.
+        // The run drained: the session is complete, reap it — including
+        // its on-disk journal, which exists only to rescue unfinished runs.
         let removed = shared
             .sessions
             .lock()
@@ -850,6 +964,9 @@ fn handle_conn(
             .remove(&hello.session);
         if let Some(session) = removed {
             session.retire();
+            if let Some(path) = &session.disk_path {
+                let _ = std::fs::remove_file(path);
+            }
         }
     } else {
         // The link died dirty: the session lives on for a resume. Clear
